@@ -1,0 +1,74 @@
+"""Experiment fig2: the run-length histogram of Figure 2.
+
+Paper setup: "64-core/64-thread EM² simulation using Graphite, with
+16 KB L1 + 64 KB L2 data caches and first-touch data placement", on a
+SPLASH-2 OCEAN run. Claim: "About half of the accesses migrate after
+one memory reference, while the other half keep accessing memory at
+the core where they have migrated."
+
+Here: the ocean-like generator at the same scale (64 threads on 64
+cores, first-touch placement); the harness prints the same series the
+figure plots (accesses contributed per run length) and asserts the
+bimodal shape.
+"""
+
+import pytest
+
+from conftest import cached_first_touch, cached_workload, emit
+from repro.analysis.reports import runlength_table
+from repro.trace.runlength import (
+    fraction_single_access_runs,
+    merge_histograms,
+    run_length_histogram,
+)
+
+
+def _fig2_histogram(trace, placement):
+    hists = []
+    for t, tr in enumerate(trace.threads):
+        homes = placement.home_of(tr["addr"])
+        hists.append(run_length_histogram(homes, trace.thread_native_core[t]))
+    return merge_histograms(hists)
+
+
+@pytest.fixture(scope="module")
+def ocean64():
+    trace = cached_workload("ocean", num_threads=64, grid_n=386, iterations=2)
+    placement = cached_first_touch(trace, 64)
+    return trace, placement
+
+
+def test_fig2_run_length_histogram(benchmark, ocean64):
+    trace, placement = ocean64
+    hist = benchmark(_fig2_histogram, trace, placement)
+
+    frac1 = fraction_single_access_runs(hist)
+    emit(
+        "Figure 2: accesses to non-native cores, binned by run length "
+        f"(64 cores / 64 threads, first-touch; fraction at run length 1 = {frac1:.3f})",
+        runlength_table(hist, max_rows=30),
+    )
+    # the paper's claim: "about half" of non-native accesses are in
+    # runs of length 1
+    assert 0.35 <= frac1 <= 0.65
+    # ...and the rest is dominated by long runs (the second mode)
+    long_mass = sum(c for v, c in hist.bins().items() if v >= 10) / hist.count
+    assert long_mass >= 0.25
+
+
+def test_fig2_shape_stable_across_seeds(benchmark, ocean64):
+    """The bimodal shape is structural, not a seed artifact."""
+    def both_seeds():
+        out = []
+        for seed in (1, 2):
+            tr = cached_workload(
+                "ocean", num_threads=16, grid_n=98, iterations=2, seed=seed
+            )
+            pl = cached_first_touch(tr, 16)
+            out.append(fraction_single_access_runs(_fig2_histogram(tr, pl)))
+        return out
+
+    fracs = benchmark(both_seeds)
+    for f in fracs:
+        assert 0.3 <= f <= 0.7
+    assert abs(fracs[0] - fracs[1]) < 0.1

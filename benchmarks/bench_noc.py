@@ -1,0 +1,183 @@
+"""Experiment ex-noc: the interconnect model underlying every cost.
+
+Micro-benchmarks of the substrate itself — zero-load latency scaling
+with distance and payload (the two axes the EM² cost model is built
+on), contention behaviour, and raw event-engine throughput (this is
+the Graphite-substitute's performance envelope).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.reports import format_table
+from repro.arch.config import NocConfig
+from repro.arch.noc import Message, Network, VirtualNetwork
+from repro.arch.topology import Mesh2D
+from repro.sim.engine import Engine
+
+
+def test_zero_load_latency_surface(benchmark):
+    """Latency vs (hops, payload): the cost-model input table."""
+    topo = Mesh2D(8, 8)
+    net = Network(Engine(), topo, NocConfig())
+
+    def surface():
+        rows = []
+        for payload in (32, 512, 1536):
+            for dst in (1, 8, 63):
+                rows.append(
+                    {
+                        "payload_bits": payload,
+                        "hops": topo.distance(0, dst),
+                        "latency": net.zero_load_latency(0, dst, payload),
+                    }
+                )
+        return rows
+
+    rows = benchmark(surface)
+    emit("ex-noc: zero-load latency surface", format_table(rows))
+    # serialization dominates at small distances for the 1.5 Kbit context
+    ctx = [r for r in rows if r["payload_bits"] == 1536 and r["hops"] == 1][0]
+    word = [r for r in rows if r["payload_bits"] == 32 and r["hops"] == 1][0]
+    assert ctx["latency"] > 4 * word["latency"]
+
+
+def test_contention_queueing(benchmark):
+    """Messages hammering one link must queue; delivery rate is bounded
+    by link serialization."""
+
+    def run():
+        eng = Engine()
+        net = Network(eng, Mesh2D(4, 4), NocConfig(contention=True))
+        done = []
+        for i in range(64):
+            net.send(
+                Message(src=0, dst=1, payload_bits=512, vnet=VirtualNetwork.MIGRATION),
+                lambda m: done.append(m.latency),
+            )
+        eng.run()
+        return done
+
+    latencies = benchmark(run)
+    assert len(latencies) == 64
+    assert max(latencies) > min(latencies)  # queueing visible
+    emit(
+        "ex-noc: 64 messages on one link (contention mode)",
+        format_table(
+            [
+                {"stat": "min_latency", "value": min(latencies)},
+                {"stat": "max_latency", "value": max(latencies)},
+                {"stat": "mean_latency", "value": sum(latencies) / len(latencies)},
+            ]
+        ),
+    )
+
+
+def test_engine_event_throughput(benchmark):
+    """Raw DES throughput: events/second envelope of the simulator."""
+
+    def run():
+        eng = Engine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 50_000:
+                eng.schedule(1.0, tick)
+
+        eng.schedule(0.0, tick)
+        eng.run()
+        return count[0]
+
+    n = benchmark(run)
+    assert n == 50_000
+
+
+def test_flit_level_validates_message_model(benchmark):
+    """The flit-level router's zero-load latency must track the
+    analytical formula the whole cost model is built on."""
+    from repro.arch.noc.flitlevel import FlitNetwork
+
+    def run():
+        rows = []
+        topo = Mesh2D(4, 4)
+        for src, dst, flits in ((0, 1, 2), (0, 15, 2), (0, 15, 13)):
+            net = FlitNetwork(topo, num_vcs=2, buffer_flits=8)
+            net.send(src, dst, num_flits=flits)
+            net.run_until_drained()
+            analytical = topo.distance(src, dst) + (flits - 1)
+            rows.append(
+                {
+                    "hops": topo.distance(src, dst),
+                    "flits": flits,
+                    "flit_level": net.latencies[0],
+                    "analytical": analytical,
+                    "overhead": net.latencies[0] - analytical,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ex-noc: flit-level vs analytical zero-load latency", format_table(rows))
+    for r in rows:
+        assert 0 <= r["overhead"] <= r["hops"] + 4  # small constant pipeline cost
+
+
+def test_flit_level_ring_deadlock_and_dateline(benchmark):
+    """The [10]/§3 claim, executed: single-VC ring traffic deadlocks;
+    the dateline escape VC drains it."""
+    from repro.arch.noc.flitlevel import FlitNetwork
+    from repro.arch.topology import UnidirectionalRing
+    from repro.util.errors import DeadlockError
+
+    def run():
+        outcomes = {}
+        for vcs, dateline in ((1, False), (2, True)):
+            net = FlitNetwork(
+                UnidirectionalRing(8), num_vcs=vcs, buffer_flits=2,
+                dateline=dateline, deadlock_cycles=2000,
+            )
+            for src in range(8):
+                net.send(src, (src + 4) % 8, num_flits=8)
+            try:
+                cycles = net.run_until_drained()
+                outcomes[(vcs, dateline)] = f"drained in {cycles} cycles"
+            except DeadlockError:
+                outcomes[(vcs, dateline)] = "DEADLOCK"
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ex-noc: virtual channels vs real deadlock (unidirectional ring)",
+        format_table(
+            [
+                {"config": "1 VC, no dateline", "outcome": outcomes[(1, False)]},
+                {"config": "2 VCs + dateline", "outcome": outcomes[(2, True)]},
+            ]
+        ),
+    )
+    assert outcomes[(1, False)] == "DEADLOCK"
+    assert outcomes[(2, True)].startswith("drained")
+
+
+def test_network_message_throughput(benchmark):
+    """End-to-end message simulation rate (analytical mode)."""
+
+    def run():
+        eng = Engine()
+        net = Network(eng, Mesh2D(8, 8), NocConfig())
+        for i in range(10_000):
+            net.send(
+                Message(
+                    src=i % 64,
+                    dst=(i * 7) % 64,
+                    payload_bits=128,
+                    vnet=VirtualNetwork.RA_REQUEST,
+                ),
+                lambda m: None,
+            )
+        eng.run()
+        return net.message_count()
+
+    n = benchmark(run)
+    assert n == 10_000

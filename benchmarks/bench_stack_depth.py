@@ -1,0 +1,177 @@
+"""Experiment ex-stack: stack-machine EM² and optimal migration depths (§4).
+
+Claims exercised:
+
+* a stack context (PC + a few top-of-stack entries) is dramatically
+  smaller than the register-file context — measured as migrated bits;
+* the optimal per-migration depth varies per access; the DP computes
+  it and lower-bounds every fixed-depth scheme;
+* carrying too little causes underflow round trips, carrying the full
+  window causes overflow round trips ("enough data to continue
+  execution ... and enough space to carry back any results").
+
+Workloads are *executed* stack-machine kernels (real programs), plus a
+stack-annotated ocean trace.
+"""
+
+import pytest
+
+from conftest import cached_first_touch, emit
+from repro.analysis.reports import format_table
+from repro.core.decision.stack_optimal import fixed_depth_cost, optimal_stack_depths
+from repro.placement import first_touch
+from repro.stackmachine import stack_workload
+from repro.stackmachine.programs import annotate_stack_activity
+from repro.trace.synthetic import make_workload
+
+K = 8
+
+
+@pytest.fixture(scope="module")
+def stack_traces():
+    out = {}
+    for kernel in ("dot", "reduce", "hist"):
+        mt = stack_workload(kernel, num_threads=8, n=48, shared_fraction=0.75)
+        out[kernel] = (mt, first_touch(mt, 8))
+    return out
+
+
+def _depth_sweep(mt, placement, cost_model):
+    rows = []
+    opt_cost = opt_bits = opt_forced = 0.0
+    for t, tr in enumerate(mt.threads):
+        homes = placement.home_of(tr["addr"])
+        res = optimal_stack_depths(homes, tr["spop"], tr["spush"], t, cost_model, K)
+        opt_cost += res.total_cost
+        opt_bits += res.migrated_bits
+        opt_forced += res.forced_returns
+    rows.append(
+        {"depth": "optimal (DP)", "network_cost": opt_cost,
+         "migrated_kbit": opt_bits / 1000, "forced_returns": int(opt_forced)}
+    )
+    for depth in (0, 1, 2, 4, 8):
+        cost = bits = forced = 0
+        for t, tr in enumerate(mt.threads):
+            homes = placement.home_of(tr["addr"])
+            res = fixed_depth_cost(
+                homes, tr["spop"], tr["spush"], t, cost_model, depth, K
+            )
+            cost += res.total_cost
+            bits += res.migrated_bits
+            forced += res.forced_returns
+        rows.append(
+            {"depth": depth, "network_cost": cost, "migrated_kbit": bits / 1000,
+             "forced_returns": forced}
+        )
+    return rows
+
+
+@pytest.mark.parametrize("kernel", ["dot", "reduce", "hist"])
+def test_stack_depth_sweep(benchmark, bench_cost, stack_traces, kernel):
+    mt, placement = stack_traces[kernel]
+    rows = benchmark.pedantic(
+        _depth_sweep, args=(mt, placement, bench_cost), rounds=1, iterations=1
+    )
+    emit(f"ex-stack [{kernel}]: optimal vs fixed migration depths", format_table(rows))
+    opt = rows[0]["network_cost"]
+    for row in rows[1:]:
+        assert opt <= row["network_cost"] + 1e-6
+
+
+def test_stack_context_vs_full_context_bits(benchmark, bench_cost, stack_traces):
+    """§4 headline: stack-EM² migrated bits << register-file EM² bits."""
+    mt, placement = stack_traces["reduce"]
+
+    def measure():
+        stack_bits = 0
+        migrations = 0
+        for t, tr in enumerate(mt.threads):
+            homes = placement.home_of(tr["addr"])
+            res = optimal_stack_depths(
+                homes, tr["spop"], tr["spush"], t, bench_cost, K
+            )
+            stack_bits += res.migrated_bits
+            migrations += res.migrations
+        full_bits = migrations * bench_cost.config.context.full_context_bits
+        return stack_bits, full_bits, migrations
+
+    stack_bits, full_bits, migrations = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    emit(
+        "ex-stack: context bits moved (same migration count)",
+        format_table(
+            [
+                {"architecture": "stack-EM2 (optimal depths)",
+                 "kbit": stack_bits / 1000, "migrations": migrations},
+                {"architecture": "EM2 (full register file)",
+                 "kbit": full_bits / 1000, "migrations": migrations},
+            ]
+        ),
+    )
+    if migrations:
+        assert stack_bits < 0.5 * full_bits
+
+
+def test_behavioral_stack_em2_vs_register_em2(benchmark):
+    """§4 behaviorally: same workload, same protocol machinery, stack
+    contexts cut migration traffic by the context-size ratio, including
+    forced-return overheads."""
+    from repro.arch.config import small_test_config
+    from repro.core.em2 import EM2Machine
+    from repro.core.stack_em2 import FixedDepth, NeedBasedDepth, StackEM2Machine
+    from repro.placement import first_touch
+
+    cfg = small_test_config(num_cores=8, guest_contexts=4)
+    mt = stack_workload("reduce", num_threads=8, n=40, shared_fraction=0.75)
+    pl = first_touch(mt, 8)
+
+    def run_all():
+        rows = []
+        reg = EM2Machine(mt, pl, cfg)
+        reg.run()
+        rows.append(
+            {
+                "machine": "EM2 (register file)",
+                "completion": reg.completion_time,
+                "migration_flits": reg.network.stats.counters["flits.MIGRATION"],
+                "forced_returns": 0,
+            }
+        )
+        for label, scheme in (
+            ("stack-EM2 fixed(4)", FixedDepth(4)),
+            ("stack-EM2 need-based", NeedBasedDepth(mt, lookahead=8)),
+        ):
+            m = StackEM2Machine(mt, pl, cfg, scheme, window=8)
+            m.run()
+            r = m.results()
+            rows.append(
+                {
+                    "machine": label,
+                    "completion": m.completion_time,
+                    "migration_flits": m.network.stats.counters["flits.MIGRATION"],
+                    "forced_returns": r["underflow_returns"] + r["overflow_returns"],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("ex-stack: behavioral stack-EM2 vs register-file EM2", format_table(rows))
+    by = {r["machine"]: r for r in rows}
+    for label in ("stack-EM2 fixed(4)", "stack-EM2 need-based"):
+        assert by[label]["migration_flits"] < by["EM2 (register file)"]["migration_flits"]
+
+
+def test_stack_depths_on_annotated_ocean(benchmark, bench_cost):
+    """The DP also runs on stack-annotated register traces (DESIGN.md §1)."""
+    mt = make_workload("ocean", num_threads=16, grid_n=66, iterations=1)
+    placement = cached_first_touch(mt, 16)
+
+    def run():
+        tr = annotate_stack_activity(mt.threads[3], max_depth=6, seed=0)
+        homes = placement.home_of(tr["addr"])
+        return optimal_stack_depths(homes, tr["spop"], tr["spush"], 3, bench_cost, K)
+
+    res = benchmark(run)
+    assert res.migrations > 0
+    assert res.total_cost > 0

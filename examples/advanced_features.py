@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Advanced features tour: compiler, composition, dynamic placement,
+lookahead oracles, and protocol audits.
+
+1. Write a kernel in the mini-language, compile it to the stack ISA,
+   execute it per thread, and feed the trace to the stack-depth DP.
+2. Compose workloads: space-shared multiprogramming and sequential
+   phases; show epoch-based dynamic re-placement paying off on the
+   phased composition.
+3. Sweep the lookahead-oracle window against the DP optimum.
+4. Run the behavioral machine and the full protocol audit.
+
+Run:  python examples/advanced_features.py
+"""
+
+import numpy as np
+
+from repro import (
+    CostModel,
+    EM2Machine,
+    NeverMigrate,
+    evaluate_dynamic_placement,
+    first_touch,
+    full_machine_audit,
+    make_workload,
+    small_test_config,
+)
+from repro.analysis.reports import format_table
+from repro.core.decision import fixed_depth_cost, optimal_stack_depths
+from repro.core.decision.optimal import decision_cost, optimal_cost
+from repro.core.decision.oracle import lookahead_decisions
+from repro.stackmachine import compiled_workload
+from repro.trace.combine import concat_phases, multiprogram
+from repro.trace.synthetic.base import PRIVATE_BASE, PRIVATE_SPAN, SHARED_BASE
+
+
+def demo_compiler() -> None:
+    print("=== 1. mini-language kernel -> stack ISA -> depth DP ===")
+    src = """
+        # strided sum over a shared array
+        acc = 0; i = 0;
+        while (i < n) {
+            acc = acc + load(base + i * 2);
+            i = i + 1;
+        }
+        store(out, acc);
+    """
+    mt = compiled_workload(
+        src,
+        num_threads=4,
+        constants_for=lambda t: {
+            "base": SHARED_BASE,
+            "n": 24,
+            "out": PRIVATE_BASE + t * PRIVATE_SPAN,
+        },
+        memory_for=lambda t: {SHARED_BASE + i: i for i in range(64)},
+        name="compiled-strided-sum",
+    )
+    cfg = small_test_config(num_cores=4)
+    cost = CostModel(cfg)
+    pl = first_touch(mt, 4)
+    tr = mt.threads[2]
+    homes = pl.home_of(tr["addr"])
+    opt = optimal_stack_depths(homes, tr["spop"], tr["spush"], 2, cost, max_depth=8)
+    fix = fixed_depth_cost(homes, tr["spop"], tr["spush"], 2, cost, 8, max_depth=8)
+    print(
+        f"thread 2: {tr.size} accesses; optimal-depth cost {opt.total_cost:.0f} "
+        f"({opt.migrated_bits} bits) vs full-window {fix.total_cost:.0f} "
+        f"({fix.migrated_bits} bits)"
+    )
+
+
+def demo_composition() -> None:
+    print("\n=== 2. workload composition + dynamic placement ===")
+    cfg = small_test_config(num_cores=8)
+    cost = CostModel(cfg)
+    a = make_workload("pingpong", num_threads=4, rounds=24, run=2, seed=1)
+    b = make_workload("private", num_threads=4, accesses_per_thread=64, seed=2)
+    mp = multiprogram(a, b, name="pingpong|private")
+    print(f"multiprogram: {mp.num_threads} threads, {mp.total_accesses} accesses")
+
+    phased = concat_phases(
+        make_workload("pingpong", num_threads=8, rounds=24, run=2, seed=3),
+        make_workload("uniform", num_threads=8, accesses_per_thread=128, seed=4),
+        name="pingpong->uniform",
+    )
+    rows = []
+    for oracle in (False, True):
+        res = evaluate_dynamic_placement(
+            phased, 8, NeverMigrate(), cost, num_epochs=4, oracle=oracle
+        )
+        rows.append(
+            {
+                "mode": "oracle" if oracle else "reactive",
+                "dynamic_cost": round(res.total_cost),
+                "static_cost": round(res.static_cost),
+                "gain_over_static": round(res.improvement_over_static, 3),
+            }
+        )
+    print(format_table(rows))
+
+
+def demo_lookahead() -> None:
+    print("\n=== 3. lookahead window vs DP optimum (ocean) ===")
+    cfg = small_test_config(num_cores=16)
+    cost = CostModel(cfg)
+    trace = make_workload("ocean", num_threads=16, grid_n=66, iterations=1)
+    pl = first_touch(trace, 16)
+    rows = []
+    opt_total = sum(
+        optimal_cost(pl.home_of(tr["addr"]), tr["write"], t, cost)
+        for t, tr in enumerate(trace.threads)
+    )
+    for window in (1, 4, 8, np.inf):
+        total = 0.0
+        for t, tr in enumerate(trace.threads):
+            homes = pl.home_of(tr["addr"])
+            d = lookahead_decisions(homes, tr["write"], t, cost, window)
+            total += decision_cost(homes, tr["write"], d, t, cost)
+        rows.append({"window": str(window), "x_optimal": round(total / opt_total, 3)})
+    print(format_table(rows))
+
+
+def demo_audit() -> None:
+    print("\n=== 4. behavioral run + protocol audit ===")
+    cfg = small_test_config(num_cores=8, guest_contexts=2)
+    trace = make_workload("hotspot", num_threads=8, accesses_per_thread=96,
+                          hot_fraction=0.4)
+    pl = first_touch(trace, 8)
+    m = EM2Machine(trace, pl, cfg)
+    m.run()
+    audit = full_machine_audit(m)
+    print(f"machine results: {m.results()}")
+    print(f"audit passed: {audit}")
+
+
+if __name__ == "__main__":
+    demo_compiler()
+    demo_composition()
+    demo_lookahead()
+    demo_audit()

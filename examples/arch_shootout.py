@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Architecture shootout: EM² vs EM²-RA vs RA-only vs directory CC.
+
+Runs the *behavioral* machines (finite guest contexts, evictions,
+virtual-channel NoC, real L1/L2 arrays, DRAM) and the MSI directory
+simulator on the same workload + placement, and prints completion
+time, traffic, protocol events, and network energy.
+
+Run:  python examples/arch_shootout.py [workload]
+      workload in {ocean, fft, lu, radix, hotspot} (default: ocean)
+"""
+
+import sys
+
+from repro import (
+    CostModel,
+    DirectoryCCSimulator,
+    EM2Machine,
+    EM2RAMachine,
+    EnergyModel,
+    RemoteAccessMachine,
+    first_touch,
+    make_workload,
+    small_test_config,
+)
+from repro.analysis.reports import format_table
+from repro.core.decision import HistoryRunLength, optimal_replay_for
+
+WORKLOADS = {
+    "ocean": dict(name="ocean", num_threads=16, grid_n=50, iterations=1),
+    "fft": dict(name="fft", num_threads=16, points_per_thread=64, butterfly_stages=2),
+    "lu": dict(name="lu", num_threads=16, blocks=6, block_words=32),
+    "radix": dict(name="radix", num_threads=16, keys_per_thread=96, passes=1),
+    "hotspot": dict(name="hotspot", num_threads=16, accesses_per_thread=256,
+                    hot_fraction=0.4),
+}
+
+
+def main() -> None:
+    wl = sys.argv[1] if len(sys.argv) > 1 else "ocean"
+    params = dict(WORKLOADS[wl])
+    gen = params.pop("name")
+    config = small_test_config(num_cores=16, guest_contexts=4)
+    cost = CostModel(config)
+    energy = EnergyModel()
+
+    print(f"workload: {wl}; 16 cores, 4 guest contexts/core")
+    trace = make_workload(gen, **params)
+    placement = first_touch(trace, 16)
+    be = cost.break_even_run_length(0, 15)
+
+    rows = []
+
+    def add_row(name, results):
+        flit_bits = results["flit_hops"] * config.noc.flit_bits
+        rows.append(
+            {
+                "architecture": name,
+                "completion": round(results["completion_time"]),
+                "migrations": results["migrations"],
+                "evictions": results["evictions"],
+                "remote_ops": results["remote_accesses"],
+                "traffic_kbit_hops": round(flit_bits / 1000, 1),
+                "energy_uJ": round(energy.network_energy(flit_bits) / 1e6, 4),
+            }
+        )
+
+    m = EM2Machine(trace, placement, config)
+    m.run()
+    add_row("EM2", m.results())
+
+    m = EM2RAMachine(trace, placement, config, scheme=HistoryRunLength(threshold=be))
+    m.run()
+    add_row("EM2-RA (history)", m.results())
+
+    m = EM2RAMachine(
+        trace, placement, config,
+        scheme=optimal_replay_for(trace, placement, cost),
+    )
+    m.run()
+    add_row("EM2-RA (optimal)", m.results())
+
+    m = RemoteAccessMachine(trace, placement, config)
+    m.run()
+    add_row("RA-only", m.results())
+
+    cc = DirectoryCCSimulator(trace, placement, config)
+    res = cc.run()
+    flit_bits = cc.stats.counters["flit_hops"] * config.noc.flit_bits
+    rows.append(
+        {
+            "architecture": "directory-CC",
+            "completion": round(res.completion_time),
+            "migrations": 0,
+            "evictions": 0,
+            "remote_ops": res.stats.get("count.misses", 0),
+            "traffic_kbit_hops": round(flit_bits / 1000, 1),
+            "energy_uJ": round(energy.network_energy(flit_bits) / 1e6, 4),
+        }
+    )
+    print(format_table(rows))
+    print(
+        f"\ndirectory overhead for the touched lines: "
+        f"{cc.directory_overhead_bits() / 1000:.1f} kbit "
+        f"(invalidations: {res.invalidations}, writebacks: "
+        f"{res.stats.get('count.writebacks', 0)})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Evaluate hardware decision schemes against the DP upper bound (§3).
+
+"a simplified analytical model that establishes an upper bound on
+performance of decision schemes and thus allows us to quickly evaluate
+how close to optimal a given hardware-implementable scheme is."
+
+Sweeps the distance-threshold scheme and the history predictor over
+several workloads and normalizes every cost to the per-trace optimum.
+
+Run:  python examples/decision_scheme_tuning.py
+"""
+
+from repro import (
+    AlwaysMigrate,
+    CostModel,
+    DistanceThreshold,
+    HistoryRunLength,
+    NeverMigrate,
+    evaluate_scheme,
+    first_touch,
+    make_workload,
+    small_test_config,
+)
+from repro.analysis.reports import format_table
+from repro.core.decision.optimal import optimal_cost
+
+WORKLOADS = {
+    "ocean": dict(name="ocean", num_threads=16, grid_n=98, iterations=1),
+    "fft": dict(name="fft", num_threads=16, points_per_thread=128),
+    "radix": dict(name="radix", num_threads=16, keys_per_thread=128, passes=1),
+    "pingpong(run=6)": dict(name="pingpong", num_threads=16, rounds=64, run=6),
+}
+
+
+def main() -> None:
+    config = small_test_config(num_cores=16)
+    cost = CostModel(config)
+    dm = cost.topology.distance_matrix
+    break_even = cost.break_even_run_length(0, 15)
+    schemes = [
+        ("always-migrate (EM2)", lambda: AlwaysMigrate()),
+        ("never-migrate (RA-only)", lambda: NeverMigrate()),
+        ("distance<=1", lambda: DistanceThreshold(dm, 1)),
+        ("distance<=3", lambda: DistanceThreshold(dm, 3)),
+        (f"history(thr={break_even:.1f})", lambda: HistoryRunLength(break_even)),
+    ]
+
+    for wl_name, params in WORKLOADS.items():
+        params = dict(params)
+        gen = params.pop("name")
+        trace = make_workload(gen, **params)
+        placement = first_touch(trace, 16)
+        opt = sum(
+            optimal_cost(placement.home_of(tr["addr"]), tr["write"], t, cost)
+            for t, tr in enumerate(trace.threads)
+        )
+        rows = []
+        for label, factory in schemes:
+            r = evaluate_scheme(trace, placement, factory(), cost)
+            rows.append(
+                {
+                    "scheme": label,
+                    "cost": round(r.total_cost),
+                    "x_optimal": round(r.total_cost / opt, 3) if opt else float("nan"),
+                    "migrations": r.migrations,
+                    "remote": r.remote_accesses,
+                }
+            )
+        print(f"\n=== {wl_name}  (optimal = {opt:,.0f}) ===")
+        print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

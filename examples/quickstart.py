@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: evaluate EM² on a synthetic OCEAN run in ~20 lines.
+
+Builds the paper's machine (64 cores), generates an ocean-like
+workload (64 threads), places data with first-touch, and compares the
+three §3 policies: pure EM² (always migrate), remote-access-only, and
+the offline optimal decision sequence.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AlwaysMigrate,
+    CostModel,
+    NeverMigrate,
+    SystemConfig,
+    evaluate_scheme,
+    first_touch,
+    make_workload,
+    optimal_decisions,
+)
+
+def main() -> None:
+    config = SystemConfig(num_cores=64)  # the paper's 64-core mesh
+    cost = CostModel(config)
+
+    print("generating ocean workload (64 threads)...")
+    trace = make_workload("ocean", num_threads=64, grid_n=194, iterations=1)
+    placement = first_touch(trace, config.num_cores)
+    print(f"  {trace.total_accesses:,} accesses, "
+          f"{trace.footprint():,} distinct words")
+
+    for scheme in (AlwaysMigrate(), NeverMigrate()):
+        r = evaluate_scheme(trace, placement, scheme, cost)
+        print(
+            f"{scheme.name:>16}: network cost {r.total_cost:>12,.0f}  "
+            f"migrations {r.migrations:>7,}  remote {r.remote_accesses:>7,}  "
+            f"traffic {r.traffic_bits / 1e6:7.1f} Mbit"
+        )
+
+    # the optimal offline decision DP (§3), one thread as an example
+    tr = trace.threads[10]
+    homes = placement.home_of(tr["addr"])
+    opt = optimal_decisions(homes, tr["write"], 10, cost)
+    print(
+        f"\nthread 10 optimal policy: cost {opt.total_cost:,.0f} with "
+        f"{opt.num_migrations} migrations + {opt.num_remote_accesses} remote accesses "
+        f"({opt.num_local} local)"
+    )
+
+
+if __name__ == "__main__":
+    main()

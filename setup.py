@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517
+editable installs (which build a wheel) fail; this shim enables the
+legacy ``pip install -e . --no-use-pep517`` path. All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,130 @@
+"""EM²: Distributed Shared Memory based on Computation Migration.
+
+A from-scratch Python reproduction of Lis et al., SPAA 2011 (brief
+announcement), including every substrate the paper depends on:
+
+* a tiled-multicore behavioral simulator (:mod:`repro.arch`,
+  :mod:`repro.sim`) playing Graphite's role;
+* SPLASH-2-like workload generators (:mod:`repro.trace.synthetic`);
+* data placement (:mod:`repro.placement`);
+* the EM² architecture family — pure EM², the EM²-RA hybrid, the
+  remote-access-only baseline (:mod:`repro.core`) and a directory-MSI
+  coherence baseline (:mod:`repro.coherence`);
+* the paper's optimal offline decision dynamic programs for
+  migrate-vs-RA and stack depth (:mod:`repro.core.decision`);
+* a stack-machine substrate (:mod:`repro.stackmachine`).
+
+Quick start::
+
+    from repro import (SystemConfig, CostModel, make_workload,
+                       first_touch, AlwaysMigrate, evaluate_scheme)
+
+    cfg = SystemConfig(num_cores=64)
+    trace = make_workload("ocean", num_threads=64)
+    placement = first_touch(trace, cfg.num_cores)
+    cost = CostModel(cfg)
+    print(evaluate_scheme(trace, placement, AlwaysMigrate(), cost).as_dict())
+"""
+
+from repro.arch.config import (
+    CacheConfig,
+    ContextConfig,
+    CostConfig,
+    NocConfig,
+    SystemConfig,
+    small_test_config,
+)
+from repro.arch.topology import Mesh2D, RingTopology, TorusTopology
+from repro.core.costs import CostModel
+from repro.core.decision import (
+    AlwaysMigrate,
+    Decision,
+    DistanceThreshold,
+    HistoryRunLength,
+    NeverMigrate,
+    OptimalReplay,
+    RandomScheme,
+    fixed_depth_cost,
+    optimal_decisions,
+    optimal_replay_for,
+    optimal_stack_depths,
+)
+from repro.core.decision.costaware import CostAwareHistory
+from repro.core.decision.oracle import lookahead_decisions, lookahead_replay_for
+from repro.placement.dynamic import evaluate_dynamic_placement
+from repro.verify import full_machine_audit
+from repro.core.em2 import EM2Machine
+from repro.core.em2ra import EM2RAMachine
+from repro.core.stack_em2 import (
+    FixedDepth,
+    NeedBasedDepth,
+    ReplayDepth,
+    StackEM2Machine,
+)
+from repro.core.evaluation import EvalResult, evaluate_scheme
+from repro.core.remote_access import RemoteAccessMachine
+from repro.coherence import DirectoryCCSimulator
+from repro.analysis import EnergyModel
+from repro.placement import first_touch, profile_optimal, striped
+from repro.trace.events import MultiTrace, make_trace
+from repro.trace.io import load_multitrace, save_multitrace
+from repro.trace.runlength import run_length_histogram, run_lengths
+from repro.trace.synthetic import GENERATORS, make_workload
+from repro.stackmachine import StackMachine, assemble, stack_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "CacheConfig",
+    "NocConfig",
+    "ContextConfig",
+    "CostConfig",
+    "small_test_config",
+    "Mesh2D",
+    "TorusTopology",
+    "RingTopology",
+    "CostModel",
+    "Decision",
+    "AlwaysMigrate",
+    "NeverMigrate",
+    "DistanceThreshold",
+    "RandomScheme",
+    "HistoryRunLength",
+    "optimal_decisions",
+    "optimal_stack_depths",
+    "fixed_depth_cost",
+    "OptimalReplay",
+    "optimal_replay_for",
+    "CostAwareHistory",
+    "lookahead_decisions",
+    "lookahead_replay_for",
+    "evaluate_dynamic_placement",
+    "full_machine_audit",
+    "evaluate_scheme",
+    "EvalResult",
+    "EM2Machine",
+    "EM2RAMachine",
+    "RemoteAccessMachine",
+    "StackEM2Machine",
+    "FixedDepth",
+    "NeedBasedDepth",
+    "ReplayDepth",
+    "DirectoryCCSimulator",
+    "EnergyModel",
+    "first_touch",
+    "striped",
+    "profile_optimal",
+    "MultiTrace",
+    "make_trace",
+    "save_multitrace",
+    "load_multitrace",
+    "run_lengths",
+    "run_length_histogram",
+    "make_workload",
+    "GENERATORS",
+    "StackMachine",
+    "assemble",
+    "stack_workload",
+    "__version__",
+]

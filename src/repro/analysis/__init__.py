@@ -1,0 +1,17 @@
+"""Analysis utilities: energy model, experiment report tables."""
+
+from repro.analysis.energy import EnergyModel, EnergyReport
+from repro.analysis.reports import format_table, runlength_table, to_csv
+from repro.analysis.sweep import geomean, grid, normalize, sweep
+
+__all__ = [
+    "EnergyModel",
+    "EnergyReport",
+    "format_table",
+    "runlength_table",
+    "to_csv",
+    "grid",
+    "sweep",
+    "geomean",
+    "normalize",
+]

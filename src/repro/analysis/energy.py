@@ -1,0 +1,80 @@
+"""Dynamic-energy model for the network-dominated comparison of §5.
+
+"each migration must transfer the entire execution context ... over the
+on-chip network, causing significant power consumption" — the paper's
+power argument is about bits moved. The model here is the standard
+technology-node-agnostic first-order one: energy = (per-bit-per-hop
+link+router energy) x bit-hops + cache/DRAM access energies. Defaults
+are loosely 45 nm-class ratios (the paper's era); everything is a
+constructor knob, and only *ratios* between architectures are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event dynamic energies (picojoules)."""
+
+    link_pj_per_bit_hop: float = 0.06  # link + router traversal, per bit per hop
+    l1_pj_per_access: float = 10.0
+    l2_pj_per_access: float = 30.0
+    dram_pj_per_access: float = 2000.0
+    context_load_pj: float = 50.0  # register-file unload/load per migration
+
+    def __post_init__(self) -> None:
+        for name in (
+            "link_pj_per_bit_hop",
+            "l1_pj_per_access",
+            "l2_pj_per_access",
+            "dram_pj_per_access",
+            "context_load_pj",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+
+    def network_energy(self, bit_hops: float) -> float:
+        return self.link_pj_per_bit_hop * bit_hops
+
+    def report(
+        self,
+        bit_hops: float = 0.0,
+        l1_accesses: int = 0,
+        l2_accesses: int = 0,
+        dram_accesses: int = 0,
+        migrations: int = 0,
+    ) -> "EnergyReport":
+        return EnergyReport(
+            network_pj=self.network_energy(bit_hops),
+            l1_pj=self.l1_pj_per_access * l1_accesses,
+            l2_pj=self.l2_pj_per_access * l2_accesses,
+            dram_pj=self.dram_pj_per_access * dram_accesses,
+            context_pj=self.context_load_pj * migrations,
+        )
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    network_pj: float
+    l1_pj: float = 0.0
+    l2_pj: float = 0.0
+    dram_pj: float = 0.0
+    context_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return self.network_pj + self.l1_pj + self.l2_pj + self.dram_pj + self.context_pj
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "network_pj": self.network_pj,
+            "l1_pj": self.l1_pj,
+            "l2_pj": self.l2_pj,
+            "dram_pj": self.dram_pj,
+            "context_pj": self.context_pj,
+            "total_pj": self.total_pj,
+        }

@@ -1,0 +1,94 @@
+"""Plain-text report tables (what the benches print).
+
+No plotting dependencies: the harness prints the same rows/series the
+paper's figures plot, machine-checkably.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.sim.stats import Histogram
+
+
+def format_table(rows: Iterable[Mapping[str, object]], columns: list[str] | None = None) -> str:
+    """Render dict rows as an aligned monospace table."""
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    str_rows = [
+        [_fmt(row.get(c, "")) for c in columns] for row in rows
+    ]
+    widths = [
+        max(len(c), *(len(r[i]) for r in str_rows)) for i, c in enumerate(columns)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(v.ljust(w) for v, w in zip(r, widths)) for r in str_rows)
+    return f"{header}\n{sep}\n{body}"
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        if v != v:  # nan
+            return "nan"
+        if abs(v) >= 1000 or (v and abs(v) < 0.01):
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def to_csv(rows: Iterable[Mapping[str, object]], columns: list[str] | None = None) -> str:
+    """Render dict rows as CSV (for spreadsheet/plotting pipelines).
+
+    Values containing commas/quotes/newlines are quoted per RFC 4180.
+    """
+    rows = list(rows)
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def esc(v: object) -> str:
+        s = _fmt(v) if isinstance(v, float) else str(v)
+        if any(c in s for c in ',"\n'):
+            return '"' + s.replace('"', '""') + '"'
+        return s
+
+    lines = [",".join(esc(c) for c in columns)]
+    for row in rows:
+        lines.append(",".join(esc(row.get(c, "")) for c in columns))
+    return "\n".join(lines) + "\n"
+
+
+def runlength_table(hist: Histogram, max_rows: int = 40) -> str:
+    """Figure 2 as text: run length vs. accesses contributed.
+
+    Bins are access-weighted already (the histogram is built with
+    weight=run_length); this prints bin -> count plus the cumulative
+    fraction so the "about half at run length 1" claim is one glance.
+    """
+    rows = []
+    cum = 0
+    for length, count in list(hist.bins().items())[:max_rows]:
+        cum += count
+        rows.append(
+            {
+                "run_length": length,
+                "accesses": count,
+                "fraction": count / hist.count if hist.count else float("nan"),
+                "cumulative": cum / hist.count if hist.count else float("nan"),
+            }
+        )
+    if hist.overflow:
+        rows.append(
+            {
+                "run_length": f">{hist.max_bin}",
+                "accesses": hist.overflow,
+                "fraction": hist.overflow / hist.count,
+                "cumulative": 1.0,
+            }
+        )
+    return format_table(rows)

@@ -1,0 +1,75 @@
+"""Parameter-sweep utilities for the benchmark harness and examples.
+
+A sweep is a cartesian product over named parameter lists, evaluated
+by a callback returning a result dict per point. Results accumulate
+into table rows ready for :func:`repro.analysis.reports.format_table`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Iterable, Mapping
+
+from repro.util.errors import ConfigError
+
+
+def grid(**params: Iterable) -> list[dict]:
+    """Cartesian product of parameter lists as a list of dicts.
+
+    >>> grid(a=[1, 2], b=["x"])
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+    if not params:
+        return [{}]
+    keys = list(params)
+    values = [list(params[k]) for k in keys]
+    for k, v in zip(keys, values):
+        if not v:
+            raise ConfigError(f"sweep parameter {k!r} has no values")
+    return [dict(zip(keys, combo)) for combo in itertools.product(*values)]
+
+
+def sweep(
+    points: Iterable[Mapping],
+    fn: Callable[..., Mapping],
+) -> list[dict]:
+    """Evaluate ``fn(**point)`` for every point; each row merges the
+    point's parameters with the returned metrics (metrics win on key
+    collisions — callers should avoid them)."""
+    rows = []
+    for point in points:
+        metrics = fn(**point)
+        row = dict(point)
+        row.update(metrics)
+        rows.append(row)
+    return rows
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the standard cross-workload summary statistic).
+
+    Raises :class:`ConfigError` on non-positive inputs — a silent 0 or
+    negative value in a ratio geomean is always a bug upstream.
+    """
+    values = list(values)
+    if not values:
+        return float("nan")
+    for v in values:
+        if v <= 0:
+            raise ConfigError(f"geomean requires positive values, got {v}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize(rows: list[dict], key: str, baseline_row: int = 0) -> list[dict]:
+    """Add ``key + '_norm'`` columns dividing by the baseline row's value."""
+    if not rows:
+        return rows
+    if not (0 <= baseline_row < len(rows)):
+        raise ConfigError(f"baseline_row {baseline_row} out of range")
+    base = rows[baseline_row][key]
+    if base == 0:
+        raise ConfigError(f"baseline value for {key!r} is zero")
+    for row in rows:
+        row[f"{key}_norm"] = row[key] / base
+    return rows

@@ -1,0 +1,35 @@
+"""Tiled-multicore hardware substrate.
+
+This package models the hardware context the EM² paper assumes:
+a 2-D mesh of tiles, each with a multi-context core, private L1/L2
+data caches, and a NoC router; DRAM controllers sit at mesh edges.
+It plays the role Graphite [14] plays in the paper's experiments.
+"""
+
+from repro.arch.config import (
+    CacheConfig,
+    ContextConfig,
+    CostConfig,
+    NocConfig,
+    SystemConfig,
+)
+from repro.arch.topology import (
+    Mesh2D,
+    RingTopology,
+    Topology,
+    TorusTopology,
+    UnidirectionalRing,
+)
+
+__all__ = [
+    "SystemConfig",
+    "CacheConfig",
+    "NocConfig",
+    "ContextConfig",
+    "CostConfig",
+    "Topology",
+    "Mesh2D",
+    "TorusTopology",
+    "RingTopology",
+    "UnidirectionalRing",
+]

@@ -1,0 +1,120 @@
+"""Two-level private cache hierarchy (L1 + L2) per core.
+
+The hierarchy is mostly-inclusive and blocking: the trace-driven core
+issues one access at a time, so MSHRs are unnecessary. An access
+returns an :class:`AccessResult` with the service level and latency;
+DRAM fills are reported so the tile can charge the memory-controller
+round trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.arch.cache.sram import CacheArray
+from repro.arch.config import CacheConfig
+
+
+class ServiceLevel(Enum):
+    L1 = "l1"
+    L2 = "l2"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    level: ServiceLevel
+    latency: int
+    writebacks_to_memory: int = 0  # dirty L2 victims created by this access
+
+    @property
+    def hit(self) -> bool:
+        return self.level is not ServiceLevel.MEMORY
+
+
+class CacheHierarchy:
+    """Private L1 + L2 pair for one core."""
+
+    def __init__(self, l1: CacheConfig, l2: CacheConfig, policy: str = "lru") -> None:
+        if l2.line_bytes != l1.line_bytes:
+            from repro.util.errors import ConfigError
+
+            raise ConfigError(
+                f"L1 line size {l1.line_bytes} != L2 line size {l2.line_bytes}; "
+                "mixed line sizes are not modeled"
+            )
+        self.l1 = CacheArray(l1, policy=policy)
+        self.l2 = CacheArray(l2, policy=policy)
+        self._l1_cfg = l1
+        self._l2_cfg = l2
+        self.memory_fills = 0
+
+    def access(self, addr: int, write: bool) -> AccessResult:
+        """Perform a load/store on the hierarchy, returning where it hit."""
+        line = self.l1.lookup(addr)
+        if line is not None:
+            if write:
+                line.dirty = True
+            return AccessResult(ServiceLevel.L1, self._l1_cfg.hit_latency)
+
+        wb_mem = 0
+        l2_line = self.l2.lookup(addr)
+        if l2_line is not None:
+            # fill into L1 from L2; dirtiness stays with the L1 copy
+            dirty = l2_line.dirty or write
+            l2_line.dirty = False
+            wb_mem += self._fill_l1(addr, dirty)
+            return AccessResult(
+                ServiceLevel.L2,
+                self._l1_cfg.hit_latency + self._l2_cfg.hit_latency,
+                writebacks_to_memory=wb_mem,
+            )
+
+        # memory fill -> L2 then L1
+        self.memory_fills += 1
+        victim = self.l2.fill(addr, dirty=False)
+        if victim is not None and victim.dirty:
+            wb_mem += 1
+        wb_mem += self._fill_l1(addr, write)
+        return AccessResult(
+            ServiceLevel.MEMORY,
+            self._l1_cfg.hit_latency + self._l2_cfg.hit_latency,
+            writebacks_to_memory=wb_mem,
+        )
+
+    def _fill_l1(self, addr: int, dirty: bool) -> int:
+        """Fill L1; spill a dirty victim down into L2. Returns dirty-L2-victim count."""
+        wb_mem = 0
+        victim = self.l1.fill(addr, dirty=dirty)
+        if victim is not None and victim.dirty:
+            # reconstruct the victim's address within its set
+            si = self.l1.set_index(addr)
+            victim_addr = (victim.tag * self.l1.num_sets + si) << (
+                self._l1_cfg.line_bytes.bit_length() - 1
+            )
+            l2_victim = self.l2.fill(victim_addr, dirty=True)
+            if l2_victim is not None and l2_victim.dirty:
+                wb_mem += 1
+        return wb_mem
+
+    def contains(self, addr: int) -> bool:
+        """True when the line is resident at either level (no side effects)."""
+        return self.l1.probe(addr) is not None or self.l2.probe(addr) is not None
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line from both levels (CC invalidation). True if present."""
+        a = self.l1.invalidate(addr)
+        b = self.l2.invalidate(addr)
+        return a is not None or b is not None
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "l1.hits": self.l1.hits,
+            "l1.misses": self.l1.misses,
+            "l1.hit_rate": self.l1.hit_rate,
+            "l2.hits": self.l2.hits,
+            "l2.misses": self.l2.misses,
+            "l2.hit_rate": self.l2.hit_rate,
+            "memory_fills": self.memory_fills,
+        }

@@ -1,0 +1,115 @@
+"""Replacement policies for the set-associative cache arrays.
+
+A policy is stateful per set; the array owns one policy instance per
+set. Policies see way indices, never addresses, so they compose with
+any array geometry.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.util.rng import as_generator
+
+
+class ReplacementPolicy(ABC):
+    """Per-set replacement state machine."""
+
+    def __init__(self, ways: int) -> None:
+        if ways <= 0:
+            raise ValueError("ways must be positive")
+        self.ways = ways
+
+    @abstractmethod
+    def touch(self, way: int) -> None:
+        """Record a hit/fill on ``way``."""
+
+    @abstractmethod
+    def victim(self) -> int:
+        """Way to evict next (does not mutate state)."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True LRU via an explicit recency list (cheap at small ways)."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._order = list(range(ways))  # front = LRU, back = MRU
+
+    def touch(self, way: int) -> None:
+        self._order.remove(way)
+        self._order.append(way)
+
+    def victim(self) -> int:
+        return self._order[0]
+
+
+class PseudoLRUPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU (hardware-realistic for power-of-two ways)."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        if ways & (ways - 1):
+            raise ValueError("PseudoLRU requires power-of-two ways")
+        self._bits = np.zeros(max(ways - 1, 1), dtype=np.uint8)
+
+    def touch(self, way: int) -> None:
+        node = 0
+        lo, hi = 0, self.ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                self._bits[node] = 1  # point away: right half is colder
+                node = 2 * node + 1
+                hi = mid
+            else:
+                self._bits[node] = 0
+                node = 2 * node + 2
+                lo = mid
+        assert lo == way
+
+    def victim(self) -> int:
+        node = 0
+        lo, hi = 0, self.ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self._bits[node]:  # 1 -> go right (colder)
+                node = 2 * node + 2
+                lo = mid
+            else:
+                node = 2 * node + 1
+                hi = mid
+        return lo
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim; baseline for replacement-sensitivity tests."""
+
+    def __init__(self, ways: int, seed: int | np.random.Generator | None = 0) -> None:
+        super().__init__(ways)
+        self._rng = as_generator(seed)
+        self._last_victim = 0
+
+    def touch(self, way: int) -> None:  # stateless on hits
+        pass
+
+    def victim(self) -> int:
+        self._last_victim = int(self._rng.integers(self.ways))
+        return self._last_victim
+
+
+POLICIES = {
+    "lru": LRUPolicy,
+    "plru": PseudoLRUPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, ways: int) -> ReplacementPolicy:
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown replacement policy {name!r}; options: {sorted(POLICIES)}")
+    return cls(ways)

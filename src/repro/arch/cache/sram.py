@@ -1,0 +1,140 @@
+"""Set-associative cache array (tag store + per-line metadata).
+
+The array tracks presence, dirtiness, and an opaque ``state`` byte the
+directory-CC baseline uses for MSI state. Data values are not stored —
+all the paper's metrics are about *where* data lives and *what traffic
+moves it*, not its contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import CacheConfig
+from repro.arch.cache.replacement import ReplacementPolicy, make_policy
+
+
+@dataclass
+class CacheLine:
+    """One resident line."""
+
+    tag: int
+    dirty: bool = False
+    state: int = 0  # protocol-specific (MSI state for the CC baseline)
+
+
+class CacheArray:
+    """A single set-associative cache level."""
+
+    def __init__(self, config: CacheConfig, policy: str = "lru") -> None:
+        self.config = config
+        self.num_sets = config.num_sets
+        self.ways = config.associativity
+        self._line_shift = config.line_bytes.bit_length() - 1
+        # sets[i] maps tag -> way index; lines[i][way] holds metadata
+        self._sets: list[dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._lines: list[list[CacheLine | None]] = [
+            [None] * self.ways for _ in range(self.num_sets)
+        ]
+        self._policies: list[ReplacementPolicy] = [
+            make_policy(policy, self.ways) for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    # -- address helpers ------------------------------------------------
+    def line_addr(self, addr: int) -> int:
+        """Address truncated to its cache-line base."""
+        return addr >> self._line_shift
+
+    def set_index(self, addr: int) -> int:
+        return self.line_addr(addr) % self.num_sets
+
+    def tag_of(self, addr: int) -> int:
+        return self.line_addr(addr) // self.num_sets
+
+    # -- operations ------------------------------------------------------
+    def lookup(self, addr: int, touch: bool = True) -> CacheLine | None:
+        """Return the resident line (updating recency), or None on miss.
+
+        Updates hit/miss counters; use :meth:`probe` for a side-effect-
+        free check.
+        """
+        si = self.set_index(addr)
+        way = self._sets[si].get(self.tag_of(addr))
+        if way is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if touch:
+            self._policies[si].touch(way)
+        return self._lines[si][way]
+
+    def probe(self, addr: int) -> CacheLine | None:
+        """Check residency without touching counters or recency."""
+        si = self.set_index(addr)
+        way = self._sets[si].get(self.tag_of(addr))
+        return None if way is None else self._lines[si][way]
+
+    def fill(self, addr: int, dirty: bool = False, state: int = 0) -> CacheLine | None:
+        """Insert the line for ``addr``; return the victim line if one
+        was evicted (caller decides whether a writeback is needed)."""
+        si = self.set_index(addr)
+        tag = self.tag_of(addr)
+        existing = self._sets[si].get(tag)
+        if existing is not None:  # refill of a resident line: update in place
+            line = self._lines[si][existing]
+            assert line is not None
+            line.dirty = line.dirty or dirty
+            line.state = state
+            self._policies[si].touch(existing)
+            return None
+
+        victim_line: CacheLine | None = None
+        free_way = next((w for w in range(self.ways) if self._lines[si][w] is None), None)
+        if free_way is None:
+            free_way = self._policies[si].victim()
+            victim_line = self._lines[si][free_way]
+            assert victim_line is not None
+            del self._sets[si][victim_line.tag]
+            self.evictions += 1
+            if victim_line.dirty:
+                self.writebacks += 1
+
+        self._lines[si][free_way] = CacheLine(tag=tag, dirty=dirty, state=state)
+        self._sets[si][tag] = free_way
+        self._policies[si].touch(free_way)
+        return victim_line
+
+    def invalidate(self, addr: int) -> CacheLine | None:
+        """Remove the line for ``addr`` (directory-CC invalidations).
+
+        Returns the removed line, or None if it was not resident.
+        """
+        si = self.set_index(addr)
+        tag = self.tag_of(addr)
+        way = self._sets[si].pop(tag, None)
+        if way is None:
+            return None
+        line = self._lines[si][way]
+        self._lines[si][way] = None
+        return line
+
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(s) for s in self._sets)
+
+    def resident_addrs(self) -> list[int]:
+        """Line base addresses currently resident (diagnostics/tests)."""
+        out = []
+        for si, s in enumerate(self._sets):
+            for tag in s:
+                out.append((tag * self.num_sets + si) << self._line_shift)
+        return out
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else float("nan")

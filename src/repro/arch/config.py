@@ -1,0 +1,185 @@
+"""System configuration dataclasses.
+
+Defaults mirror the paper's experimental setup: 64 cores / 64 threads,
+16 KB L1 + 64 KB L2 data caches per core, first-touch placement, and a
+1.5 Kbit execution context ("1–2 Kbits in a 32-bit Atom-like
+processor", §2). All sizes are in bits or bytes as named; all
+latencies are in cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validate import check_positive, check_power_of_two
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One level of a private data cache."""
+
+    size_bytes: int = 16 * 1024
+    line_bytes: int = 64
+    associativity: int = 4
+    hit_latency: int = 2
+
+    def __post_init__(self) -> None:
+        check_power_of_two("cache line_bytes", self.line_bytes)
+        check_positive("cache size_bytes", self.size_bytes)
+        check_positive("cache associativity", self.associativity)
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            from repro.util.errors import ConfigError
+
+            raise ConfigError(
+                f"cache size {self.size_bytes} not divisible by "
+                f"line_bytes*associativity = {self.line_bytes * self.associativity}"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """2-D mesh on-chip network parameters.
+
+    ``flit_bits`` is the link width: a message of ``b`` payload bits
+    plus one head flit serializes into ``1 + ceil(b / flit_bits)``
+    flits. ``router_latency`` is per-hop pipeline delay.
+    """
+
+    flit_bits: int = 128
+    router_latency: int = 1
+    link_latency: int = 1
+    num_virtual_channels: int = 6  # EM2-RA needs six (§3 / [10])
+    contention: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive("noc flit_bits", self.flit_bits)
+        check_positive("noc router_latency", self.router_latency)
+        check_positive("noc link_latency", self.link_latency)
+        check_positive("noc num_virtual_channels", self.num_virtual_channels)
+
+    def message_flits(self, payload_bits: int) -> int:
+        """Flit count for a message carrying ``payload_bits`` of payload."""
+        if payload_bits < 0:
+            raise ValueError("payload_bits must be >= 0")
+        return 1 + -(-payload_bits // self.flit_bits)  # 1 head flit + ceil
+
+
+@dataclass(frozen=True)
+class ContextConfig:
+    """Size model of a thread's architectural execution context (§2).
+
+    A 32-bit Atom-like core: 32 general registers + PC + status give
+    roughly 1–2 Kbit. The stack-machine variant (§4) replaces the
+    register file with a migrated stack window of ``stack_word_bits``
+    entries.
+    """
+
+    register_bits: int = 32 * 32  # 32 x 32-bit registers
+    pc_bits: int = 32
+    extra_state_bits: int = 448  # TLB entries / status words -> ~1.5 Kbit total
+    stack_word_bits: int = 32
+
+    def __post_init__(self) -> None:
+        check_positive("context pc_bits", self.pc_bits)
+
+    @property
+    def full_context_bits(self) -> int:
+        """Bits moved by a conventional (register-file) EM2 migration."""
+        return self.register_bits + self.pc_bits + self.extra_state_bits
+
+    def stack_context_bits(self, depth: int) -> int:
+        """Bits moved by a stack-EM2 migration carrying ``depth`` entries.
+
+        PC + status always travel; the register file does not exist.
+        """
+        if depth < 0:
+            raise ValueError("stack depth must be >= 0")
+        return self.pc_bits + 64 + depth * self.stack_word_bits
+
+
+@dataclass(frozen=True)
+class CostConfig:
+    """Fixed protocol overheads (cycles), on top of network transport."""
+
+    migration_fixed: int = 6  # pipeline flush + context load/unload
+    remote_access_fixed: int = 2  # request injection + reply consume
+    cache_access: int = 2
+    dram_latency: int = 100
+    eviction_fixed: int = 6
+
+    def __post_init__(self) -> None:
+        check_positive("cost migration_fixed", self.migration_fixed)
+        check_positive("cost remote_access_fixed", self.remote_access_fixed)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete system description used across all architecture models."""
+
+    num_cores: int = 64
+    mesh_width: int | None = None  # default: square mesh
+    l1: CacheConfig = field(default_factory=lambda: CacheConfig(size_bytes=16 * 1024))
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=64 * 1024, hit_latency=6)
+    )
+    noc: NocConfig = field(default_factory=NocConfig)
+    context: ContextConfig = field(default_factory=ContextConfig)
+    cost: CostConfig = field(default_factory=CostConfig)
+    guest_contexts: int = 2  # guest execution slots per core
+    word_bits: int = 32
+    # §2: "each core may be capable of multiplexing execution among
+    # several contexts at instruction granularity" — when True, a
+    # thread's non-memory work slows by the number of co-resident
+    # contexts sharing its core's pipeline
+    multiplex_contexts: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive("num_cores", self.num_cores)
+        if self.mesh_width is not None:
+            check_positive("mesh_width", self.mesh_width)
+            if self.num_cores % self.mesh_width:
+                from repro.util.errors import ConfigError
+
+                raise ConfigError(
+                    f"num_cores={self.num_cores} not divisible by mesh_width={self.mesh_width}"
+                )
+        check_positive("guest_contexts", self.guest_contexts)
+
+    @property
+    def word_bytes(self) -> int:
+        """Bytes per data word. Traces are word-addressed; multiply by
+        this to get the byte addresses the cache arrays expect."""
+        return max(self.word_bits // 8, 1)
+
+    @property
+    def width(self) -> int:
+        """Mesh width (defaults to the square root, rounded to a factor)."""
+        if self.mesh_width is not None:
+            return self.mesh_width
+        w = int(round(self.num_cores**0.5))
+        while w > 1 and self.num_cores % w:
+            w -= 1
+        return max(w, 1)
+
+    @property
+    def height(self) -> int:
+        return self.num_cores // self.width
+
+
+def small_test_config(num_cores: int = 4, **overrides) -> SystemConfig:
+    """A tiny configuration for unit tests (fast, small caches)."""
+    defaults = dict(
+        num_cores=num_cores,
+        l1=CacheConfig(size_bytes=1024, line_bytes=32, associativity=2),
+        l2=CacheConfig(size_bytes=4096, line_bytes=32, associativity=4, hit_latency=4),
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)

@@ -1,0 +1,164 @@
+"""Multi-context cores: native and guest execution slots.
+
+Under EM² each core has one *native* context per thread that originated
+there, plus a fixed number of *guest* contexts for visiting threads
+(§2). A migration arriving at a core with no free guest context evicts
+one resident guest, which travels back to its dedicated native context
+on a separate virtual network — the native context is always available,
+which is the root of the deadlock-freedom argument [10].
+
+:class:`ContextFile` models exactly this occupancy discipline and
+raises :class:`~repro.util.errors.ProtocolError` on violations (e.g. a
+thread arriving as a guest at its own native core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ProtocolError
+
+
+@dataclass
+class ContextSlot:
+    """One hardware execution slot."""
+
+    thread: int | None = None
+    since: float = 0.0  # occupancy start time (for LRU eviction)
+
+
+@dataclass
+class ContextFile:
+    """Execution contexts of one core."""
+
+    core: int
+    native_threads: tuple[int, ...]  # threads whose native context lives here
+    guest_slots: int
+    eviction_policy: str = "lru"  # "lru" | "fifo" (same here) | "newest"
+    _guests: list[ContextSlot] = field(default_factory=list)
+    _native_home: dict[int, ContextSlot] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.guest_slots < 1:
+            raise ProtocolError("each core needs at least one guest context")
+        self._guests = [ContextSlot() for _ in range(self.guest_slots)]
+        self._native_home = {t: ContextSlot() for t in self.native_threads}
+
+    # ------------------------------------------------------------------
+    def is_native(self, thread: int) -> bool:
+        return thread in self._native_home
+
+    def resident(self, thread: int) -> bool:
+        if self.is_native(thread):
+            return self._native_home[thread].thread == thread
+        return any(s.thread == thread for s in self._guests)
+
+    def occupancy(self) -> int:
+        n = sum(1 for s in self._native_home.values() if s.thread is not None)
+        return n + sum(1 for s in self._guests if s.thread is not None)
+
+    # ------------------------------------------------------------------
+    def admit_native(self, thread: int, now: float) -> None:
+        """Load ``thread`` into its native context (always succeeds)."""
+        slot = self._native_home.get(thread)
+        if slot is None:
+            raise ProtocolError(
+                f"thread {thread} has no native context at core {self.core}"
+            )
+        if slot.thread == thread:
+            raise ProtocolError(f"thread {thread} already in its native context")
+        slot.thread = thread
+        slot.since = now
+
+    def admit_guest(self, thread: int, now: float) -> int | None:
+        """Load ``thread`` into a guest context.
+
+        Returns the thread id evicted to make room, or None when a
+        free slot existed. Natives must use :meth:`admit_native`.
+        """
+        self._check_admissible(thread)
+        for slot in self._guests:
+            if slot.thread is None:
+                slot.thread = thread
+                slot.since = now
+                return None
+        victim_slot = self._pick_victim()
+        evicted = victim_slot.thread
+        victim_slot.thread = thread
+        victim_slot.since = now
+        return evicted
+
+    def _check_admissible(self, thread: int) -> None:
+        if self.is_native(thread):
+            raise ProtocolError(
+                f"thread {thread} is native to core {self.core}; use admit_native"
+            )
+        if self.resident(thread):
+            raise ProtocolError(f"thread {thread} already resident at core {self.core}")
+
+    def has_free_guest_slot(self) -> bool:
+        return any(s.thread is None for s in self._guests)
+
+    def replace_guest(self, victim: int, newcomer: int, now: float) -> None:
+        """Displace ``victim``'s context with ``newcomer``'s.
+
+        Used when the machine selects the eviction victim itself (e.g.
+        only *evictable* guests may be displaced — a guest awaiting a
+        remote-access reply cannot leave mid-transaction).
+        """
+        self._check_admissible(newcomer)
+        for slot in self._guests:
+            if slot.thread == victim:
+                slot.thread = newcomer
+                slot.since = now
+                return
+        raise ProtocolError(f"victim {victim} not a guest at core {self.core}")
+
+    def guest_slots_info(self) -> list[tuple[int, float]]:
+        """(thread, occupancy-start) for each occupied guest slot."""
+        return [(s.thread, s.since) for s in self._guests if s.thread is not None]
+
+    def _pick_victim(self) -> ContextSlot:
+        occupied = [s for s in self._guests if s.thread is not None]
+        if self.eviction_policy in ("lru", "fifo"):
+            return min(occupied, key=lambda s: s.since)
+        if self.eviction_policy == "newest":
+            return max(occupied, key=lambda s: s.since)
+        raise ProtocolError(f"unknown eviction policy {self.eviction_policy!r}")
+
+    def release(self, thread: int) -> None:
+        """Unload ``thread`` (it is migrating away or finished)."""
+        if self.is_native(thread) and self._native_home[thread].thread == thread:
+            self._native_home[thread].thread = None
+            return
+        for slot in self._guests:
+            if slot.thread == thread:
+                slot.thread = None
+                return
+        raise ProtocolError(f"thread {thread} not resident at core {self.core}")
+
+    def guest_threads(self) -> list[int]:
+        return [s.thread for s in self._guests if s.thread is not None]
+
+
+def build_context_files(
+    num_cores: int,
+    thread_native_core: list[int],
+    guest_slots: int,
+    eviction_policy: str = "lru",
+) -> list[ContextFile]:
+    """One :class:`ContextFile` per core given each thread's native core."""
+    natives: list[list[int]] = [[] for _ in range(num_cores)]
+    for t, c in enumerate(thread_native_core):
+        if not (0 <= c < num_cores):
+            raise ProtocolError(f"thread {t} native core {c} out of range")
+        natives[c].append(t)
+    return [
+        ContextFile(
+            core=c,
+            native_threads=tuple(natives[c]),
+            guest_slots=guest_slots,
+            eviction_policy=eviction_policy,
+        )
+        for c in range(num_cores)
+    ]

@@ -1,0 +1,5 @@
+"""Off-chip memory model: DRAM controllers at mesh edge tiles."""
+
+from repro.arch.memory.dram import DramController, MemorySystem
+
+__all__ = ["DramController", "MemorySystem"]

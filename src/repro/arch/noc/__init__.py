@@ -1,0 +1,31 @@
+"""On-chip network model.
+
+Message-level simulation: a message is injected at a source tile,
+traverses the XY route with per-hop router+link latency, serializes
+its flits over each link, and triggers a delivery callback at the
+destination. Two fidelity modes:
+
+* analytical (default): latency = hops * (router + link) + serialization,
+  no queueing — matches the paper's simplified model (§3).
+* contention: per-(link, VC) busy-until bookkeeping adds queueing delay,
+  for the behavioral simulator.
+
+Virtual channels are first-class: every message names its VC, and
+:mod:`repro.arch.noc.deadlock` validates that the VC assignment used by
+a protocol family is acyclic (the six-VC requirement of EM²-RA, §3).
+"""
+
+from repro.arch.noc.packet import Message, VirtualNetwork
+from repro.arch.noc.network import Network
+from repro.arch.noc.deadlock import VC_PLAN_EM2, VC_PLAN_EM2RA, check_vc_plan
+from repro.arch.noc.flitlevel import FlitNetwork
+
+__all__ = [
+    "Message",
+    "VirtualNetwork",
+    "Network",
+    "FlitNetwork",
+    "check_vc_plan",
+    "VC_PLAN_EM2",
+    "VC_PLAN_EM2RA",
+]

@@ -1,0 +1,124 @@
+"""Virtual-channel deadlock-freedom validation.
+
+The paper's deadlock argument ([10], §2–3) is structural: each protocol
+message class gets its own virtual network, and the "waits-for"
+relation between classes must be acyclic. A migration may trigger an
+eviction (migration -> eviction), an eviction terminates at the native
+context (no further dependency), an RA request triggers an RA reply,
+and a reply terminates. Six VCs cover EM²-RA: {migration, eviction,
+RA-request, RA-reply} x {escape pairing}, plus the two coherence VCs
+used only by the CC baseline.
+
+:func:`check_vc_plan` validates an arbitrary plan: distinct VCs per
+class and an acyclic dependency graph; models call it at construction
+so a mis-configured protocol fails fast with
+:class:`~repro.util.errors.DeadlockError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.noc.packet import VirtualNetwork
+from repro.util.errors import DeadlockError
+
+
+@dataclass(frozen=True)
+class VCPlan:
+    """VC assignment + inter-class dependency edges for one protocol."""
+
+    name: str
+    vc_of: dict[VirtualNetwork, int]
+    # (a, b): consuming a message of class `a` may require injecting class `b`
+    depends: frozenset[tuple[VirtualNetwork, VirtualNetwork]] = field(default_factory=frozenset)
+
+    @property
+    def num_vcs(self) -> int:
+        return len(set(self.vc_of.values()))
+
+
+# EM² proper: migrations may cause evictions; evictions sink at native
+# contexts (guaranteed free), so the graph is a single edge.
+VC_PLAN_EM2 = VCPlan(
+    name="em2",
+    vc_of={VirtualNetwork.MIGRATION: 0, VirtualNetwork.EVICTION: 1},
+    depends=frozenset({(VirtualNetwork.MIGRATION, VirtualNetwork.EVICTION)}),
+)
+
+# EM²-RA: the remote-access subnetwork "must be separate from the
+# subnetworks used for migrations" (§3) — six VCs in total, here the
+# four protocol classes across dedicated VCs (the hardware splits each
+# subnetwork into a VC pair; at message level one VC per class with two
+# spare escape VCs is the same acyclicity structure).
+VC_PLAN_EM2RA = VCPlan(
+    name="em2-ra",
+    vc_of={
+        VirtualNetwork.MIGRATION: 0,
+        VirtualNetwork.EVICTION: 1,
+        VirtualNetwork.RA_REQUEST: 2,
+        VirtualNetwork.RA_REPLY: 3,
+    },
+    depends=frozenset(
+        {
+            (VirtualNetwork.MIGRATION, VirtualNetwork.EVICTION),
+            (VirtualNetwork.RA_REQUEST, VirtualNetwork.RA_REPLY),
+        }
+    ),
+)
+
+VC_PLAN_CC = VCPlan(
+    name="directory-cc",
+    vc_of={VirtualNetwork.COHERENCE_REQ: 4, VirtualNetwork.COHERENCE_REPLY: 5},
+    depends=frozenset({(VirtualNetwork.COHERENCE_REQ, VirtualNetwork.COHERENCE_REPLY)}),
+)
+
+
+def check_vc_plan(plan: VCPlan, available_vcs: int) -> None:
+    """Validate a VC plan; raise :class:`DeadlockError` when unsafe.
+
+    Safety requires (i) every message class mapped to a VC id within
+    the hardware's range, (ii) no two classes sharing a VC when one
+    depends (transitively) on the other, and (iii) the dependency graph
+    over classes being acyclic.
+    """
+    for vnet, vc in plan.vc_of.items():
+        if not (0 <= vc < available_vcs):
+            raise DeadlockError(
+                f"plan {plan.name!r}: class {vnet.name} assigned VC {vc}, "
+                f"but only {available_vcs} VCs exist"
+            )
+    for a, b in plan.depends:
+        if a not in plan.vc_of or b not in plan.vc_of:
+            raise DeadlockError(
+                f"plan {plan.name!r}: dependency {a.name}->{b.name} references "
+                "a class with no VC assignment"
+            )
+        if plan.vc_of[a] == plan.vc_of[b]:
+            raise DeadlockError(
+                f"plan {plan.name!r}: classes {a.name} and {b.name} share VC "
+                f"{plan.vc_of[a]} but {a.name} depends on {b.name}"
+            )
+    _check_acyclic(plan)
+
+
+def _check_acyclic(plan: VCPlan) -> None:
+    adj: dict[VirtualNetwork, list[VirtualNetwork]] = {}
+    for a, b in plan.depends:
+        adj.setdefault(a, []).append(b)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[VirtualNetwork, int] = {}
+
+    def visit(node: VirtualNetwork, path: list[VirtualNetwork]) -> None:
+        color[node] = GRAY
+        for nxt in adj.get(node, ()):
+            c = color.get(nxt, WHITE)
+            if c == GRAY:
+                cyc = " -> ".join(n.name for n in path + [node, nxt])
+                raise DeadlockError(f"plan {plan.name!r}: cyclic VC dependency {cyc}")
+            if c == WHITE:
+                visit(nxt, path + [node])
+        color[node] = BLACK
+
+    for node in adj:
+        if color.get(node, WHITE) == WHITE:
+            visit(node, [])

@@ -1,0 +1,107 @@
+"""Message-level NoC simulator with optional link contention."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable
+
+from repro.arch.config import NocConfig
+from repro.arch.noc.packet import Message, VirtualNetwork
+from repro.arch.topology import Topology
+from repro.sim.engine import Engine
+from repro.sim.stats import StatSet
+
+
+class Network:
+    """Transports :class:`Message` objects across a :class:`Topology`.
+
+    Latency model (per message of F flits over H hops):
+
+    * zero-load: ``H * (router_latency + link_latency) + (F - 1)``
+      — the head flit pays per-hop pipeline latency, the body flits
+      stream behind it (wormhole pipelining).
+    * with ``contention=True``, each (directed link, VC) is a resource
+      occupied for F cycles per traversal; a message queues behind the
+      previous occupant. This is a deliberately simple store-and-
+      forward-of-trains approximation — adequate because the paper's
+      claims concern serialization (context size) and hop distance, not
+      router microarchitecture.
+
+    Statistics: per-vnet message counts, flit-hops (the traffic/energy
+    proxy used by the energy model), and delivered-latency accumulators.
+    """
+
+    def __init__(self, engine: Engine, topology: Topology, config: NocConfig) -> None:
+        self.engine = engine
+        self.topology = topology
+        self.config = config
+        self.stats = StatSet("noc")
+        # (src, dst, vc) -> earliest free time, only touched in contention mode
+        self._link_free: dict[tuple[int, int, int], float] = defaultdict(float)
+
+    # ------------------------------------------------------------------
+    def zero_load_latency(self, src: int, dst: int, payload_bits: int) -> float:
+        """Latency ignoring contention; also used by the analytical cost model."""
+        hops = self.topology.distance(src, dst)
+        flits = self.config.message_flits(payload_bits)
+        per_hop = self.config.router_latency + self.config.link_latency
+        return hops * per_hop + (flits - 1)
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        msg: Message,
+        on_deliver: Callable[[Message], None],
+    ) -> Message:
+        """Inject ``msg`` now; schedule ``on_deliver(msg)`` at arrival."""
+        msg.inject_time = self.engine.now
+        flits = self.config.message_flits(msg.payload_bits)
+        hops = self.topology.distance(msg.src, msg.dst)
+
+        self.stats.counters.add(f"messages.{msg.vnet.name}")
+        self.stats.counters.add(f"flits.{msg.vnet.name}", flits)
+        self.stats.counters.add("flit_hops", flits * max(hops, 1))
+
+        if msg.src == msg.dst:
+            # Loopback: still pays serialization into/out of the NI.
+            arrival = self.engine.now + (flits - 1) + 1
+        elif not self.config.contention:
+            arrival = self.engine.now + self.zero_load_latency(msg.src, msg.dst, msg.payload_bits)
+        else:
+            arrival = self._contended_arrival(msg, flits)
+
+        def _deliver() -> None:
+            msg.deliver_time = self.engine.now
+            self.stats.latency(f"delivery.{msg.vnet.name}").add(msg.latency)
+            on_deliver(msg)
+
+        self.engine.schedule_at(arrival, _deliver)
+        return msg
+
+    def _contended_arrival(self, msg: Message, flits: int) -> float:
+        """Walk the route reserving each (link, VC) for ``flits`` cycles."""
+        per_hop = self.config.router_latency + self.config.link_latency
+        route = self.topology.route(msg.src, msg.dst)
+        vc = int(msg.vnet) % self.config.num_virtual_channels
+        head = self.engine.now
+        for u, v in zip(route, route[1:]):
+            key = (u, v, vc)
+            start = max(head, self._link_free[key])
+            queued = start - head
+            if queued > 0:
+                self.stats.latency("queueing").add(queued)
+            self._link_free[key] = start + flits
+            head = start + per_hop
+        return head + (flits - 1)
+
+    # ------------------------------------------------------------------
+    def flit_hops(self) -> int:
+        """Total flit-hops transported so far (energy/traffic proxy)."""
+        return self.stats.counters["flit_hops"]
+
+    def message_count(self, vnet: VirtualNetwork | None = None) -> int:
+        if vnet is None:
+            return sum(
+                v for k, v in self.stats.counters.as_dict().items() if k.startswith("messages.")
+            )
+        return self.stats.counters[f"messages.{vnet.name}"]

@@ -1,0 +1,211 @@
+"""On-chip network topologies and routing distance matrices.
+
+The cost model (§3) and the NoC simulator both need hop distances
+``dist(i, j)`` between every pair of cores, and the NoC additionally
+needs the deterministic route. The default is a 2-D mesh with
+dimension-ordered (XY) routing, matching the EM² hardware [8,10].
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from functools import cached_property
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+
+class Topology(ABC):
+    """Abstract core-interconnect topology."""
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores <= 0:
+            raise ConfigError(f"num_cores must be positive, got {num_cores}")
+        self.num_cores = num_cores
+
+    @abstractmethod
+    def distance(self, src: int, dst: int) -> int:
+        """Hop count of the deterministic route from ``src`` to ``dst``."""
+
+    @abstractmethod
+    def route(self, src: int, dst: int) -> list[int]:
+        """Core ids along the route, inclusive of both endpoints."""
+
+    def _check_core(self, core: int) -> None:
+        if not (0 <= core < self.num_cores):
+            raise ConfigError(f"core id {core} out of range [0, {self.num_cores})")
+
+    @cached_property
+    def distance_matrix(self) -> np.ndarray:
+        """(P, P) int matrix of hop distances. Cached; used by the DP."""
+        mat = np.empty((self.num_cores, self.num_cores), dtype=np.int64)
+        for i in range(self.num_cores):
+            for j in range(self.num_cores):
+                mat[i, j] = self.distance(i, j)
+        mat.setflags(write=False)
+        return mat
+
+    def links(self) -> list[tuple[int, int]]:
+        """Directed physical links (u, v) with dist(u, v) == 1."""
+        out = []
+        for i in range(self.num_cores):
+            for j in range(self.num_cores):
+                if i != j and self.distance(i, j) == 1:
+                    out.append((i, j))
+        return out
+
+
+class Mesh2D(Topology):
+    """W x H mesh with XY (dimension-ordered) routing.
+
+    XY routing is deadlock-free within one virtual network, which is
+    why the EM² deadlock argument only needs VC separation *between*
+    protocol classes [10], not adaptive routing.
+    """
+
+    def __init__(self, width: int, height: int) -> None:
+        super().__init__(width * height)
+        self.width = width
+        self.height = height
+
+    @classmethod
+    def square(cls, num_cores: int) -> "Mesh2D":
+        w = int(round(num_cores**0.5))
+        while w > 1 and num_cores % w:
+            w -= 1
+        return cls(w, num_cores // w)
+
+    def coords(self, core: int) -> tuple[int, int]:
+        """(x, y) tile coordinates of ``core``."""
+        self._check_core(core)
+        return core % self.width, core // self.width
+
+    def core_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ConfigError(f"tile ({x},{y}) outside {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def distance(self, src: int, dst: int) -> int:
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def route(self, src: int, dst: int) -> list[int]:
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        path = [src]
+        x, y = sx, sy
+        while x != dx:  # X first
+            x += 1 if dx > x else -1
+            path.append(self.core_at(x, y))
+        while y != dy:  # then Y
+            y += 1 if dy > y else -1
+            path.append(self.core_at(x, y))
+        return path
+
+    @cached_property
+    def distance_matrix(self) -> np.ndarray:
+        xs = np.arange(self.num_cores) % self.width
+        ys = np.arange(self.num_cores) // self.width
+        mat = np.abs(xs[:, None] - xs[None, :]) + np.abs(ys[:, None] - ys[None, :])
+        mat = mat.astype(np.int64)
+        mat.setflags(write=False)
+        return mat
+
+
+class TorusTopology(Mesh2D):
+    """W x H torus: mesh with wraparound links (shorter average distance)."""
+
+    def _axis_step(self, cur: int, dst: int, extent: int) -> int:
+        """Next coordinate along the shorter wrap-aware direction."""
+        fwd = (dst - cur) % extent
+        bwd = (cur - dst) % extent
+        step = 1 if fwd <= bwd else -1
+        return (cur + step) % extent
+
+    def distance(self, src: int, dst: int) -> int:
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        ddx = min((dx - sx) % self.width, (sx - dx) % self.width)
+        ddy = min((dy - sy) % self.height, (sy - dy) % self.height)
+        return ddx + ddy
+
+    def route(self, src: int, dst: int) -> list[int]:
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        path = [src]
+        x, y = sx, sy
+        while x != dx:
+            x = self._axis_step(x, dx, self.width)
+            path.append(self.core_at(x, y))
+        while y != dy:
+            y = self._axis_step(y, dy, self.height)
+            path.append(self.core_at(x, y))
+        return path
+
+    @cached_property
+    def distance_matrix(self) -> np.ndarray:
+        xs = np.arange(self.num_cores) % self.width
+        ys = np.arange(self.num_cores) // self.width
+        dx = np.abs(xs[:, None] - xs[None, :])
+        dy = np.abs(ys[:, None] - ys[None, :])
+        dx = np.minimum(dx, self.width - dx)
+        dy = np.minimum(dy, self.height - dy)
+        mat = (dx + dy).astype(np.int64)
+        mat.setflags(write=False)
+        return mat
+
+
+class RingTopology(Topology):
+    """Unidirectional-route bidirectional ring (small-core baselines)."""
+
+    def distance(self, src: int, dst: int) -> int:
+        self._check_core(src)
+        self._check_core(dst)
+        fwd = (dst - src) % self.num_cores
+        return min(fwd, self.num_cores - fwd)
+
+    def route(self, src: int, dst: int) -> list[int]:
+        self._check_core(src)
+        self._check_core(dst)
+        fwd = (dst - src) % self.num_cores
+        step = 1 if fwd <= self.num_cores - fwd else -1
+        path = [src]
+        cur = src
+        while cur != dst:
+            cur = (cur + step) % self.num_cores
+            path.append(cur)
+        return path
+
+
+class UnidirectionalRing(Topology):
+    """Ring routed strictly clockwise (src -> src+1 -> ... -> dst).
+
+    The canonical deadlock-prone topology: its single channel cycle is
+    what virtual-channel datelines were invented for — used by the
+    flit-level NoC tests to demonstrate real deadlock and its cure.
+    """
+
+    def distance(self, src: int, dst: int) -> int:
+        self._check_core(src)
+        self._check_core(dst)
+        return (dst - src) % self.num_cores
+
+    def route(self, src: int, dst: int) -> list[int]:
+        self._check_core(src)
+        self._check_core(dst)
+        path = [src]
+        cur = src
+        while cur != dst:
+            cur = (cur + 1) % self.num_cores
+            path.append(cur)
+        return path
+
+    def links(self) -> list[tuple[int, int]]:
+        return [(i, (i + 1) % self.num_cores) for i in range(self.num_cores)]
+
+
+def topology_for(config) -> Mesh2D:
+    """Build the default mesh for a :class:`~repro.arch.config.SystemConfig`."""
+    return Mesh2D(config.width, config.height)

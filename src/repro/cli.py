@@ -1,0 +1,361 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+* ``info`` — version, available workloads and schemes.
+* ``workload`` — generate a synthetic workload and save it as ``.npz``.
+* ``fig2`` — print the Figure 2 run-length table for an ocean run.
+* ``evaluate`` — score a decision scheme on a workload (or saved trace).
+* ``optimal`` — run the §3 optimal DP on one thread and summarize.
+* ``shootout`` — analytical EM² / RA-only / history / optimal comparison.
+
+Every command prints a plain-text table; exit status is nonzero on
+invalid arguments so the CLI is scriptable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import __version__
+from repro.analysis.reports import format_table, runlength_table
+from repro.arch.config import SystemConfig
+from repro.core.costs import CostModel
+from repro.core.decision import (
+    AlwaysMigrate,
+    DistanceThreshold,
+    HistoryRunLength,
+    NeverMigrate,
+    RandomScheme,
+)
+from repro.core.decision.costaware import CostAwareHistory
+from repro.core.decision.optimal import optimal_cost, optimal_decisions
+from repro.core.evaluation import evaluate_scheme
+from repro.placement import first_touch, profile_optimal, striped
+from repro.trace.io import load_multitrace, save_multitrace
+from repro.trace.runlength import (
+    fraction_single_access_runs,
+    merge_histograms,
+    run_length_histogram,
+)
+from repro.trace.synthetic import GENERATORS, make_workload
+from repro.util.errors import ReproError
+
+
+def _parse_params(pairs: list[str]) -> dict:
+    """key=value pairs; values parsed as int, then float, else str."""
+    out = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ReproError(f"--param expects key=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        for cast in (int, float):
+            try:
+                out[key] = cast(raw)
+                break
+            except ValueError:
+                continue
+        else:
+            out[key] = raw
+    return out
+
+
+def _load_or_generate(args) -> "MultiTrace":
+    if getattr(args, "trace", None):
+        return load_multitrace(args.trace)
+    params = _parse_params(getattr(args, "param", []) or [])
+    params.setdefault("num_threads", args.threads)
+    return make_workload(args.workload, **params)
+
+
+def _placement_for(name: str, trace, cores: int):
+    if name == "first-touch":
+        return first_touch(trace, cores)
+    if name == "striped":
+        return striped(cores)
+    if name == "profile-opt":
+        return profile_optimal(trace, cores)
+    raise ReproError(f"unknown placement {name!r}")
+
+
+def _scheme_for(name: str, cost: CostModel):
+    dm = cost.topology.distance_matrix
+    be = cost.break_even_run_length(0, cost.config.num_cores - 1)
+    table = {
+        "always-migrate": lambda: AlwaysMigrate(),
+        "never-migrate": lambda: NeverMigrate(),
+        "distance-1": lambda: DistanceThreshold(dm, 1),
+        "distance-2": lambda: DistanceThreshold(dm, 2),
+        "history": lambda: HistoryRunLength(threshold=be),
+        "costaware": lambda: CostAwareHistory(cost),
+        "random": lambda: RandomScheme(p=0.5, seed=0),
+    }
+    if name not in table:
+        raise ReproError(f"unknown scheme {name!r}; options: {sorted(table)}")
+    return table[name]()
+
+
+SCHEME_NAMES = [
+    "always-migrate",
+    "never-migrate",
+    "distance-1",
+    "distance-2",
+    "history",
+    "costaware",
+    "random",
+]
+
+
+# ---------------------------------------------------------------- commands
+def cmd_info(args) -> int:
+    print(f"repro {__version__} — EM2 (SPAA'11) reproduction")
+    print(f"workloads: {', '.join(sorted(GENERATORS))}")
+    print(f"schemes:   {', '.join(SCHEME_NAMES)}")
+    print(f"placements: first-touch, striped, profile-opt")
+    return 0
+
+
+def cmd_workload(args) -> int:
+    trace = _load_or_generate(args)
+    path = save_multitrace(trace, args.out)
+    s = trace.summary()
+    print(format_table([s]))
+    print(f"saved to {path}")
+    return 0
+
+
+def cmd_fig2(args) -> int:
+    trace = make_workload(
+        "ocean", num_threads=args.threads, grid_n=args.grid, iterations=args.iterations
+    )
+    placement = first_touch(trace, args.cores)
+    hists = [
+        run_length_histogram(placement.home_of(tr["addr"]), trace.thread_native_core[t])
+        for t, tr in enumerate(trace.threads)
+    ]
+    hist = merge_histograms(hists)
+    print(runlength_table(hist, max_rows=args.rows))
+    print(f"\nfraction at run length 1: {fraction_single_access_runs(hist):.3f}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    trace = _load_or_generate(args)
+    config = SystemConfig(num_cores=args.cores)
+    cost = CostModel(config)
+    placement = _placement_for(args.placement, trace, args.cores)
+    rows = []
+    names = SCHEME_NAMES if args.scheme == "all" else [args.scheme]
+    for name in names:
+        r = evaluate_scheme(trace, placement, _scheme_for(name, cost), cost)
+        rows.append(r.as_dict())
+    if getattr(args, "csv", False):
+        from repro.analysis.reports import to_csv
+
+        print(to_csv(rows), end="")
+    else:
+        print(format_table(rows))
+    return 0
+
+
+def cmd_optimal(args) -> int:
+    trace = _load_or_generate(args)
+    config = SystemConfig(num_cores=args.cores)
+    cost = CostModel(config)
+    placement = _placement_for(args.placement, trace, args.cores)
+    tr = trace.threads[args.thread]
+    homes = placement.home_of(tr["addr"])
+    start = trace.thread_native_core[args.thread] % args.cores
+    res = optimal_decisions(homes, tr["write"], start, cost)
+    print(
+        format_table(
+            [
+                {
+                    "thread": args.thread,
+                    "accesses": tr.size,
+                    "optimal_cost": res.total_cost,
+                    "migrations": res.num_migrations,
+                    "remote_accesses": res.num_remote_accesses,
+                    "local": res.num_local,
+                    "end_core": res.end_core,
+                }
+            ]
+        )
+    )
+    return 0
+
+
+def cmd_shootout(args) -> int:
+    trace = _load_or_generate(args)
+    config = SystemConfig(num_cores=args.cores)
+    cost = CostModel(config)
+    placement = _placement_for(args.placement, trace, args.cores)
+    opt = sum(
+        optimal_cost(
+            placement.home_of(tr["addr"]),
+            tr["write"],
+            trace.thread_native_core[t] % args.cores,
+            cost,
+        )
+        for t, tr in enumerate(trace.threads)
+        if tr.size
+    )
+    rows = [{"scheme": "optimal (DP)", "total_cost": opt, "x_optimal": 1.0}]
+    for name in SCHEME_NAMES:
+        r = evaluate_scheme(trace, placement, _scheme_for(name, cost), cost)
+        rows.append(
+            {
+                "scheme": name,
+                "total_cost": r.total_cost,
+                "x_optimal": r.total_cost / opt if opt else float("nan"),
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def cmd_stackdepth(args) -> int:
+    from repro.core.decision.stack_optimal import fixed_depth_cost, optimal_stack_depths
+    from repro.stackmachine import stack_workload
+
+    mt = stack_workload(args.kernel, num_threads=args.threads, n=args.n,
+                        shared_fraction=0.75)
+    config = SystemConfig(num_cores=args.cores)
+    cost = CostModel(config)
+    placement = first_touch(mt, args.cores)
+    rows = []
+    opt_cost = opt_bits = 0.0
+    for t, tr in enumerate(mt.threads):
+        homes = placement.home_of(tr["addr"])
+        r = optimal_stack_depths(
+            homes, tr["spop"], tr["spush"], t, cost, args.max_depth
+        )
+        opt_cost += r.total_cost
+        opt_bits += r.migrated_bits
+    rows.append({"depth": "optimal", "cost": opt_cost, "migrated_kbit": opt_bits / 1000})
+    for depth in range(args.max_depth + 1):
+        c = b = 0.0
+        for t, tr in enumerate(mt.threads):
+            homes = placement.home_of(tr["addr"])
+            r = fixed_depth_cost(
+                homes, tr["spop"], tr["spush"], t, cost, depth, args.max_depth
+            )
+            c += r.total_cost
+            b += r.migrated_bits
+        rows.append({"depth": depth, "cost": c, "migrated_kbit": b / 1000})
+    print(format_table(rows))
+    return 0
+
+
+def cmd_dynamic(args) -> int:
+    from repro.placement.dynamic import evaluate_dynamic_placement
+
+    trace = _load_or_generate(args)
+    config = SystemConfig(num_cores=args.cores)
+    cost = CostModel(config)
+    res = evaluate_dynamic_placement(
+        trace, args.cores, _scheme_for("never-migrate", cost), cost,
+        num_epochs=args.epochs, oracle=args.oracle,
+    )
+    print(
+        format_table(
+            [
+                {
+                    "mode": "oracle" if args.oracle else "reactive",
+                    "epochs": args.epochs,
+                    "dynamic_cost": res.total_cost,
+                    "static_cost": res.static_cost,
+                    "gain": res.improvement_over_static,
+                    "rehomed_kbit": res.rehoming_bits / 1000,
+                }
+            ]
+        )
+    )
+    return 0
+
+
+# ---------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro", description="EM2 (SPAA'11) reproduction toolkit"
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version + available components").set_defaults(
+        fn=cmd_info
+    )
+
+    def add_trace_args(sp, with_out=False):
+        sp.add_argument("--workload", default="ocean", choices=sorted(GENERATORS))
+        sp.add_argument("--trace", help="load a saved .npz trace instead")
+        sp.add_argument("--threads", type=int, default=16)
+        sp.add_argument("--cores", type=int, default=16)
+        sp.add_argument(
+            "--placement",
+            default="first-touch",
+            choices=["first-touch", "striped", "profile-opt"],
+        )
+        sp.add_argument(
+            "--param", action="append", default=[], help="generator key=value"
+        )
+
+    sp = sub.add_parser("workload", help="generate + save a workload")
+    add_trace_args(sp)
+    sp.add_argument("--out", required=True)
+    sp.set_defaults(fn=cmd_workload)
+
+    sp = sub.add_parser("fig2", help="Figure 2 run-length table")
+    sp.add_argument("--threads", type=int, default=64)
+    sp.add_argument("--cores", type=int, default=64)
+    sp.add_argument("--grid", type=int, default=386)
+    sp.add_argument("--iterations", type=int, default=2)
+    sp.add_argument("--rows", type=int, default=25)
+    sp.set_defaults(fn=cmd_fig2)
+
+    sp = sub.add_parser("evaluate", help="score a scheme on a workload")
+    add_trace_args(sp)
+    sp.add_argument("--scheme", default="all", choices=SCHEME_NAMES + ["all"])
+    sp.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    sp.set_defaults(fn=cmd_evaluate)
+
+    sp = sub.add_parser("optimal", help="optimal DP on one thread")
+    add_trace_args(sp)
+    sp.add_argument("--thread", type=int, default=0)
+    sp.set_defaults(fn=cmd_optimal)
+
+    sp = sub.add_parser("shootout", help="all schemes vs the DP optimum")
+    add_trace_args(sp)
+    sp.set_defaults(fn=cmd_shootout)
+
+    sp = sub.add_parser("stackdepth", help="stack-EM2 depth DP vs fixed depths")
+    sp.add_argument("--kernel", default="dot", choices=["dot", "reduce", "hist"])
+    sp.add_argument("--threads", type=int, default=8)
+    sp.add_argument("--cores", type=int, default=8)
+    sp.add_argument("--n", type=int, default=48)
+    sp.add_argument("--max-depth", type=int, default=8)
+    sp.set_defaults(fn=cmd_stackdepth)
+
+    sp = sub.add_parser("dynamic", help="epoch re-placement vs static first-touch")
+    add_trace_args(sp)
+    sp.add_argument("--epochs", type=int, default=4)
+    sp.add_argument("--oracle", action="store_true")
+    sp.set_defaults(fn=cmd_dynamic)
+
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Directory-based cache coherence (CC) baseline.
+
+The architecture EM² is positioned against (§1-2): private per-core
+caches kept coherent by an MSI directory at each line's home core.
+Unlike EM², any core may cache any line — shared data is *replicated*
+(costing effective capacity) and writes *invalidate* remote copies
+(costing traffic and latency); these are precisely the effects the
+EM² comparison measures.
+
+The simulator executes all threads' traces in a deterministic
+round-robin interleave (one access per thread per turn), tracking
+exact protocol state and message traffic; latencies are message-level
+(hop counts + cache/DRAM), without NoC queueing — matching the
+fidelity of the analytical EM² evaluators it is compared against.
+"""
+
+from repro.coherence.msi import DirectoryEntry, DirState, MSIState
+from repro.coherence.simulator import CCResult, DirectoryCCSimulator
+
+__all__ = [
+    "MSIState",
+    "DirState",
+    "DirectoryEntry",
+    "DirectoryCCSimulator",
+    "CCResult",
+]

@@ -1,0 +1,62 @@
+"""MSI protocol state machines (cache side and directory side).
+
+States are the textbook three (Modified / Shared / Invalid); the
+directory mirrors them as Uncached / Shared(sharers) / Exclusive(owner)
+with a full bit-vector sharer list — the paper's scaling complaint
+("directory sizes must equal a significant portion of the combined
+size of the per-core caches" [6]) is about exactly this structure, and
+:meth:`DirectoryEntry.bits` quantifies it for the overhead reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.errors import ProtocolError
+
+
+class MSIState(enum.IntEnum):
+    """Cache-line states. MSI uses the first three; the MESI variant
+    adds EXCLUSIVE (clean, sole copy — writes upgrade silently)."""
+
+    INVALID = 0
+    SHARED = 1
+    MODIFIED = 2
+    EXCLUSIVE = 3  # MESI only: clean + sole owner
+
+
+class DirState(enum.IntEnum):
+    UNCACHED = 0
+    SHARED = 1
+    EXCLUSIVE = 2
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory record for one cache line."""
+
+    state: DirState = DirState.UNCACHED
+    owner: int | None = None
+    sharers: set[int] = field(default_factory=set)
+
+    def check_invariants(self) -> None:
+        """Raise :class:`ProtocolError` on inconsistent directory state."""
+        if self.state == DirState.UNCACHED:
+            if self.owner is not None or self.sharers:
+                raise ProtocolError(f"UNCACHED entry with owner/sharers: {self}")
+        elif self.state == DirState.SHARED:
+            if self.owner is not None:
+                raise ProtocolError(f"SHARED entry with an owner: {self}")
+            if not self.sharers:
+                raise ProtocolError("SHARED entry with empty sharer set")
+        elif self.state == DirState.EXCLUSIVE:
+            if self.owner is None:
+                raise ProtocolError("EXCLUSIVE entry without owner")
+            if self.sharers and self.sharers != {self.owner}:
+                raise ProtocolError(f"EXCLUSIVE entry with sharers: {self}")
+
+    @staticmethod
+    def bits(num_cores: int) -> int:
+        """Directory SRAM bits per entry (state + full sharer vector)."""
+        return 2 + num_cores

@@ -1,0 +1,318 @@
+"""Trace-driven MSI directory-coherence simulator.
+
+Execution model: deterministic round-robin interleave (access *k* of
+every live thread runs before access *k+1* of any thread). Protocol
+state (private caches + directories) is exact; timing is message-level.
+
+Per-access flow:
+
+* **hit** — line present in the private hierarchy with sufficient
+  state (SHARED for loads, MODIFIED for stores): cache latency only.
+* **load miss** — GETS to the line's home directory. If EXCLUSIVE
+  elsewhere: FETCH to the owner, owner downgrades M->S and writes
+  back; DATA to the requester; requester caches SHARED.
+* **store miss/upgrade** — GETX to the directory. Every other copy is
+  invalidated (INV + ACK per sharer, or FETCH_INV to an exclusive
+  owner); DATA (or upgrade ACK) grants MODIFIED.
+* **capacity eviction** — a victim chosen by the private cache's LRU:
+  dirty (M) victims write back to the home (data message), clean (S)
+  victims notify the directory (control message) so sharer lists stay
+  exact.
+
+Latency charged per miss: request hop + (max parallel invalidation /
+fetch round trip, invalidations overlap) + data reply hop + cache fill,
+plus DRAM when the home has no cached copy. Directory/NoC queueing is
+not modeled — the same fidelity as the EM² analytical evaluators this
+baseline is compared against (DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.cache.hierarchy import CacheHierarchy
+from repro.arch.cache.sram import CacheArray
+from repro.arch.config import SystemConfig
+from repro.arch.topology import Topology, topology_for
+from repro.coherence.msi import DirectoryEntry, DirState, MSIState
+from repro.placement.base import Placement
+from repro.sim.stats import StatSet
+from repro.trace.events import MultiTrace
+from repro.util.errors import ProtocolError
+
+CTRL_BITS = 72  # address + message type + ids
+
+
+@dataclass
+class CCResult:
+    completion_time: float
+    per_thread_time: list[float]
+    stats: dict
+    traffic_bits: int
+
+    @property
+    def invalidations(self) -> int:
+        return self.stats.get("count.invalidations", 0)
+
+
+class DirectoryCCSimulator:
+    """MSI/MESI directory coherence over private caches and the mesh.
+
+    ``protocol="mesi"`` adds the Exclusive state: a read miss on an
+    uncached line is granted E (sole clean copy), and a later write by
+    the same core upgrades **silently** (no directory message) — the
+    optimization that removes upgrade traffic for private
+    read-then-write data, which MSI pays for on every such pattern.
+    """
+
+    name = "directory-cc"
+
+    def __init__(
+        self,
+        trace: MultiTrace,
+        placement: Placement,
+        config: SystemConfig,
+        topology: Topology | None = None,
+        protocol: str = "msi",
+    ) -> None:
+        if protocol not in ("msi", "mesi"):
+            raise ProtocolError(f"unknown protocol {protocol!r}; use 'msi' or 'mesi'")
+        self.protocol = protocol
+        self.trace = trace
+        self.placement = placement
+        self.config = config
+        self.topology = topology if topology is not None else topology_for(config)
+        # coherence-visible private cache: the L2 (capacity level) with
+        # L1 hit latency charged on hits via config.l1
+        self.caches = [CacheArray(config.l2) for _ in range(config.num_cores)]
+        self.directory: dict[int, DirectoryEntry] = {}
+        self.stats = StatSet("cc")
+        self.traffic_bits = 0
+        self._line_bits = config.l2.line_bytes * 8
+        self._per_hop = config.noc.router_latency + config.noc.link_latency
+        self._homes = [
+            placement.home_of(tr["addr"]) if tr.size else np.zeros(0, dtype=np.int64)
+            for tr in trace.threads
+        ]
+        self._native = [c % config.num_cores for c in trace.thread_native_core]
+
+    # -- message accounting ----------------------------------------------
+    def _msg(self, src: int, dst: int, bits: int, kind: str) -> float:
+        """Charge one message; return its zero-load latency."""
+        noc = self.config.noc
+        flits = noc.message_flits(bits)
+        hops = self.topology.distance(src, dst)
+        self.stats.counters.add(f"msg.{kind}")
+        self.traffic_bits += flits * noc.flit_bits
+        self.stats.counters.add("flit_hops", flits * max(hops, 1))
+        return hops * self._per_hop + (flits - 1)
+
+    def _dir_entry(self, line: int) -> DirectoryEntry:
+        entry = self.directory.get(line)
+        if entry is None:
+            entry = DirectoryEntry()
+            self.directory[line] = entry
+        return entry
+
+    def _line(self, byte_addr: int) -> int:
+        return int(byte_addr) // self.config.l2.line_bytes
+
+    # -- cache-side helpers -------------------------------------------------
+    def _probe_state(self, core: int, addr: int) -> MSIState:
+        line = self.caches[core].probe(addr)
+        return MSIState(line.state) if line is not None else MSIState.INVALID
+
+    def _fill(self, core: int, addr: int, state: MSIState) -> float:
+        """Insert a line; handle the victim's coherence actions."""
+        victim = self.caches[core].fill(
+            addr, dirty=(state == MSIState.MODIFIED), state=int(state)
+        )
+        lat = 0.0
+        if victim is not None:
+            vaddr = self._victim_addr(core, addr, victim.tag)
+            lat += self._evict_line(core, vaddr, MSIState(victim.state))
+        return lat
+
+    def _victim_addr(self, core: int, addr: int, victim_tag: int) -> int:
+        arr = self.caches[core]
+        si = arr.set_index(addr)
+        return (victim_tag * arr.num_sets + si) << (
+            self.config.l2.line_bytes.bit_length() - 1
+        )
+
+    def _evict_line(self, core: int, addr: int, state: MSIState) -> float:
+        """Victim coherence: writeback (M) or sharer removal (S).
+
+        ``addr`` is a byte address (reconstructed from the cache tag).
+        """
+        line = self._line(addr)
+        entry = self._dir_entry(line)
+        home = self.placement.home_of_one(addr // self.config.word_bytes)
+        if state == MSIState.MODIFIED:
+            lat = self._msg(core, home, CTRL_BITS + self._line_bits, "writeback")
+            self.stats.counters.add("writebacks")
+            if entry.state != DirState.EXCLUSIVE or entry.owner != core:
+                raise ProtocolError(
+                    f"M eviction by {core} but directory says {entry.state.name}/{entry.owner}"
+                )
+            entry.state = DirState.UNCACHED
+            entry.owner = None
+            entry.sharers.clear()
+        elif state == MSIState.EXCLUSIVE:
+            # clean sole copy: a control notification suffices (MESI)
+            lat = self._msg(core, home, CTRL_BITS, "exclusive-drop")
+            if entry.state != DirState.EXCLUSIVE or entry.owner != core:
+                raise ProtocolError(
+                    f"E eviction by {core} but directory says {entry.state.name}/{entry.owner}"
+                )
+            entry.state = DirState.UNCACHED
+            entry.owner = None
+            entry.sharers.clear()
+        else:  # SHARED
+            lat = self._msg(core, home, CTRL_BITS, "sharer-drop")
+            entry.sharers.discard(core)
+            if not entry.sharers and entry.state == DirState.SHARED:
+                entry.state = DirState.UNCACHED
+        entry.check_invariants()
+        return lat
+
+    # -- the protocol -----------------------------------------------------
+    def access(self, core: int, word_addr: int, write: bool) -> float:
+        """One load/store by ``core`` at a word address; returns latency."""
+        cfg = self.config
+        addr = int(word_addr) * cfg.word_bytes  # byte address for the arrays
+        state = self._probe_state(core, addr)
+        if state == MSIState.MODIFIED or (
+            state in (MSIState.SHARED, MSIState.EXCLUSIVE) and not write
+        ):
+            self.caches[core].lookup(addr)  # recency + hit counters
+            self.stats.counters.add("hits")
+            return float(cfg.l1.hit_latency)
+        if state == MSIState.EXCLUSIVE and write:
+            # MESI's payoff: E -> M silently, no directory traffic
+            line = self.caches[core].lookup(addr)
+            line.state = int(MSIState.MODIFIED)
+            line.dirty = True
+            self.stats.counters.add("hits")
+            self.stats.counters.add("silent_upgrades")
+            return float(cfg.l1.hit_latency)
+
+        line = self._line(addr)
+        entry = self._dir_entry(line)
+        home = self.placement.home_of_one(word_addr)
+        self.stats.counters.add("misses")
+        lat = self._msg(core, home, CTRL_BITS, "getx" if write else "gets")
+
+        if not write:
+            # ---- GETS ------------------------------------------------
+            grant = MSIState.SHARED
+            if entry.state == DirState.EXCLUSIVE and entry.owner != core:
+                owner = entry.owner
+                oline = self.caches[owner].probe(addr)
+                if oline is None:
+                    raise ProtocolError(f"directory owner {owner} lost line {line:#x}")
+                lat += self._msg(home, owner, CTRL_BITS, "fetch")
+                if MSIState(oline.state) == MSIState.MODIFIED:
+                    lat += self._msg(
+                        owner, home, CTRL_BITS + self._line_bits, "wb-data"
+                    )
+                else:  # E: clean, a control ack suffices (MESI)
+                    lat += self._msg(owner, home, CTRL_BITS, "downgrade-ack")
+                oline.state = int(MSIState.SHARED)
+                oline.dirty = False
+                entry.sharers = {owner}
+                entry.owner = None
+                entry.state = DirState.SHARED
+            elif entry.state == DirState.UNCACHED:
+                lat += cfg.cost.dram_latency  # home fetches from memory
+                self.stats.counters.add("dram_fills")
+                if self.protocol == "mesi":
+                    grant = MSIState.EXCLUSIVE  # sole clean copy
+            if grant == MSIState.EXCLUSIVE:
+                entry.state = DirState.EXCLUSIVE
+                entry.owner = core
+                entry.sharers = set()
+            else:
+                entry.state = DirState.SHARED
+                entry.owner = None
+                entry.sharers.add(core)
+            lat += self._msg(home, core, CTRL_BITS + self._line_bits, "data")
+            lat += self._fill(core, addr, grant)
+        else:
+            # ---- GETX ------------------------------------------------
+            if entry.state == DirState.EXCLUSIVE and entry.owner != core:
+                owner = entry.owner
+                oline = self.caches[owner].probe(addr)
+                if oline is None:
+                    raise ProtocolError(f"directory owner {owner} lost line {line:#x}")
+                lat += self._msg(home, owner, CTRL_BITS, "fetch-inv")
+                if MSIState(oline.state) == MSIState.MODIFIED:
+                    lat += self._msg(
+                        owner, home, CTRL_BITS + self._line_bits, "wb-data"
+                    )
+                else:  # E: clean copy, control ack (MESI)
+                    lat += self._msg(owner, home, CTRL_BITS, "inv-ack")
+                self.caches[owner].invalidate(addr)
+                self.stats.counters.add("invalidations")
+            elif entry.state == DirState.SHARED:
+                inv_lat = 0.0
+                for sharer in sorted(entry.sharers - {core}):
+                    inv = self._msg(home, sharer, CTRL_BITS, "inv")
+                    ack = self._msg(sharer, home, CTRL_BITS, "inv-ack")
+                    inv_lat = max(inv_lat, inv + ack)  # invalidations overlap
+                    self.caches[sharer].invalidate(addr)
+                    self.stats.counters.add("invalidations")
+                lat += inv_lat
+            elif entry.state == DirState.UNCACHED:
+                lat += cfg.cost.dram_latency
+                self.stats.counters.add("dram_fills")
+            if state == MSIState.SHARED:
+                # upgrade: data already present, grant only
+                lat += self._msg(home, core, CTRL_BITS, "upgrade-ack")
+                held = self.caches[core].probe(addr)
+                held.state = int(MSIState.MODIFIED)
+                held.dirty = True
+            else:
+                lat += self._msg(home, core, CTRL_BITS + self._line_bits, "data")
+                lat += self._fill(core, addr, MSIState.MODIFIED)
+            entry.state = DirState.EXCLUSIVE
+            entry.owner = core
+            entry.sharers = set()
+        entry.check_invariants()
+        return float(lat + cfg.l1.hit_latency)
+
+    # -- driver -------------------------------------------------------------
+    def run(self) -> CCResult:
+        """Interleaved execution of the whole trace."""
+        T = self.trace.num_threads
+        times = [0.0] * T
+        idx = [0] * T
+        sizes = [int(tr.size) for tr in self.trace.threads]
+        live = sum(1 for s in sizes if s > 0)
+        while live > 0:
+            for t in range(T):
+                k = idx[t]
+                if k >= sizes[t]:
+                    continue
+                rec = self.trace.threads[t][k]
+                lat = self.access(
+                    self._native[t], int(rec["addr"]), bool(rec["write"])
+                )
+                times[t] += float(rec["icount"]) + lat
+                idx[t] += 1
+                if idx[t] == sizes[t]:
+                    live -= 1
+        stats = self.stats.as_dict()
+        return CCResult(
+            completion_time=max(times, default=0.0),
+            per_thread_time=times,
+            stats=stats,
+            traffic_bits=self.traffic_bits,
+        )
+
+    def directory_overhead_bits(self) -> int:
+        """Total directory SRAM for the lines currently tracked —
+        the scaling cost EM² eliminates (§1)."""
+        return len(self.directory) * DirectoryEntry.bits(self.config.num_cores)

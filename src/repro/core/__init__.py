@@ -1,0 +1,46 @@
+"""The paper's contribution: EM² and its variants.
+
+* :mod:`repro.core.costs` — the simplified analytical cost model (§3):
+  migration and remote-access cost matrices over the topology.
+* :mod:`repro.core.decision` — migrate-vs-remote-access decision
+  schemes, including the optimal offline dynamic program.
+* :mod:`repro.core.evaluation` — fast trace evaluators applying a
+  scheme to whole applications (the paper's O(N) decision-cost
+  procedure), plus run-length/migration statistics.
+* :mod:`repro.core.em2`, :mod:`repro.core.em2ra`,
+  :mod:`repro.core.remote_access` — behavioral discrete-event machines
+  with guest contexts, evictions, and NoC transport (Figures 1 and 3
+  as executable protocols).
+"""
+
+from repro.core.costs import CostModel
+from repro.core.decision import (
+    AlwaysMigrate,
+    DecisionScheme,
+    DistanceThreshold,
+    HistoryRunLength,
+    NeverMigrate,
+    OptimalResult,
+    optimal_decisions,
+)
+from repro.core.evaluation import EvalResult, evaluate_scheme, evaluate_thread
+from repro.core.em2 import EM2Machine
+from repro.core.em2ra import EM2RAMachine
+from repro.core.remote_access import RemoteAccessMachine
+
+__all__ = [
+    "CostModel",
+    "DecisionScheme",
+    "AlwaysMigrate",
+    "NeverMigrate",
+    "DistanceThreshold",
+    "HistoryRunLength",
+    "optimal_decisions",
+    "OptimalResult",
+    "evaluate_scheme",
+    "evaluate_thread",
+    "EvalResult",
+    "EM2Machine",
+    "EM2RAMachine",
+    "RemoteAccessMachine",
+]

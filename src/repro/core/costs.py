@@ -1,0 +1,137 @@
+"""The simplified analytical cost model of §3.
+
+The paper's model "ignores local memory access delays (since the
+migration-vs-RA decision mainly affects network delays)" and considers
+one thread at a time. Costs are therefore pure network costs:
+
+* ``migration(i, j)`` — one-way transport of the full execution
+  context (1–2 Kbit) from core *i* to core *j*: fixed protocol
+  overhead + head-flit route latency + context serialization.
+* ``remote_access(i, j)`` — round trip: a small request (address +
+  opcode, one word for stores) to *j* and a reply (data word for
+  loads, ack for stores) back to *i*.
+
+Both are exposed as precomputed ``(P, P)`` matrices so the DP and the
+scheme evaluators are fully vectorizable. Stack-EM² migration costs
+(context size varying with carried depth, §4) come from
+:meth:`CostModel.stack_migration`.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.arch.config import SystemConfig
+from repro.arch.topology import Topology, topology_for
+
+
+class CostModel:
+    """Precomputed migration / remote-access cost matrices."""
+
+    def __init__(self, config: SystemConfig, topology: Topology | None = None) -> None:
+        self.config = config
+        self.topology = topology if topology is not None else topology_for(config)
+        if self.topology.num_cores != config.num_cores:
+            from repro.util.errors import ConfigError
+
+            raise ConfigError(
+                f"topology has {self.topology.num_cores} cores, config says {config.num_cores}"
+            )
+
+    # -- scalar building blocks -----------------------------------------
+    def _transport(self, hops: np.ndarray, payload_bits: int) -> np.ndarray:
+        """Zero-load message latency for each hop count (wormhole)."""
+        noc = self.config.noc
+        flits = noc.message_flits(payload_bits)
+        per_hop = noc.router_latency + noc.link_latency
+        return hops * per_hop + (flits - 1)
+
+    @cached_property
+    def _hops(self) -> np.ndarray:
+        return self.topology.distance_matrix.astype(np.float64)
+
+    # -- matrices ----------------------------------------------------------
+    @cached_property
+    def migration(self) -> np.ndarray:
+        """(P, P) one-way migration cost; diagonal is 0 (no migration)."""
+        ctx_bits = self.config.context.full_context_bits
+        mat = self.config.cost.migration_fixed + self._transport(self._hops, ctx_bits)
+        np.fill_diagonal(mat, 0.0)
+        mat.setflags(write=False)
+        return mat
+
+    def migration_with_context(self, context_bits: int) -> np.ndarray:
+        """Migration matrix for an arbitrary context size (sweeps, §5)."""
+        mat = self.config.cost.migration_fixed + self._transport(self._hops, context_bits)
+        np.fill_diagonal(mat, 0.0)
+        return mat
+
+    @cached_property
+    def remote_read(self) -> np.ndarray:
+        """(P, P) remote-access round-trip cost for loads; diagonal 0."""
+        addr_bits = 64 + 8  # address + opcode
+        data_bits = self.config.word_bits
+        fixed = self.config.cost.remote_access_fixed
+        mat = (
+            2 * fixed
+            + self._transport(self._hops, addr_bits)
+            + self._transport(self._hops, data_bits)
+        )
+        np.fill_diagonal(mat, 0.0)
+        mat.setflags(write=False)
+        return mat
+
+    @cached_property
+    def remote_write(self) -> np.ndarray:
+        """(P, P) remote-access round trip for stores (data out, ack back)."""
+        req_bits = 64 + 8 + self.config.word_bits
+        ack_bits = 8
+        fixed = self.config.cost.remote_access_fixed
+        mat = (
+            2 * fixed
+            + self._transport(self._hops, req_bits)
+            + self._transport(self._hops, ack_bits)
+        )
+        np.fill_diagonal(mat, 0.0)
+        mat.setflags(write=False)
+        return mat
+
+    def remote_access(self, write: bool) -> np.ndarray:
+        return self.remote_write if write else self.remote_read
+
+    def stack_migration(self, depth: int) -> np.ndarray:
+        """(P, P) one-way stack-EM² migration carrying ``depth`` entries."""
+        bits = self.config.context.stack_context_bits(depth)
+        return self.migration_with_context(bits)
+
+    # -- traffic (bits on the network, the power proxy of §5) -------------
+    def migration_bits(self, context_bits: int | None = None) -> int:
+        ctx = self.config.context.full_context_bits if context_bits is None else context_bits
+        flits = self.config.noc.message_flits(ctx)
+        return flits * self.config.noc.flit_bits
+
+    def remote_access_bits(self, write: bool) -> int:
+        if write:
+            req, rep = 64 + 8 + self.config.word_bits, 8
+        else:
+            req, rep = 64 + 8, self.config.word_bits
+        noc = self.config.noc
+        return (noc.message_flits(req) + noc.message_flits(rep)) * noc.flit_bits
+
+    # -- break-even analysis ------------------------------------------------
+    def break_even_run_length(self, src: int, dst: int, write_fraction: float = 0.0) -> float:
+        """Run length at which migrating to ``dst`` beats repeated RA.
+
+        Migrating costs ``2 * migration`` (there and eventually back)
+        amortized over L accesses; RA costs ``L * remote_access``.
+        Solving L * ra >= 2 * mig gives the crossover — the analytical
+        knob behind run-length-based decision schemes.
+        """
+        ra = (1 - write_fraction) * self.remote_read[src, dst] + write_fraction * (
+            self.remote_write[src, dst]
+        )
+        if ra <= 0:
+            return float("inf")
+        return 2.0 * self.migration[src, dst] / ra

@@ -1,0 +1,59 @@
+"""Migrate-vs-remote-access decision schemes (§3, §5).
+
+"Both architectures require a fast core-local decision for every
+memory access" — this package contains:
+
+* hardware-implementable online schemes (:mod:`static`,
+  :mod:`history`): each sees only core-local state, exactly what a
+  per-core decision unit could hold;
+* the offline **optimal** dynamic program (:mod:`optimal`), the
+  paper's upper bound for evaluating how close a scheme gets;
+* the stack-depth variant (:mod:`stack_optimal`) for stack-EM² (§4).
+"""
+
+from repro.core.decision.base import Decision, DecisionScheme
+from repro.core.decision.static import (
+    AlwaysMigrate,
+    DistanceThreshold,
+    NativeFirst,
+    NeverMigrate,
+    RandomScheme,
+)
+from repro.core.decision.costaware import CostAwareHistory
+from repro.core.decision.history import (
+    AddressIndexedHistory,
+    HistoryRunLength,
+    PerHomePredictor,
+)
+from repro.core.decision.oracle import lookahead_decisions, lookahead_replay_for
+from repro.core.decision.optimal import OptimalResult, optimal_cost, optimal_decisions
+from repro.core.decision.replay import OptimalReplay, optimal_replay_for
+from repro.core.decision.stack_optimal import (
+    StackOptimalResult,
+    fixed_depth_cost,
+    optimal_stack_depths,
+)
+
+__all__ = [
+    "Decision",
+    "DecisionScheme",
+    "AlwaysMigrate",
+    "NeverMigrate",
+    "DistanceThreshold",
+    "NativeFirst",
+    "RandomScheme",
+    "HistoryRunLength",
+    "AddressIndexedHistory",
+    "CostAwareHistory",
+    "PerHomePredictor",
+    "lookahead_decisions",
+    "lookahead_replay_for",
+    "optimal_decisions",
+    "optimal_cost",
+    "OptimalResult",
+    "OptimalReplay",
+    "optimal_replay_for",
+    "optimal_stack_depths",
+    "fixed_depth_cost",
+    "StackOptimalResult",
+]

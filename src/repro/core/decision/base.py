@@ -1,0 +1,49 @@
+"""Decision-scheme interface.
+
+A scheme is consulted once per *non-local* access (the home differs
+from the thread's current core) and answers MIGRATE or REMOTE. It sees
+only information a per-core hardware unit could have: the current
+core, the home core, the address, whether the access writes, and its
+own internal state (updated via :meth:`DecisionScheme.observe`).
+
+Schemes are deliberately sequential objects — the evaluator drives
+them access by access, mirroring the O(N) "cost of a specific
+decision" procedure in §3.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+
+
+class Decision(enum.IntEnum):
+    LOCAL = 0  # home == current core; no decision needed
+    MIGRATE = 1
+    REMOTE = 2
+
+
+class DecisionScheme(ABC):
+    """Stateful per-thread decision unit."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def decide(self, current: int, home: int, addr: int, write: bool) -> Decision:
+        """Return MIGRATE or REMOTE for a non-local access."""
+
+    def observe(self, current: int, home: int, addr: int, write: bool, decision: Decision) -> None:
+        """Called after every access (including local ones) so history
+        schemes can update their predictors. Default: no state."""
+
+    def reset(self) -> None:
+        """Clear per-thread state (called between threads)."""
+
+    def clone(self) -> "DecisionScheme":
+        """A fresh instance with the same parameters (per-thread state).
+
+        Default: construct a new object of the same class with the
+        attributes stored by ``__init__``; schemes with constructor
+        arguments override this.
+        """
+        return type(self)()

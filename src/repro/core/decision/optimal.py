@@ -1,0 +1,210 @@
+"""Optimal offline migrate-vs-RA decisions (the paper's dynamic program, §3).
+
+Recurrence (verbatim from the paper, with OPT(k, c) the optimal cost
+of serving accesses m_1..m_k with the thread ending at core c):
+
+* core miss (c != d(m_{k+1})):
+      OPT(k+1, c) = OPT(k, c) + cost_ra(c, d(m_{k+1}))
+* core hit (c == d(m_{k+1})):
+      OPT(k+1, c) = min( OPT(k, c),
+                         min_{i != c} OPT(k, i) + cost_mig(i, c) )
+
+The paper states O(N * P^2) time. Because each access has a *single*
+home core, only one entry per step takes the inner min — every other
+entry is a vector add — so the implementation below runs in **O(N * P)**
+with two vectorized operations per access. (The P^2 bound is the worst
+case for a cost structure where every end core needs the inner min;
+see DESIGN.md §2.)
+
+Path reconstruction stores one predecessor per access: for end cores
+c != home the predecessor is trivially c itself (the thread stayed and
+did an RA), so only the home entry's argmin needs recording — O(N)
+memory instead of O(N * P).
+
+Semantics notes, matching the paper's model:
+
+* a local access (thread already at the home) is free;
+* the model "considers one thread at a time", ignores evictions and
+  local memory delays — costs are the network costs from
+  :class:`~repro.core.costs.CostModel`;
+* the thread starts at its native core ``start_core``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.costs import CostModel
+from repro.core.decision.base import Decision
+from repro.util.errors import ConfigError
+
+_INF = np.inf
+
+
+@dataclass
+class OptimalResult:
+    """Output of the DP: cost, per-access decisions, and the core path."""
+
+    total_cost: float
+    decisions: np.ndarray  # (N,) Decision values
+    cores: np.ndarray  # (N,) core where each access executed
+    end_core: int
+
+    @property
+    def num_migrations(self) -> int:
+        return int((self.decisions == Decision.MIGRATE).sum())
+
+    @property
+    def num_remote_accesses(self) -> int:
+        return int((self.decisions == Decision.REMOTE).sum())
+
+    @property
+    def num_local(self) -> int:
+        return int((self.decisions == Decision.LOCAL).sum())
+
+
+def _cost_matrices(cost_model: CostModel):
+    mig = np.asarray(cost_model.migration, dtype=np.float64)
+    ra_r = np.asarray(cost_model.remote_read, dtype=np.float64)
+    ra_w = np.asarray(cost_model.remote_write, dtype=np.float64)
+    return mig, ra_r, ra_w
+
+
+def optimal_cost(
+    homes: np.ndarray,
+    writes: np.ndarray,
+    start_core: int,
+    cost_model: CostModel,
+) -> float:
+    """Forward DP only (no path reconstruction) — minimal memory."""
+    res = _run_dp(homes, writes, start_core, cost_model, reconstruct=False)
+    return res[0]
+
+
+def optimal_decisions(
+    homes: np.ndarray,
+    writes: np.ndarray,
+    start_core: int,
+    cost_model: CostModel,
+) -> OptimalResult:
+    """Full DP with per-access decision/core reconstruction."""
+    total, decisions, cores, end_core = _run_dp(
+        homes, writes, start_core, cost_model, reconstruct=True
+    )
+    return OptimalResult(
+        total_cost=total, decisions=decisions, cores=cores, end_core=end_core
+    )
+
+
+def _run_dp(
+    homes: np.ndarray,
+    writes: np.ndarray,
+    start_core: int,
+    cost_model: CostModel,
+    reconstruct: bool,
+):
+    homes = np.asarray(homes, dtype=np.int64)
+    writes = np.asarray(writes).astype(bool)
+    if homes.shape != writes.shape or homes.ndim != 1:
+        raise ConfigError("homes and writes must be 1-D arrays of equal length")
+    mig, ra_r, ra_w = _cost_matrices(cost_model)
+    P = mig.shape[0]
+    if homes.size and not (0 <= homes.min() and homes.max() < P):
+        raise ConfigError(f"home core out of range [0, {P})")
+    if not (0 <= start_core < P):
+        raise ConfigError(f"start_core {start_core} out of range [0, {P})")
+    N = homes.size
+
+    cost = np.full(P, _INF)
+    cost[start_core] = 0.0
+    # pred[k]: predecessor core of the *home* entry at step k
+    pred = np.empty(N, dtype=np.int32) if reconstruct else None
+
+    mig_T = mig.T.copy()  # mig_T[h] = migration cost INTO core h from each source
+    for k in range(N):
+        h = homes[k]
+        ra = ra_w if writes[k] else ra_r
+        stay_home = cost[h]
+        # candidate: arrive at h by migration from any other core
+        arrive = cost + mig_T[h]
+        arrive[h] = _INF  # staying is the stay_home term, not a self-migration
+        best_src = int(np.argmin(arrive))
+        best_arrive = arrive[best_src]
+        # all non-home cores stay put and pay an RA to h
+        cost += ra[:, h]
+        if stay_home <= best_arrive:
+            cost[h] = stay_home
+            if reconstruct:
+                pred[k] = h
+        else:
+            cost[h] = best_arrive
+            if reconstruct:
+                pred[k] = best_src
+
+    end_core = int(np.argmin(cost))
+    total = float(cost[end_core])
+
+    if not reconstruct:
+        return total, None, None, end_core
+
+    decisions = np.empty(N, dtype=np.int8)
+    cores = np.empty(N, dtype=np.int64)
+    cur = end_core
+    for k in range(N - 1, -1, -1):
+        h = homes[k]
+        if cur != h:
+            # this access was served by RA from `cur`
+            decisions[k] = Decision.REMOTE
+            cores[k] = cur
+        else:
+            p = int(pred[k])
+            cores[k] = h
+            if p == h:
+                # thread was already at h; LOCAL unless this is where a
+                # previous migration landed — distinguish below
+                decisions[k] = Decision.LOCAL
+            else:
+                decisions[k] = Decision.MIGRATE
+            cur = p
+    # Note: a LOCAL mark means the thread sat at the home before this
+    # access (free local cache access); MIGRATE means it moved here for
+    # this access.
+    return total, decisions, cores, end_core
+
+
+def decision_cost(
+    homes: np.ndarray,
+    writes: np.ndarray,
+    decisions: np.ndarray,
+    start_core: int,
+    cost_model: CostModel,
+) -> float:
+    """Cost of an explicit decision sequence (the O(N) evaluation, §3).
+
+    Validates consistency: a LOCAL decision requires the thread to be
+    at the home, MIGRATE moves it there, REMOTE leaves it in place.
+    """
+    homes = np.asarray(homes, dtype=np.int64)
+    writes = np.asarray(writes).astype(bool)
+    decisions = np.asarray(decisions)
+    mig, ra_r, ra_w = _cost_matrices(cost_model)
+    cur = start_core
+    total = 0.0
+    for k in range(homes.size):
+        h = int(homes[k])
+        d = int(decisions[k])
+        if d == Decision.LOCAL:
+            if cur != h:
+                raise ConfigError(
+                    f"access {k}: LOCAL decision but thread at {cur}, home {h}"
+                )
+        elif d == Decision.MIGRATE:
+            total += mig[cur, h]
+            cur = h
+        elif d == Decision.REMOTE:
+            total += (ra_w if writes[k] else ra_r)[cur, h]
+        else:
+            raise ConfigError(f"access {k}: unknown decision {d}")
+    return total

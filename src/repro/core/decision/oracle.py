@@ -1,0 +1,133 @@
+"""Finite-lookahead oracle decisions: between history and the DP.
+
+The paper's conclusion points at "hardware-implementable decision
+schemes" as future research. The natural question the analytical model
+answers is: *how much future knowledge does a scheme need to approach
+the offline optimum?* This module builds decision sequences from a
+``window`` of future accesses:
+
+at a non-local access with home ``h``, look ahead at most ``window``
+accesses; let ``L`` be the length of the run of consecutive accesses
+homed at ``h`` starting here (clipped to the window). Migrate iff
+
+    L * cost_ra(cur, h)  >  cost_mig(cur, h) + cost_mig(h, cur)
+
+i.e. iff serving the whole visible run remotely costs more than a
+migration round trip — the greedy break-even rule with L known rather
+than predicted.
+
+* ``window = 1`` knows only "this access" (L = 1): a static rule.
+* ``window = inf`` knows exact run lengths: the idealized predictor an
+  online history scheme tries to approximate.
+* The DP still wins ties the greedy rule cannot see (it positions the
+  thread for *future* runs), so cost(window=inf) >= cost(DP) — both
+  facts are asserted in the benches.
+
+Like :class:`~repro.core.decision.replay.OptimalReplay`, the output is
+an index-addressed decision array (usable with ``decision_cost`` and
+the behavioral machines).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.costs import CostModel
+from repro.core.decision.base import Decision
+from repro.core.decision.replay import OptimalReplay
+from repro.placement.base import Placement
+from repro.trace.events import MultiTrace
+from repro.util.errors import ConfigError
+
+
+def forward_run_lengths(homes: np.ndarray) -> np.ndarray:
+    """``out[k]`` = length of the run of ``homes[k]`` starting at k.
+
+    Vectorized backward scan: within a run, values count down to 1 at
+    the run's last element.
+    """
+    homes = np.asarray(homes)
+    n = homes.size
+    out = np.ones(n, dtype=np.int64)
+    if n == 0:
+        return out
+    same = homes[1:] == homes[:-1]
+    # walk backward: out[k] = out[k+1] + 1 when same, else 1
+    for k in range(n - 2, -1, -1):  # O(N) python loop fallback
+        if same[k]:
+            out[k] = out[k + 1] + 1
+    return out
+
+
+def forward_run_lengths_fast(homes: np.ndarray) -> np.ndarray:
+    """Vectorized equivalent of :func:`forward_run_lengths`."""
+    homes = np.asarray(homes)
+    n = homes.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    change = np.flatnonzero(homes[1:] != homes[:-1]) + 1
+    ends = np.concatenate((change, [n]))  # exclusive end of each run
+    starts = np.concatenate(([0], change))
+    out = np.empty(n, dtype=np.int64)
+    for s, e in zip(starts, ends):
+        out[s:e] = np.arange(e - s, 0, -1)
+    return out
+
+
+def lookahead_decisions(
+    homes: np.ndarray,
+    writes: np.ndarray,
+    start_core: int,
+    cost_model: CostModel,
+    window: float = np.inf,
+) -> np.ndarray:
+    """Greedy finite-lookahead decision sequence (see module docstring)."""
+    homes = np.asarray(homes, dtype=np.int64)
+    writes = np.asarray(writes).astype(bool)
+    if homes.shape != writes.shape:
+        raise ConfigError("homes/writes shape mismatch")
+    if window < 1:
+        raise ConfigError("window must be >= 1")
+    mig = cost_model.migration
+    ra_r = cost_model.remote_read
+    ra_w = cost_model.remote_write
+    runs = forward_run_lengths_fast(homes)
+
+    decisions = np.empty(homes.size, dtype=np.int8)
+    cur = start_core
+    for k in range(homes.size):
+        h = homes[k]
+        if h == cur:
+            decisions[k] = Decision.LOCAL
+            continue
+        L = min(int(runs[k]), int(window) if np.isfinite(window) else int(runs[k]))
+        ra = (ra_w if writes[k] else ra_r)[cur, h]
+        round_trip = mig[cur, h] + mig[h, cur]
+        if L * ra > round_trip:
+            decisions[k] = Decision.MIGRATE
+            cur = h
+        else:
+            decisions[k] = Decision.REMOTE
+    return decisions
+
+
+def lookahead_replay_for(
+    trace: MultiTrace,
+    placement: Placement,
+    cost_model: CostModel,
+    window: float = np.inf,
+) -> OptimalReplay:
+    """Build an index-addressed replay of lookahead decisions."""
+    decisions = []
+    for t, tr in enumerate(trace.threads):
+        if tr.size == 0:
+            decisions.append(np.zeros(0, dtype=np.int8))
+            continue
+        homes = placement.home_of(tr["addr"])
+        start = trace.thread_native_core[t] % cost_model.config.num_cores
+        decisions.append(
+            lookahead_decisions(homes, tr["write"], start, cost_model, window)
+        )
+    replay = OptimalReplay(decisions)
+    replay.name = f"lookahead(w={window})"
+    return replay

@@ -1,0 +1,74 @@
+"""Replay a precomputed decision sequence (e.g. the DP optimum).
+
+The paper's evaluation flow is: compute the optimal offline decision
+sequence with the DP, then compare hardware schemes against it. To run
+the *behavioral* machine under the optimal sequence, decisions are
+replayed **by access index** — robust to evictions, which re-execute
+an access (the same index fetches the same decision again).
+
+For analytical (trace-walk) evaluation of a decision sequence, use
+:func:`repro.core.decision.optimal.decision_cost` instead; this class
+is consumed by :class:`~repro.core.em2ra.EM2RAMachine`, which detects
+it and supplies the access index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.costs import CostModel
+from repro.core.decision.base import Decision, DecisionScheme
+from repro.core.decision.optimal import optimal_decisions
+from repro.placement.base import Placement
+from repro.trace.events import MultiTrace
+from repro.util.errors import ConfigError
+
+
+class OptimalReplay(DecisionScheme):
+    """Per-thread, per-access decision arrays, typically from the DP."""
+
+    name = "optimal-replay"
+
+    def __init__(self, decisions_per_thread: list[np.ndarray]) -> None:
+        self.decisions_per_thread = [np.asarray(d) for d in decisions_per_thread]
+
+    def decision_for(self, tid: int, idx: int) -> Decision:
+        """Planned decision for thread ``tid``'s access ``idx``."""
+        try:
+            d = Decision(int(self.decisions_per_thread[tid][idx]))
+        except IndexError:
+            raise ConfigError(
+                f"replay has no decision for thread {tid} access {idx}"
+            ) from None
+        if d == Decision.LOCAL:
+            # consulted as non-local only after an eviction displaced
+            # the thread from its planned position; migrating to the
+            # home restores the plan
+            return Decision.MIGRATE
+        return d
+
+    def decide(self, current: int, home: int, addr: int, write: bool) -> Decision:
+        raise ConfigError(
+            "OptimalReplay is index-addressed; run it through EM2RAMachine "
+            "(which supplies access indices) or score the sequence with "
+            "decision_cost()"
+        )
+
+    def clone(self) -> "OptimalReplay":
+        return self  # stateless; shared across threads by design
+
+
+def optimal_replay_for(
+    trace: MultiTrace, placement: Placement, cost_model: CostModel
+) -> OptimalReplay:
+    """Run the DP on every thread and wrap the results for replay."""
+    decisions = []
+    for t, tr in enumerate(trace.threads):
+        if tr.size == 0:
+            decisions.append(np.zeros(0, dtype=np.int8))
+            continue
+        homes = placement.home_of(tr["addr"])
+        start = trace.thread_native_core[t] % cost_model.config.num_cores
+        res = optimal_decisions(homes, tr["write"], start, cost_model)
+        decisions.append(res.decisions)
+    return OptimalReplay(decisions)

@@ -1,0 +1,108 @@
+"""EM²-RA: the hybrid architecture (Figure 3, executable).
+
+Every non-local access consults a per-core decision procedure:
+
+* MIGRATE — identical to pure EM² (context moves to the home core);
+* REMOTE — a request travels on the remote-access virtual subnetwork
+  ("separate from the subnetworks used for migrations ... requiring
+  six virtual channels in total", §3), the home core performs the
+  access against its own cache hierarchy, and the data (read) or ack
+  (write) returns to the requesting core, where execution continues.
+
+The decision scheme is any :class:`~repro.core.decision.DecisionScheme`
+— including a replayed optimal sequence from the DP, which is how the
+"how close to optimal is this scheme" experiments run.
+"""
+
+from __future__ import annotations
+
+from repro.arch.noc import Message, VirtualNetwork
+from repro.arch.noc.deadlock import VC_PLAN_EM2RA
+from repro.arch.config import SystemConfig
+from repro.arch.topology import Topology
+from repro.core.decision.base import Decision, DecisionScheme
+from repro.core.machine import MigrationMachineBase, ThreadState
+from repro.placement.base import Placement
+from repro.trace.events import MultiTrace
+
+
+class EM2RAMachine(MigrationMachineBase):
+    """Hybrid migration / remote-cache-access machine."""
+
+    name = "em2-ra"
+    vc_plan = VC_PLAN_EM2RA
+
+    def __init__(
+        self,
+        trace: MultiTrace,
+        placement: Placement,
+        config: SystemConfig,
+        scheme: DecisionScheme,
+        topology: Topology | None = None,
+        cache_detail: bool = True,
+    ) -> None:
+        super().__init__(trace, placement, config, topology, cache_detail)
+        # one scheme instance per thread: the hardware unit is core-local,
+        # but its history follows the thread's perspective
+        self._schemes = [scheme.clone() for _ in range(trace.num_threads)]
+        for s in self._schemes:
+            s.reset()
+
+    def _handle_nonlocal(
+        self, th: ThreadState, addr: int, write: bool, home: int, delay: float
+    ) -> None:
+        scheme = self._schemes[th.tid]
+        if hasattr(scheme, "decision_for"):  # index-addressed replay (DP plans)
+            decision = scheme.decision_for(th.tid, th.idx)
+        else:
+            decision = scheme.decide(th.core, home, addr, write)
+            scheme.observe(th.core, home, addr, write, decision)
+        if decision == Decision.MIGRATE:
+            self._migrate(th, home, after_delay=delay)
+            return
+        self._remote_access(th, addr, write, home, delay)
+
+    # -- remote access round trip ----------------------------------------
+    def _remote_access(
+        self, th: ThreadState, addr: int, write: bool, home: int, delay: float
+    ) -> None:
+        self.stats.counters.add("remote_accesses")
+        req_bits = 64 + 8 + (self.config.word_bits if write else 0)
+        msg = Message(
+            src=th.core,
+            dst=home,
+            payload_bits=req_bits,
+            vnet=VirtualNetwork.RA_REQUEST,
+            kind="ra-request",
+            body=(th, addr, write),
+        )
+        fixed = self.config.cost.remote_access_fixed
+        self.engine.schedule(
+            delay + fixed, lambda: self.network.send(msg, self._ra_at_home)
+        )
+
+    def _ra_at_home(self, msg: Message) -> None:
+        th, addr, write = msg.body
+        home = msg.dst
+        # the home core performs the access against its own caches
+        lat = self._access_latency(home, addr, write)
+        reply_bits = 8 if write else self.config.word_bits
+        reply = Message(
+            src=home,
+            dst=msg.src,
+            payload_bits=reply_bits,
+            vnet=VirtualNetwork.RA_REPLY,
+            kind="ra-reply",
+            body=th,
+        )
+        self.engine.schedule(lat, lambda: self.network.send(reply, self._ra_done))
+
+    def _ra_done(self, msg: Message) -> None:
+        th: ThreadState = msg.body
+        fixed = self.config.cost.remote_access_fixed
+        th.idx += 1  # the access completed remotely
+        th.pending = self.engine.schedule(fixed, self._step, th)
+        # the thread is evictable again: a migrant stalled behind this
+        # core's pinned guests may now displace it
+        if not self.contexts[th.core].is_native(th.tid):
+            self._admit_waiter_if_any(th.core)

@@ -1,0 +1,200 @@
+"""Apply a decision scheme to whole application traces.
+
+This is the O(N) "computing the equivalent cost of a specific
+decision" procedure of §3, wrapped for multi-threaded traces:
+for each thread it walks the access stream, consults the scheme on
+every non-local access, moves the thread on MIGRATE, charges the cost
+model, and gathers the statistics every bench in this repo reports
+(cost, migration/RA counts, network traffic in bits, run lengths).
+
+``AlwaysMigrate`` and ``NeverMigrate`` take vectorized fast paths
+(identical semantics, no per-access Python loop) so the Figure 2-scale
+workloads evaluate in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.costs import CostModel
+from repro.core.decision.base import Decision, DecisionScheme
+from repro.core.decision.static import AlwaysMigrate, NeverMigrate
+from repro.placement.base import Placement
+from repro.sim.stats import Histogram
+from repro.trace.events import MultiTrace
+from repro.trace.runlength import run_length_histogram, merge_histograms
+
+
+@dataclass
+class EvalResult:
+    """Aggregate outcome of evaluating one scheme on one trace."""
+
+    scheme: str
+    total_cost: float = 0.0
+    migrations: int = 0
+    remote_accesses: int = 0
+    local_accesses: int = 0
+    traffic_bits: int = 0
+    per_thread_cost: list[float] = field(default_factory=list)
+    run_length_hist: Histogram | None = None
+
+    @property
+    def total_accesses(self) -> int:
+        return self.migrations + self.remote_accesses + self.local_accesses
+
+    @property
+    def nonlocal_fraction(self) -> float:
+        n = self.total_accesses
+        return (self.migrations + self.remote_accesses) / n if n else float("nan")
+
+    @property
+    def avg_cost_per_access(self) -> float:
+        n = self.total_accesses
+        return self.total_cost / n if n else float("nan")
+
+    def as_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "total_cost": self.total_cost,
+            "migrations": self.migrations,
+            "remote_accesses": self.remote_accesses,
+            "local_accesses": self.local_accesses,
+            "traffic_bits": self.traffic_bits,
+            "avg_cost_per_access": self.avg_cost_per_access,
+        }
+
+
+def evaluate_thread(
+    homes: np.ndarray,
+    writes: np.ndarray,
+    start_core: int,
+    scheme: DecisionScheme,
+    cost_model: CostModel,
+    addrs: np.ndarray | None = None,
+) -> tuple[float, int, int, int, int, np.ndarray]:
+    """Sequential evaluation of one thread.
+
+    Returns (cost, migrations, remote, local, traffic_bits, exec_cores)
+    where ``exec_cores[k]`` is the core where access k executed (home
+    for MIGRATE/LOCAL, the thread's position for REMOTE). ``addrs``
+    feeds address-indexed schemes; omitted, schemes see address 0.
+    """
+    homes = np.asarray(homes, dtype=np.int64)
+    writes = np.asarray(writes).astype(bool)
+    if addrs is None:
+        addrs = np.zeros(homes.size, dtype=np.int64)
+    else:
+        addrs = np.asarray(addrs, dtype=np.int64)
+    mig = cost_model.migration
+    ra_r = cost_model.remote_read
+    ra_w = cost_model.remote_write
+    mig_bits = cost_model.migration_bits()
+    ra_bits_r = cost_model.remote_access_bits(write=False)
+    ra_bits_w = cost_model.remote_access_bits(write=True)
+
+    cur = start_core
+    cost = 0.0
+    n_mig = n_ra = n_loc = 0
+    bits = 0
+    exec_cores = np.empty(homes.size, dtype=np.int64)
+    for k in range(homes.size):
+        h = int(homes[k])
+        w = bool(writes[k])
+        a = int(addrs[k])
+        if h == cur:
+            n_loc += 1
+            exec_cores[k] = cur
+            scheme.observe(cur, h, a, w, Decision.LOCAL)
+            continue
+        d = scheme.decide(cur, h, a, w)
+        if d == Decision.MIGRATE:
+            cost += mig[cur, h]
+            bits += mig_bits
+            cur = h
+            n_mig += 1
+        else:
+            cost += (ra_w if w else ra_r)[cur, h]
+            bits += ra_bits_w if w else ra_bits_r
+            n_ra += 1
+        exec_cores[k] = h if d == Decision.MIGRATE else cur
+        scheme.observe(cur, h, a, w, d)
+    return cost, n_mig, n_ra, n_loc, bits, exec_cores
+
+
+def _fast_always_migrate(homes, writes, start_core, cost_model):
+    homes = np.asarray(homes, dtype=np.int64)
+    prev = np.concatenate(([start_core], homes[:-1])) if homes.size else homes
+    mig = cost_model.migration
+    costs = mig[prev, homes]
+    moved = prev != homes
+    cost = float(costs.sum())
+    n_mig = int(moved.sum())
+    n_loc = homes.size - n_mig
+    bits = n_mig * cost_model.migration_bits()
+    return cost, n_mig, 0, n_loc, bits, homes.copy()
+
+
+def _fast_never_migrate(homes, writes, start_core, cost_model):
+    homes = np.asarray(homes, dtype=np.int64)
+    writes = np.asarray(writes).astype(bool)
+    ra_r = cost_model.remote_read[start_core]
+    ra_w = cost_model.remote_write[start_core]
+    per = np.where(writes, ra_w[homes], ra_r[homes])
+    remote = homes != start_core
+    cost = float(per[remote].sum())
+    n_ra = int(remote.sum())
+    n_loc = homes.size - n_ra
+    bits = int(
+        (remote & writes).sum() * cost_model.remote_access_bits(True)
+        + (remote & ~writes).sum() * cost_model.remote_access_bits(False)
+    )
+    exec_cores = np.full(homes.size, start_core, dtype=np.int64)
+    return cost, 0, n_ra, n_loc, bits, exec_cores
+
+
+def evaluate_scheme(
+    trace: MultiTrace,
+    placement: Placement,
+    scheme: DecisionScheme,
+    cost_model: CostModel,
+    collect_run_lengths: bool = False,
+) -> EvalResult:
+    """Evaluate ``scheme`` over every thread of ``trace``."""
+    result = EvalResult(scheme=scheme.name)
+    hists = []
+    for t, tr in enumerate(trace.threads):
+        if tr.size == 0:
+            result.per_thread_cost.append(0.0)
+            continue
+        homes = placement.home_of(tr["addr"])
+        writes = tr["write"]
+        start = trace.thread_native_core[t] % cost_model.config.num_cores
+        if isinstance(scheme, AlwaysMigrate):
+            out = _fast_always_migrate(homes, writes, start, cost_model)
+        elif isinstance(scheme, NeverMigrate):
+            out = _fast_never_migrate(homes, writes, start, cost_model)
+        else:
+            per_thread = scheme.clone()
+            per_thread.reset()
+            out = evaluate_thread(
+                homes,
+                writes,
+                start,
+                per_thread,
+                cost_model,
+                addrs=tr["addr"].astype(np.int64),
+            )
+        cost, n_mig, n_ra, n_loc, bits, _cores = out
+        result.total_cost += cost
+        result.migrations += n_mig
+        result.remote_accesses += n_ra
+        result.local_accesses += n_loc
+        result.traffic_bits += bits
+        result.per_thread_cost.append(cost)
+        if collect_run_lengths:
+            hists.append(run_length_histogram(homes, start))
+    if collect_run_lengths:
+        result.run_length_hist = merge_histograms(hists)
+    return result

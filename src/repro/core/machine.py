@@ -1,0 +1,318 @@
+"""Behavioral discrete-event machine shared by the EM² family.
+
+This is the detailed counterpart to :mod:`repro.core.evaluation`: all
+threads run concurrently on the DES engine, guest contexts are finite
+(migrations evict, Figure 1's "# threads exceeded?" branch), transport
+goes through the virtual-channel NoC (optionally with contention), and
+memory accesses hit real L1/L2 arrays with DRAM fills.
+
+Threads are trace-driven state machines: between events a thread is
+either *resident* at a core (occupying a context, with one pending
+wake-up event) or *in transit* inside a migration/eviction message.
+Evictions cancel the victim's pending wake-up and reschedule it at its
+native core after transport — exactly the paper's eviction-to-native
+protocol, which is what makes migration deadlock-free [10].
+
+Subclasses implement :meth:`_handle_nonlocal` — the one point where
+EM² (always migrate), EM²-RA (decision scheme), and RA-only (never
+migrate) differ; everything else (contexts, caches, transport,
+statistics) is shared, so architecture comparisons vary exactly one
+mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.cache.hierarchy import CacheHierarchy
+from repro.arch.config import SystemConfig
+from repro.arch.core_model import ContextFile, build_context_files
+from repro.arch.memory.dram import MemorySystem
+from repro.arch.noc import Message, Network, VirtualNetwork
+from repro.arch.noc.deadlock import VCPlan, check_vc_plan
+from repro.arch.topology import Topology, topology_for
+from repro.placement.base import Placement
+from repro.sim.engine import Engine, Event
+from repro.sim.stats import StatSet
+from repro.trace.events import MultiTrace
+from repro.util.errors import ProtocolError
+
+
+@dataclass
+class ThreadState:
+    tid: int
+    native: int
+    core: int
+    idx: int = 0  # next access index
+    done: bool = False
+    in_transit: bool = False
+    pending: Event | None = None
+    finish_time: float = float("nan")
+    # run-length tracking (Figure 2, measured online)
+    run_home: int = -1
+    run_len: int = 0
+    last_recorded_idx: int = -1  # guards re-executed accesses after migration
+
+
+class MigrationMachineBase:
+    """Common driver; see subclasses for the per-access protocol."""
+
+    vc_plan: VCPlan | None = None
+
+    def __init__(
+        self,
+        trace: MultiTrace,
+        placement: Placement,
+        config: SystemConfig,
+        topology: Topology | None = None,
+        cache_detail: bool = True,
+    ) -> None:
+        self.trace = trace
+        self.placement = placement
+        self.config = config
+        self.topology = topology if topology is not None else topology_for(config)
+        self.engine = Engine()
+        self.network = Network(self.engine, self.topology, config.noc)
+        if self.vc_plan is not None:
+            check_vc_plan(self.vc_plan, config.noc.num_virtual_channels)
+        self.cache_detail = cache_detail
+        self.caches = [
+            CacheHierarchy(config.l1, config.l2) for _ in range(config.num_cores)
+        ] if cache_detail else None
+        self.memory = MemorySystem(self.topology, access_latency=config.cost.dram_latency)
+        native = [c % config.num_cores for c in trace.thread_native_core]
+        self.contexts: list[ContextFile] = build_context_files(
+            config.num_cores, native, config.guest_contexts
+        )
+        self.threads = [
+            ThreadState(tid=t, native=native[t], core=native[t])
+            for t in range(trace.num_threads)
+        ]
+        # arrivals stalled behind full, un-evictable guest contexts
+        # (network backpressure; see _try_admit)
+        self._waiting: list[list[ThreadState]] = [[] for _ in range(config.num_cores)]
+        self.stats = StatSet("machine")
+        self._homes = [
+            placement.home_of(tr["addr"]) if tr.size else np.zeros(0, dtype=np.int64)
+            for tr in trace.threads
+        ]
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def run(self, max_events: int | None = None) -> None:
+        """Execute the whole trace; returns at global quiescence."""
+        if self._started:
+            raise ProtocolError("machine already ran")
+        self._started = True
+        for th in self.threads:
+            self.contexts[th.native].admit_native(th.tid, 0.0)
+            th.pending = self.engine.schedule(0.0, self._step, th)
+        self.engine.run(max_events=max_events)
+        unfinished = [th.tid for th in self.threads if not th.done]
+        if unfinished:
+            raise ProtocolError(f"quiescent with unfinished threads {unfinished[:8]}")
+
+    @property
+    def completion_time(self) -> float:
+        return max((th.finish_time for th in self.threads), default=0.0)
+
+    # ------------------------------------------------------------------
+    def _access_latency(self, core: int, addr: int, write: bool) -> float:
+        """Local memory access at ``core`` (cache hierarchy + DRAM)."""
+        if self.caches is None:
+            return self.config.cost.cache_access
+        res = self.caches[core].access(int(addr) * self.config.word_bytes, bool(write))
+        lat = float(res.latency)
+        if not res.hit:
+            lat += self.memory.miss_latency(core, self.engine.now)
+            self.stats.counters.add("dram_fills")
+        return lat
+
+    def _record_run(self, th: ThreadState, home: int) -> None:
+        if th.idx == th.last_recorded_idx:
+            return  # this access re-executes after a migration; already counted
+        th.last_recorded_idx = th.idx
+        if home == th.run_home:
+            th.run_len += 1
+            return
+        if th.run_home >= 0 and th.run_home != th.native:
+            self.stats.histogram("run_length").add(th.run_len, weight=th.run_len)
+        th.run_home = home
+        th.run_len = 1
+
+    def _flush_run(self, th: ThreadState) -> None:
+        if th.run_home >= 0 and th.run_home != th.native:
+            self.stats.histogram("run_length").add(th.run_len, weight=th.run_len)
+        th.run_home, th.run_len = -1, 0
+
+    # ------------------------------------------------------------------
+    def _step(self, th: ThreadState) -> None:
+        """Process thread's next access from its current core."""
+        th.pending = None
+        tr = self.trace.threads[th.tid]
+        if th.idx >= tr.size:
+            self._finish(th)
+            return
+        rec = tr[th.idx]
+        home = int(self._homes[th.tid][th.idx])
+        delay = float(rec["icount"])  # local non-memory work
+        if self.config.multiplex_contexts:
+            # instruction-granularity multiplexing (§2): the pipeline is
+            # time-shared by every resident context at issue time
+            delay *= max(self.contexts[th.core].occupancy(), 1)
+        first_execution = th.idx != th.last_recorded_idx
+        self._record_run(th, home)
+        if home == th.core:
+            if first_execution:
+                # an access re-executing after a migration is already
+                # accounted as a migration, matching the analytical model
+                self.stats.counters.add("local_accesses")
+            lat = self._access_latency(th.core, int(rec["addr"]), bool(rec["write"]))
+            th.idx += 1
+            th.pending = self.engine.schedule(delay + lat, self._step, th)
+            return
+        self._handle_nonlocal(th, int(rec["addr"]), bool(rec["write"]), home, delay)
+
+    def _finish(self, th: ThreadState) -> None:
+        th.done = True
+        th.finish_time = self.engine.now
+        self._flush_run(th)
+        self.contexts[th.core].release(th.tid)
+        self._admit_waiter_if_any(th.core)
+
+    # -- migration machinery (shared by EM2 and EM2-RA) -----------------
+    def _migrate(self, th: ThreadState, dest: int, after_delay: float) -> None:
+        """Send ``th``'s context to ``dest``; resumes with _arrive."""
+        src = th.core
+        self.contexts[src].release(th.tid)
+        th.in_transit = True
+        self._admit_waiter_if_any(src)
+        self.stats.counters.add("migrations")
+        msg = Message(
+            src=th.core,
+            dst=dest,
+            payload_bits=self.config.context.full_context_bits,
+            vnet=VirtualNetwork.MIGRATION,
+            kind="migration",
+            body=th,
+        )
+        # after_delay models the remaining local work before departure
+        self.engine.schedule(
+            after_delay + self.config.cost.migration_fixed,
+            lambda: self.network.send(msg, self._arrive),
+        )
+
+    def _arrive(self, msg: Message) -> None:
+        self._try_admit(msg.body, msg.dst)
+
+    def _try_admit(self, th: ThreadState, dest: int) -> None:
+        """Admit an arriving context at ``dest`` (Fig. 1 right side).
+
+        Natives always land in their dedicated context. A guest takes a
+        free slot, else displaces the least-recently-admitted
+        *evictable* guest — a guest awaiting a remote-access reply
+        cannot leave mid-transaction, so if every guest is pinned the
+        arrival stalls in the network (backpressure) until a slot
+        frees or a resident becomes evictable.
+        """
+        ctx = self.contexts[dest]
+        now = self.engine.now
+        if ctx.is_native(th.tid):
+            ctx.admit_native(th.tid, now)
+        elif ctx.has_free_guest_slot():
+            ctx.admit_guest(th.tid, now)
+        else:
+            victim = self._pick_evictable_victim(dest)
+            if victim is None:
+                self.stats.counters.add("admission_stalls")
+                self._waiting[dest].append(th)
+                return
+            ctx.replace_guest(victim, th.tid, now)
+            self._evict(victim, dest)
+        th.in_transit = False
+        th.core = dest
+        # the access that triggered the migration executes here
+        th.pending = self.engine.schedule(0.0, self._step, th)
+
+    def _pick_evictable_victim(self, core: int) -> int | None:
+        """LRU among guests that are between events (evictable)."""
+        candidates = [
+            (since, tid)
+            for tid, since in self.contexts[core].guest_slots_info()
+            if self.threads[tid].pending is not None
+        ]
+        if not candidates:
+            return None
+        return min(candidates)[1]
+
+    def _admit_waiter_if_any(self, core: int) -> None:
+        """A context freed (or became evictable) at ``core``: admit the
+        oldest stalled arrival, if one is waiting."""
+        if self._waiting[core]:
+            th = self._waiting[core].pop(0)
+            self._try_admit(th, core)
+
+    def _evict(self, victim_tid: int, core: int) -> None:
+        """Send a displaced guest back to its native context (Fig 1).
+
+        The victim has already been removed from the context file by
+        ``admit_guest`` (its slot now holds the newcomer); here we
+        cancel its pending work and put its context on the eviction
+        virtual network.
+        """
+        victim = self.threads[victim_tid]
+        if victim.in_transit or victim.core != core:
+            raise ProtocolError(
+                f"evicting thread {victim_tid} not resident at core {core}"
+            )
+        if victim.pending is not None:
+            victim.pending.cancel()
+            victim.pending = None
+        victim.in_transit = True
+        self.stats.counters.add("evictions")
+        msg = Message(
+            src=core,
+            dst=victim.native,
+            payload_bits=self.config.context.full_context_bits,
+            vnet=VirtualNetwork.EVICTION,
+            kind="eviction",
+            body=victim,
+        )
+        self.engine.schedule(
+            self.config.cost.eviction_fixed,
+            lambda: self.network.send(msg, self._evict_arrive),
+        )
+
+    def _evict_arrive(self, msg: Message) -> None:
+        victim: ThreadState = msg.body
+        victim.in_transit = False
+        victim.core = victim.native
+        self.contexts[victim.native].admit_native(victim.tid, self.engine.now)
+        # the interrupted access restarts from the native core
+        victim.pending = self.engine.schedule(0.0, self._step, victim)
+
+    # ------------------------------------------------------------------
+    def _handle_nonlocal(
+        self, th: ThreadState, addr: int, write: bool, home: int, delay: float
+    ) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def results(self) -> dict:
+        """Flat result dict used by benches and EXPERIMENTS.md tables."""
+        out = {
+            "completion_time": self.completion_time,
+            "migrations": self.stats.counters["migrations"],
+            "evictions": self.stats.counters["evictions"],
+            "remote_accesses": self.stats.counters["remote_accesses"],
+            "local_accesses": self.stats.counters["local_accesses"],
+            "dram_fills": self.stats.counters["dram_fills"],
+            "flit_hops": self.network.flit_hops(),
+        }
+        for vnet in VirtualNetwork:
+            n = self.network.message_count(vnet)
+            if n:
+                out[f"messages.{vnet.name}"] = n
+        return out

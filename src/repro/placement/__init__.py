@@ -1,0 +1,27 @@
+"""Data placement: the address -> home-core map.
+
+Under EM² every address is cacheable at exactly one core (its *home*);
+"since migrations depend on the assignment of addresses to per-core
+caches, a good data placement method ... is critical" (§2). The paper
+uses first-touch (Figure 2 caption); we also provide striped placement
+(the pessimal baseline) and an oracle most-frequent-accessor optimizer
+(an idealization of the OS/profile-driven schemes of [11, 12]).
+
+A placement maps *blocks* (cache lines by default) to cores and
+supports vectorized lookup over whole traces.
+"""
+
+from repro.placement.base import Placement
+from repro.placement.first_touch import FirstTouchPlacement, first_touch
+from repro.placement.striped import StripedPlacement, striped
+from repro.placement.profile_opt import ProfileOptPlacement, profile_optimal
+
+__all__ = [
+    "Placement",
+    "FirstTouchPlacement",
+    "StripedPlacement",
+    "ProfileOptPlacement",
+    "first_touch",
+    "striped",
+    "profile_optimal",
+]

@@ -1,0 +1,88 @@
+"""Placement base: block granularity + vectorized home lookup."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+
+class Placement:
+    """Maps word addresses to home cores at ``block_words`` granularity.
+
+    Concrete placements populate ``_blocks`` (sorted unique block ids)
+    and ``_homes`` (parallel core ids); unseen blocks fall back to a
+    deterministic stripe so behavioral simulators never KeyError.
+    """
+
+    def __init__(
+        self,
+        num_cores: int,
+        block_words: int = 16,
+        fallback: "Placement | None" = None,
+    ) -> None:
+        if num_cores <= 0:
+            raise ConfigError("num_cores must be positive")
+        if block_words <= 0:
+            raise ConfigError("block_words must be positive")
+        if fallback is not None and (
+            fallback.num_cores != num_cores or fallback.block_words != block_words
+        ):
+            raise ConfigError("fallback placement must match cores/granularity")
+        self.num_cores = num_cores
+        self.block_words = block_words
+        self.fallback = fallback
+        self._blocks = np.zeros(0, dtype=np.int64)
+        self._homes = np.zeros(0, dtype=np.int64)
+
+    # -- construction helpers (subclasses) ------------------------------
+    def _set_map(self, blocks: np.ndarray, homes: np.ndarray) -> None:
+        blocks = np.asarray(blocks, dtype=np.int64)
+        homes = np.asarray(homes, dtype=np.int64)
+        if blocks.shape != homes.shape:
+            raise ConfigError("blocks/homes shape mismatch")
+        if homes.size and (homes.min() < 0 or homes.max() >= self.num_cores):
+            raise ConfigError("home core out of range")
+        order = np.argsort(blocks)
+        self._blocks = blocks[order]
+        self._homes = homes[order]
+        if self._blocks.size > 1 and (np.diff(self._blocks) == 0).any():
+            raise ConfigError("duplicate block in placement map")
+
+    # -- lookup -----------------------------------------------------------
+    def block_of(self, addrs) -> np.ndarray:
+        return np.asarray(addrs, dtype=np.int64) // self.block_words
+
+    def home_of(self, addrs) -> np.ndarray:
+        """Vectorized home lookup for word addresses.
+
+        Unmapped blocks resolve through the ``fallback`` placement when
+        one was given (used by epoch re-placement: unprofiled blocks
+        keep their current homes), else through a deterministic stripe.
+        """
+        addrs = np.atleast_1d(np.asarray(addrs, dtype=np.int64))
+        blocks = self.block_of(addrs)
+        if self._blocks.size == 0:
+            if self.fallback is not None:
+                return self.fallback.home_of(addrs)
+            return (blocks % self.num_cores).astype(np.int64)
+        pos = np.searchsorted(self._blocks, blocks)
+        pos_clipped = np.minimum(pos, self._blocks.size - 1)
+        found = self._blocks[pos_clipped] == blocks
+        if self.fallback is not None and not found.all():
+            default = self.fallback.home_of(addrs)
+        else:
+            default = blocks % self.num_cores
+        out = np.where(found, self._homes[pos_clipped], default)
+        return out.astype(np.int64)
+
+    def home_of_one(self, addr: int) -> int:
+        return int(self.home_of(np.array([addr]))[0])
+
+    # -- reporting ---------------------------------------------------------
+    def num_mapped_blocks(self) -> int:
+        return int(self._blocks.size)
+
+    def core_load(self) -> np.ndarray:
+        """Blocks homed per core (placement balance diagnostic)."""
+        return np.bincount(self._homes, minlength=self.num_cores).astype(np.int64)

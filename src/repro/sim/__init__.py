@@ -1,0 +1,16 @@
+"""Discrete-event simulation engine.
+
+The engine is deliberately minimal: a time-ordered event queue with
+deterministic tie-breaking (FIFO among same-time events), plus a
+statistics framework (:mod:`repro.sim.stats`) shared by every
+architecture model.
+
+The multicore models in :mod:`repro.arch` and the memory architectures
+in :mod:`repro.core` / :mod:`repro.coherence` are written as callbacks
+scheduled on this engine.
+"""
+
+from repro.sim.engine import Engine, Event
+from repro.sim.stats import Counter, Histogram, LatencyStat, StatSet
+
+__all__ = ["Engine", "Event", "Counter", "Histogram", "LatencyStat", "StatSet"]

@@ -1,0 +1,107 @@
+"""Time-ordered event queue with deterministic execution.
+
+Design notes
+------------
+* Events are ``(time, seq, callback, args)`` tuples in a binary heap.
+  ``seq`` is a monotonically increasing counter, which makes same-time
+  events run in scheduling (FIFO) order — determinism matters because
+  the protocol models break ties by arrival order.
+* Callbacks schedule further events; the engine never inspects model
+  state. This keeps the engine reusable for every architecture model.
+* ``run()`` executes to quiescence (empty queue) or until ``until``;
+  a ``max_events`` guard turns runaway protocol bugs into
+  :class:`~repro.util.errors.DeadlockError`-adjacent diagnostics rather
+  than silent infinite loops.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.util.errors import ReproError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordered by (time, seq)."""
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class Engine:
+    """A minimal deterministic discrete-event simulator."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = 0
+        self.now: float = 0.0
+        self.events_executed: int = 0
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` time units from now.
+
+        Returns the :class:`Event`, which the caller may :meth:`Event.cancel`.
+        """
+        if delay < 0:
+            raise ReproError(f"cannot schedule into the past (delay={delay})")
+        ev = Event(self.now + delay, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``."""
+        return self.schedule(time - self.now, callback, *args)
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Execute the next event. Returns False when the queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            self.events_executed += 1
+            ev.callback(*ev.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until quiescence, simulated time ``until``, or ``max_events``.
+
+        ``until`` is inclusive: events scheduled exactly at ``until`` run.
+        """
+        executed = 0
+        while True:
+            nxt = self.peek_time()
+            if nxt is None:
+                return
+            if until is not None and nxt > until:
+                self.now = until
+                return
+            self.step()
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                raise ReproError(
+                    f"engine exceeded max_events={max_events} at t={self.now}; "
+                    "likely a protocol livelock"
+                )
+
+    def pending(self) -> int:
+        """Number of (non-cancelled) events still queued."""
+        return sum(1 for ev in self._queue if not ev.cancelled)

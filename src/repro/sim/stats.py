@@ -1,0 +1,187 @@
+"""Statistics primitives shared by all architecture models.
+
+Three primitives cover everything the paper reports:
+
+* :class:`Counter` — monotone event counts (migrations, RA round trips,
+  cache hits) with named sub-keys.
+* :class:`Histogram` — integer-binned distributions; used for the
+  run-length histogram of Figure 2.
+* :class:`LatencyStat` — accumulates (count, sum, min, max, sum-of-
+  squares) so mean/std are O(1) memory.
+
+A :class:`StatSet` groups them under string names and renders a flat
+``dict`` for reporting, so benchmark harnesses don't reach into model
+internals.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+
+class Counter:
+    """Named monotone counters. Missing keys read as zero."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = defaultdict(int)
+
+    def add(self, key: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"Counter.add amount must be >= 0, got {amount}")
+        self._counts[key] += amount
+
+    def __getitem__(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def keys(self) -> Iterable[str]:
+        return self._counts.keys()
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({dict(self._counts)!r})"
+
+
+class Histogram:
+    """Histogram over non-negative integer values (e.g. run lengths).
+
+    Values above ``max_bin`` accumulate into the overflow bin so memory
+    stays bounded for pathological inputs.
+    """
+
+    def __init__(self, max_bin: int = 4096) -> None:
+        if max_bin <= 0:
+            raise ValueError("max_bin must be positive")
+        self.max_bin = max_bin
+        self._bins: dict[int, int] = defaultdict(int)
+        self.overflow = 0
+        self.count = 0
+        self.total = 0
+
+    def add(self, value: int, weight: int = 1) -> None:
+        if value < 0:
+            raise ValueError(f"Histogram values must be >= 0, got {value}")
+        self.count += weight
+        self.total += value * weight
+        if value > self.max_bin:
+            self.overflow += weight
+        else:
+            self._bins[value] += weight
+
+    def add_many(self, values: np.ndarray) -> None:
+        """Bulk-add an integer array of values (vectorized)."""
+        values = np.asarray(values)
+        if values.size == 0:
+            return
+        if values.min() < 0:
+            raise ValueError("Histogram values must be >= 0")
+        self.count += int(values.size)
+        self.total += int(values.sum())
+        over = values > self.max_bin
+        self.overflow += int(over.sum())
+        kept = values[~over]
+        uniq, cnt = np.unique(kept, return_counts=True)
+        for v, c in zip(uniq.tolist(), cnt.tolist()):
+            self._bins[int(v)] += int(c)
+
+    def __getitem__(self, value: int) -> int:
+        return self._bins.get(value, 0)
+
+    def bins(self) -> dict[int, int]:
+        """Populated bins as a plain dict (sorted by bin value)."""
+        return {k: self._bins[k] for k in sorted(self._bins)}
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def fraction_at(self, value: int) -> float:
+        """Fraction of samples exactly equal to ``value``."""
+        return self[value] / self.count if self.count else float("nan")
+
+    def fraction_le(self, value: int) -> float:
+        """Fraction of samples <= ``value`` (overflow counts as above)."""
+        if not self.count:
+            return float("nan")
+        return sum(c for v, c in self._bins.items() if v <= value) / self.count
+
+    def weighted_bins(self) -> dict[int, int]:
+        """bin -> value*count; Figure 2 plots *accesses* contributed per
+        run length, i.e. run_length × number_of_runs."""
+        return {k: k * v for k, v in self.bins().items()}
+
+
+@dataclass
+class LatencyStat:
+    """Streaming mean/min/max/std accumulator."""
+
+    count: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+    min_value: float = field(default=math.inf)
+    max_value: float = field(default=-math.inf)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def std(self) -> float:
+        if self.count < 2:
+            return 0.0 if self.count == 1 else float("nan")
+        var = self.total_sq / self.count - self.mean() ** 2
+        return math.sqrt(max(var, 0.0))
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "min": self.min_value if self.count else float("nan"),
+            "max": self.max_value if self.count else float("nan"),
+            "std": self.std(),
+        }
+
+
+class StatSet:
+    """A named group of statistics owned by one model component."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counters = Counter()
+        self._histograms: dict[str, Histogram] = {}
+        self._latencies: dict[str, LatencyStat] = {}
+
+    def histogram(self, key: str, max_bin: int = 4096) -> Histogram:
+        if key not in self._histograms:
+            self._histograms[key] = Histogram(max_bin=max_bin)
+        return self._histograms[key]
+
+    def latency(self, key: str) -> LatencyStat:
+        if key not in self._latencies:
+            self._latencies[key] = LatencyStat()
+        return self._latencies[key]
+
+    def as_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {f"count.{k}": v for k, v in self.counters.as_dict().items()}
+        for k, h in self._histograms.items():
+            out[f"hist.{k}.mean"] = h.mean()
+            out[f"hist.{k}.count"] = h.count
+        for k, lat in self._latencies.items():
+            for sk, sv in lat.as_dict().items():
+                out[f"lat.{k}.{sk}"] = sv
+        return out

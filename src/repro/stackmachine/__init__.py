@@ -1,0 +1,52 @@
+"""Stack-machine EM² substrate (§4).
+
+A minimal two-stack (data + return) stack architecture in the
+Forth/B5000 tradition the paper cites [16]:
+
+* :mod:`repro.stackmachine.isa` — instruction set and encoding sizes;
+* :mod:`repro.stackmachine.assembler` — text assembly with labels;
+* :mod:`repro.stackmachine.machine` — interpreter that *executes*
+  programs and emits stack-annotated memory traces (the ``spop`` /
+  ``spush`` per-segment fields the stack-depth DP consumes);
+* :mod:`repro.stackmachine.stack_cache` — the top-of-stack window with
+  hardware spill/refill, whose overflow/underflow is what forces a
+  stack-EM² thread back to its native core;
+* :mod:`repro.stackmachine.programs` — a library of parallel kernels
+  (dot product, reduction, histogram) compiled per-thread into
+  :class:`~repro.trace.events.MultiTrace` with shared/private regions;
+* :func:`annotate_stack_activity` — retrofit plausible stack activity
+  onto register-machine traces so SPLASH-like workloads can drive the
+  stack-depth experiments too.
+"""
+
+from repro.stackmachine.isa import Instruction, Opcode
+from repro.stackmachine.assembler import AssemblyError, assemble
+from repro.stackmachine.compiler import CompileError, compile_source
+from repro.stackmachine.machine import MachineFault, StackMachine
+from repro.stackmachine.stack_cache import StackCache
+from repro.stackmachine.programs import (
+    annotate_stack_activity,
+    compiled_workload,
+    dot_product_program,
+    histogram_program,
+    reduction_program,
+    stack_workload,
+)
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "assemble",
+    "AssemblyError",
+    "compile_source",
+    "CompileError",
+    "StackMachine",
+    "MachineFault",
+    "StackCache",
+    "dot_product_program",
+    "reduction_program",
+    "histogram_program",
+    "stack_workload",
+    "compiled_workload",
+    "annotate_stack_activity",
+]

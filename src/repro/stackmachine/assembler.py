@@ -1,0 +1,85 @@
+"""Tiny assembler for the stack ISA.
+
+Syntax: one instruction per line; ``;`` starts a comment; labels end
+with ``:``; operands are decimal/hex integers or label names (for
+jump/call targets). Example::
+
+    ; sum N array words starting at BASE
+        lit 0          ; acc
+        lit 100        ; base
+    loop:
+        dup
+        load
+        rot            ; hmm - see programs.py for idiomatic code
+        add
+        swap
+        lit 1
+        add
+        ...
+        jnz loop
+        halt
+"""
+
+from __future__ import annotations
+
+from repro.stackmachine.isa import HAS_OPERAND, Instruction, Opcode
+from repro.util.errors import ReproError
+
+_MNEMONICS = {op.value: op for op in Opcode}
+
+
+class AssemblyError(ReproError):
+    """Malformed assembly source."""
+
+
+def assemble(source: str) -> list[Instruction]:
+    """Assemble ``source`` into an instruction list (two passes)."""
+    lines = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        code = raw.split(";", 1)[0].strip()
+        if code:
+            lines.append((lineno, code))
+
+    # pass 1: label addresses
+    labels: dict[str, int] = {}
+    pc = 0
+    for lineno, code in lines:
+        if code.endswith(":"):
+            name = code[:-1].strip()
+            if not name.isidentifier():
+                raise AssemblyError(f"line {lineno}: bad label {name!r}")
+            if name in labels:
+                raise AssemblyError(f"line {lineno}: duplicate label {name!r}")
+            labels[name] = pc
+        else:
+            pc += 1
+
+    # pass 2: encode
+    program: list[Instruction] = []
+    for lineno, code in lines:
+        if code.endswith(":"):
+            continue
+        parts = code.split()
+        mnem = parts[0].lower()
+        op = _MNEMONICS.get(mnem)
+        if op is None:
+            raise AssemblyError(f"line {lineno}: unknown mnemonic {mnem!r}")
+        if op in HAS_OPERAND:
+            if len(parts) != 2:
+                raise AssemblyError(f"line {lineno}: {mnem} needs exactly one operand")
+            tok = parts[1]
+            if tok in labels:
+                operand = labels[tok]
+            else:
+                try:
+                    operand = int(tok, 0)
+                except ValueError:
+                    raise AssemblyError(
+                        f"line {lineno}: operand {tok!r} is neither an int nor a label"
+                    ) from None
+            program.append(Instruction(op, operand))
+        else:
+            if len(parts) != 1:
+                raise AssemblyError(f"line {lineno}: {mnem} takes no operand")
+            program.append(Instruction(op))
+    return program

@@ -1,0 +1,374 @@
+"""A small imperative language compiled to the stack ISA.
+
+Writing raw two-stack assembly is error-prone; real stack machines are
+targeted by compilers (the paper cites the JVM as the modern example).
+This module provides a C-like mini-language:
+
+.. code-block:: text
+
+    acc = 0;
+    i = 0;
+    while (i < n) {
+        acc = acc + load(base + i);
+        i = i + 1;
+    }
+    store(out, acc);
+
+Compilation model
+-----------------
+* **Expressions** evaluate on the data stack (post-order walk of the
+  AST — the textbook stack-code generation scheme).
+* **Local variables** live in a per-thread memory *frame* (thread-
+  private addresses): reads/writes of locals are real LOAD/STORE
+  instructions. This is the honest choice for EM² experiments —
+  locals are private data homed at the native core, exactly like a
+  real frame, and the data stack stays shallow (bounded by expression
+  depth), which is what makes stack-EM² migrations small.
+* **Constants** bind names to integers at compile time (e.g. array
+  base addresses), so kernels parameterize without codegen in user
+  code.
+
+Grammar (statements end with ';'; '{}' blocks; '#' comments)::
+
+    program  := stmt*
+    stmt     := ident '=' expr ';'
+              | 'store' '(' expr ',' expr ')' ';'
+              | 'while' '(' expr ')' block
+              | 'if' '(' expr ')' block ('else' block)?
+    block    := '{' stmt* '}'
+    expr     := cmp (( '==' | '<' | '>' ) cmp)*
+    cmp      := term (('+' | '-') term)*
+    term     := unary (('*' | '/' | '%') unary)*
+    unary    := 'load' '(' expr ')' | '(' expr ')' | int | ident
+
+Division is floor division; '%' compiles to ``a - (a/b)*b``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.stackmachine.isa import Instruction, Opcode
+from repro.util.errors import ReproError
+
+
+class CompileError(ReproError):
+    """Syntax or semantic error in mini-language source."""
+
+
+# ---------------------------------------------------------------- lexer
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+)|(?P<id>[A-Za-z_]\w*)|(?P<op>==|[+\-*/%<>=(),;{}]))"
+)
+_KEYWORDS = {"while", "if", "else", "load", "store"}
+
+
+@dataclass
+class _Token:
+    kind: str  # 'num' | 'id' | 'op' | kw name
+    value: str
+    pos: int
+
+
+def _tokenize(src: str) -> list[_Token]:
+    src = re.sub(r"#[^\n]*", "", src)
+    tokens = []
+    pos = 0
+    while pos < len(src):
+        if src[pos:].strip() == "":
+            break
+        m = _TOKEN_RE.match(src, pos)
+        if not m:
+            raise CompileError(f"unexpected character {src[pos]!r} at offset {pos}")
+        pos = m.end()
+        if m.group("num"):
+            tokens.append(_Token("num", m.group("num"), m.start()))
+        elif m.group("id"):
+            word = m.group("id")
+            tokens.append(_Token(word if word in _KEYWORDS else "id", word, m.start()))
+        else:
+            tokens.append(_Token("op", m.group("op"), m.start()))
+    return tokens
+
+
+# ---------------------------------------------------------------- AST
+@dataclass
+class Num:
+    value: int
+
+
+@dataclass
+class Var:
+    name: str
+
+
+@dataclass
+class BinOp:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass
+class Load:
+    addr: object
+
+
+@dataclass
+class Assign:
+    name: str
+    expr: object
+
+
+@dataclass
+class Store:
+    addr: object
+    value: object
+
+
+@dataclass
+class While:
+    cond: object
+    body: list
+
+
+@dataclass
+class If:
+    cond: object
+    then: list
+    otherwise: list = field(default_factory=list)
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self.tokens = tokens
+        self.i = 0
+
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        tok = self._peek()
+        if tok is None:
+            raise CompileError("unexpected end of input")
+        self.i += 1
+        return tok
+
+    def _expect(self, value: str) -> None:
+        tok = self._next()
+        if tok.value != value:
+            raise CompileError(f"expected {value!r}, got {tok.value!r} at {tok.pos}")
+
+    # -- statements ------------------------------------------------------
+    def parse_program(self) -> list:
+        stmts = []
+        while self._peek() is not None:
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_stmt(self):
+        tok = self._peek()
+        assert tok is not None
+        if tok.kind == "while":
+            self._next()
+            self._expect("(")
+            cond = self.parse_expr()
+            self._expect(")")
+            return While(cond, self.parse_block())
+        if tok.kind == "if":
+            self._next()
+            self._expect("(")
+            cond = self.parse_expr()
+            self._expect(")")
+            then = self.parse_block()
+            otherwise = []
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "else":
+                self._next()
+                otherwise = self.parse_block()
+            return If(cond, then, otherwise)
+        if tok.kind == "store":
+            self._next()
+            self._expect("(")
+            addr = self.parse_expr()
+            self._expect(",")
+            value = self.parse_expr()
+            self._expect(")")
+            self._expect(";")
+            return Store(addr, value)
+        if tok.kind == "id":
+            name = self._next().value
+            self._expect("=")
+            expr = self.parse_expr()
+            self._expect(";")
+            return Assign(name, expr)
+        raise CompileError(f"unexpected token {tok.value!r} at {tok.pos}")
+
+    def parse_block(self) -> list:
+        self._expect("{")
+        stmts = []
+        while True:
+            tok = self._peek()
+            if tok is None:
+                raise CompileError("unterminated block")
+            if tok.value == "}":
+                self._next()
+                return stmts
+            stmts.append(self.parse_stmt())
+
+    # -- expressions -------------------------------------------------------
+    def parse_expr(self):
+        node = self._additive()
+        while (tok := self._peek()) is not None and tok.value in ("==", "<", ">"):
+            op = self._next().value
+            node = BinOp(op, node, self._additive())
+        return node
+
+    def _additive(self):
+        node = self._term()
+        while (tok := self._peek()) is not None and tok.value in ("+", "-"):
+            op = self._next().value
+            node = BinOp(op, node, self._term())
+        return node
+
+    def _term(self):
+        node = self._unary()
+        while (tok := self._peek()) is not None and tok.value in ("*", "/", "%"):
+            op = self._next().value
+            node = BinOp(op, node, self._unary())
+        return node
+
+    def _unary(self):
+        tok = self._next()
+        if tok.kind == "num":
+            return Num(int(tok.value))
+        if tok.kind == "load":
+            self._expect("(")
+            addr = self.parse_expr()
+            self._expect(")")
+            return Load(addr)
+        if tok.value == "(":
+            node = self.parse_expr()
+            self._expect(")")
+            return node
+        if tok.kind == "id":
+            return Var(tok.value)
+        raise CompileError(f"unexpected token {tok.value!r} at {tok.pos}")
+
+
+# ---------------------------------------------------------------- codegen
+_BINOPS = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "==": Opcode.EQ,
+    "<": Opcode.LT,
+    ">": Opcode.GT,
+}
+
+
+class _Codegen:
+    def __init__(self, frame_base: int, constants: dict[str, int]) -> None:
+        self.frame_base = frame_base
+        self.constants = dict(constants)
+        self.slots: dict[str, int] = {}
+        self.code: list[Instruction] = []
+
+    def _emit(self, op: Opcode, operand: int | None = None) -> int:
+        self.code.append(Instruction(op, operand))
+        return len(self.code) - 1
+
+    def _slot_addr(self, name: str) -> int:
+        if name not in self.slots:
+            self.slots[name] = len(self.slots)
+        return self.frame_base + self.slots[name]
+
+    # -- expressions -------------------------------------------------------
+    def expr(self, node) -> None:
+        if isinstance(node, Num):
+            self._emit(Opcode.LIT, node.value)
+        elif isinstance(node, Var):
+            if node.name in self.constants:
+                self._emit(Opcode.LIT, self.constants[node.name])
+            else:
+                if node.name not in self.slots:
+                    raise CompileError(f"use of unassigned variable {node.name!r}")
+                self._emit(Opcode.LIT, self._slot_addr(node.name))
+                self._emit(Opcode.LOAD)
+        elif isinstance(node, BinOp):
+            if node.op == "%":
+                # a % b  ==  a - (a / b) * b, with a and b each evaluated
+                # once: ( a b -- a b a b ) via over/over
+                self.expr(node.left)
+                self.expr(node.right)
+                self._emit(Opcode.OVER)
+                self._emit(Opcode.OVER)
+                self._emit(Opcode.DIV)
+                self._emit(Opcode.MUL)
+                self._emit(Opcode.SUB)
+                return
+            self.expr(node.left)
+            self.expr(node.right)
+            self._emit(_BINOPS[node.op])
+        elif isinstance(node, Load):
+            self.expr(node.addr)
+            self._emit(Opcode.LOAD)
+        else:  # pragma: no cover - parser produces only the above
+            raise CompileError(f"cannot generate code for {node!r}")
+
+    # -- statements ----------------------------------------------------------
+    def stmt(self, node) -> None:
+        if isinstance(node, Assign):
+            if node.name in self.constants:
+                raise CompileError(f"cannot assign to constant {node.name!r}")
+            self.expr(node.expr)
+            self._emit(Opcode.LIT, self._slot_addr(node.name))
+            self._emit(Opcode.STORE)
+        elif isinstance(node, Store):
+            self.expr(node.value)
+            self.expr(node.addr)
+            self._emit(Opcode.STORE)
+        elif isinstance(node, While):
+            top = len(self.code)
+            self.expr(node.cond)
+            jz_at = self._emit(Opcode.JZ, 0)  # patched below
+            for s in node.body:
+                self.stmt(s)
+            self._emit(Opcode.JMP, top)
+            self.code[jz_at] = Instruction(Opcode.JZ, len(self.code))
+        elif isinstance(node, If):
+            self.expr(node.cond)
+            jz_at = self._emit(Opcode.JZ, 0)
+            for s in node.then:
+                self.stmt(s)
+            if node.otherwise:
+                jmp_at = self._emit(Opcode.JMP, 0)
+                self.code[jz_at] = Instruction(Opcode.JZ, len(self.code))
+                for s in node.otherwise:
+                    self.stmt(s)
+                self.code[jmp_at] = Instruction(Opcode.JMP, len(self.code))
+            else:
+                self.code[jz_at] = Instruction(Opcode.JZ, len(self.code))
+        else:  # pragma: no cover
+            raise CompileError(f"cannot generate code for {node!r}")
+
+
+def compile_source(
+    source: str,
+    frame_base: int,
+    constants: dict[str, int] | None = None,
+) -> list[Instruction]:
+    """Compile mini-language ``source`` to a stack program.
+
+    ``frame_base`` — first word address of the local-variable frame
+    (use the thread's private region); ``constants`` — compile-time
+    name bindings (array bases, sizes).
+    """
+    ast = _Parser(_tokenize(source)).parse_program()
+    gen = _Codegen(frame_base, constants or {})
+    for node in ast:
+        gen.stmt(node)
+    gen._emit(Opcode.HALT)
+    return gen.code

@@ -1,0 +1,120 @@
+"""Stack-machine instruction set.
+
+"In a stack-based ISA, most instructions do not specify their operands
+but instead access the top of the stack" (§4). This ISA follows the
+classic two-stack design: an expression (data) stack for evaluation
+and a return stack for procedure linkage and loop counters, exactly
+the split the paper describes.
+
+Every opcode documents its data-stack effect as (pops, pushes), which
+is also what the interpreter uses to maintain the per-segment
+``spop``/``spush`` annotations for the stack-depth DP.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigError
+
+
+class Opcode(enum.Enum):
+    # literals / stack shuffling
+    LIT = "lit"  # push immediate
+    DUP = "dup"
+    DROP = "drop"
+    SWAP = "swap"
+    OVER = "over"
+    ROT = "rot"
+    # arithmetic / logic (binary ops pop 2 push 1)
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    # comparisons (pop 2 push flag)
+    EQ = "eq"
+    LT = "lt"
+    GT = "gt"
+    # memory (the migration triggers)
+    LOAD = "load"  # ( addr -- value )
+    STORE = "store"  # ( value addr -- )
+    # control flow
+    JMP = "jmp"  # unconditional, immediate target
+    JZ = "jz"  # ( flag -- ) jump if zero
+    JNZ = "jnz"  # ( flag -- ) jump if nonzero
+    CALL = "call"  # pushes return address on the return stack
+    RET = "ret"
+    # return-stack transfers (loop counters, Forth >r / r> / r@)
+    TOR = "tor"  # ( x -- ) data -> return
+    FROMR = "fromr"  # ( -- x ) return -> data
+    RFETCH = "rfetch"  # ( -- x ) copy of return-stack top
+    HALT = "halt"
+    NOP = "nop"
+
+
+# data-stack effect (pops, pushes) per opcode
+STACK_EFFECT: dict[Opcode, tuple[int, int]] = {
+    Opcode.LIT: (0, 1),
+    Opcode.DUP: (1, 2),
+    Opcode.DROP: (1, 0),
+    Opcode.SWAP: (2, 2),
+    Opcode.OVER: (2, 3),
+    Opcode.ROT: (3, 3),
+    Opcode.ADD: (2, 1),
+    Opcode.SUB: (2, 1),
+    Opcode.MUL: (2, 1),
+    Opcode.DIV: (2, 1),
+    Opcode.AND: (2, 1),
+    Opcode.OR: (2, 1),
+    Opcode.XOR: (2, 1),
+    Opcode.SHL: (2, 1),
+    Opcode.SHR: (2, 1),
+    Opcode.EQ: (2, 1),
+    Opcode.LT: (2, 1),
+    Opcode.GT: (2, 1),
+    Opcode.LOAD: (1, 1),
+    Opcode.STORE: (2, 0),
+    Opcode.JMP: (0, 0),
+    Opcode.JZ: (1, 0),
+    Opcode.JNZ: (1, 0),
+    Opcode.CALL: (0, 0),
+    Opcode.RET: (0, 0),
+    Opcode.TOR: (1, 0),
+    Opcode.FROMR: (0, 1),
+    Opcode.RFETCH: (0, 1),
+    Opcode.HALT: (0, 0),
+    Opcode.NOP: (0, 0),
+}
+
+HAS_OPERAND = {Opcode.LIT, Opcode.JMP, Opcode.JZ, Opcode.JNZ, Opcode.CALL}
+
+MEMORY_OPS = {Opcode.LOAD, Opcode.STORE}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    opcode: Opcode
+    operand: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.opcode in HAS_OPERAND and self.operand is None:
+            raise ConfigError(f"{self.opcode.value} requires an operand")
+        if self.opcode not in HAS_OPERAND and self.operand is not None:
+            raise ConfigError(f"{self.opcode.value} takes no operand")
+
+    @property
+    def stack_effect(self) -> tuple[int, int]:
+        return STACK_EFFECT[self.opcode]
+
+    def __repr__(self) -> str:
+        if self.operand is not None:
+            return f"{self.opcode.value} {self.operand}"
+        return self.opcode.value

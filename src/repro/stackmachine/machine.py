@@ -1,0 +1,235 @@
+"""Stack-machine interpreter with trace emission.
+
+Executes a program against a word-addressed memory and records a
+stack-annotated trace entry per LOAD/STORE: ``(addr, write, icount,
+spop, spush)`` where
+
+* ``icount`` — non-memory instructions since the previous access;
+* ``spop``  — the segment's maximum data-stack *drawdown*: how many
+  entries below the segment-start top were consumed (including the
+  access's own operand pops). A migrated context carrying fewer than
+  ``spop`` entries would underflow during this segment — exactly the
+  quantity the stack-depth DP needs;
+* ``spush`` — entries above the drawdown floor live at segment end
+  (so ``spush - spop`` is the segment's net stack growth).
+
+The data stack runs through :class:`~repro.stackmachine.stack_cache.
+StackCache` so hardware spill/refill is also observable; the return
+stack is modeled unbounded (its traffic is small and the paper's
+depth argument concerns the expression stack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.stackmachine.isa import Instruction, MEMORY_OPS, Opcode
+from repro.stackmachine.stack_cache import StackCache
+from repro.trace.events import make_trace
+from repro.util.errors import ReproError
+
+
+class MachineFault(ReproError):
+    """Runtime fault: bad address, division by zero, fuel exhausted..."""
+
+
+@dataclass
+class _SegmentTracker:
+    """Tracks per-segment stack drawdown for the trace annotations."""
+
+    rel: int = 0
+    min_rel: int = 0
+
+    def pop(self, n: int) -> None:
+        self.rel -= n
+        if self.rel < self.min_rel:
+            self.min_rel = self.rel
+
+    def push(self, n: int) -> None:
+        self.rel += n
+
+    def close(self) -> tuple[int, int]:
+        spop = -self.min_rel
+        spush = self.rel - self.min_rel
+        self.rel = 0
+        self.min_rel = 0
+        return spop, spush
+
+
+@dataclass
+class TraceRecorder:
+    addrs: list[int] = field(default_factory=list)
+    writes: list[int] = field(default_factory=list)
+    icounts: list[int] = field(default_factory=list)
+    spops: list[int] = field(default_factory=list)
+    spushes: list[int] = field(default_factory=list)
+
+    def record(self, addr: int, write: bool, icount: int, spop: int, spush: int) -> None:
+        self.addrs.append(addr)
+        self.writes.append(1 if write else 0)
+        self.icounts.append(min(icount, 0xFFFF))
+        self.spops.append(min(spop, 0xFF))
+        self.spushes.append(min(spush, 0xFF))
+
+    def to_trace(self) -> np.ndarray:
+        return make_trace(
+            self.addrs, self.writes, self.icounts, self.spops, self.spushes
+        )
+
+
+class StackMachine:
+    """One hardware thread executing a stack program."""
+
+    def __init__(
+        self,
+        program: list[Instruction],
+        memory: dict[int, int] | None = None,
+        stack_capacity: int = 16,
+    ) -> None:
+        if not program:
+            raise MachineFault("empty program")
+        self.program = program
+        self.memory: dict[int, int] = memory if memory is not None else {}
+        self.data = StackCache(stack_capacity)
+        self.rstack: list[int] = []
+        self.pc = 0
+        self.halted = False
+        self.instructions_executed = 0
+        self.recorder = TraceRecorder()
+        self._segment = _SegmentTracker()
+        self._icount = 0
+
+    # -- stack helpers tracked by the segment monitor ---------------------
+    def _pop(self) -> int:
+        self._segment.pop(1)
+        return self.data.pop()
+
+    def _push(self, v: int) -> None:
+        self._segment.push(1)
+        self.data.push(int(v))
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one instruction."""
+        if self.halted:
+            raise MachineFault("machine is halted")
+        if not (0 <= self.pc < len(self.program)):
+            raise MachineFault(f"pc {self.pc} outside program")
+        ins = self.program[self.pc]
+        self.pc += 1
+        self.instructions_executed += 1
+        op = ins.opcode
+        if op in MEMORY_OPS:
+            self._exec_memory(ins)
+        else:
+            self._icount += 1
+            self._exec_nonmemory(ins)
+
+    def _exec_memory(self, ins: Instruction) -> None:
+        if ins.opcode == Opcode.LOAD:
+            addr = self._pop()
+            self._check_addr(addr)
+            # the segment closes after this access's own pop and push:
+            # both belong to the segment ending here
+            self._push(self.memory.get(addr, 0))
+            spop, spush = self._segment.close()
+            self.recorder.record(addr, False, self._icount, spop, spush)
+        else:  # STORE ( value addr -- )
+            addr = self._pop()
+            value = self._pop()
+            self._check_addr(addr)
+            self.memory[addr] = value
+            spop, spush = self._segment.close()
+            self.recorder.record(addr, True, self._icount, spop, spush)
+        self._icount = 0
+
+    def _check_addr(self, addr: int) -> None:
+        if addr < 0:
+            raise MachineFault(f"negative address {addr}")
+
+    def _exec_nonmemory(self, ins: Instruction) -> None:
+        op = ins.opcode
+        if op == Opcode.LIT:
+            self._push(ins.operand)
+        elif op == Opcode.DUP:
+            self._push(self.data.peek(0))
+        elif op == Opcode.DROP:
+            self._pop()
+        elif op == Opcode.SWAP:
+            a, b = self._pop(), self._pop()
+            self._push(a)
+            self._push(b)
+        elif op == Opcode.OVER:
+            a, b = self._pop(), self._pop()
+            self._push(b)
+            self._push(a)
+            self._push(b)
+        elif op == Opcode.ROT:  # ( a b c -- b c a )
+            c, b, a = self._pop(), self._pop(), self._pop()
+            self._push(b)
+            self._push(c)
+            self._push(a)
+        elif op in _BINOPS:
+            b, a = self._pop(), self._pop()
+            try:
+                self._push(_BINOPS[op](a, b))
+            except ZeroDivisionError:
+                raise MachineFault("division by zero") from None
+        elif op == Opcode.JMP:
+            self.pc = ins.operand
+        elif op == Opcode.JZ:
+            if self._pop() == 0:
+                self.pc = ins.operand
+        elif op == Opcode.JNZ:
+            if self._pop() != 0:
+                self.pc = ins.operand
+        elif op == Opcode.CALL:
+            self.rstack.append(self.pc)
+            self.pc = ins.operand
+        elif op == Opcode.RET:
+            if not self.rstack:
+                raise MachineFault("return stack underflow")
+            self.pc = self.rstack.pop()
+        elif op == Opcode.TOR:
+            self.rstack.append(self._pop())
+        elif op == Opcode.FROMR:
+            if not self.rstack:
+                raise MachineFault("return stack underflow")
+            self._push(self.rstack.pop())
+        elif op == Opcode.RFETCH:
+            if not self.rstack:
+                raise MachineFault("return stack underflow")
+            self._push(self.rstack[-1])
+        elif op == Opcode.HALT:
+            self.halted = True
+        elif op == Opcode.NOP:
+            pass
+        else:  # pragma: no cover - exhaustive
+            raise MachineFault(f"unimplemented opcode {op}")
+
+    # ------------------------------------------------------------------
+    def run(self, fuel: int = 1_000_000) -> np.ndarray:
+        """Run to HALT (or fuel exhaustion); returns the recorded trace."""
+        while not self.halted:
+            if self.instructions_executed >= fuel:
+                raise MachineFault(f"fuel exhausted after {fuel} instructions")
+            self.step()
+        return self.recorder.to_trace()
+
+
+_BINOPS = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: lambda a, b: a // b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: a << min(b, 64),
+    Opcode.SHR: lambda a, b: a >> min(b, 64),
+    Opcode.EQ: lambda a, b: 1 if a == b else 0,
+    Opcode.LT: lambda a, b: 1 if a < b else 0,
+    Opcode.GT: lambda a, b: 1 if a > b else 0,
+}

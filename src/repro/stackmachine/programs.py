@@ -1,0 +1,271 @@
+"""Parallel stack-machine kernels and trace builders.
+
+Each ``*_program`` returns assembly for one thread of a parallel
+kernel; :func:`stack_workload` assembles and *executes* them on
+:class:`~repro.stackmachine.machine.StackMachine` instances and packs
+the recorded stack-annotated traces into a
+:class:`~repro.trace.events.MultiTrace` — real programs driving the
+stack-EM² experiments, not synthetic annotations.
+
+Address-space convention matches :mod:`repro.trace.synthetic.base`:
+shared arrays in low memory, per-thread private regions high.
+
+:func:`annotate_stack_activity` is the synthetic fallback: it adds
+plausible ``spop``/``spush`` fields to a register-machine trace so the
+SPLASH-like workloads can also drive the stack-depth DP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stackmachine.assembler import assemble
+from repro.stackmachine.machine import StackMachine
+from repro.trace.events import MultiTrace, make_trace
+from repro.trace.synthetic.base import PRIVATE_BASE, PRIVATE_SPAN, SHARED_BASE
+from repro.util.errors import ConfigError
+from repro.util.rng import as_generator
+
+
+def dot_product_program(base_a: int, base_b: int, out_addr: int, n: int) -> str:
+    """acc = sum_i a[i]*b[i]; result stored to ``out_addr``.
+
+    Stack discipline: the loop keeps (acc, i) on the data stack and
+    dips to depth ~4 inside the body — a shallow-stack kernel whose
+    optimal migration depth is small.
+    """
+    if n <= 0:
+        raise ConfigError("n must be positive")
+    return f"""
+        lit 0           ; acc
+        lit 0           ; i
+    loop:
+        dup             ; acc i i
+        lit {base_a}    ; acc i i a
+        add             ; acc i &a[i]
+        load            ; acc i a[i]
+        over            ; acc i a[i] i
+        lit {base_b}
+        add             ; acc i a[i] &b[i]
+        load            ; acc i a[i] b[i]
+        mul             ; acc i prod
+        rot             ; i prod acc
+        add             ; i acc'
+        swap            ; acc' i
+        lit 1
+        add             ; acc' i+1
+        dup
+        lit {n}
+        lt              ; acc i+1 (i+1<n)
+        jnz loop
+        drop            ; acc
+        lit {out_addr}
+        store
+        halt
+    """
+
+
+def reduction_program(base: int, out_addr: int, n: int, stride: int = 1) -> str:
+    """acc = sum of ``n`` words at ``base`` with ``stride`` (remote-run kernel)."""
+    if n <= 0 or stride <= 0:
+        raise ConfigError("n and stride must be positive")
+    return f"""
+        lit 0           ; acc
+        lit 0           ; i
+    loop:
+        dup
+        lit {stride}
+        mul
+        lit {base}
+        add             ; acc i addr
+        load            ; acc i v
+        rot             ; i v acc
+        add             ; i acc'
+        swap            ; acc' i
+        lit 1
+        add
+        dup
+        lit {n}
+        lt
+        jnz loop
+        drop
+        lit {out_addr}
+        store
+        halt
+    """
+
+
+def histogram_program(keys_base: int, hist_base: int, n: int, buckets: int) -> str:
+    """For each key k: hist[k % buckets] += 1 (scattered RMW kernel)."""
+    if n <= 0 or buckets <= 0:
+        raise ConfigError("n and buckets must be positive")
+    return f"""
+        lit 0           ; i
+    loop:
+        dup             ; i i
+        lit {keys_base}
+        add             ; i &keys[i]
+        load            ; i key
+        dup             ; i key key
+        lit {buckets}
+        div             ; i key key/B
+        lit {buckets}
+        mul             ; i key (key/B)*B
+        sub             ; i key%B
+        lit {hist_base}
+        add             ; i &hist[k]
+        dup             ; i addr addr
+        load            ; i addr v
+        lit 1
+        add             ; i addr v+1
+        swap            ; i v+1 addr
+        store           ; i
+        lit 1
+        add             ; i+1
+        dup
+        lit {n}
+        lt
+        jnz loop
+        drop
+        halt
+    """
+
+
+# ---------------------------------------------------------------------------
+def stack_workload(
+    kernel: str = "dot",
+    num_threads: int = 8,
+    n: int = 64,
+    shared_fraction: float = 0.5,
+    stack_capacity: int = 16,
+    seed: int | None = 0,
+) -> MultiTrace:
+    """Assemble + execute one kernel per thread; return the MultiTrace.
+
+    ``shared_fraction`` of threads read a *shared* input array (homed
+    by thread 0 under first touch); the rest read their private
+    arrays — giving the mix of local and remote stack-machine
+    migrations the §4 experiments need.
+    """
+    if kernel not in ("dot", "reduce", "hist"):
+        raise ConfigError("kernel must be one of dot|reduce|hist")
+    if not (0.0 <= shared_fraction <= 1.0):
+        raise ConfigError("shared_fraction must be in [0, 1]")
+    rng = as_generator(seed)
+    shared_a = SHARED_BASE
+    shared_b = SHARED_BASE + n
+    threads = []
+    for t in range(num_threads):
+        priv = PRIVATE_BASE + t * PRIVATE_SPAN
+        use_shared = t > 0 and (t / max(num_threads - 1, 1)) <= shared_fraction
+        base_a = shared_a if use_shared else priv
+        base_b = shared_b if use_shared else priv + n
+        out = priv + 2 * n
+        if kernel == "dot":
+            asm = dot_product_program(base_a, base_b, out, n)
+        elif kernel == "reduce":
+            asm = reduction_program(base_a, out, n)
+        else:
+            asm = histogram_program(base_a, priv + 4 * n, n, max(n // 8, 1))
+        memory = {base_a + i: int(rng.integers(0, 100)) for i in range(n)}
+        memory.update({base_b + i: int(rng.integers(0, 100)) for i in range(n)})
+        vm = StackMachine(assemble(asm), memory=memory, stack_capacity=stack_capacity)
+        trace = vm.run(fuel=4_000_000)
+        threads.append(trace)
+    # thread 0 first-touches the shared arrays: prepend an init write pass
+    init_addrs = np.arange(2 * n, dtype=np.int64) + shared_a
+    init = make_trace(
+        init_addrs,
+        writes=np.ones(2 * n, dtype=np.uint8),
+        icounts=np.ones(2 * n, dtype=np.uint16),
+        spops=np.full(2 * n, 2, dtype=np.uint8),
+        spushes=np.zeros(2 * n, dtype=np.uint8),
+    )
+    threads[0] = np.concatenate([init, threads[0]])
+    return MultiTrace(
+        threads=threads,
+        thread_native_core=list(range(num_threads)),
+        name=f"stack-{kernel}",
+        params={
+            "kernel": kernel,
+            "num_threads": num_threads,
+            "n": n,
+            "shared_fraction": shared_fraction,
+        },
+    )
+
+
+def compiled_workload(
+    source: str,
+    num_threads: int = 8,
+    constants_for=None,
+    memory_for=None,
+    stack_capacity: int = 16,
+    name: str = "compiled",
+    fuel: int = 4_000_000,
+) -> MultiTrace:
+    """Compile and execute a mini-language kernel per thread.
+
+    ``constants_for(thread) -> dict`` supplies per-thread compile-time
+    bindings (array bases, sizes); ``memory_for(thread) -> dict`` the
+    initial memory. Locals frame sits at the top of each thread's
+    private region (above any private data the constants point to).
+
+    Example::
+
+        src = '''
+            acc = 0; i = 0;
+            while (i < n) { acc = acc + load(base + i); i = i + 1; }
+            store(out, acc);
+        '''
+        mt = compiled_workload(
+            src,
+            num_threads=4,
+            constants_for=lambda t: {"base": SHARED_BASE, "n": 64,
+                                     "out": PRIVATE_BASE + t * PRIVATE_SPAN},
+        )
+    """
+    from repro.stackmachine.compiler import compile_source
+
+    threads = []
+    for t in range(num_threads):
+        frame = PRIVATE_BASE + t * PRIVATE_SPAN + (PRIVATE_SPAN // 2)
+        constants = constants_for(t) if constants_for else {}
+        memory = dict(memory_for(t)) if memory_for else {}
+        program = compile_source(source, frame, constants)
+        vm = StackMachine(program, memory=memory, stack_capacity=stack_capacity)
+        threads.append(vm.run(fuel=fuel))
+    return MultiTrace(
+        threads=threads,
+        thread_native_core=list(range(num_threads)),
+        name=name,
+        params={"source_lines": len(source.strip().splitlines())},
+    )
+
+
+def annotate_stack_activity(
+    trace: np.ndarray,
+    max_depth: int = 6,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """Retrofit synthetic ``spop``/``spush`` onto a register-machine trace.
+
+    Segment stack activity scales with ``icount`` (more instructions,
+    more evaluation-stack churn), capped at ``max_depth``. Deterministic
+    given ``seed``. Used to drive stack-depth experiments from
+    SPLASH-like traces when no stack binary exists (DESIGN.md §1).
+    """
+    rng = as_generator(seed)
+    n = trace.size
+    icap = np.minimum(trace["icount"].astype(np.int64), max_depth)
+    # an access itself consumes >= 1 entry (its address operand)
+    spop = 1 + rng.integers(0, icap + 1)
+    spop = np.minimum(spop, max_depth)
+    spush = np.minimum(rng.integers(0, icap + 1) + (trace["write"] == 0), max_depth)
+    return make_trace(
+        trace["addr"],
+        trace["write"],
+        trace["icount"],
+        spops=spop.astype(np.uint8),
+        spushes=spush.astype(np.uint8),
+    )

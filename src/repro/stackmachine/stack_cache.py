@@ -1,0 +1,87 @@
+"""Top-of-stack cache window with hardware spill/refill.
+
+"the top few entries of each stack are typically cached in registers
+and backed by a region of main memory with overflows and underflows of
+the stack cache automatically and transparently handled in hardware"
+(§4). :class:`StackCache` models exactly that: a ``capacity``-entry
+window over an unbounded architectural stack. Pushing past capacity
+spills the bottom of the window to backing memory; popping into an
+empty window refills from it. Spill/refill events are reported to a
+callback — under stack-EM² those become accesses to the native core's
+stack memory (i.e. forced migrations home).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.util.errors import ConfigError, ProtocolError
+
+SpillHook = Callable[[str, int], None]  # ("spill"|"refill", count)
+
+
+class StackCache:
+    """Bounded window over an unbounded stack."""
+
+    def __init__(
+        self,
+        capacity: int,
+        spill_hook: SpillHook | None = None,
+    ) -> None:
+        if capacity < 2:
+            raise ConfigError("stack cache needs capacity >= 2")
+        self.capacity = capacity
+        self.spill_hook = spill_hook
+        self._window: list[int] = []  # top is the end
+        self._backing: list[int] = []  # architectural stack below the window
+        self.spills = 0
+        self.refills = 0
+
+    # -- architectural operations ------------------------------------------
+    def push(self, value: int) -> None:
+        if len(self._window) == self.capacity:
+            self._backing.append(self._window.pop(0))
+            self.spills += 1
+            if self.spill_hook:
+                self.spill_hook("spill", 1)
+        self._window.append(value)
+
+    def pop(self) -> int:
+        if not self._window:
+            if not self._backing:
+                raise ProtocolError("stack underflow: architectural stack empty")
+            self._window.append(self._backing.pop())
+            self.refills += 1
+            if self.spill_hook:
+                self.spill_hook("refill", 1)
+        return self._window.pop()
+
+    def peek(self, index: int = 0) -> int:
+        """Value ``index`` entries below the top (0 = top). Refills as
+        needed so deep peeks behave like hardware."""
+        if index >= self.capacity:
+            raise ProtocolError(
+                f"peek depth {index} exceeds stack-cache capacity {self.capacity}"
+            )
+        while index >= len(self._window):
+            if not self._backing:
+                raise ProtocolError("stack underflow on peek")
+            self._window.insert(0, self._backing.pop())
+            self.refills += 1
+            if self.spill_hook:
+                self.spill_hook("refill", 1)
+        return self._window[-1 - index]
+
+    # -- measurements --------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Total architectural stack depth (window + backing)."""
+        return len(self._window) + len(self._backing)
+
+    @property
+    def window_depth(self) -> int:
+        return len(self._window)
+
+    def snapshot(self) -> list[int]:
+        """Architectural stack bottom-to-top (diagnostics/tests)."""
+        return list(self._backing) + list(self._window)

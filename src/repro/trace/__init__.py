@@ -1,0 +1,47 @@
+"""Memory-trace infrastructure.
+
+A *trace* is one structured NumPy array per thread with fields
+
+* ``addr``  (uint64) — word-granular virtual address,
+* ``write`` (uint8)  — 1 for stores,
+* ``icount`` (uint16) — non-memory instructions executed since the
+  previous access (the paper's model charges these locally; they also
+  space out accesses in the behavioral simulator),
+
+and, for stack-machine traces (§4), additionally
+
+* ``spop``  (uint8) — stack entries consumed by the segment ending at
+  this access,
+* ``spush`` (uint8) — stack entries produced by that segment.
+
+Generators in :mod:`repro.trace.synthetic` produce SPLASH-2-like
+workloads; :mod:`repro.trace.runlength` computes the Figure 2
+statistic.
+"""
+
+from repro.trace.events import (
+    STACK_TRACE_DTYPE,
+    TRACE_DTYPE,
+    MultiTrace,
+    empty_trace,
+    make_trace,
+    validate_trace,
+)
+from repro.trace.runlength import run_lengths, run_length_histogram
+from repro.trace.io import load_multitrace, save_multitrace
+from repro.trace.combine import concat_phases, multiprogram
+
+__all__ = [
+    "TRACE_DTYPE",
+    "STACK_TRACE_DTYPE",
+    "MultiTrace",
+    "make_trace",
+    "empty_trace",
+    "validate_trace",
+    "run_lengths",
+    "run_length_histogram",
+    "save_multitrace",
+    "load_multitrace",
+    "multiprogram",
+    "concat_phases",
+]

@@ -1,0 +1,99 @@
+"""Combining workloads: multiprogrammed and phased traces.
+
+Two composition operators useful for experiments beyond single-kernel
+runs:
+
+* :func:`multiprogram` — run several workloads *side by side*: their
+  threads are placed on disjoint cores (space sharing, the usual
+  multiprogrammed-multicore deployment);
+* :func:`concat_phases` — run several workloads *one after another* on
+  the same threads (program phases), which is what makes dynamic
+  re-placement interesting.
+
+Address spaces: generators built from distinct
+:class:`~repro.trace.synthetic.base.AddressSpace` instances overlap in
+the shared region, so ``multiprogram`` offsets each input's addresses
+into a disjoint window (private regions are per-thread and get remapped
+with the thread ids).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.events import MultiTrace
+from repro.trace.synthetic.base import PRIVATE_BASE, PRIVATE_SPAN
+from repro.util.errors import ConfigError
+
+_SHARED_WINDOW = 1 << 36  # per-program shared-address window
+
+
+def _remap(trace: np.ndarray, program: int, old_tid: int, new_tid: int) -> np.ndarray:
+    """Shift a thread's addresses into program-/thread-disjoint windows."""
+    out = trace.copy()
+    addr = out["addr"].astype(np.int64)
+    private = addr >= PRIVATE_BASE
+    # private: move from old thread slot to the new thread slot
+    addr[private] += (new_tid - old_tid) * PRIVATE_SPAN
+    # shared: shift into the program's window
+    addr[~private] += program * _SHARED_WINDOW
+    if addr.min() < 0 or (addr[~private] >= PRIVATE_BASE).any():
+        raise ConfigError("address remap overflowed the shared window")
+    out["addr"] = addr.astype(np.uint64)
+    return out
+
+
+def multiprogram(*traces: MultiTrace, name: str = "multiprogram") -> MultiTrace:
+    """Space-share several workloads on disjoint thread/core ranges.
+
+    Program *p*'s thread *t* becomes global thread ``offset_p + t`` with
+    native core ``offset_p + native``; shared regions are shifted into
+    disjoint windows so programs never alias.
+    """
+    if not traces:
+        raise ConfigError("multiprogram needs at least one trace")
+    threads: list[np.ndarray] = []
+    natives: list[int] = []
+    offset = 0
+    for p, mt in enumerate(traces):
+        for t, tr in enumerate(mt.threads):
+            threads.append(_remap(tr, p, t, offset + t))
+            natives.append(offset + (mt.thread_native_core[t] % max(mt.num_threads, 1)))
+        offset += mt.num_threads
+    return MultiTrace(
+        threads=threads,
+        thread_native_core=natives,
+        name=name,
+        params={"programs": [mt.name for mt in traces]},
+    )
+
+
+def concat_phases(*traces: MultiTrace, name: str = "phased") -> MultiTrace:
+    """Run several workloads sequentially on the same thread set.
+
+    All inputs must have the same thread count; thread *t*'s trace is
+    the concatenation of its traces across phases. Shared regions of
+    different phases are shifted apart so phase 2 cannot accidentally
+    reuse phase 1's data (which would blur the phase boundary the
+    dynamic-placement experiments rely on).
+    """
+    if not traces:
+        raise ConfigError("concat_phases needs at least one trace")
+    n = traces[0].num_threads
+    for mt in traces:
+        if mt.num_threads != n:
+            raise ConfigError(
+                f"phase thread counts differ: {mt.num_threads} != {n}"
+            )
+        if mt.is_stack != traces[0].is_stack:
+            raise ConfigError("cannot mix stack and plain traces across phases")
+    threads = []
+    for t in range(n):
+        parts = [_remap(mt.threads[t], p, t, t) for p, mt in enumerate(traces)]
+        threads.append(np.concatenate(parts))
+    return MultiTrace(
+        threads=threads,
+        thread_native_core=list(traces[0].thread_native_core),
+        name=name,
+        params={"phases": [mt.name for mt in traces]},
+    )

@@ -1,0 +1,140 @@
+"""Trace record schema and the :class:`MultiTrace` container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.errors import TraceFormatError
+
+TRACE_DTYPE = np.dtype(
+    [
+        ("addr", np.uint64),
+        ("write", np.uint8),
+        ("icount", np.uint16),
+    ]
+)
+
+STACK_TRACE_DTYPE = np.dtype(
+    [
+        ("addr", np.uint64),
+        ("write", np.uint8),
+        ("icount", np.uint16),
+        ("spop", np.uint8),
+        ("spush", np.uint8),
+    ]
+)
+
+
+def make_trace(
+    addrs,
+    writes=None,
+    icounts=None,
+    spops=None,
+    spushes=None,
+) -> np.ndarray:
+    """Assemble a trace array from parallel sequences.
+
+    ``writes`` defaults to all-loads, ``icounts`` to zero. Supplying
+    either stack field selects the stack dtype (the other defaults to
+    zero).
+    """
+    addrs = np.asarray(addrs, dtype=np.uint64)
+    n = addrs.shape[0]
+    stack = spops is not None or spushes is not None
+    out = np.zeros(n, dtype=STACK_TRACE_DTYPE if stack else TRACE_DTYPE)
+    out["addr"] = addrs
+    if writes is not None:
+        out["write"] = np.asarray(writes, dtype=np.uint8)
+    if icounts is not None:
+        out["icount"] = np.asarray(icounts, dtype=np.uint16)
+    if spops is not None:
+        out["spop"] = np.asarray(spops, dtype=np.uint8)
+    if spushes is not None:
+        out["spush"] = np.asarray(spushes, dtype=np.uint8)
+    return out
+
+
+def empty_trace(stack: bool = False) -> np.ndarray:
+    return np.zeros(0, dtype=STACK_TRACE_DTYPE if stack else TRACE_DTYPE)
+
+
+def validate_trace(trace: np.ndarray) -> None:
+    """Raise :class:`TraceFormatError` unless ``trace`` matches a schema."""
+    if not isinstance(trace, np.ndarray):
+        raise TraceFormatError(f"trace must be a numpy array, got {type(trace).__name__}")
+    if trace.dtype not in (TRACE_DTYPE, STACK_TRACE_DTYPE):
+        raise TraceFormatError(
+            f"trace dtype {trace.dtype} is neither TRACE_DTYPE nor STACK_TRACE_DTYPE"
+        )
+    if trace.ndim != 1:
+        raise TraceFormatError(f"trace must be 1-D, got shape {trace.shape}")
+    if trace.size and (trace["write"] > 1).any():
+        raise TraceFormatError("trace 'write' field must be 0/1")
+
+
+@dataclass
+class MultiTrace:
+    """Per-thread traces plus workload metadata.
+
+    ``thread_native_core[t]`` is the core thread ``t`` starts on (and
+    where its native context lives). Generators set it; by default
+    thread ``t`` is pinned to core ``t`` (the paper runs 64 threads on
+    64 cores).
+    """
+
+    threads: list[np.ndarray]
+    thread_native_core: list[int] = field(default_factory=list)
+    name: str = "anonymous"
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for i, tr in enumerate(self.threads):
+            try:
+                validate_trace(tr)
+            except TraceFormatError as exc:
+                raise TraceFormatError(f"thread {i}: {exc}") from exc
+        if not self.thread_native_core:
+            self.thread_native_core = list(range(len(self.threads)))
+        if len(self.thread_native_core) != len(self.threads):
+            raise TraceFormatError(
+                f"{len(self.thread_native_core)} native cores for "
+                f"{len(self.threads)} threads"
+            )
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.threads)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(int(t.size) for t in self.threads)
+
+    @property
+    def is_stack(self) -> bool:
+        return bool(self.threads) and self.threads[0].dtype == STACK_TRACE_DTYPE
+
+    def all_addrs(self) -> np.ndarray:
+        """Concatenated address stream across threads (placement input)."""
+        if not self.threads:
+            return np.zeros(0, dtype=np.uint64)
+        return np.concatenate([t["addr"] for t in self.threads])
+
+    def footprint(self) -> int:
+        """Number of distinct word addresses touched."""
+        return int(np.unique(self.all_addrs()).size)
+
+    def summary(self) -> dict:
+        return {
+            "name": self.name,
+            "threads": self.num_threads,
+            "accesses": self.total_accesses,
+            "footprint_words": self.footprint(),
+            "write_fraction": (
+                float(
+                    sum(int(t["write"].sum()) for t in self.threads)
+                    / max(self.total_accesses, 1)
+                )
+            ),
+        }

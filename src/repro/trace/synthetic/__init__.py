@@ -1,0 +1,76 @@
+"""Synthetic SPLASH-2-like workload generators.
+
+The paper's only data figure is measured on SPLASH-2 OCEAN [13]; the
+announcement's companion papers evaluate the usual SPLASH-2 suite. We
+cannot run the original C benchmarks, so each generator reproduces the
+*memory-access structure* of its namesake — the private/shared split,
+the sharing pattern between threads, and the temporal structure
+(sweeps, phases, transposes) — which is what determines migration
+behaviour, run lengths, and placement quality.
+
+All generators are deterministic given ``seed`` and return a
+:class:`~repro.trace.events.MultiTrace`.
+"""
+
+from repro.trace.synthetic.base import WorkloadGenerator, AddressSpace
+from repro.trace.synthetic.ocean import OceanGenerator
+from repro.trace.synthetic.fft import FFTGenerator
+from repro.trace.synthetic.lu import LUGenerator
+from repro.trace.synthetic.radix import RadixGenerator
+from repro.trace.synthetic.water import WaterGenerator
+from repro.trace.synthetic.barnes import BarnesGenerator
+from repro.trace.synthetic.cholesky import CholeskyGenerator
+from repro.trace.synthetic.raytrace import RaytraceGenerator
+from repro.trace.synthetic.water_spatial import WaterSpatialGenerator
+from repro.trace.synthetic.micro import (
+    HotspotGenerator,
+    PingPongGenerator,
+    PrivateOnlyGenerator,
+    UniformRandomGenerator,
+)
+
+GENERATORS = {
+    "ocean": OceanGenerator,
+    "fft": FFTGenerator,
+    "lu": LUGenerator,
+    "radix": RadixGenerator,
+    "water": WaterGenerator,
+    "water-spatial": WaterSpatialGenerator,
+    "barnes": BarnesGenerator,
+    "cholesky": CholeskyGenerator,
+    "raytrace": RaytraceGenerator,
+    "uniform": UniformRandomGenerator,
+    "hotspot": HotspotGenerator,
+    "private": PrivateOnlyGenerator,
+    "pingpong": PingPongGenerator,
+}
+
+
+def make_workload(name: str, **kwargs):
+    """Instantiate a generator by name and produce its trace."""
+    try:
+        cls = GENERATORS[name]
+    except KeyError:
+        raise ValueError(f"unknown workload {name!r}; options: {sorted(GENERATORS)}")
+    return cls(**kwargs).generate()
+
+
+__all__ = [
+    "WorkloadGenerator",
+    "AddressSpace",
+    "OceanGenerator",
+    "FFTGenerator",
+    "LUGenerator",
+    "RadixGenerator",
+    "WaterGenerator",
+    "WaterSpatialGenerator",
+    "BarnesGenerator",
+    "CholeskyGenerator",
+    "RaytraceGenerator",
+    "UniformRandomGenerator",
+    "HotspotGenerator",
+    "PrivateOnlyGenerator",
+    "PingPongGenerator",
+    "GENERATORS",
+    "make_workload",
+]

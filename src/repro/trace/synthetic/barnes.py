@@ -1,0 +1,130 @@
+"""BARNES-like N-body tree workload (SPLASH-2 BARNES stand-in).
+
+Barnes-Hut: threads own blocks of bodies; the force phase walks a
+shared octree whose upper levels are read by *every* thread (extremely
+hot, read-only after build) while lower levels have locality to the
+owning thread's spatial region.
+
+Memory structure:
+
+* shared ``tree`` region: nodes at depth ``d`` are read with
+  probability ~``branching**-d`` weighting — upper nodes form a small
+  read-mostly hot set (the classic candidate for replication [12],
+  which we deliberately do NOT implement in the generator: the paper
+  cites replication as prior work and focuses elsewhere);
+* shared ``bodies`` region, block-owned; each thread updates its own
+  bodies (local RMW runs) and reads a sample of remote bodies during
+  neighbour interaction (short remote runs);
+* a tree-build phase where each thread inserts its bodies, doing
+  scattered RMWs on the shared tree (remote runs of length 1-3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.synthetic.base import TraceBuilder, WorkloadGenerator
+from repro.util.errors import ConfigError
+
+WORDS_PER_BODY = 8
+WORDS_PER_NODE = 8
+
+
+class BarnesGenerator(WorkloadGenerator):
+    name = "barnes"
+
+    def __init__(
+        self,
+        num_threads: int = 64,
+        bodies_per_thread: int = 64,
+        tree_depth: int = 6,
+        branching: int = 4,
+        timesteps: int = 2,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(num_threads=num_threads, seed=seed)
+        if bodies_per_thread <= 0 or timesteps <= 0:
+            raise ConfigError("bodies_per_thread and timesteps must be positive")
+        if tree_depth < 2 or branching < 2:
+            raise ConfigError("tree_depth and branching must be >= 2")
+        self.bpt = bodies_per_thread
+        self.depth = tree_depth
+        self.branching = branching
+        self.timesteps = timesteps
+        # level l has branching**l nodes; levels concatenated
+        self.level_sizes = [branching**l for l in range(tree_depth)]
+        self.level_off = np.concatenate(([0], np.cumsum(self.level_sizes))).astype(np.int64)
+        total_nodes = int(self.level_off[-1])
+        self.tree_base = self.space.shared_region("tree", total_nodes * WORDS_PER_NODE)
+        self.bodies_base = self.space.shared_region(
+            "bodies", num_threads * bodies_per_thread * WORDS_PER_BODY
+        )
+
+    def params(self) -> dict:
+        return {
+            "num_threads": self.num_threads,
+            "bodies_per_thread": self.bpt,
+            "tree_depth": self.depth,
+            "branching": self.branching,
+            "timesteps": self.timesteps,
+        }
+
+    def node_addr(self, level: int, index: int) -> int:
+        return self.tree_base + int(self.level_off[level] + index) * WORDS_PER_NODE
+
+    def body_addr(self, thread: int, body: int) -> int:
+        return self.bodies_base + (thread * self.bpt + body) * WORDS_PER_BODY
+
+    def _init_phase(self, thread: int, b: TraceBuilder) -> None:
+        words = np.arange(self.bpt * WORDS_PER_BODY, dtype=np.int64)
+        b.emit(self.body_addr(thread, 0) + words, writes=1, icounts=1)
+        # each thread first-touches a slice of every tree level (spatial locality)
+        for level, size in enumerate(self.level_sizes):
+            lo = (size * thread) // self.num_threads
+            hi = (size * (thread + 1)) // self.num_threads
+            for idx in range(lo, hi):
+                w = np.arange(WORDS_PER_NODE, dtype=np.int64)
+                b.emit(self.node_addr(level, idx) + w, writes=1, icounts=1)
+
+    def _tree_build(self, thread: int, b: TraceBuilder) -> None:
+        """Insert own bodies: root-to-leaf RMW path per body."""
+        for body in range(self.bpt):
+            path_icount = 4
+            for level in range(self.depth):
+                size = self.level_sizes[level]
+                idx = int(self.rng.integers(0, size))
+                addr = self.node_addr(level, idx)
+                b.emit(
+                    np.array([addr, addr + 1], dtype=np.int64),
+                    writes=np.array([0, 1], dtype=np.uint8),
+                    icounts=path_icount,
+                )
+
+    def _force_walk(self, thread: int, b: TraceBuilder) -> None:
+        """Per body: read the root path (hot upper levels) + local update."""
+        for body in range(self.bpt):
+            # upper levels: everyone reads node subsets — read-only hot set
+            for level in range(self.depth):
+                size = self.level_sizes[level]
+                # spatial bias: prefer nodes in own slice at deep levels
+                if level >= self.depth // 2:
+                    lo = (size * thread) // self.num_threads
+                    hi = max((size * (thread + 1)) // self.num_threads, lo + 1)
+                    idx = int(self.rng.integers(lo, hi))
+                else:
+                    idx = int(self.rng.integers(0, size))
+                w = np.arange(3, dtype=np.int64)  # centre-of-mass words
+                b.emit(self.node_addr(level, idx) + w, writes=0, icounts=3)
+            # update own body (local RMW)
+            base = self.body_addr(thread, body)
+            b.emit(
+                np.array([base + 2, base + 3, base + 2, base + 3], dtype=np.int64),
+                writes=np.array([0, 0, 1, 1], dtype=np.uint8),
+                icounts=6,
+            )
+
+    def _thread_trace(self, thread: int, b: TraceBuilder) -> None:
+        self._init_phase(thread, b)
+        for _ in range(self.timesteps):
+            self._tree_build(thread, b)
+            self._force_walk(thread, b)

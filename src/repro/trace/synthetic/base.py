@@ -1,0 +1,135 @@
+"""Common machinery for workload generators.
+
+Address-space layout
+--------------------
+Word-granular addresses partitioned into non-overlapping regions:
+
+* per-thread private regions (stack, locals, private arrays) — these
+  are first-touched by their owner, so first-touch placement homes
+  them at the owner's core;
+* named shared regions (grids, matrices, trees) — touched by several
+  threads according to the workload's sharing pattern.
+
+Addresses stay below 2**48 so intermediate arithmetic is exact in
+int64; traces store uint64.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.events import MultiTrace, make_trace
+from repro.util.errors import ConfigError
+from repro.util.rng import as_generator
+
+PRIVATE_BASE = 1 << 40
+PRIVATE_SPAN = 1 << 24  # words of private space per thread
+SHARED_BASE = 1 << 20
+
+
+@dataclass
+class AddressSpace:
+    """Allocates named shared regions and per-thread private regions."""
+
+    num_threads: int
+    _next_shared: int = SHARED_BASE
+    _regions: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_threads <= 0:
+            raise ConfigError("num_threads must be positive")
+        self._regions = {}
+
+    def shared_region(self, name: str, words: int) -> int:
+        """Reserve ``words`` of shared space; returns the base address."""
+        if words <= 0:
+            raise ConfigError(f"region {name!r} needs positive size")
+        if name in self._regions:
+            raise ConfigError(f"region {name!r} already allocated")
+        base = self._next_shared
+        self._regions[name] = (base, words)
+        self._next_shared += words
+        if self._next_shared >= PRIVATE_BASE:
+            raise ConfigError("shared address space exhausted")
+        return base
+
+    def region(self, name: str) -> tuple[int, int]:
+        """(base, words) of a previously allocated region."""
+        return self._regions[name]
+
+    def private_base(self, thread: int) -> int:
+        if not (0 <= thread < self.num_threads):
+            raise ConfigError(f"thread {thread} out of range")
+        return PRIVATE_BASE + thread * PRIVATE_SPAN
+
+
+class TraceBuilder:
+    """Accumulates one thread's accesses in append-amortized chunks."""
+
+    def __init__(self) -> None:
+        self._addr: list[np.ndarray] = []
+        self._write: list[np.ndarray] = []
+        self._icount: list[np.ndarray] = []
+
+    def emit(self, addrs, writes=0, icounts=0) -> None:
+        """Append a block of accesses.
+
+        ``writes``/``icounts`` may be scalars (broadcast) or arrays.
+        """
+        addrs = np.atleast_1d(np.asarray(addrs, dtype=np.int64))
+        n = addrs.size
+        self._addr.append(addrs)
+        self._write.append(np.broadcast_to(np.asarray(writes, dtype=np.uint8), (n,)).copy())
+        self._icount.append(np.broadcast_to(np.asarray(icounts, dtype=np.uint16), (n,)).copy())
+
+    def emit_one(self, addr: int, write: bool = False, icount: int = 0) -> None:
+        self.emit([addr], 1 if write else 0, icount)
+
+    def build(self) -> np.ndarray:
+        if not self._addr:
+            return make_trace([])
+        return make_trace(
+            np.concatenate(self._addr).astype(np.uint64),
+            np.concatenate(self._write),
+            np.concatenate(self._icount),
+        )
+
+    def __len__(self) -> int:
+        return sum(a.size for a in self._addr)
+
+
+class WorkloadGenerator(ABC):
+    """Base class: common parameters + the generate() contract."""
+
+    name = "base"
+
+    def __init__(self, num_threads: int = 64, seed: int | None = 0) -> None:
+        if num_threads <= 0:
+            raise ConfigError("num_threads must be positive")
+        self.num_threads = num_threads
+        self.rng = as_generator(seed)
+        self.space = AddressSpace(num_threads)
+
+    @abstractmethod
+    def _thread_trace(self, thread: int, builder: TraceBuilder) -> None:
+        """Emit thread ``thread``'s accesses into ``builder``."""
+
+    def params(self) -> dict:
+        """Generator parameters recorded in the trace metadata."""
+        return {"num_threads": self.num_threads}
+
+    def generate(self) -> MultiTrace:
+        threads = []
+        for t in range(self.num_threads):
+            b = TraceBuilder()
+            self._thread_trace(t, b)
+            threads.append(b.build())
+        return MultiTrace(
+            threads=threads,
+            thread_native_core=list(range(self.num_threads)),
+            name=self.name,
+            params=self.params(),
+        )

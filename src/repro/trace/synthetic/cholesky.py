@@ -1,0 +1,105 @@
+"""CHOLESKY-like workload (SPLASH-2 CHOLESKY stand-in).
+
+Sparse supernodal Cholesky factors a symmetric matrix column-block by
+column-block; unlike dense LU, work is driven by a task queue over
+*supernodes* with an irregular dependency structure: a supernode
+update reads the factored columns of a sparse subset of earlier
+supernodes.
+
+Generated structure:
+
+* ``supernodes`` blocks with randomly-sized sparse parent sets (each
+  supernode depends on ``fanin`` random earlier ones);
+* a shared **task queue** word per supernode (contended RMW when
+  threads claim work);
+* claiming thread factors its supernode in place (local RMW run over
+  the block — under first-touch, blocks home at whoever claims them
+  in the init pass), then reads each parent's block (medium remote
+  runs at scattered cores).
+
+Compared to LU's regular 2-D-cyclic reuse of one pivot, CHOLESKY's
+remote runs target an *irregular* set of cores with queue contention —
+a sharper test for history-based decision schemes (predictions keyed
+by home core alias across supernodes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.synthetic.base import TraceBuilder, WorkloadGenerator
+from repro.util.errors import ConfigError
+
+
+class CholeskyGenerator(WorkloadGenerator):
+    name = "cholesky"
+
+    def __init__(
+        self,
+        num_threads: int = 64,
+        supernodes: int = 64,
+        block_words: int = 48,
+        fanin: int = 3,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(num_threads=num_threads, seed=seed)
+        if supernodes < num_threads:
+            raise ConfigError("need at least one supernode per thread")
+        if block_words <= 0 or fanin < 0:
+            raise ConfigError("block_words must be positive, fanin >= 0")
+        self.supernodes = supernodes
+        self.block_words = block_words
+        self.fanin = fanin
+        self.matrix_base = self.space.shared_region(
+            "supernodes", supernodes * block_words
+        )
+        self.queue_base = self.space.shared_region("taskqueue", supernodes)
+        # static task assignment (round-robin claim order) + sparse parents,
+        # drawn once so every thread sees the same dependency structure
+        self._owner = np.arange(supernodes) % num_threads
+        self._parents = [
+            np.sort(
+                self.rng.choice(max(s, 1), size=min(fanin, s), replace=False)
+            )
+            if s > 0
+            else np.zeros(0, dtype=np.int64)
+            for s in range(supernodes)
+        ]
+
+    def params(self) -> dict:
+        return {
+            "num_threads": self.num_threads,
+            "supernodes": self.supernodes,
+            "block_words": self.block_words,
+            "fanin": self.fanin,
+        }
+
+    def block_base(self, s: int) -> int:
+        return self.matrix_base + s * self.block_words
+
+    def _init_phase(self, thread: int, b: TraceBuilder) -> None:
+        words = np.arange(self.block_words, dtype=np.int64)
+        for s in range(self.supernodes):
+            if self._owner[s] == thread:
+                b.emit(self.block_base(s) + words, writes=1, icounts=1)
+                b.emit_one(self.queue_base + s, write=True, icount=1)
+
+    def _thread_trace(self, thread: int, b: TraceBuilder) -> None:
+        self._init_phase(thread, b)
+        words = np.arange(self.block_words, dtype=np.int64)
+        for s in range(self.supernodes):
+            if self._owner[s] != thread:
+                continue
+            # claim the task: RMW on the queue word (shared, contended)
+            b.emit_one(self.queue_base + s, write=False, icount=2)
+            b.emit_one(self.queue_base + s, write=True, icount=0)
+            # gather parent supernodes (irregular remote runs)
+            for p in self._parents[s].tolist():
+                stride = 2 if (s + p) % 2 else 1  # sparse column access
+                pw = np.arange(0, self.block_words, stride, dtype=np.int64)
+                b.emit(self.block_base(int(p)) + pw, writes=0, icounts=2)
+            # factor own block in place (local RMW run)
+            base = self.block_base(s)
+            seq = np.column_stack([base + words, base + words]).ravel()
+            wr = np.tile(np.array([0, 1], dtype=np.uint8), words.size)
+            b.emit(seq, writes=wr, icounts=3)

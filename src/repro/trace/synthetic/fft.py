@@ -1,0 +1,99 @@
+"""FFT-like workload (SPLASH-2 FFT stand-in).
+
+The SPLASH-2 FFT is the classic six-step algorithm: local butterfly
+work on a thread-owned partition of the data array, interleaved with
+**transpose phases** where every thread reads a block from every other
+thread's partition and writes it into its own — an all-to-all pattern.
+
+Memory structure reproduced here:
+
+* shared ``data`` array of ``2 * points`` words (complex pairs),
+  block-partitioned by thread (homed by the init phase);
+* local butterfly phases: strided read/write passes over the thread's
+  own block (native-homed runs);
+* transpose phases: for each peer, read a contiguous sub-block of the
+  peer's partition (one medium-length remote run per peer), then write
+  it into the thread's own partition (local). Remote run length is the
+  sub-block size, ``points / threads**2`` words — so FFT shows
+  medium-length runs at *many distinct* cores, unlike OCEAN's
+  two-neighbour pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.synthetic.base import TraceBuilder, WorkloadGenerator
+from repro.util.errors import ConfigError
+
+
+class FFTGenerator(WorkloadGenerator):
+    name = "fft"
+
+    def __init__(
+        self,
+        num_threads: int = 64,
+        points_per_thread: int = 1024,
+        butterfly_stages: int = 4,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(num_threads=num_threads, seed=seed)
+        if points_per_thread < num_threads:
+            raise ConfigError(
+                f"points_per_thread={points_per_thread} must be >= num_threads="
+                f"{num_threads} so transpose sub-blocks are non-empty"
+            )
+        if butterfly_stages <= 0:
+            raise ConfigError("butterfly_stages must be positive")
+        self.ppt = points_per_thread
+        self.stages = butterfly_stages
+        self.data_base = self.space.shared_region("data", 2 * num_threads * self.ppt)
+        self.twiddle_base = self.space.shared_region("twiddles", self.ppt)
+
+    def params(self) -> dict:
+        return {
+            "num_threads": self.num_threads,
+            "points_per_thread": self.ppt,
+            "butterfly_stages": self.stages,
+        }
+
+    def block_base(self, thread: int) -> int:
+        return self.data_base + 2 * thread * self.ppt
+
+    def _init_phase(self, thread: int, b: TraceBuilder) -> None:
+        words = np.arange(2 * self.ppt, dtype=np.int64)
+        b.emit(self.block_base(thread) + words, writes=1, icounts=1)
+
+    def _butterfly_stage(self, thread: int, stage: int, b: TraceBuilder) -> None:
+        """Strided local pass: read pairs, write results, read twiddles."""
+        stride = 1 << (stage % max(self.ppt.bit_length() - 2, 1))
+        idx = np.arange(0, self.ppt - stride, 2 * stride, dtype=np.int64)
+        if idx.size == 0:
+            idx = np.zeros(1, dtype=np.int64)
+        base = self.block_base(thread)
+        a = base + 2 * idx
+        bb = base + 2 * (idx + stride)
+        tw = self.twiddle_base + (idx % self.ppt)
+        # per-butterfly: read a, read b, read twiddle, write a, write b
+        seq = np.column_stack([a, bb, tw, a, bb]).ravel()
+        writes = np.tile(np.array([0, 0, 0, 1, 1], dtype=np.uint8), idx.size)
+        b.emit(seq, writes=writes, icounts=4)
+
+    def _transpose_phase(self, thread: int, b: TraceBuilder) -> None:
+        """All-to-all: read my sub-block from each peer, store locally."""
+        sub = max(self.ppt // self.num_threads, 1)
+        for peer_off in range(1, self.num_threads):
+            peer = (thread + peer_off) % self.num_threads
+            src = self.block_base(peer) + 2 * thread * sub
+            words = np.arange(2 * sub, dtype=np.int64)
+            b.emit(src + words, writes=0, icounts=1)  # one remote run per peer
+            dst = self.block_base(thread) + 2 * peer * sub
+            b.emit(dst + words, writes=1, icounts=1)  # local stores
+
+    def _thread_trace(self, thread: int, b: TraceBuilder) -> None:
+        self._init_phase(thread, b)
+        for stage in range(self.stages):
+            self._butterfly_stage(thread, stage, b)
+        self._transpose_phase(thread, b)
+        for stage in range(self.stages):
+            self._butterfly_stage(thread, stage, b)

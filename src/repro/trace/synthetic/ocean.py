@@ -1,0 +1,127 @@
+"""OCEAN-like grid relaxation workload (SPLASH-2 OCEAN stand-in).
+
+Structure copied from the real benchmark's memory behaviour:
+
+* an ``n x n`` shared grid, row-block partitioned across threads;
+* an **init phase** where each thread writes its own rows (so
+  first-touch placement homes each row block at its owner);
+* per iteration, a **5-point stencil sweep** over the thread's rows —
+  interior points touch only the thread's own rows, while the first and
+  last row reach one row into the neighbouring thread's block. Each
+  boundary point's remote access is sandwiched between local accesses,
+  producing remote runs of length 1 (migrate for one word, migrate
+  back);
+* per iteration, a **boundary reduction phase** (residual/multigrid
+  restriction in the real code): the thread reads its neighbours'
+  boundary rows end-to-end, accumulating in registers — producing long
+  remote runs (length ≈ n); plus a read-modify-write on a shared
+  global-sum cell.
+
+With ``n`` columns, the stencil contributes ≈ 2(n-2) non-native
+accesses in runs of length 1, and the reduction ≈ 2n accesses in two
+long runs — i.e. *about half* of the non-native accesses sit at run
+length 1, which is exactly the bimodal shape of Figure 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.synthetic.base import TraceBuilder, WorkloadGenerator
+from repro.util.errors import ConfigError
+
+
+class OceanGenerator(WorkloadGenerator):
+    name = "ocean"
+
+    def __init__(
+        self,
+        num_threads: int = 64,
+        grid_n: int | None = None,
+        iterations: int = 2,
+        stencil_icount: int = 2,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(num_threads=num_threads, seed=seed)
+        if grid_n is None:
+            grid_n = 6 * num_threads + 2  # >= 6 rows per thread
+        if grid_n < 2 * num_threads:
+            raise ConfigError(
+                f"grid_n={grid_n} too small for {num_threads} threads "
+                "(need >= 2 rows per thread)"
+            )
+        if iterations <= 0:
+            raise ConfigError("iterations must be positive")
+        self.grid_n = grid_n
+        self.iterations = iterations
+        self.stencil_icount = stencil_icount
+        self.grid_base = self.space.shared_region("grid", grid_n * grid_n)
+        self.sums_base = self.space.shared_region("global_sums", num_threads)
+
+    def params(self) -> dict:
+        return {
+            "num_threads": self.num_threads,
+            "grid_n": self.grid_n,
+            "iterations": self.iterations,
+        }
+
+    # -- geometry --------------------------------------------------------
+    def rows_of(self, thread: int) -> tuple[int, int]:
+        """Half-open row range [r0, r1) owned by ``thread``."""
+        n, t, T = self.grid_n, thread, self.num_threads
+        r0 = (n * t) // T
+        r1 = (n * (t + 1)) // T
+        return r0, r1
+
+    def addr(self, r: int | np.ndarray, c: int | np.ndarray):
+        return self.grid_base + np.asarray(r, dtype=np.int64) * self.grid_n + np.asarray(
+            c, dtype=np.int64
+        )
+
+    # -- phases ------------------------------------------------------------
+    def _init_phase(self, thread: int, b: TraceBuilder) -> None:
+        r0, r1 = self.rows_of(thread)
+        cols = np.arange(self.grid_n, dtype=np.int64)
+        for r in range(r0, r1):
+            b.emit(self.addr(r, cols), writes=1, icounts=1)
+
+    def _stencil_sweep(self, thread: int, b: TraceBuilder) -> None:
+        n = self.grid_n
+        r0, r1 = self.rows_of(thread)
+        cols = np.arange(1, n - 1, dtype=np.int64)
+        for r in range(r0, r1):
+            if r == 0 or r == n - 1:
+                continue  # physical grid boundary rows are fixed
+            north = self.addr(r - 1, cols)
+            south = self.addr(r + 1, cols)
+            east = self.addr(r, cols + 1)
+            west = self.addr(r, cols - 1)
+            center = self.addr(r, cols)
+            # per-point order: N S E W C(read) C(write)
+            seq = np.column_stack([north, south, east, west, center, center]).ravel()
+            writes = np.tile(np.array([0, 0, 0, 0, 0, 1], dtype=np.uint8), cols.size)
+            b.emit(seq, writes=writes, icounts=self.stencil_icount)
+
+    def _reduction_phase(self, thread: int, b: TraceBuilder) -> None:
+        n = self.grid_n
+        r0, r1 = self.rows_of(thread)
+        cols = np.arange(n, dtype=np.int64)
+        # register-accumulated read of each neighbour's boundary row:
+        # a single long run homed at the neighbour's core
+        if r0 > 0:
+            b.emit(self.addr(r0 - 1, cols), writes=0, icounts=1)
+        if r1 < n:
+            b.emit(self.addr(r1, cols), writes=0, icounts=1)
+        # private scratch accumulation (native-homed)
+        scratch = self.space.private_base(thread)
+        b.emit(scratch + np.arange(8, dtype=np.int64), writes=1, icounts=2)
+        # read-modify-write of this thread's cell in the shared sum array
+        b.emit_one(self.sums_base + thread, write=False, icount=1)
+        b.emit_one(self.sums_base + thread, write=True, icount=0)
+
+    # -- driver ------------------------------------------------------------
+    def _thread_trace(self, thread: int, b: TraceBuilder) -> None:
+        self._init_phase(thread, b)
+        for _ in range(self.iterations):
+            self._stencil_sweep(thread, b)
+            self._reduction_phase(thread, b)

@@ -1,0 +1,97 @@
+"""RADIX-sort workload (SPLASH-2 RADIX stand-in).
+
+Per digit pass, each thread:
+
+1. reads its own key partition sequentially and builds a **private**
+   histogram (local runs);
+2. participates in a prefix-sum over the **shared** histogram array
+   (short remote read-modify-write runs at a few cores);
+3. permutes: re-reads its keys and writes each to its destination
+   bucket in the shared output array — writes scatter across *all*
+   threads' output partitions, giving many remote runs of length 1.
+
+RADIX is the adversarial workload for migration-only EM²: the permute
+phase's isolated scattered writes are exactly the accesses remote
+access handles well (a write needs no data back, only an ack).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.synthetic.base import TraceBuilder, WorkloadGenerator
+from repro.util.errors import ConfigError
+
+
+class RadixGenerator(WorkloadGenerator):
+    name = "radix"
+
+    def __init__(
+        self,
+        num_threads: int = 64,
+        keys_per_thread: int = 512,
+        radix_bits: int = 4,
+        passes: int = 2,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(num_threads=num_threads, seed=seed)
+        if keys_per_thread <= 0 or passes <= 0:
+            raise ConfigError("keys_per_thread and passes must be positive")
+        if not (1 <= radix_bits <= 16):
+            raise ConfigError("radix_bits must be in [1, 16]")
+        self.kpt = keys_per_thread
+        self.radix = 1 << radix_bits
+        self.passes = passes
+        total = num_threads * keys_per_thread
+        self.keys_base = self.space.shared_region("keys", total)
+        self.out_base = self.space.shared_region("out", total)
+        self.hist_base = self.space.shared_region("histogram", num_threads * self.radix)
+        # the keys themselves (values determine scatter destinations)
+        self._keys = self.rng.integers(0, 1 << 30, size=total, dtype=np.int64)
+
+    def params(self) -> dict:
+        return {
+            "num_threads": self.num_threads,
+            "keys_per_thread": self.kpt,
+            "radix": self.radix,
+            "passes": self.passes,
+        }
+
+    def _init_phase(self, thread: int, b: TraceBuilder) -> None:
+        words = np.arange(self.kpt, dtype=np.int64)
+        b.emit(self.keys_base + thread * self.kpt + words, writes=1, icounts=1)
+        b.emit(self.out_base + thread * self.kpt + words, writes=1, icounts=1)
+        hwords = np.arange(self.radix, dtype=np.int64)
+        b.emit(self.hist_base + thread * self.radix + hwords, writes=1, icounts=1)
+
+    def _thread_trace(self, thread: int, b: TraceBuilder) -> None:
+        self._init_phase(thread, b)
+        my_keys = self._keys[thread * self.kpt : (thread + 1) * self.kpt]
+        key_addrs = self.keys_base + thread * self.kpt + np.arange(self.kpt, dtype=np.int64)
+        for p in range(self.passes):
+            digits = (my_keys >> (p * (self.radix.bit_length() - 1))) % self.radix
+            # 1. local histogram: read key, bump private counter
+            priv_hist = self.space.private_base(thread) + digits
+            seq = np.column_stack([key_addrs, priv_hist, priv_hist]).ravel()
+            writes = np.tile(np.array([0, 0, 1], dtype=np.uint8), self.kpt)
+            b.emit(seq, writes=writes, icounts=2)
+            # 2. prefix sum over shared histogram: touch each peer's bucket row
+            for step in (1, 2, 4):
+                peer = (thread + step) % self.num_threads
+                hw = self.hist_base + peer * self.radix + np.arange(
+                    self.radix, dtype=np.int64
+                )
+                b.emit(hw, writes=0, icounts=1)
+            own = self.hist_base + thread * self.radix + np.arange(
+                self.radix, dtype=np.int64
+            )
+            b.emit(own, writes=1, icounts=1)
+            # 3. permute: read own key (local), scatter-write to global out
+            dest_thread = (my_keys % self.num_threads).astype(np.int64)
+            dest_slot = (my_keys // self.num_threads) % self.kpt
+            dest = self.out_base + dest_thread * self.kpt + dest_slot
+            seq = np.column_stack([key_addrs, dest]).ravel()
+            writes = np.tile(np.array([0, 1], dtype=np.uint8), self.kpt)
+            b.emit(seq, writes=writes, icounts=2)
+            # next pass works on the permuted ordering; re-derive keys
+            my_keys = np.sort(my_keys) if p % 2 else my_keys[::-1].copy()

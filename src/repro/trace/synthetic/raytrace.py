@@ -1,0 +1,100 @@
+"""RAYTRACE-like workload (SPLASH-2 RAYTRACE stand-in).
+
+RAYTRACE reads a large shared, read-only scene (BVH + primitives) with
+a popularity skew (rays concentrate on the same hot geometry) and
+writes only to private ray stacks and a thread-owned framebuffer band.
+
+* shared ``scene``: Zipf-distributed read probes, 2-6 words per node
+  visit — short remote read runs all over the machine;
+* private ray-stack pushes/pops between scene probes — so remote runs
+  are almost always length 1-2 (ideal for remote access, hopeless for
+  migration amortization);
+* thread-owned framebuffer rows, written locally.
+
+A work-stealing flag region adds a small RMW-contended shared set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.synthetic.base import TraceBuilder, WorkloadGenerator
+from repro.util.errors import ConfigError
+
+
+class RaytraceGenerator(WorkloadGenerator):
+    name = "raytrace"
+
+    def __init__(
+        self,
+        num_threads: int = 64,
+        rays_per_thread: int = 128,
+        scene_words: int = 1 << 14,
+        zipf_s: float = 1.2,
+        nodes_per_ray: int = 8,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(num_threads=num_threads, seed=seed)
+        if rays_per_thread <= 0 or nodes_per_ray <= 0:
+            raise ConfigError("rays_per_thread and nodes_per_ray must be positive")
+        if scene_words < num_threads:
+            raise ConfigError("scene must have at least one word per thread")
+        if zipf_s <= 1.0:
+            raise ConfigError("zipf_s must be > 1 for a proper Zipf law")
+        self.rpt = rays_per_thread
+        self.scene_words = scene_words
+        self.zipf_s = zipf_s
+        self.npr = nodes_per_ray
+        self.scene_base = self.space.shared_region("scene", scene_words)
+        self.fb_base = self.space.shared_region("framebuffer", num_threads * rays_per_thread)
+        self.work_base = self.space.shared_region("workqueue", num_threads)
+
+    def params(self) -> dict:
+        return {
+            "num_threads": self.num_threads,
+            "rays_per_thread": self.rpt,
+            "scene_words": self.scene_words,
+            "zipf_s": self.zipf_s,
+            "nodes_per_ray": self.npr,
+        }
+
+    def _zipf_nodes(self, count: int) -> np.ndarray:
+        """Zipf-skewed scene offsets folded into the scene region."""
+        raw = self.rng.zipf(self.zipf_s, size=count)
+        return (raw - 1) % self.scene_words
+
+    def _init_phase(self, thread: int, b: TraceBuilder) -> None:
+        # each thread first-touches an equal slice of the scene (the real
+        # code's scene build is parallelized the same way)
+        lo = (self.scene_words * thread) // self.num_threads
+        hi = (self.scene_words * (thread + 1)) // self.num_threads
+        b.emit(
+            self.scene_base + np.arange(lo, hi, dtype=np.int64), writes=1, icounts=1
+        )
+        rows = np.arange(self.rpt, dtype=np.int64)
+        b.emit(self.fb_base + thread * self.rpt + rows, writes=1, icounts=1)
+        b.emit_one(self.work_base + thread, write=True, icount=1)
+
+    def _thread_trace(self, thread: int, b: TraceBuilder) -> None:
+        self._init_phase(thread, b)
+        stack = self.space.private_base(thread)
+        for ray in range(self.rpt):
+            nodes = self._zipf_nodes(self.npr)
+            for d, node in enumerate(nodes.tolist()):
+                # probe scene node (1-2 shared reads)
+                addr = self.scene_base + int(node)
+                b.emit(
+                    np.array([addr, addr + 1 - (node == self.scene_words - 1)]),
+                    writes=0,
+                    icounts=5,
+                )
+                # push/pop private ray stack between probes
+                b.emit_one(stack + d, write=True, icount=2)
+                b.emit_one(stack + d, write=False, icount=2)
+            # write the pixel (thread-owned framebuffer band)
+            b.emit_one(self.fb_base + thread * self.rpt + ray, write=True, icount=3)
+            # occasionally poll the work queue (contended shared RMW)
+            if ray % 16 == 15:
+                victim = int(self.rng.integers(0, self.num_threads))
+                b.emit_one(self.work_base + victim, write=False, icount=1)
+                b.emit_one(self.work_base + victim, write=True, icount=0)

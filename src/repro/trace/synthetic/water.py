@@ -1,0 +1,111 @@
+"""WATER-like molecular dynamics workload (SPLASH-2 WATER stand-in).
+
+WATER-NSQUARED: each thread owns a block of molecules (position,
+velocity, force arrays). Per timestep:
+
+* **intra-molecular update** over owned molecules — purely local runs;
+* **pairwise force computation** with a cutoff: the thread reads a few
+  words of a subset of other threads' molecules and accumulates force
+  contributions into those molecules' shared force entries
+  (read-modify-write) — short remote runs (≈2-6 accesses) spread over
+  a neighbourhood of cores;
+* a barrier-protected **global virial/energy accumulation** (tiny
+  shared region, heavily contended).
+
+WATER has a much lower shared-access fraction than OCEAN/FFT, so it is
+the "mostly-private" point in the workload spectrum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.synthetic.base import TraceBuilder, WorkloadGenerator
+from repro.util.errors import ConfigError
+
+WORDS_PER_MOL = 8  # pos(2) vel(2) force(2) misc(2) — abstracted
+
+
+class WaterGenerator(WorkloadGenerator):
+    name = "water"
+
+    def __init__(
+        self,
+        num_threads: int = 64,
+        molecules_per_thread: int = 64,
+        timesteps: int = 3,
+        interaction_fraction: float = 0.15,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(num_threads=num_threads, seed=seed)
+        if molecules_per_thread <= 0 or timesteps <= 0:
+            raise ConfigError("molecules_per_thread and timesteps must be positive")
+        if not (0.0 < interaction_fraction <= 1.0):
+            raise ConfigError("interaction_fraction must be in (0, 1]")
+        self.mpt = molecules_per_thread
+        self.timesteps = timesteps
+        self.frac = interaction_fraction
+        total = num_threads * molecules_per_thread * WORDS_PER_MOL
+        self.mol_base = self.space.shared_region("molecules", total)
+        self.global_base = self.space.shared_region("virial", 16)
+
+    def params(self) -> dict:
+        return {
+            "num_threads": self.num_threads,
+            "molecules_per_thread": self.mpt,
+            "timesteps": self.timesteps,
+            "interaction_fraction": self.frac,
+        }
+
+    def mol_addr(self, thread: int, mol: int) -> int:
+        return self.mol_base + (thread * self.mpt + mol) * WORDS_PER_MOL
+
+    def _init_phase(self, thread: int, b: TraceBuilder) -> None:
+        words = np.arange(self.mpt * WORDS_PER_MOL, dtype=np.int64)
+        b.emit(self.mol_addr(thread, 0) + words, writes=1, icounts=1)
+
+    def _local_update(self, thread: int, b: TraceBuilder) -> None:
+        for m in range(self.mpt):
+            base = self.mol_addr(thread, m)
+            w = np.arange(WORDS_PER_MOL, dtype=np.int64)
+            seq = np.concatenate([base + w, base + w[:4]])
+            writes = np.concatenate(
+                [np.zeros(WORDS_PER_MOL, dtype=np.uint8), np.ones(4, dtype=np.uint8)]
+            )
+            b.emit(seq, writes=writes, icounts=6)
+
+    def _pairwise_phase(self, thread: int, b: TraceBuilder) -> None:
+        n_pairs = max(int(self.mpt * self.num_threads * self.frac / 8), 1)
+        peers = (thread + 1 + self.rng.integers(0, max(self.num_threads - 1, 1), n_pairs)) % (
+            self.num_threads
+        )
+        mols = self.rng.integers(0, self.mpt, n_pairs)
+        for peer, mol in zip(peers.tolist(), mols.tolist()):
+            if peer == thread:
+                continue
+            rbase = self.mol_addr(int(peer), int(mol))
+            # read peer position (2 words), RMW peer force (read+write)
+            b.emit(
+                np.array([rbase, rbase + 1, rbase + 4, rbase + 4], dtype=np.int64),
+                writes=np.array([0, 0, 0, 1], dtype=np.uint8),
+                icounts=8,
+            )
+            # accumulate into own molecule force (local)
+            own = self.mol_addr(thread, int(mol) % self.mpt)
+            b.emit(
+                np.array([own + 4, own + 4], dtype=np.int64),
+                writes=np.array([0, 1], dtype=np.uint8),
+                icounts=4,
+            )
+
+    def _global_accumulate(self, thread: int, b: TraceBuilder) -> None:
+        cell = self.global_base + (thread % 16)
+        b.emit_one(cell, write=False, icount=2)
+        b.emit_one(cell, write=True, icount=0)
+
+    def _thread_trace(self, thread: int, b: TraceBuilder) -> None:
+        self._init_phase(thread, b)
+        for _ in range(self.timesteps):
+            self._local_update(thread, b)
+            self._pairwise_phase(thread, b)
+            self._global_accumulate(thread, b)

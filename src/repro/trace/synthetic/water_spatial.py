@@ -1,0 +1,118 @@
+"""WATER-SPATIAL-like workload (SPLASH-2 WATER-SPATIAL stand-in).
+
+Where WATER-NSQUARED pairs molecules all-to-all, WATER-SPATIAL bins
+them into a 3-D cell grid and interacts only neighbouring cells —
+sharing becomes *spatially structured*: each thread owns a contiguous
+sub-cube of cells and exchanges only with the threads owning adjacent
+sub-cubes (the 3-D analogue of ocean's 2-D boundary pattern, but with
+read-modify-write force accumulation instead of read-only stencils).
+
+Generated structure, per timestep and owned boundary cell:
+
+* local update sweep over owned cells (local RMW runs);
+* for each face neighbour cell owned by another thread: read its
+  molecule positions (short remote read run) and RMW its force words
+  (remote write run of 2) — both at the *same* neighbour core,
+  giving runs of length ~4-6: squarely in the crossover region
+  between RA and migration, unlike ocean's 1-vs-400 bimodal split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.synthetic.base import TraceBuilder, WorkloadGenerator
+from repro.util.errors import ConfigError
+
+WORDS_PER_CELL = 16  # positions + forces for the cell's molecules
+
+
+class WaterSpatialGenerator(WorkloadGenerator):
+    name = "water-spatial"
+
+    def __init__(
+        self,
+        num_threads: int = 64,
+        cells_per_side: int | None = None,
+        timesteps: int = 2,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(num_threads=num_threads, seed=seed)
+        if cells_per_side is None:
+            # one sub-cube per thread: threads arranged on a cube grid
+            t_side = max(int(round(num_threads ** (1 / 3))), 1)
+            while t_side > 1 and num_threads % (t_side * t_side):
+                t_side -= 1
+            cells_per_side = 2 * t_side
+        if timesteps <= 0:
+            raise ConfigError("timesteps must be positive")
+        self.n = cells_per_side
+        self.timesteps = timesteps
+        self.cells_base = self.space.shared_region(
+            "cells", self.n**3 * WORDS_PER_CELL
+        )
+
+    def params(self) -> dict:
+        return {
+            "num_threads": self.num_threads,
+            "cells_per_side": self.n,
+            "timesteps": self.timesteps,
+        }
+
+    # -- geometry --------------------------------------------------------
+    def cell_id(self, x: int, y: int, z: int) -> int:
+        return (z * self.n + y) * self.n + x
+
+    def cell_addr(self, cid: int) -> int:
+        return self.cells_base + cid * WORDS_PER_CELL
+
+    def owner_of_cell(self, x: int, y: int, z: int) -> int:
+        """Contiguous sub-cube decomposition by interleaved slabs."""
+        cid = self.cell_id(x, y, z)
+        return (cid * self.num_threads) // (self.n**3)
+
+    def _owned_cells(self, thread: int) -> list[tuple[int, int, int]]:
+        out = []
+        for z in range(self.n):
+            for y in range(self.n):
+                for x in range(self.n):
+                    if self.owner_of_cell(x, y, z) == thread:
+                        out.append((x, y, z))
+        return out
+
+    # -- phases ------------------------------------------------------------
+    def _init_phase(self, thread: int, b: TraceBuilder) -> None:
+        words = np.arange(WORDS_PER_CELL, dtype=np.int64)
+        for x, y, z in self._owned_cells(thread):
+            b.emit(self.cell_addr(self.cell_id(x, y, z)) + words, writes=1, icounts=1)
+
+    def _neighbors(self, x: int, y: int, z: int):
+        for dx, dy, dz in ((1, 0, 0), (0, 1, 0), (0, 0, 1)):
+            nx, ny, nz = x + dx, y + dy, z + dz
+            if nx < self.n and ny < self.n and nz < self.n:
+                yield nx, ny, nz
+
+    def _timestep(self, thread: int, b: TraceBuilder) -> None:
+        words = np.arange(WORDS_PER_CELL, dtype=np.int64)
+        for x, y, z in self._owned_cells(thread):
+            base = self.cell_addr(self.cell_id(x, y, z))
+            # intra-cell update: local RMW run
+            seq = np.column_stack([base + words[:8], base + words[:8]]).ravel()
+            wr = np.tile(np.array([0, 1], dtype=np.uint8), 8)
+            b.emit(seq, writes=wr, icounts=4)
+            # inter-cell interactions with +x/+y/+z neighbours
+            for nx, ny, nz in self._neighbors(x, y, z):
+                nbase = self.cell_addr(self.cell_id(nx, ny, nz))
+                # read neighbour positions (4 words) + RMW its force pair:
+                # one run of ~6 accesses at the neighbour's core
+                b.emit(nbase + words[:4], writes=0, icounts=3)
+                b.emit(
+                    np.array([nbase + 8, nbase + 8], dtype=np.int64),
+                    writes=np.array([0, 1], dtype=np.uint8),
+                    icounts=2,
+                )
+
+    def _thread_trace(self, thread: int, b: TraceBuilder) -> None:
+        self._init_phase(thread, b)
+        for _ in range(self.timesteps):
+            self._timestep(thread, b)

@@ -1,0 +1,34 @@
+"""Shared utilities: error types, validation helpers, RNG handling.
+
+Everything in :mod:`repro` raises subclasses of :class:`ReproError` for
+configuration and protocol errors so callers can catch library errors
+distinctly from Python built-ins.
+"""
+
+from repro.util.errors import (
+    ConfigError,
+    DeadlockError,
+    ProtocolError,
+    ReproError,
+    TraceFormatError,
+)
+from repro.util.validate import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    is_power_of_two,
+)
+from repro.util.rng import as_generator
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "ProtocolError",
+    "DeadlockError",
+    "TraceFormatError",
+    "check_positive",
+    "check_in_range",
+    "check_power_of_two",
+    "is_power_of_two",
+    "as_generator",
+]

@@ -1,0 +1,31 @@
+"""Library-wide exception hierarchy."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent with another."""
+
+
+class ProtocolError(ReproError):
+    """A memory/migration protocol invariant was violated at runtime.
+
+    These indicate bugs in a protocol implementation (e.g. a directory
+    granting two exclusive owners) rather than user mistakes, and are
+    raised eagerly so simulations fail loudly instead of silently
+    producing wrong statistics.
+    """
+
+
+class DeadlockError(ReproError):
+    """The simulator detected a deadlock (no runnable events while
+    threads remain unfinished), or a virtual-channel assignment that
+    permits a cyclic dependency."""
+
+
+class TraceFormatError(ReproError):
+    """A memory trace does not conform to the structured-array schema."""

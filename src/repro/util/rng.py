@@ -1,0 +1,25 @@
+"""Deterministic RNG plumbing.
+
+All stochastic components (workload generators, placement tie-breaking)
+accept either an integer seed or a ready :class:`numpy.random.Generator`
+and normalize through :func:`as_generator`, so a whole experiment is
+reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def as_generator(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Normalize a seed-like value into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a fresh OS-seeded generator; an ``int`` yields a
+    deterministic PCG64 stream; an existing generator passes through
+    unchanged (shared-stream semantics).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,34 @@
+"""Protocol verification utilities.
+
+Post-hoc audits of a finished simulation, packaged as a public API so
+downstream users can assert the same invariants the paper's
+correctness argument rests on:
+
+* :func:`audit_home_only_caching` — EM² sequential consistency premise
+  (§2): every cached line resides only at its home core;
+* :func:`audit_thread_completion` — deadlock-freedom outcome: all
+  threads finished, nothing is stalled or in transit;
+* :func:`audit_message_conservation` — requests and replies balance on
+  the RA and coherence networks;
+* :func:`audit_directory` — MSI directory/cache agreement (single
+  writer, sharer-list exactness).
+
+Each audit raises :class:`~repro.util.errors.ProtocolError` with a
+precise message, or returns a summary dict on success.
+"""
+
+from repro.verify.audits import (
+    audit_directory,
+    audit_home_only_caching,
+    audit_message_conservation,
+    audit_thread_completion,
+    full_machine_audit,
+)
+
+__all__ = [
+    "audit_home_only_caching",
+    "audit_thread_completion",
+    "audit_message_conservation",
+    "audit_directory",
+    "full_machine_audit",
+]

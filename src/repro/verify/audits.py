@@ -1,0 +1,116 @@
+"""Post-run protocol audits (see package docstring)."""
+
+from __future__ import annotations
+
+from repro.arch.noc.packet import VirtualNetwork
+from repro.coherence.msi import DirState, MSIState
+from repro.util.errors import ProtocolError
+
+
+def audit_home_only_caching(machine) -> dict:
+    """Every resident line lives at its home core (EM² §2 premise).
+
+    Applies to the EM² family machines (they share cache + placement
+    structure). Returns {'lines_checked': n}.
+    """
+    if machine.caches is None:
+        return {"lines_checked": 0}
+    checked = 0
+    wb = machine.config.word_bytes
+    for core, hier in enumerate(machine.caches):
+        for byte_addr in hier.l1.resident_addrs() + hier.l2.resident_addrs():
+            home = machine.placement.home_of_one(byte_addr // wb)
+            if home != core:
+                raise ProtocolError(
+                    f"line {byte_addr:#x} cached at core {core} but homed at {home}"
+                )
+            checked += 1
+    return {"lines_checked": checked}
+
+
+def audit_thread_completion(machine) -> dict:
+    """All threads done; no context occupied; nothing in flight."""
+    for th in machine.threads:
+        if not th.done:
+            raise ProtocolError(f"thread {th.tid} unfinished at idx {th.idx}")
+        if th.in_transit:
+            raise ProtocolError(f"thread {th.tid} still in transit")
+    for ctx in machine.contexts:
+        if ctx.occupancy() != 0:
+            raise ProtocolError(
+                f"core {ctx.core} still holds {ctx.occupancy()} contexts after drain"
+            )
+    for core, waiters in enumerate(machine._waiting):
+        if waiters:
+            raise ProtocolError(f"core {core} has {len(waiters)} stalled arrivals")
+    return {"threads": len(machine.threads)}
+
+
+def audit_message_conservation(machine) -> dict:
+    """Requests and replies balance; migrations+evictions delivered."""
+    counts = {
+        vnet: machine.network.message_count(vnet) for vnet in VirtualNetwork
+    }
+    if counts[VirtualNetwork.RA_REQUEST] != counts[VirtualNetwork.RA_REPLY]:
+        raise ProtocolError(
+            f"RA requests ({counts[VirtualNetwork.RA_REQUEST]}) != replies "
+            f"({counts[VirtualNetwork.RA_REPLY]})"
+        )
+    migrations = machine.stats.counters["migrations"]
+    evictions = machine.stats.counters["evictions"]
+    if counts[VirtualNetwork.MIGRATION] != migrations:
+        raise ProtocolError(
+            f"migration messages ({counts[VirtualNetwork.MIGRATION]}) != "
+            f"migration count ({migrations})"
+        )
+    if counts[VirtualNetwork.EVICTION] != evictions:
+        raise ProtocolError(
+            f"eviction messages ({counts[VirtualNetwork.EVICTION]}) != "
+            f"eviction count ({evictions})"
+        )
+    return {k.name: v for k, v in counts.items() if v}
+
+
+def audit_directory(sim) -> dict:
+    """Directory and caches agree (MSI single-writer / sharer exactness).
+
+    ``sim`` is a :class:`~repro.coherence.simulator.DirectoryCCSimulator`.
+    """
+    lines = 0
+    for line, entry in sim.directory.items():
+        entry.check_invariants()
+        byte_addr = line * sim.config.l2.line_bytes
+        holders = {
+            c
+            for c in range(sim.config.num_cores)
+            if sim.caches[c].probe(byte_addr) is not None
+        }
+        if entry.state == DirState.EXCLUSIVE:
+            if holders != {entry.owner}:
+                raise ProtocolError(
+                    f"line {line:#x} EXCLUSIVE at {entry.owner} but held by {holders}"
+                )
+            st = MSIState(sim.caches[entry.owner].probe(byte_addr).state)
+            if st not in (MSIState.MODIFIED, MSIState.EXCLUSIVE):
+                raise ProtocolError(
+                    f"line {line:#x} owner cache state {st.name} not M/E"
+                )
+        elif entry.state == DirState.SHARED:
+            if holders != entry.sharers:
+                raise ProtocolError(
+                    f"line {line:#x} sharers {entry.sharers} but held by {holders}"
+                )
+        else:  # UNCACHED
+            if holders:
+                raise ProtocolError(f"line {line:#x} UNCACHED but held by {holders}")
+        lines += 1
+    return {"directory_lines": lines}
+
+
+def full_machine_audit(machine) -> dict:
+    """All EM²-family audits in one call."""
+    out = {}
+    out.update(audit_thread_completion(machine))
+    out.update(audit_home_only_caching(machine))
+    out.update(audit_message_conservation(machine))
+    return out

@@ -1,0 +1,50 @@
+"""Shared fixtures: small, fast system configurations and traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.config import SystemConfig, small_test_config
+from repro.core.costs import CostModel
+from repro.placement import first_touch, striped
+from repro.trace.events import MultiTrace, make_trace
+from repro.trace.synthetic import make_workload
+
+
+@pytest.fixture
+def cfg4() -> SystemConfig:
+    return small_test_config(num_cores=4)
+
+
+@pytest.fixture
+def cfg16() -> SystemConfig:
+    return small_test_config(num_cores=16)
+
+
+@pytest.fixture
+def cost4(cfg4) -> CostModel:
+    return CostModel(cfg4)
+
+
+@pytest.fixture
+def cost16(cfg16) -> CostModel:
+    return CostModel(cfg16)
+
+
+@pytest.fixture
+def tiny_trace() -> MultiTrace:
+    """Two threads, hand-written addresses (words 0..63 shared)."""
+    t0 = make_trace([0, 1, 2, 3, 32, 33], writes=[1, 1, 1, 1, 0, 0], icounts=1)
+    t1 = make_trace([32, 33, 34, 35, 0, 1], writes=[1, 1, 1, 1, 0, 0], icounts=1)
+    return MultiTrace(threads=[t0, t1], thread_native_core=[0, 1], name="tiny")
+
+
+@pytest.fixture
+def ocean_small() -> MultiTrace:
+    return make_workload("ocean", num_threads=8, grid_n=50, iterations=1)
+
+
+@pytest.fixture
+def pingpong_small() -> MultiTrace:
+    return make_workload("pingpong", num_threads=4, rounds=16, run=2)

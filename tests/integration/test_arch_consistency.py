@@ -1,0 +1,98 @@
+"""Cross-checks between the behavioral machines and the analytical
+evaluators: the two evaluation paths must agree on protocol *counts*
+(they intentionally differ in timing fidelity)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import small_test_config
+from repro.core.costs import CostModel
+from repro.core.decision import AlwaysMigrate, NeverMigrate
+from repro.core.em2 import EM2Machine
+from repro.core.em2ra import EM2RAMachine
+from repro.core.evaluation import evaluate_scheme
+from repro.core.remote_access import RemoteAccessMachine
+from repro.placement import first_touch
+from repro.trace.synthetic import make_workload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cfg = small_test_config(num_cores=4, guest_contexts=4)
+    trace = make_workload("pingpong", num_threads=4, rounds=24, run=3)
+    pl = first_touch(trace, 4)
+    return cfg, trace, pl
+
+
+class TestCountsAgree:
+    def test_em2_migration_count_matches_analytical(self, setup):
+        cfg, trace, pl = setup
+        machine = EM2Machine(trace, pl, cfg)
+        machine.run()
+        analytical = evaluate_scheme(trace, pl, AlwaysMigrate(), CostModel(cfg))
+        # with enough guest contexts there are no evictions, so the
+        # machine's migration count equals the analytical model's
+        assert machine.results()["evictions"] == 0
+        assert machine.results()["migrations"] == analytical.migrations
+        assert machine.results()["local_accesses"] == analytical.local_accesses
+
+    def test_ra_only_count_matches_analytical(self, setup):
+        cfg, trace, pl = setup
+        machine = RemoteAccessMachine(trace, pl, cfg)
+        machine.run()
+        analytical = evaluate_scheme(trace, pl, NeverMigrate(), CostModel(cfg))
+        assert machine.results()["remote_accesses"] == analytical.remote_accesses
+        assert machine.results()["local_accesses"] == analytical.local_accesses
+
+    def test_machine_run_length_histogram_matches_offline(self, setup):
+        cfg, trace, pl = setup
+        machine = EM2Machine(trace, pl, cfg)
+        machine.run()
+        online = machine.stats.histogram("run_length")
+        offline = evaluate_scheme(
+            trace, pl, AlwaysMigrate(), CostModel(cfg), collect_run_lengths=True
+        ).run_length_hist
+        assert online.bins() == offline.bins()
+
+
+class TestOrderings:
+    """Directional claims that must hold between architectures (§3)."""
+
+    def test_em2_traffic_exceeds_ra_on_single_access_runs(self):
+        cfg = small_test_config(num_cores=4, guest_contexts=4)
+        trace = make_workload("pingpong", num_threads=4, rounds=30, run=1)
+        pl = first_touch(trace, 4)
+        em2 = EM2Machine(trace, pl, cfg)
+        em2.run()
+        ra = RemoteAccessMachine(trace, pl, cfg)
+        ra.run()
+        # run length 1: every migration hauls a full context for one word
+        assert em2.results()["flit_hops"] > ra.results()["flit_hops"]
+
+    def test_em2_traffic_beats_ra_on_long_runs(self):
+        cfg = small_test_config(num_cores=4, guest_contexts=4)
+        trace = make_workload("pingpong", num_threads=4, rounds=10, run=24)
+        pl = first_touch(trace, 4)
+        em2 = EM2Machine(trace, pl, cfg)
+        em2.run()
+        ra = RemoteAccessMachine(trace, pl, cfg)
+        ra.run()
+        # long runs: one migration amortizes over 24 accesses
+        assert em2.results()["flit_hops"] < ra.results()["flit_hops"]
+
+    def test_hybrid_never_worse_than_both_with_oracle_threshold(self):
+        """EM²-RA with a well-chosen scheme beats at least one of the
+        pure architectures on mixed workloads (the hybrid's raison
+        d'etre)."""
+        from repro.core.decision import HistoryRunLength
+
+        cfg = small_test_config(num_cores=4, guest_contexts=4)
+        trace = make_workload("pingpong", num_threads=4, rounds=30, run=6)
+        pl = first_touch(trace, 4)
+        cm = CostModel(cfg)
+        em2 = evaluate_scheme(trace, pl, AlwaysMigrate(), cm).total_cost
+        ra = evaluate_scheme(trace, pl, NeverMigrate(), cm).total_cost
+        hybrid = evaluate_scheme(
+            trace, pl, HistoryRunLength(threshold=4.0), cm
+        ).total_cost
+        assert hybrid <= max(em2, ra) + 1e-9

@@ -1,0 +1,82 @@
+"""Behavioral machines under the link-contention NoC model.
+
+The contention model must preserve all protocol invariants (it only
+changes timing) and can only slow things down.
+"""
+
+import pytest
+
+from repro.arch.config import NocConfig, small_test_config
+from repro.core.decision import NeverMigrate
+from repro.core.em2 import EM2Machine
+from repro.core.em2ra import EM2RAMachine
+from repro.placement import first_touch
+from repro.trace.synthetic import make_workload
+from repro.verify import full_machine_audit
+
+
+def _cfgs():
+    return (
+        small_test_config(num_cores=8, guest_contexts=2,
+                          noc=NocConfig(contention=False)),
+        small_test_config(num_cores=8, guest_contexts=2,
+                          noc=NocConfig(contention=True)),
+    )
+
+
+@pytest.fixture(scope="module")
+def hotspot():
+    return make_workload("hotspot", num_threads=8, accesses_per_thread=64,
+                         hot_fraction=0.5, seed=1)
+
+
+class TestContentionPreservesProtocol:
+    def test_em2_audits_clean_under_contention(self, hotspot):
+        _, cfg = _cfgs()
+        pl = first_touch(hotspot, 8)
+        m = EM2Machine(hotspot, pl, cfg)
+        m.run()
+        full_machine_audit(m)
+
+    def test_em2ra_audits_clean_under_contention(self, hotspot):
+        _, cfg = _cfgs()
+        pl = first_touch(hotspot, 8)
+        m = EM2RAMachine(hotspot, pl, cfg, scheme=NeverMigrate())
+        m.run()
+        full_machine_audit(m)
+
+    def test_protocol_counts_identical_without_evictions(self, hotspot):
+        """With ample guest contexts (no evictions) contention changes
+        *when*, never *what*: migrations and traffic are identical.
+        (Under context pressure, timing shifts arrival order, which
+        changes eviction victims and hence re-migration counts — that
+        is protocol-correct behaviour, covered by the audit tests.)"""
+        results = []
+        pl = first_touch(hotspot, 8)
+        for contention in (False, True):
+            cfg = small_test_config(num_cores=8, guest_contexts=8,
+                                    noc=NocConfig(contention=contention))
+            m = EM2Machine(hotspot, pl, cfg)
+            m.run()
+            assert m.results()["evictions"] == 0
+            results.append(m.results())
+        a, b = results
+        for key in ("migrations", "local_accesses", "flit_hops"):
+            assert a[key] == b[key]
+
+    def test_contention_never_faster(self, hotspot):
+        pl = first_touch(hotspot, 8)
+        times = []
+        for cfg in _cfgs():
+            m = EM2Machine(hotspot, pl, cfg)
+            m.run()
+            times.append(m.completion_time)
+        assert times[1] >= times[0] - 1e-9
+
+    def test_queueing_latency_recorded(self, hotspot):
+        _, cfg = _cfgs()
+        pl = first_touch(hotspot, 8)
+        m = EM2Machine(hotspot, pl, cfg)
+        m.run()
+        # converging migrations on the hotspot must queue somewhere
+        assert m.network.stats.latency("queueing").count > 0

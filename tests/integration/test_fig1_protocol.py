@@ -1,0 +1,140 @@
+"""Figure 1 conformance: the life of a memory access under EM².
+
+Each test walks one branch of the paper's flowchart against the
+behavioral machine and checks the observable protocol actions match:
+
+    memory access in core A
+      -> cacheable in A?  yes -> access memory, continue      (branch 1)
+      -> no -> migrate to home core                            (branch 2)
+           -> # threads exceeded? no -> access memory, continue
+           -> yes -> migrate another thread back to its native
+              core, then access memory, continue               (branch 3)
+
+Plus the global invariants the protocol guarantees: single cache
+location per address (sequential consistency argument, §2) and
+deadlock-free completion.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import small_test_config
+from repro.arch.noc.packet import VirtualNetwork
+from repro.core.em2 import EM2Machine
+from repro.placement import striped
+from repro.trace.events import MultiTrace, make_trace
+
+
+def _machine(threads, num_cores=4, guests=2, natives=None):
+    cfg = small_test_config(num_cores=num_cores, guest_contexts=guests)
+    mt = MultiTrace(
+        threads=[make_trace(a, writes=w, icounts=1) for a, w in threads],
+        thread_native_core=natives or list(range(len(threads))),
+    )
+    return EM2Machine(mt, striped(num_cores, block_words=16), cfg)
+
+
+class TestBranch1_LocalAccess:
+    def test_cacheable_address_accesses_locally(self):
+        m = _machine([([0, 1, 2], [0, 0, 0])])  # block 0 homes at core 0
+        m.run()
+        r = m.results()
+        assert r["local_accesses"] == 3
+        assert r["migrations"] == 0
+        assert m.network.message_count() == 0  # nothing crossed the NoC
+
+
+class TestBranch2_Migration:
+    def test_noncacheable_address_migrates_to_home(self):
+        m = _machine([([16], [0])])  # block 1 homes at core 1
+        m.run()
+        assert m.results()["migrations"] == 1
+        assert m.threads[0].core == 1  # execution continued at the home
+        # the migration used the migration virtual network
+        assert m.network.message_count(VirtualNetwork.MIGRATION) == 1
+        assert m.network.message_count(VirtualNetwork.EVICTION) == 0
+
+    def test_access_executes_at_home_after_migration(self):
+        """The home core's cache (not the source's) services the access."""
+        m = _machine([([16], [0])])
+        m.run()
+        assert m.caches[1].l1.misses + m.caches[1].l1.hits == 1
+        assert m.caches[0].l1.misses + m.caches[0].l1.hits == 0
+
+    def test_context_size_on_wire_matches_config(self):
+        m = _machine([([16], [0])])
+        m.run()
+        flits_expected = m.config.noc.message_flits(
+            m.config.context.full_context_bits
+        )
+        assert m.network.stats.counters["flits.MIGRATION"] == flits_expected
+
+
+class TestBranch3_Eviction:
+    def test_exceeding_guest_contexts_evicts_to_native(self):
+        # 3 guests converge on core 0 which has 1 guest slot
+        m = _machine(
+            [([0], [0]), ([1], [0]), ([1], [0]), ([1], [0])],
+            guests=1,
+        )
+        m.run()
+        r = m.results()
+        assert r["evictions"] >= 1
+        # evictions travel on their own virtual network (deadlock freedom)
+        assert m.network.message_count(VirtualNetwork.EVICTION) == r["evictions"]
+
+    def test_evicted_thread_lands_at_native_context(self):
+        m = _machine(
+            [([0, 0], [0, 0]), ([1, 17], [0, 0]), ([1, 1], [0, 0]), ([1, 1], [0, 0])],
+            guests=1,
+        )
+        m.run()
+        for th in m.threads:
+            assert th.done
+
+    def test_native_context_never_evicted(self):
+        """Thread 0 sits at its native core; visitors never displace it."""
+        m = _machine(
+            [([0] * 10, [0] * 10), ([1], [0]), ([1], [0]), ([1], [0])],
+            guests=1,
+        )
+        m.run()
+        assert m.threads[0].done
+        # thread 0 never migrated nor was evicted
+        assert m.network.message_count(VirtualNetwork.EVICTION) >= 0
+        assert m.threads[0].core == 0
+
+
+class TestGlobalInvariants:
+    def test_address_only_cached_at_home(self):
+        """Sequential consistency's premise: after any run, every cached
+        line lives only in its home core's hierarchy (§2)."""
+        m = _machine(
+            [
+                ([0, 16, 32, 48, 0], [1, 1, 1, 1, 0]),
+                ([16, 32, 0, 16, 48], [0, 1, 1, 0, 0]),
+            ]
+        )
+        m.run()
+        for core, hier in enumerate(m.caches):
+            for byte_addr in hier.l1.resident_addrs() + hier.l2.resident_addrs():
+                word = byte_addr // m.config.word_bytes
+                assert m.placement.home_of_one(word) == core
+
+    def test_all_threads_complete_under_context_pressure(self):
+        """Deadlock-freedom: heavy convergence on one core still drains."""
+        rng = np.random.default_rng(0)
+        threads = []
+        for t in range(8):
+            addrs = rng.integers(0, 16, 40)  # all home at core 0 (block 0)
+            threads.append((addrs.tolist(), [0] * 40))
+        m = _machine(threads, num_cores=8, guests=1)
+        m.run()
+        assert all(th.done for th in m.threads)
+
+    def test_write_then_read_same_address_sees_home_cache(self):
+        """Two threads RMW the same word: both migrate to one home, the
+        second access hits the line the first brought in."""
+        m = _machine([([16], [1]), ([16], [0])])
+        m.run()
+        assert m.results()["dram_fills"] == 1  # one fill, then a hit

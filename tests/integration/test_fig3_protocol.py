@@ -1,0 +1,125 @@
+"""Figure 3 conformance: the life of a memory access under EM²-RA.
+
+The hybrid adds a decision procedure ahead of the migration path and a
+remote-op round trip:
+
+    ... address cacheable in core A? no -> DECISION procedure
+        -> migrate  (same as Figure 1, evictions included)
+        -> send remote request to home core
+             -> home performs access
+             -> data (read) or ack (write) returns to core A
+             -> core A continues execution
+
+and requires the remote-access subnetwork to be disjoint from the
+migration subnetworks (six virtual channels total, §3).
+"""
+
+import pytest
+
+from repro.arch.config import small_test_config
+from repro.arch.noc.deadlock import VC_PLAN_EM2RA, check_vc_plan
+from repro.arch.noc.packet import VirtualNetwork
+from repro.core.decision import AlwaysMigrate, Decision, DecisionScheme, NeverMigrate
+from repro.core.em2ra import EM2RAMachine
+from repro.placement import striped
+from repro.trace.events import MultiTrace, make_trace
+
+
+def _machine(threads, scheme, num_cores=4, guests=2):
+    cfg = small_test_config(num_cores=num_cores, guest_contexts=guests)
+    mt = MultiTrace(
+        threads=[make_trace(a, writes=w, icounts=1) for a, w in threads],
+    )
+    return EM2RAMachine(mt, striped(num_cores, block_words=16), cfg, scheme=scheme)
+
+
+class TestRemoteBranch:
+    def test_read_gets_data_reply(self):
+        m = _machine([([16], [0])], NeverMigrate())
+        m.run()
+        assert m.network.message_count(VirtualNetwork.RA_REQUEST) == 1
+        assert m.network.message_count(VirtualNetwork.RA_REPLY) == 1
+        # requester never moved; home performed the access
+        assert m.threads[0].core == 0
+        assert m.caches[1].l1.misses + m.caches[1].l1.hits == 1
+
+    def test_write_gets_ack(self):
+        m = _machine([([16], [1])], NeverMigrate())
+        m.run()
+        assert m.network.message_count(VirtualNetwork.RA_REPLY) == 1
+        # the ack is smaller than a data reply: compare flit counts
+        read = _machine([([16], [0])], NeverMigrate())
+        read.run()
+        assert (
+            m.network.stats.counters["flits.RA_REQUEST"]
+            >= read.network.stats.counters["flits.RA_REQUEST"]
+        )
+
+    def test_ra_subnetwork_disjoint_from_migration(self):
+        check_vc_plan(VC_PLAN_EM2RA, available_vcs=6)
+        mig = {VC_PLAN_EM2RA.vc_of[VirtualNetwork.MIGRATION],
+               VC_PLAN_EM2RA.vc_of[VirtualNetwork.EVICTION]}
+        ra = {VC_PLAN_EM2RA.vc_of[VirtualNetwork.RA_REQUEST],
+              VC_PLAN_EM2RA.vc_of[VirtualNetwork.RA_REPLY]}
+        assert mig.isdisjoint(ra)
+
+
+class TestDecisionBranch:
+    def test_migrate_decision_follows_fig1_path(self):
+        m = _machine([([16], [0])], AlwaysMigrate())
+        m.run()
+        assert m.network.message_count(VirtualNetwork.MIGRATION) == 1
+        assert m.network.message_count(VirtualNetwork.RA_REQUEST) == 0
+        assert m.threads[0].core == 1
+
+    def test_per_access_decision_consulted(self):
+        """A scheme alternating REMOTE/MIGRATE must see both paths used."""
+
+        class Alternating(DecisionScheme):
+            name = "alternating"
+
+            def __init__(self):
+                self.flip = False
+
+            def decide(self, current, home, addr, write):
+                self.flip = not self.flip
+                return Decision.MIGRATE if self.flip else Decision.REMOTE
+
+            def clone(self):
+                return Alternating()
+
+        # alternate far-home accesses from a single thread
+        m = _machine([([16, 0, 16, 0, 16], [0] * 5)], Alternating())
+        m.run()
+        assert m.network.message_count(VirtualNetwork.MIGRATION) >= 1
+        assert m.network.message_count(VirtualNetwork.RA_REQUEST) >= 1
+
+    def test_migration_branch_can_still_evict(self):
+        m = _machine(
+            [([0], [0]), ([1], [0]), ([1], [0]), ([1], [0])],
+            AlwaysMigrate(),
+            guests=1,
+        )
+        m.run()
+        assert m.results()["evictions"] >= 1
+
+
+class TestHybridInvariants:
+    def test_ra_preserves_home_only_caching(self):
+        m = _machine(
+            [([16, 32, 0], [1, 0, 0]), ([32, 16, 48], [0, 1, 0])],
+            NeverMigrate(),
+        )
+        m.run()
+        for core, hier in enumerate(m.caches):
+            for byte_addr in hier.l1.resident_addrs() + hier.l2.resident_addrs():
+                word = byte_addr // m.config.word_bytes
+                assert m.placement.home_of_one(word) == core
+
+    def test_all_threads_complete(self):
+        m = _machine(
+            [([16, 0, 32], [0, 0, 0]), ([0, 16, 48], [0, 1, 0])],
+            NeverMigrate(),
+        )
+        m.run()
+        assert all(th.done for th in m.threads)

@@ -1,0 +1,60 @@
+"""Machines and cost models over non-default topologies."""
+
+import pytest
+
+from repro.arch.config import small_test_config
+from repro.arch.topology import Mesh2D, TorusTopology, UnidirectionalRing
+from repro.core.costs import CostModel
+from repro.core.decision import AlwaysMigrate
+from repro.core.em2 import EM2Machine
+from repro.core.evaluation import evaluate_scheme
+from repro.placement import first_touch
+from repro.trace.synthetic import make_workload
+from repro.verify import full_machine_audit
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload("fft", num_threads=16, points_per_thread=64,
+                         butterfly_stages=2)
+
+
+class TestTopologiesPlugIn:
+    def test_em2_machine_on_torus(self, workload):
+        cfg = small_test_config(num_cores=16, guest_contexts=4)
+        pl = first_touch(workload, 16)
+        m = EM2Machine(workload, pl, cfg, topology=TorusTopology(4, 4))
+        m.run()
+        full_machine_audit(m)
+
+    def test_torus_never_slower_traffic_than_mesh(self, workload):
+        cfg = small_test_config(num_cores=16, guest_contexts=4)
+        pl = first_touch(workload, 16)
+        hops = {}
+        for name, topo in (("mesh", Mesh2D(4, 4)), ("torus", TorusTopology(4, 4))):
+            m = EM2Machine(workload, pl, cfg, topology=topo)
+            m.run()
+            hops[name] = m.results()["flit_hops"]
+        assert hops["torus"] <= hops["mesh"]
+
+    def test_cost_model_on_unidirectional_ring(self, workload):
+        """Even the directed ring works as a cost substrate (its
+        asymmetric distances flow into the matrices)."""
+        cfg = small_test_config(num_cores=16)
+        cm = CostModel(cfg, topology=UnidirectionalRing(16))
+        assert cm.migration[0, 1] < cm.migration[1, 0]  # asymmetry
+        pl = first_touch(workload, 16)
+        r = evaluate_scheme(workload, pl, AlwaysMigrate(), cm)
+        assert r.total_cost > 0
+
+    def test_protocol_counts_topology_invariant(self, workload):
+        """Topology changes distances, never protocol decisions: the
+        migration count under AlwaysMigrate is identical."""
+        cfg = small_test_config(num_cores=16, guest_contexts=8)
+        pl = first_touch(workload, 16)
+        migs = set()
+        for topo in (Mesh2D(4, 4), TorusTopology(4, 4)):
+            m = EM2Machine(workload, pl, cfg, topology=topo)
+            m.run()
+            migs.add(m.results()["migrations"])
+        assert len(migs) == 1

@@ -1,0 +1,108 @@
+"""Property-based tests: run-length analysis, placement, coherence."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.arch.config import small_test_config
+from repro.coherence import DirectoryCCSimulator
+from repro.placement import first_touch, profile_optimal, striped
+from repro.trace.events import MultiTrace, make_trace
+from repro.trace.runlength import run_length_histogram, run_lengths
+
+home_seqs = hnp.arrays(np.int64, st.integers(1, 200), elements=st.integers(0, 7))
+
+
+@given(home_seqs)
+def test_rle_roundtrip(seq):
+    cores, lengths = run_lengths(seq)
+    rebuilt = np.repeat(cores, lengths)
+    assert (rebuilt == seq).all()
+
+
+@given(home_seqs)
+def test_rle_no_adjacent_equal_cores(seq):
+    cores, _ = run_lengths(seq)
+    assert (cores[1:] != cores[:-1]).all()
+
+
+@given(home_seqs, st.integers(0, 7))
+def test_histogram_counts_all_nonnative_accesses(seq, native):
+    h = run_length_histogram(seq, native)
+    assert h.count + h.overflow * 0 == int((seq != native).sum())
+
+
+@given(home_seqs, st.integers(0, 7))
+def test_runcount_histogram_counts_runs(seq, native):
+    h = run_length_histogram(seq, native, weight_by_accesses=False)
+    cores, _ = run_lengths(seq)
+    assert h.count == int((cores != native).sum())
+
+
+# ---------------------------------------------------------------- placement
+addr_lists = st.lists(st.integers(0, 1023), min_size=1, max_size=100)
+
+
+@settings(max_examples=40)
+@given(addr_lists, addr_lists)
+def test_first_touch_total_function(a0, a1):
+    mt = MultiTrace(threads=[make_trace(a0), make_trace(a1)])
+    pl = first_touch(mt, 4, block_words=8)
+    homes = pl.home_of(np.array(a0 + a1))
+    assert ((homes >= 0) & (homes < 4)).all()
+
+
+@settings(max_examples=40)
+@given(addr_lists, addr_lists)
+def test_placements_agree_on_granularity(a0, a1):
+    """Same block -> same home, for every policy."""
+    mt = MultiTrace(threads=[make_trace(a0), make_trace(a1)])
+    for pl in (
+        first_touch(mt, 4, block_words=8),
+        striped(4, block_words=8),
+        profile_optimal(mt, 4, block_words=8),
+    ):
+        addrs = np.array(a0 + a1)
+        homes = pl.home_of(addrs)
+        blocks = addrs // 8
+        for b in np.unique(blocks):
+            assert len(set(homes[blocks == b].tolist())) == 1
+
+
+@settings(max_examples=30)
+@given(addr_lists)
+def test_profile_opt_maximizes_local_fraction_single_thread(a0):
+    """With one thread, profile-opt homes everything at that thread."""
+    mt = MultiTrace(threads=[make_trace(a0)])
+    pl = profile_optimal(mt, 4, block_words=8)
+    assert (pl.home_of(np.array(a0)) == 0).all()
+
+
+# ---------------------------------------------------------------- coherence
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 127), st.booleans()),
+        min_size=1,
+        max_size=150,
+    )
+)
+def test_directory_invariants_under_arbitrary_access_interleavings(ops):
+    cfg = small_test_config(num_cores=4)
+    mt = MultiTrace(threads=[make_trace([0])])
+    sim = DirectoryCCSimulator(mt, striped(4, block_words=16), cfg)
+    for core, addr, write in ops:
+        lat = sim.access(core, addr, write)
+        assert lat > 0
+    for entry in sim.directory.values():
+        entry.check_invariants()
+    # single-writer invariant: every EXCLUSIVE line resident only at owner
+    from repro.coherence.msi import DirState, MSIState
+
+    for line, entry in sim.directory.items():
+        byte_addr = line * cfg.l2.line_bytes
+        if entry.state == DirState.EXCLUSIVE:
+            for c in range(4):
+                present = sim.caches[c].probe(byte_addr) is not None
+                assert present == (c == entry.owner)

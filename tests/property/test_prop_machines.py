@@ -1,0 +1,102 @@
+"""Property-based tests for the behavioral machines.
+
+The strongest property in the repo: for *arbitrary* small multithreaded
+traces, every machine drains to completion with conserved messages and
+home-only caching — the paper's deadlock-freedom and sequential-
+consistency premises, fuzzed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import small_test_config
+from repro.core.decision import NeverMigrate, RandomScheme
+from repro.core.em2 import EM2Machine
+from repro.core.em2ra import EM2RAMachine
+from repro.core.remote_access import RemoteAccessMachine
+from repro.placement import striped
+from repro.trace.events import MultiTrace, make_trace
+from repro.verify import full_machine_audit
+
+# traces: up to 4 threads, each up to 25 accesses over a handful of blocks
+thread_trace = st.lists(
+    st.tuples(st.integers(0, 5), st.booleans()), min_size=0, max_size=25
+)
+multi_trace = st.lists(thread_trace, min_size=1, max_size=4)
+
+
+def _build(threads):
+    built = []
+    for t in threads:
+        addrs = [blk * 16 for blk, _ in t]
+        writes = [int(w) for _, w in t]
+        built.append(make_trace(addrs, writes=writes, icounts=1))
+    return MultiTrace(threads=built)
+
+
+@settings(max_examples=40, deadline=None)
+@given(multi_trace, st.integers(1, 3))
+def test_em2_always_drains_and_audits_clean(threads, guests):
+    cfg = small_test_config(num_cores=4, guest_contexts=guests)
+    mt = _build(threads)
+    m = EM2Machine(mt, striped(4, block_words=16), cfg)
+    m.run(max_events=200_000)
+    full_machine_audit(m)
+    # every access is accounted exactly once
+    assert (
+        m.stats.counters["local_accesses"] + m.stats.counters["migrations"]
+        >= mt.total_accesses
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(multi_trace, st.integers(0, 3))
+def test_em2ra_random_scheme_drains(threads, seed):
+    cfg = small_test_config(num_cores=4, guest_contexts=1)
+    mt = _build(threads)
+    m = EM2RAMachine(
+        mt, striped(4, block_words=16), cfg, scheme=RandomScheme(p=0.5, seed=seed)
+    )
+    m.run(max_events=200_000)
+    full_machine_audit(m)
+
+
+@settings(max_examples=30, deadline=None)
+@given(multi_trace)
+def test_ra_only_threads_never_move(threads):
+    cfg = small_test_config(num_cores=4, guest_contexts=1)
+    mt = _build(threads)
+    m = RemoteAccessMachine(mt, striped(4, block_words=16), cfg)
+    m.run(max_events=200_000)
+    full_machine_audit(m)
+    assert m.stats.counters["migrations"] == 0
+    assert m.stats.counters["evictions"] == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(multi_trace)
+def test_access_accounting_exact_without_evictions(threads):
+    """With ample guest contexts: local + migrations + RAs == accesses."""
+    cfg = small_test_config(num_cores=4, guest_contexts=8)
+    mt = _build(threads)
+    m = EM2Machine(mt, striped(4, block_words=16), cfg)
+    m.run(max_events=200_000)
+    s = m.stats.counters
+    assert s["evictions"] == 0
+    assert s["local_accesses"] + s["migrations"] == mt.total_accesses
+
+
+@settings(max_examples=25, deadline=None)
+@given(multi_trace)
+def test_determinism(threads):
+    """Two identical runs produce identical statistics."""
+    cfg = small_test_config(num_cores=4, guest_contexts=2)
+    mt = _build(threads)
+    results = []
+    for _ in range(2):
+        m = EM2Machine(mt, striped(4, block_words=16), cfg)
+        m.run(max_events=200_000)
+        results.append((m.results(), m.completion_time))
+    assert results[0] == results[1]

@@ -1,0 +1,133 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_params, main
+from repro.util.errors import ReproError
+
+
+class TestParseParams:
+    def test_int_float_str(self):
+        out = _parse_params(["a=3", "b=2.5", "c=hello"])
+        assert out == {"a": 3, "b": 2.5, "c": "hello"}
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ReproError):
+            _parse_params(["nokey"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "workloads:" in out and "ocean" in out
+
+    def test_fig2_small(self, capsys):
+        rc = main(
+            ["fig2", "--threads", "4", "--cores", "4", "--grid", "20",
+             "--iterations", "1", "--rows", "5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "run_length" in out
+        assert "fraction at run length 1" in out
+
+    def test_workload_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "w.npz"
+        rc = main(
+            ["workload", "--workload", "private", "--threads", "2",
+             "--param", "accesses_per_thread=32", "--out", str(out_file)]
+        )
+        assert rc == 0
+        assert out_file.exists()
+        # and evaluate the saved trace
+        rc = main(
+            ["evaluate", "--trace", str(out_file), "--cores", "4",
+             "--scheme", "always-migrate"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "always-migrate" in out
+
+    def test_evaluate_all_schemes(self, capsys):
+        rc = main(
+            ["evaluate", "--workload", "pingpong", "--threads", "4",
+             "--cores", "4", "--param", "rounds=8", "--scheme", "all"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("always-migrate", "never-migrate", "history"):
+            assert name in out
+
+    def test_optimal_summary(self, capsys):
+        rc = main(
+            ["optimal", "--workload", "pingpong", "--threads", "4",
+             "--cores", "4", "--param", "rounds=8", "--thread", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "optimal_cost" in out
+
+    def test_shootout_normalizes_to_optimal(self, capsys):
+        rc = main(
+            ["shootout", "--workload", "pingpong", "--threads", "4",
+             "--cores", "4", "--param", "rounds=8"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "optimal (DP)" in out
+        assert "x_optimal" in out
+
+    def test_error_paths_return_nonzero(self, capsys):
+        rc = main(
+            ["evaluate", "--workload", "pingpong", "--threads", "3",
+             "--cores", "4"]
+        )  # pingpong needs even threads -> ReproError -> exit 2
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stackdepth_command(self, capsys):
+        rc = main(
+            ["stackdepth", "--kernel", "reduce", "--threads", "4",
+             "--cores", "4", "--n", "16", "--max-depth", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "optimal" in out and "migrated_kbit" in out
+
+    def test_dynamic_command(self, capsys):
+        rc = main(
+            ["dynamic", "--workload", "uniform", "--threads", "4",
+             "--cores", "4", "--param", "accesses_per_thread=64",
+             "--epochs", "2", "--oracle"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gain" in out
+
+    def test_evaluate_csv_output(self, capsys):
+        rc = main(
+            ["evaluate", "--workload", "private", "--threads", "2",
+             "--cores", "4", "--param", "accesses_per_thread=16",
+             "--scheme", "never-migrate", "--csv"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("scheme,")
+        assert "never-migrate" in out
+
+    def test_costaware_scheme_available(self, capsys):
+        rc = main(
+            ["evaluate", "--workload", "pingpong", "--threads", "4",
+             "--cores", "4", "--param", "rounds=8", "--scheme", "costaware"]
+        )
+        assert rc == 0
+        assert "costaware" in capsys.readouterr().out
+
+    def test_striped_placement_option(self, capsys):
+        rc = main(
+            ["evaluate", "--workload", "private", "--threads", "2",
+             "--cores", "4", "--placement", "striped",
+             "--param", "accesses_per_thread=16", "--scheme", "never-migrate"]
+        )
+        assert rc == 0

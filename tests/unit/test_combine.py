@@ -1,0 +1,109 @@
+"""Unit tests for workload composition (multiprogram / phases)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import small_test_config
+from repro.core.costs import CostModel
+from repro.core.decision import NeverMigrate
+from repro.core.evaluation import evaluate_scheme
+from repro.placement import first_touch
+from repro.placement.dynamic import evaluate_dynamic_placement
+from repro.trace.combine import concat_phases, multiprogram
+from repro.trace.events import validate_trace
+from repro.trace.synthetic import make_workload
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def two_workloads():
+    a = make_workload("pingpong", num_threads=4, rounds=8, run=2)
+    b = make_workload("private", num_threads=4, accesses_per_thread=32)
+    return a, b
+
+
+class TestMultiprogram:
+    def test_thread_and_core_offsets(self, two_workloads):
+        a, b = two_workloads
+        mp = multiprogram(a, b)
+        assert mp.num_threads == 8
+        assert mp.thread_native_core == [0, 1, 2, 3, 4, 5, 6, 7]
+        assert mp.total_accesses == a.total_accesses + b.total_accesses
+
+    def test_shared_regions_disjoint_across_programs(self, two_workloads):
+        a, b = two_workloads
+        mp = multiprogram(a, a)  # same workload twice
+        from repro.trace.synthetic.base import PRIVATE_BASE
+
+        shared_a = set()
+        shared_b = set()
+        for t in range(4):
+            addrs = mp.threads[t]["addr"].astype(np.int64)
+            shared_a.update(addrs[addrs < PRIVATE_BASE].tolist())
+        for t in range(4, 8):
+            addrs = mp.threads[t]["addr"].astype(np.int64)
+            shared_b.update(addrs[addrs < PRIVATE_BASE].tolist())
+        assert shared_a.isdisjoint(shared_b)
+
+    def test_private_data_stays_private(self, two_workloads):
+        """Under first-touch on the combined trace, program isolation
+        means each program behaves as it did alone."""
+        a, b = two_workloads
+        mp = multiprogram(a, b)
+        pl = first_touch(mp, 8)
+        cm = CostModel(small_test_config(num_cores=8))
+        combined = evaluate_scheme(mp, pl, NeverMigrate(), cm)
+        # program b is all-private: its threads (4..7) contribute no RAs
+        for t in range(4, 8):
+            assert combined.per_thread_cost[t] == 0.0
+
+    def test_traces_remain_valid(self, two_workloads):
+        mp = multiprogram(*two_workloads)
+        for tr in mp.threads:
+            validate_trace(tr)
+
+    def test_empty_args_rejected(self):
+        with pytest.raises(ConfigError):
+            multiprogram()
+
+
+class TestConcatPhases:
+    def test_lengths_add(self, two_workloads):
+        a, b = two_workloads
+        ph = concat_phases(a, b)
+        assert ph.num_threads == 4
+        for t in range(4):
+            assert ph.threads[t].size == a.threads[t].size + b.threads[t].size
+
+    def test_thread_count_mismatch_rejected(self):
+        a = make_workload("private", num_threads=2, accesses_per_thread=8)
+        b = make_workload("private", num_threads=4, accesses_per_thread=8)
+        with pytest.raises(ConfigError, match="thread counts"):
+            concat_phases(a, b)
+
+    def test_phase_shift_separates_shared_data(self):
+        a = make_workload("pingpong", num_threads=4, rounds=8, run=2, seed=1)
+        ph = concat_phases(a, a)
+        half = a.threads[1].size
+        phase1 = set(ph.threads[1]["addr"][:half].tolist())
+        phase2 = set(ph.threads[1]["addr"][half:].tolist())
+        from repro.trace.synthetic.base import PRIVATE_BASE
+
+        shared1 = {x for x in phase1 if x < PRIVATE_BASE}
+        shared2 = {x for x in phase2 if x < PRIVATE_BASE}
+        assert shared1.isdisjoint(shared2)
+
+    def test_phased_workload_rewards_dynamic_placement(self):
+        """The composition exists for exactly this experiment: flipping
+        sharing patterns between phases makes epoch re-homing pay."""
+        cm = CostModel(small_test_config(num_cores=4))
+        # phase A: consumers read pair buffers; phase B: roles move
+        a = make_workload("pingpong", num_threads=4, rounds=24, run=2, seed=1)
+        b = make_workload("uniform", num_threads=4, accesses_per_thread=96, seed=2)
+        ph = concat_phases(a, b)
+        # 4 epochs so boundaries straddle the phase change (threads'
+        # phase boundaries sit at different trace fractions)
+        res = evaluate_dynamic_placement(
+            ph, 4, NeverMigrate(), cm, num_epochs=4, oracle=True
+        )
+        assert res.improvement_over_static >= 1.0

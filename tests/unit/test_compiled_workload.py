@@ -1,0 +1,77 @@
+"""Unit tests for compiled_workload (compiler -> machine -> MultiTrace)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import small_test_config
+from repro.core.costs import CostModel
+from repro.core.decision import fixed_depth_cost, optimal_stack_depths
+from repro.placement import first_touch
+from repro.stackmachine import compiled_workload
+from repro.trace.events import STACK_TRACE_DTYPE
+from repro.trace.synthetic.base import PRIVATE_BASE, PRIVATE_SPAN, SHARED_BASE
+
+SUM_SRC = """
+    acc = 0; i = 0;
+    while (i < n) { acc = acc + load(base + i); i = i + 1; }
+    store(out, acc);
+"""
+
+
+def _constants(t):
+    return {
+        "base": SHARED_BASE,
+        "n": 16,
+        "out": PRIVATE_BASE + t * PRIVATE_SPAN,
+    }
+
+
+def _memory(t):
+    return {SHARED_BASE + i: i for i in range(16)}
+
+
+class TestCompiledWorkload:
+    def test_produces_stack_multitrace(self):
+        mt = compiled_workload(
+            SUM_SRC, num_threads=4, constants_for=_constants, memory_for=_memory
+        )
+        assert mt.num_threads == 4
+        assert mt.is_stack
+        assert all(tr.dtype == STACK_TRACE_DTYPE for tr in mt.threads)
+
+    def test_shared_reads_visible_to_placement(self):
+        mt = compiled_workload(
+            SUM_SRC, num_threads=4, constants_for=_constants, memory_for=_memory
+        )
+        pl = first_touch(mt, 4)
+        homes = pl.home_of(mt.threads[2]["addr"])
+        assert (homes != 2).any()  # the shared array is remote for thread 2
+
+    def test_feeds_stack_depth_dp(self):
+        cm = CostModel(small_test_config(num_cores=4))
+        mt = compiled_workload(
+            SUM_SRC, num_threads=4, constants_for=_constants, memory_for=_memory
+        )
+        pl = first_touch(mt, 4)
+        tr = mt.threads[3]
+        homes = pl.home_of(tr["addr"])
+        opt = optimal_stack_depths(homes, tr["spop"], tr["spush"], 3, cm, max_depth=8)
+        fix = fixed_depth_cost(homes, tr["spop"], tr["spush"], 3, cm, 8, max_depth=8)
+        assert opt.total_cost <= fix.total_cost + 1e-9
+
+    def test_locals_frame_is_private(self):
+        mt = compiled_workload(
+            SUM_SRC, num_threads=2, constants_for=_constants, memory_for=_memory
+        )
+        pl = first_touch(mt, 2)
+        # frame accesses (above PRIVATE_BASE + span/2) home at the owner
+        for t in range(2):
+            addrs = mt.threads[t]["addr"].astype(np.int64)
+            frame_lo = PRIVATE_BASE + t * PRIVATE_SPAN + PRIVATE_SPAN // 2
+            frame = addrs[(addrs >= frame_lo) & (addrs < frame_lo + 1024)]
+            assert frame.size > 0
+            assert (pl.home_of(frame) == t).all()
+
+    def test_default_no_constants_runs(self):
+        mt = compiled_workload("x = 1; store(100, x);", num_threads=2)
+        assert mt.total_accesses > 0

@@ -1,0 +1,101 @@
+"""Unit tests for native/guest execution contexts (§2)."""
+
+import pytest
+
+from repro.arch.core_model import ContextFile, build_context_files
+from repro.util.errors import ProtocolError
+
+
+def _ctx(guests=2):
+    return ContextFile(core=0, native_threads=(0, 1), guest_slots=guests)
+
+
+class TestContextFile:
+    def test_native_admission_always_succeeds(self):
+        c = _ctx()
+        c.admit_native(0, now=1.0)
+        c.admit_native(1, now=2.0)
+        assert c.resident(0) and c.resident(1)
+
+    def test_native_slot_is_dedicated(self):
+        c = _ctx()
+        with pytest.raises(ProtocolError):
+            c.admit_native(5, now=0.0)  # thread 5 is not native here
+
+    def test_guest_admission_until_full(self):
+        c = _ctx(guests=2)
+        assert c.admit_guest(10, now=0.0) is None
+        assert c.admit_guest(11, now=1.0) is None
+        evicted = c.admit_guest(12, now=2.0)
+        assert evicted == 10  # LRU guest evicted
+
+    def test_lru_eviction_uses_admission_time(self):
+        c = _ctx(guests=2)
+        c.admit_guest(10, now=5.0)
+        c.admit_guest(11, now=1.0)
+        assert c.admit_guest(12, now=9.0) == 11
+
+    def test_newest_eviction_policy(self):
+        c = ContextFile(core=0, native_threads=(), guest_slots=2, eviction_policy="newest")
+        c.admit_guest(10, now=1.0)
+        c.admit_guest(11, now=2.0)
+        assert c.admit_guest(12, now=3.0) == 11
+
+    def test_native_thread_cannot_be_guest(self):
+        c = _ctx()
+        with pytest.raises(ProtocolError):
+            c.admit_guest(0, now=0.0)
+
+    def test_double_admission_rejected(self):
+        c = _ctx()
+        c.admit_guest(10, now=0.0)
+        with pytest.raises(ProtocolError):
+            c.admit_guest(10, now=1.0)
+        c.admit_native(0, now=0.0)
+        with pytest.raises(ProtocolError):
+            c.admit_native(0, now=1.0)
+
+    def test_release_guest_and_native(self):
+        c = _ctx()
+        c.admit_native(0, now=0.0)
+        c.admit_guest(10, now=0.0)
+        c.release(0)
+        c.release(10)
+        assert not c.resident(0) and not c.resident(10)
+
+    def test_release_absent_thread_rejected(self):
+        with pytest.raises(ProtocolError):
+            _ctx().release(42)
+
+    def test_occupancy_counts_both_kinds(self):
+        c = _ctx()
+        c.admit_native(0, now=0.0)
+        c.admit_guest(10, now=0.0)
+        assert c.occupancy() == 2
+
+    def test_evicted_guest_slot_reused(self):
+        c = _ctx(guests=1)
+        c.admit_guest(10, now=0.0)
+        assert c.admit_guest(11, now=1.0) == 10
+        assert c.guest_threads() == [11]
+
+    def test_zero_guest_slots_rejected(self):
+        with pytest.raises(ProtocolError):
+            ContextFile(core=0, native_threads=(), guest_slots=0)
+
+
+class TestBuildContextFiles:
+    def test_one_native_slot_per_thread(self):
+        files = build_context_files(4, [0, 1, 2, 3], guest_slots=2)
+        for t, f in enumerate(files):
+            assert f.is_native(t)
+            assert not f.is_native((t + 1) % 4)
+
+    def test_multiple_threads_per_core(self):
+        files = build_context_files(2, [0, 0, 1], guest_slots=1)
+        assert files[0].native_threads == (0, 1)
+        assert files[1].native_threads == (2,)
+
+    def test_out_of_range_native_core_rejected(self):
+        with pytest.raises(ProtocolError):
+            build_context_files(2, [0, 5], guest_slots=1)

@@ -1,0 +1,84 @@
+"""Unit tests for virtual-channel deadlock validation (§3 / [10])."""
+
+import pytest
+
+from repro.arch.noc.deadlock import (
+    VC_PLAN_CC,
+    VC_PLAN_EM2,
+    VC_PLAN_EM2RA,
+    VCPlan,
+    check_vc_plan,
+)
+from repro.arch.noc.packet import VirtualNetwork
+from repro.util.errors import DeadlockError
+
+V = VirtualNetwork
+
+
+def test_builtin_plans_are_safe():
+    check_vc_plan(VC_PLAN_EM2, available_vcs=6)
+    check_vc_plan(VC_PLAN_EM2RA, available_vcs=6)
+    check_vc_plan(VC_PLAN_CC, available_vcs=6)
+
+
+def test_em2ra_plan_uses_separate_ra_subnetwork():
+    # §3: "the remote-access virtual subnetwork must be separate from
+    # the subnetworks used for migrations"
+    mig_vcs = {VC_PLAN_EM2RA.vc_of[V.MIGRATION], VC_PLAN_EM2RA.vc_of[V.EVICTION]}
+    ra_vcs = {VC_PLAN_EM2RA.vc_of[V.RA_REQUEST], VC_PLAN_EM2RA.vc_of[V.RA_REPLY]}
+    assert mig_vcs.isdisjoint(ra_vcs)
+
+
+def test_plan_rejected_when_too_few_vcs():
+    with pytest.raises(DeadlockError, match="only 2 VCs"):
+        check_vc_plan(VC_PLAN_EM2RA, available_vcs=2)
+
+
+def test_shared_vc_between_dependent_classes_rejected():
+    plan = VCPlan(
+        name="bad",
+        vc_of={V.MIGRATION: 0, V.EVICTION: 0},
+        depends=frozenset({(V.MIGRATION, V.EVICTION)}),
+    )
+    with pytest.raises(DeadlockError, match="share VC"):
+        check_vc_plan(plan, available_vcs=6)
+
+
+def test_cyclic_dependency_rejected():
+    plan = VCPlan(
+        name="cycle",
+        vc_of={V.MIGRATION: 0, V.EVICTION: 1, V.RA_REQUEST: 2},
+        depends=frozenset(
+            {
+                (V.MIGRATION, V.EVICTION),
+                (V.EVICTION, V.RA_REQUEST),
+                (V.RA_REQUEST, V.MIGRATION),
+            }
+        ),
+    )
+    with pytest.raises(DeadlockError, match="cyclic"):
+        check_vc_plan(plan, available_vcs=6)
+
+
+def test_dependency_on_unassigned_class_rejected():
+    plan = VCPlan(
+        name="dangling",
+        vc_of={V.MIGRATION: 0},
+        depends=frozenset({(V.MIGRATION, V.EVICTION)}),
+    )
+    with pytest.raises(DeadlockError, match="no VC assignment"):
+        check_vc_plan(plan, available_vcs=6)
+
+
+def test_independent_classes_may_share_vc():
+    plan = VCPlan(
+        name="ok-shared",
+        vc_of={V.MIGRATION: 0, V.COHERENCE_REQ: 0},
+        depends=frozenset(),
+    )
+    check_vc_plan(plan, available_vcs=1)  # no dependency -> sharing is fine
+
+
+def test_num_vcs_counts_distinct():
+    assert VC_PLAN_EM2RA.num_vcs == 4
+    assert VC_PLAN_EM2.num_vcs == 2

@@ -1,0 +1,78 @@
+"""Unit tests for the DRAM/memory-controller model."""
+
+import pytest
+
+from repro.arch.memory.dram import DramController, MemorySystem
+from repro.arch.topology import Mesh2D
+from repro.util.errors import ConfigError
+
+
+class TestDramController:
+    def test_isolated_request_pays_access_latency(self):
+        c = DramController(tile=0, access_latency=100, service_interval=4)
+        assert c.service(now=10.0) == 110.0
+
+    def test_back_to_back_requests_queue(self):
+        c = DramController(tile=0, access_latency=100, service_interval=4)
+        t1 = c.service(now=0.0)
+        t2 = c.service(now=0.0)
+        assert t2 == t1 + 4
+
+    def test_idle_gap_resets_queue(self):
+        c = DramController(tile=0, access_latency=100, service_interval=4)
+        c.service(now=0.0)
+        assert c.service(now=1000.0) == 1100.0
+
+    def test_request_count(self):
+        c = DramController(tile=0)
+        for _ in range(5):
+            c.service(0.0)
+        assert c.requests == 5
+
+    def test_bad_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            DramController(tile=0, access_latency=0)
+
+
+class TestMemorySystem:
+    def test_controllers_spread_over_mesh(self):
+        ms = MemorySystem(Mesh2D(4, 4), num_controllers=4)
+        tiles = [c.tile for c in ms.controllers]
+        assert len(set(tiles)) == 4
+
+    def test_miss_latency_includes_hops(self):
+        ms = MemorySystem(Mesh2D(4, 4), num_controllers=1, access_latency=100, hop_latency=2)
+        ctrl_tile = ms.controllers[0].tile
+        near = ms.miss_latency(ctrl_tile, now=0.0)
+        topo = Mesh2D(4, 4)
+        far_tile = max(range(16), key=lambda t: topo.distance(t, ctrl_tile))
+        far = ms.miss_latency(far_tile, now=0.0)
+        assert far > near
+
+    def test_nearest_controller_chosen(self):
+        ms = MemorySystem(Mesh2D(4, 4), num_controllers=2)
+        # a tile adjacent to controller A should not route to controller B
+        a = ms.controllers[0].tile
+        ms.miss_latency(a, now=0.0)
+        assert ms.controllers[0].requests == 1
+        assert ms.controllers[1].requests == 0
+
+    def test_total_requests(self):
+        ms = MemorySystem(Mesh2D(2, 2), num_controllers=2)
+        for t in range(4):
+            ms.miss_latency(t, now=0.0)
+        assert ms.total_requests() == 4
+
+    def test_more_controllers_than_cores_clamped(self):
+        ms = MemorySystem(Mesh2D(2, 2), num_controllers=99)
+        assert len(ms.controllers) <= 4
+
+    def test_zero_controllers_rejected(self):
+        with pytest.raises(ConfigError):
+            MemorySystem(Mesh2D(2, 2), num_controllers=0)
+
+    def test_contention_visible_under_load(self):
+        ms = MemorySystem(Mesh2D(2, 2), num_controllers=1, service_interval=8)
+        first = ms.miss_latency(0, now=0.0)
+        second = ms.miss_latency(0, now=0.0)
+        assert second > first

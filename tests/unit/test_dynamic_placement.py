@@ -1,0 +1,114 @@
+"""Unit tests for epoch-based dynamic placement."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import small_test_config
+from repro.core.costs import CostModel
+from repro.core.decision import AlwaysMigrate, NeverMigrate
+from repro.placement import first_touch, striped
+from repro.placement.dynamic import (
+    evaluate_dynamic_placement,
+    rehoming_traffic_bits,
+    slice_epochs,
+)
+from repro.trace.events import MultiTrace, make_trace
+from repro.trace.synthetic import make_workload
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture
+def cm():
+    return CostModel(small_test_config(num_cores=4))
+
+
+class TestSliceEpochs:
+    def test_slices_cover_trace(self):
+        mt = make_workload("uniform", num_threads=4, accesses_per_thread=100)
+        epochs = slice_epochs(mt, 4)
+        assert len(epochs) == 4
+        for t in range(4):
+            total = sum(e.threads[t].size for e in epochs)
+            assert total == mt.threads[t].size
+            rebuilt = np.concatenate([e.threads[t] for e in epochs])
+            assert (rebuilt == mt.threads[t]).all()
+
+    def test_single_epoch_is_whole_trace(self):
+        mt = make_workload("private", num_threads=2, accesses_per_thread=10)
+        (epoch,) = slice_epochs(mt, 1)
+        assert epoch.total_accesses == mt.total_accesses
+
+    def test_invalid_epoch_count(self):
+        mt = make_workload("private", num_threads=2, accesses_per_thread=10)
+        with pytest.raises(ConfigError):
+            slice_epochs(mt, 0)
+
+    def test_uneven_division(self):
+        mt = MultiTrace(threads=[make_trace(list(range(7)))])
+        epochs = slice_epochs(mt, 3)
+        assert [e.threads[0].size for e in epochs] == [2, 2, 3]
+
+
+class TestRehomingTraffic:
+    def test_identical_placements_free(self, cm):
+        mt = MultiTrace(threads=[make_trace([0, 16, 32])])
+        pl = first_touch(mt, 4)
+        bits, cost = rehoming_traffic_bits(pl, pl, pl.block_of(np.array([0, 16, 32])), cm)
+        assert bits == 0 and cost == 0.0
+
+    def test_moved_blocks_charged(self, cm):
+        mt0 = MultiTrace(threads=[make_trace([0])])  # block 0 at core 0
+        mt1 = MultiTrace(threads=[make_trace([]), make_trace([0])])  # at core 1
+        a = first_touch(mt0, 4)
+        b = first_touch(mt1, 4)
+        bits, cost = rehoming_traffic_bits(a, b, np.array([0]), cm)
+        assert bits > 0 and cost > 0
+
+    def test_empty_block_list(self, cm):
+        pl = striped(4)
+        bits, cost = rehoming_traffic_bits(pl, pl, np.array([], dtype=np.int64), cm)
+        assert bits == 0 and cost == 0.0
+
+
+class TestEvaluateDynamic:
+    def test_result_structure(self, cm):
+        mt = make_workload("uniform", num_threads=4, accesses_per_thread=200)
+        res = evaluate_dynamic_placement(mt, 4, NeverMigrate(), cm, num_epochs=4)
+        assert len(res.epoch_costs) == 4
+        assert res.total_cost == pytest.approx(
+            sum(res.epoch_costs) + res.rehoming_cost
+        )
+        assert res.static_cost > 0
+
+    def test_oracle_no_worse_than_reactive_on_phases(self, cm):
+        """Build a two-phase workload: each thread's hot partner flips
+        mid-trace. Oracle re-placement should beat reactive."""
+        rng = np.random.default_rng(0)
+        threads = []
+        for t in range(4):
+            # phase 1: hammer region A(t); phase 2: hammer region B(t)
+            a = 1000 + ((t + 1) % 4) * 64 + rng.integers(0, 4, 150)
+            b = 5000 + ((t + 2) % 4) * 64 + rng.integers(0, 4, 150)
+            threads.append(make_trace(np.concatenate([a, b])))
+        mt = MultiTrace(threads=threads)
+        reactive = evaluate_dynamic_placement(
+            mt, 4, NeverMigrate(), cm, num_epochs=2, oracle=False
+        )
+        oracle = evaluate_dynamic_placement(
+            mt, 4, NeverMigrate(), cm, num_epochs=2, oracle=True
+        )
+        assert oracle.total_cost <= reactive.total_cost + 1e-9
+
+    def test_stable_workload_dynamic_not_catastrophic(self, cm):
+        """On a stable private workload dynamic placement must stay
+        within a small factor of static (the re-homing is wasted but
+        bounded)."""
+        mt = make_workload("private", num_threads=4, accesses_per_thread=200)
+        res = evaluate_dynamic_placement(mt, 4, AlwaysMigrate(), cm, num_epochs=4)
+        # private data: both static and dynamic should be ~zero cost
+        assert res.total_cost <= res.static_cost + 1.0
+
+    def test_improvement_metric(self, cm):
+        mt = make_workload("uniform", num_threads=4, accesses_per_thread=100)
+        res = evaluate_dynamic_placement(mt, 4, NeverMigrate(), cm, num_epochs=2)
+        assert res.improvement_over_static > 0

@@ -1,0 +1,81 @@
+"""Unit tests for the energy model and report formatting."""
+
+import pytest
+
+from repro.analysis.energy import EnergyModel, EnergyReport
+from repro.analysis.reports import format_table, runlength_table
+from repro.sim.stats import Histogram
+from repro.util.errors import ConfigError
+
+
+class TestEnergyModel:
+    def test_network_energy_linear_in_bit_hops(self):
+        em = EnergyModel(link_pj_per_bit_hop=0.1)
+        assert em.network_energy(1000) == pytest.approx(100.0)
+        assert em.network_energy(2000) == pytest.approx(2 * em.network_energy(1000))
+
+    def test_report_totals(self):
+        em = EnergyModel(
+            link_pj_per_bit_hop=1.0,
+            l1_pj_per_access=2.0,
+            l2_pj_per_access=3.0,
+            dram_pj_per_access=4.0,
+            context_load_pj=5.0,
+        )
+        r = em.report(bit_hops=10, l1_accesses=1, l2_accesses=1, dram_accesses=1, migrations=1)
+        assert r.total_pj == pytest.approx(10 + 2 + 3 + 4 + 5)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ConfigError):
+            EnergyModel(link_pj_per_bit_hop=-1.0)
+
+    def test_as_dict_sums(self):
+        r = EnergyReport(network_pj=5.0, dram_pj=3.0)
+        d = r.as_dict()
+        assert d["total_pj"] == pytest.approx(8.0)
+
+    def test_migration_energy_dominates_ra_energy(self):
+        """The §5 power claim at the model level: for equal hop counts a
+        migration (1.5 Kbit) moves ~8x the bits of an RA round trip."""
+        em = EnergyModel()
+        mig = em.network_energy(1664 * 4)  # 13 flits x 128b over 4 hops
+        ra = em.network_energy((2 + 2) * 128 * 4)  # req+reply flits
+        assert mig > 3 * ra
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+        out = format_table(rows)
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4  # header, sep, 2 rows
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        out = format_table(rows, columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_float_formatting(self):
+        out = format_table([{"x": 0.000123, "y": 123456.0, "z": float("nan")}])
+        assert "e" in out  # scientific for extremes
+        assert "nan" in out
+
+
+class TestRunlengthTable:
+    def test_contains_fraction_column(self):
+        h = Histogram()
+        h.add(1, weight=5)
+        h.add(4, weight=5)
+        out = runlength_table(h)
+        assert "cumulative" in out
+        assert "0.5" in out
+
+    def test_overflow_row(self):
+        h = Histogram(max_bin=4)
+        h.add(9)
+        out = runlength_table(h)
+        assert ">4" in out

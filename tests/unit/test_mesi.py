@@ -1,0 +1,136 @@
+"""Unit tests for the MESI variant of the directory baseline."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import small_test_config
+from repro.coherence import DirectoryCCSimulator, DirState, MSIState
+from repro.placement import striped, first_touch
+from repro.trace.events import MultiTrace, make_trace
+from repro.trace.synthetic import make_workload
+from repro.util.errors import ProtocolError
+from repro.verify import audit_directory
+
+
+def _sim(protocol="mesi"):
+    cfg = small_test_config(num_cores=4)
+    mt = MultiTrace(threads=[make_trace([0])])
+    return DirectoryCCSimulator(mt, striped(4, block_words=16), cfg, protocol=protocol)
+
+
+class TestExclusiveState:
+    def test_lone_read_granted_exclusive(self):
+        sim = _sim()
+        sim.access(0, 5, False)
+        entry = sim.directory[sim._line(5 * 4)]
+        assert entry.state == DirState.EXCLUSIVE and entry.owner == 0
+        assert MSIState(sim.caches[0].probe(5 * 4).state) == MSIState.EXCLUSIVE
+
+    def test_msi_grants_shared_instead(self):
+        sim = _sim(protocol="msi")
+        sim.access(0, 5, False)
+        entry = sim.directory[sim._line(5 * 4)]
+        assert entry.state == DirState.SHARED
+
+    def test_silent_upgrade_no_traffic(self):
+        sim = _sim()
+        sim.access(0, 5, False)  # E
+        before = sim.traffic_bits
+        lat = sim.access(0, 5, True)  # silent E -> M
+        assert sim.traffic_bits == before
+        assert lat == sim.config.l1.hit_latency
+        assert sim.stats.counters["silent_upgrades"] == 1
+        assert MSIState(sim.caches[0].probe(5 * 4).state) == MSIState.MODIFIED
+
+    def test_msi_pays_upgrade_for_same_pattern(self):
+        sim = _sim(protocol="msi")
+        sim.access(0, 5, False)  # S
+        before = sim.traffic_bits
+        sim.access(0, 5, True)  # upgrade S -> M: messages required
+        assert sim.traffic_bits > before
+
+    def test_second_reader_downgrades_clean_owner_without_data(self):
+        sim = _sim()
+        sim.access(0, 5, False)  # E at 0
+        sim.access(1, 5, False)
+        entry = sim.directory[sim._line(5 * 4)]
+        assert entry.state == DirState.SHARED
+        assert entry.sharers == {0, 1}
+        # clean downgrade: control ack, not a line writeback
+        assert sim.stats.counters["msg.downgrade-ack"] == 1
+        assert sim.stats.counters["msg.wb-data"] == 0
+
+    def test_dirty_owner_still_writes_back(self):
+        sim = _sim()
+        sim.access(0, 5, False)  # E
+        sim.access(0, 5, True)  # silent -> M
+        sim.access(1, 5, False)  # fetch must carry data now
+        assert sim.stats.counters["msg.wb-data"] == 1
+
+    def test_writer_steals_clean_exclusive_with_ack_only(self):
+        sim = _sim()
+        sim.access(0, 5, False)  # E at 0
+        sim.access(1, 5, True)  # fetch-inv; clean -> inv-ack, no data
+        assert sim.stats.counters["msg.inv-ack"] == 1
+        assert sim.stats.counters["msg.wb-data"] == 0
+        assert sim._probe_state(0, 5 * 4) == MSIState.INVALID
+
+    def test_exclusive_eviction_is_control_only(self):
+        sim = _sim()
+        cfg = sim.config
+        nsets = sim.caches[0].num_sets
+        line_words = cfg.l2.line_bytes // 4
+        # fill one set past associativity with reads (all granted E)
+        for i in range(cfg.l2.associativity + 1):
+            sim.access(0, i * nsets * line_words, False)
+        assert sim.stats.counters["msg.exclusive-drop"] >= 1
+        assert sim.stats.counters["writebacks"] == 0
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown protocol"):
+            _sim(protocol="moesi")
+
+
+class TestMESIEndToEnd:
+    @pytest.mark.parametrize("protocol", ["msi", "mesi"])
+    def test_workload_runs_and_audits(self, protocol):
+        cfg = small_test_config(num_cores=4)
+        mt = make_workload("hotspot", num_threads=4, accesses_per_thread=96,
+                           hot_fraction=0.4, seed=2)
+        sim = DirectoryCCSimulator(mt, first_touch(mt, 4), cfg, protocol=protocol)
+        res = sim.run()
+        assert res.completion_time > 0
+        audit_directory(sim)
+
+    def test_mesi_saves_traffic_on_private_rmw(self):
+        """The canonical MESI win: read-then-write of private data."""
+        cfg = small_test_config(num_cores=4)
+        addrs, writes = [], []
+        for i in range(64):
+            addrs += [1000 + i, 1000 + i]
+            writes += [0, 1]  # read then write each word
+        mt = MultiTrace(threads=[make_trace(addrs, writes=writes)])
+        results = {}
+        for protocol in ("msi", "mesi"):
+            sim = DirectoryCCSimulator(
+                mt, striped(4, block_words=16), cfg, protocol=protocol
+            )
+            sim.run()
+            results[protocol] = sim.traffic_bits
+        assert results["mesi"] < results["msi"]
+
+    def test_protocols_agree_on_invalidation_structure(self):
+        """E only changes clean-data traffic; write-sharing still
+        invalidates identically."""
+        cfg = small_test_config(num_cores=4)
+        mt = MultiTrace(
+            threads=[make_trace([5], writes=[1]), make_trace([5], writes=[1])]
+        )
+        inv = {}
+        for protocol in ("msi", "mesi"):
+            sim = DirectoryCCSimulator(
+                mt, striped(4, block_words=16), cfg, protocol=protocol
+            )
+            sim.run()
+            inv[protocol] = sim.stats.counters["invalidations"]
+        assert inv["msi"] == inv["mesi"]

@@ -1,0 +1,53 @@
+"""Unit tests for instruction-granularity context multiplexing (§2)."""
+
+import pytest
+
+from repro.arch.config import small_test_config
+from repro.core.em2 import EM2Machine
+from repro.placement import striped
+from repro.trace.events import MultiTrace, make_trace
+from repro.verify import full_machine_audit
+
+
+def _converging_trace():
+    """Threads 1..3 all compute at core 0 (guests) with heavy icounts."""
+    t0 = make_trace([0] * 10, icounts=10)
+    others = [make_trace([0] * 10, icounts=10) for _ in range(3)]
+    return MultiTrace(threads=[t0] + others)
+
+
+class TestMultiplexing:
+    def test_disabled_by_default(self):
+        cfg = small_test_config(num_cores=4, guest_contexts=4)
+        assert cfg.multiplex_contexts is False
+
+    def test_shared_pipeline_slows_completion(self):
+        times = {}
+        for mux in (False, True):
+            cfg = small_test_config(
+                num_cores=4, guest_contexts=4, multiplex_contexts=mux
+            )
+            m = EM2Machine(_converging_trace(), striped(4, block_words=16), cfg)
+            m.run()
+            times[mux] = m.completion_time
+        assert times[True] > times[False]
+
+    def test_isolated_thread_unaffected(self):
+        """A lone thread on its core pays no multiplexing penalty."""
+        mt = MultiTrace(threads=[make_trace([0] * 10, icounts=10)])
+        times = {}
+        for mux in (False, True):
+            cfg = small_test_config(
+                num_cores=4, guest_contexts=2, multiplex_contexts=mux
+            )
+            m = EM2Machine(mt, striped(4, block_words=16), cfg)
+            m.run()
+            times[mux] = m.completion_time
+        assert times[True] == times[False]
+
+    def test_protocol_still_audits_clean(self):
+        cfg = small_test_config(num_cores=4, guest_contexts=2,
+                                multiplex_contexts=True)
+        m = EM2Machine(_converging_trace(), striped(4, block_words=16), cfg)
+        m.run()
+        full_machine_audit(m)

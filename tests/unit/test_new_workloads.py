@@ -1,0 +1,96 @@
+"""Unit tests for the cholesky and water-spatial generators."""
+
+import numpy as np
+import pytest
+
+from repro.placement import first_touch
+from repro.trace.runlength import run_length_histogram
+from repro.trace.synthetic import make_workload
+from repro.trace.synthetic.cholesky import CholeskyGenerator
+from repro.trace.synthetic.water_spatial import WaterSpatialGenerator
+from repro.util.errors import ConfigError
+
+
+class TestCholesky:
+    def test_all_threads_own_supernodes(self):
+        g = CholeskyGenerator(num_threads=4, supernodes=8)
+        assert set(g._owner.tolist()) == {0, 1, 2, 3}
+
+    def test_parents_precede_children(self):
+        g = CholeskyGenerator(num_threads=4, supernodes=16, fanin=3)
+        for s, parents in enumerate(g._parents):
+            assert (parents < max(s, 1)).all() or parents.size == 0
+
+    def test_remote_gather_reaches_other_cores(self):
+        mt = make_workload("cholesky", num_threads=4, supernodes=16, fanin=3)
+        pl = first_touch(mt, 4)
+        remote = np.mean(
+            [
+                (pl.home_of(tr["addr"]) != t).mean()
+                for t, tr in enumerate(mt.threads)
+            ]
+        )
+        assert remote > 0.05
+
+    def test_irregular_run_homes(self):
+        """Remote runs should hit several distinct cores (irregular
+        parents), unlike ocean's two fixed neighbours."""
+        mt = make_workload("cholesky", num_threads=8, supernodes=32, fanin=4)
+        pl = first_touch(mt, 8)
+        homes = pl.home_of(mt.threads[5]["addr"])
+        foreign = set(np.unique(homes[homes != 5]).tolist())
+        assert len(foreign) >= 3
+
+    def test_too_few_supernodes_rejected(self):
+        with pytest.raises(ConfigError):
+            make_workload("cholesky", num_threads=8, supernodes=4)
+
+    def test_deterministic(self):
+        a = make_workload("cholesky", num_threads=4, supernodes=16, seed=9)
+        b = make_workload("cholesky", num_threads=4, supernodes=16, seed=9)
+        for ta, tb in zip(a.threads, b.threads):
+            assert (ta == tb).all()
+
+
+class TestWaterSpatial:
+    def test_cells_partitioned_completely(self):
+        g = WaterSpatialGenerator(num_threads=8, cells_per_side=4)
+        owned = sum(len(g._owned_cells(t)) for t in range(8))
+        assert owned == 4**3
+
+    def test_owner_in_range(self):
+        g = WaterSpatialGenerator(num_threads=8, cells_per_side=4)
+        for z in range(4):
+            for y in range(4):
+                for x in range(4):
+                    assert 0 <= g.owner_of_cell(x, y, z) < 8
+
+    def test_neighbour_exchange_is_remote(self):
+        mt = make_workload("water-spatial", num_threads=8, cells_per_side=4)
+        pl = first_touch(mt, 8)
+        remote = np.mean(
+            [(pl.home_of(tr["addr"]) != t).mean() for t, tr in enumerate(mt.threads)]
+        )
+        assert 0.02 < remote < 0.8
+
+    def test_crossover_region_run_lengths(self):
+        """The design intent: neighbour-cell runs land in the 3-8
+        range (the migrate-vs-RA crossover region)."""
+        mt = make_workload("water-spatial", num_threads=8, cells_per_side=4)
+        pl = first_touch(mt, 8)
+        mids = 0
+        total = 0
+        for t, tr in enumerate(mt.threads):
+            h = run_length_histogram(pl.home_of(tr["addr"]), t)
+            mids += sum(c for v, c in h.bins().items() if 3 <= v <= 8)
+            total += h.count
+        if total:
+            assert mids / total > 0.3
+
+    def test_default_cells_scale_with_threads(self):
+        g = WaterSpatialGenerator(num_threads=8)
+        assert g.n >= 2
+
+    def test_bad_timesteps_rejected(self):
+        with pytest.raises(ConfigError):
+            make_workload("water-spatial", num_threads=4, timesteps=0)

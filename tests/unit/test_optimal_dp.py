@@ -1,0 +1,187 @@
+"""Unit tests for the optimal migrate-vs-RA dynamic program (§3).
+
+The key evidence is an independent brute-force reference: a plain
+recursive cost minimizer written in a completely different style from
+the vectorized DP. They must agree exactly on many small random
+instances, and the DP must lower-bound every heuristic scheme.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import small_test_config
+from repro.core.costs import CostModel
+from repro.core.decision import (
+    AlwaysMigrate,
+    DistanceThreshold,
+    HistoryRunLength,
+    NeverMigrate,
+    RandomScheme,
+)
+from repro.core.decision.base import Decision
+from repro.core.decision.optimal import decision_cost, optimal_cost, optimal_decisions
+from repro.core.evaluation import evaluate_thread
+from repro.util.errors import ConfigError
+
+
+def brute_force_cost(homes, writes, start, cm):
+    """Exponential-time reference: explicit recursion, no vectorization."""
+    mig, ra_r, ra_w = cm.migration, cm.remote_read, cm.remote_write
+
+    def rec(k, cur):
+        if k == len(homes):
+            return 0.0
+        h = homes[k]
+        w = writes[k]
+        if h == cur:
+            return rec(k + 1, cur)
+        ra = (ra_w if w else ra_r)[cur, h]
+        stay = ra + rec(k + 1, cur)
+        move = mig[cur, h] + rec(k + 1, h)
+        return min(stay, move)
+
+    return rec(0, start)
+
+
+@pytest.fixture
+def cm():
+    return CostModel(small_test_config(num_cores=4))
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_brute_force_random_traces(self, cm, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 12))
+        homes = rng.integers(0, 4, n)
+        writes = rng.integers(0, 2, n).astype(bool)
+        start = int(rng.integers(0, 4))
+        expect = brute_force_cost(homes, writes, start, cm)
+        got = optimal_cost(homes, writes, start, cm)
+        assert got == pytest.approx(expect)
+
+    def test_matches_brute_force_16_cores(self):
+        cm = CostModel(small_test_config(num_cores=16))
+        rng = np.random.default_rng(99)
+        homes = rng.integers(0, 16, 10)
+        writes = rng.integers(0, 2, 10).astype(bool)
+        assert optimal_cost(homes, writes, 0, cm) == pytest.approx(
+            brute_force_cost(homes, writes, 0, cm)
+        )
+
+
+class TestReconstruction:
+    def test_replay_cost_matches(self, cm):
+        rng = np.random.default_rng(7)
+        homes = rng.integers(0, 4, 40)
+        writes = rng.integers(0, 2, 40).astype(bool)
+        res = optimal_decisions(homes, writes, 2, cm)
+        assert decision_cost(homes, writes, res.decisions, 2, cm) == pytest.approx(
+            res.total_cost
+        )
+
+    def test_exec_cores_match_decisions(self, cm):
+        rng = np.random.default_rng(8)
+        homes = rng.integers(0, 4, 30)
+        writes = np.zeros(30, dtype=bool)
+        res = optimal_decisions(homes, writes, 0, cm)
+        cur = 0
+        for k in range(30):
+            d = res.decisions[k]
+            if d == Decision.MIGRATE:
+                cur = homes[k]
+                assert res.cores[k] == homes[k]
+            elif d == Decision.LOCAL:
+                assert cur == homes[k]
+                assert res.cores[k] == homes[k]
+            else:
+                assert cur != homes[k]
+                assert res.cores[k] == cur
+        assert res.end_core == cur
+
+    def test_counts_partition_accesses(self, cm):
+        rng = np.random.default_rng(5)
+        homes = rng.integers(0, 4, 25)
+        res = optimal_decisions(homes, np.zeros(25, dtype=bool), 0, cm)
+        assert res.num_migrations + res.num_remote_accesses + res.num_local == 25
+
+
+class TestDominance:
+    @pytest.mark.parametrize(
+        "scheme_factory",
+        [
+            AlwaysMigrate,
+            NeverMigrate,
+            lambda: RandomScheme(p=0.3, seed=1),
+            lambda: HistoryRunLength(threshold=3.0),
+        ],
+    )
+    def test_dp_lower_bounds_schemes(self, cm, scheme_factory):
+        rng = np.random.default_rng(11)
+        homes = rng.integers(0, 4, 200)
+        writes = rng.integers(0, 2, 200).astype(bool)
+        opt = optimal_cost(homes, writes, 0, cm)
+        cost, *_ = evaluate_thread(homes, writes, 0, scheme_factory(), cm)
+        assert opt <= cost + 1e-9
+
+    def test_dp_lower_bounds_distance_thresholds(self, cm):
+        rng = np.random.default_rng(12)
+        homes = rng.integers(0, 4, 150)
+        writes = np.zeros(150, dtype=bool)
+        opt = optimal_cost(homes, writes, 0, cm)
+        for th in (0, 1, 2, 3):
+            s = DistanceThreshold(cm.topology.distance_matrix, th)
+            cost, *_ = evaluate_thread(homes, writes, 0, s, cm)
+            assert opt <= cost + 1e-9
+
+
+class TestKnownCases:
+    def test_all_local_costs_zero(self, cm):
+        homes = np.full(10, 2)
+        assert optimal_cost(homes, np.zeros(10, bool), 2, cm) == 0.0
+
+    def test_single_remote_access_prefers_ra(self, cm):
+        # one access at a far core, then back to local: RA wins (its
+        # round trip is cheaper than 2 migrations of a full context)
+        homes = np.array([3, 0, 0, 0])
+        res = optimal_decisions(homes, np.zeros(4, bool), 0, cm)
+        assert res.decisions[0] == Decision.REMOTE
+        assert res.total_cost == pytest.approx(cm.remote_read[0, 3])
+
+    def test_long_run_prefers_migration(self, cm):
+        homes = np.array([3] * 50)
+        res = optimal_decisions(homes, np.zeros(50, bool), 0, cm)
+        assert res.decisions[0] == Decision.MIGRATE
+        assert (res.decisions[1:] == Decision.LOCAL).all()
+        assert res.total_cost == pytest.approx(cm.migration[0, 3])
+
+    def test_empty_trace(self, cm):
+        res = optimal_decisions(np.zeros(0, np.int64), np.zeros(0, bool), 1, cm)
+        assert res.total_cost == 0.0
+        assert res.end_core == 1
+
+    def test_out_of_range_home_rejected(self, cm):
+        with pytest.raises(ConfigError):
+            optimal_cost(np.array([9]), np.array([False]), 0, cm)
+
+    def test_out_of_range_start_rejected(self, cm):
+        with pytest.raises(ConfigError):
+            optimal_cost(np.array([0]), np.array([False]), 7, cm)
+
+
+class TestDecisionCost:
+    def test_local_requires_residence(self, cm):
+        homes = np.array([3])
+        with pytest.raises(ConfigError, match="LOCAL decision"):
+            decision_cost(homes, np.array([False]), np.array([Decision.LOCAL]), 0, cm)
+
+    def test_unknown_decision_rejected(self, cm):
+        with pytest.raises(ConfigError, match="unknown decision"):
+            decision_cost(np.array([1]), np.array([False]), np.array([9]), 0, cm)
+
+    def test_migrate_then_local(self, cm):
+        homes = np.array([2, 2])
+        d = np.array([Decision.MIGRATE, Decision.LOCAL])
+        assert decision_cost(homes, np.zeros(2, bool), d, 0, cm) == pytest.approx(
+            cm.migration[0, 2]
+        )

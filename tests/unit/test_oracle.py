@@ -1,0 +1,109 @@
+"""Unit tests for finite-lookahead oracle decisions."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import small_test_config
+from repro.core.costs import CostModel
+from repro.core.decision.base import Decision
+from repro.core.decision.optimal import decision_cost, optimal_cost
+from repro.core.decision.oracle import (
+    forward_run_lengths,
+    forward_run_lengths_fast,
+    lookahead_decisions,
+    lookahead_replay_for,
+)
+from repro.placement import first_touch
+from repro.trace.synthetic import make_workload
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture
+def cm():
+    return CostModel(small_test_config(num_cores=4))
+
+
+class TestForwardRunLengths:
+    def test_basic(self):
+        out = forward_run_lengths_fast(np.array([1, 1, 1, 2, 2, 3]))
+        assert out.tolist() == [3, 2, 1, 2, 1, 1]
+
+    def test_fast_matches_reference(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            homes = rng.integers(0, 4, int(rng.integers(1, 50)))
+            a = forward_run_lengths(homes)
+            b = forward_run_lengths_fast(homes)
+            assert (a == b).all()
+
+    def test_empty(self):
+        assert forward_run_lengths_fast(np.array([], dtype=np.int64)).size == 0
+
+
+class TestLookaheadDecisions:
+    def test_decisions_replay_consistently(self, cm):
+        rng = np.random.default_rng(1)
+        homes = rng.integers(0, 4, 80)
+        writes = rng.random(80) < 0.3
+        for window in (1, 2, 8, np.inf):
+            d = lookahead_decisions(homes, writes, 0, cm, window)
+            cost = decision_cost(homes, writes, d, 0, cm)  # validates structure
+            assert cost >= optimal_cost(homes, writes, 0, cm) - 1e-9
+
+    def test_long_visible_run_migrates(self, cm):
+        homes = np.array([3] * 40)
+        d = lookahead_decisions(homes, np.zeros(40, bool), 0, cm, window=np.inf)
+        assert d[0] == Decision.MIGRATE
+        assert (d[1:] == Decision.LOCAL).all()
+
+    def test_single_access_run_uses_ra(self, cm):
+        homes = np.array([3, 0, 3, 0])
+        d = lookahead_decisions(homes, np.zeros(4, bool), 0, cm, window=np.inf)
+        assert d[0] == Decision.REMOTE
+        assert d[2] == Decision.REMOTE
+
+    def test_window_1_blind_to_runs(self, cm):
+        """With window=1 every visible run has length 1 -> RA everywhere
+        (a single RA is always cheaper than a migration round trip)."""
+        homes = np.array([3] * 20)
+        d = lookahead_decisions(homes, np.zeros(20, bool), 0, cm, window=1)
+        assert (d == Decision.REMOTE).all()
+
+    def test_wider_window_never_worse_much(self, cm):
+        """Cost should (weakly) improve with lookahead on run-structured
+        traces."""
+        rng = np.random.default_rng(2)
+        # build a run-structured trace
+        homes = np.concatenate(
+            [np.full(int(rng.integers(1, 12)), rng.integers(0, 4)) for _ in range(40)]
+        )
+        writes = np.zeros(homes.size, bool)
+        costs = []
+        for w in (1, 2, 4, np.inf):
+            d = lookahead_decisions(homes, writes, 0, cm, w)
+            costs.append(decision_cost(homes, writes, d, 0, cm))
+        assert costs[-1] <= costs[0] + 1e-9
+
+    def test_invalid_window_rejected(self, cm):
+        with pytest.raises(ConfigError):
+            lookahead_decisions(np.array([1]), np.array([False]), 0, cm, window=0)
+
+
+class TestLookaheadReplay:
+    def test_replay_for_whole_trace(self, cm):
+        trace = make_workload("pingpong", num_threads=4, rounds=16, run=4)
+        pl = first_touch(trace, 4)
+        replay = lookahead_replay_for(trace, pl, cm, window=np.inf)
+        for t, tr in enumerate(trace.threads):
+            assert len(replay.decisions_per_thread[t]) == tr.size
+
+    def test_infinite_window_bounded_by_optimal(self, cm):
+        """opt <= lookahead(inf): the greedy rule can't beat the DP."""
+        trace = make_workload("ocean", num_threads=4, grid_n=20, iterations=1)
+        pl = first_touch(trace, 4)
+        for t, tr in enumerate(trace.threads):
+            homes = pl.home_of(tr["addr"])
+            d = lookahead_decisions(homes, tr["write"], t, cm, np.inf)
+            greedy = decision_cost(homes, tr["write"], d, t, cm)
+            opt = optimal_cost(homes, tr["write"], t, cm)
+            assert opt <= greedy + 1e-9

@@ -1,0 +1,135 @@
+"""Unit tests for placement policies."""
+
+import numpy as np
+import pytest
+
+from repro.placement import FirstTouchPlacement, ProfileOptPlacement, StripedPlacement
+from repro.placement import first_touch, profile_optimal, striped
+from repro.trace.events import MultiTrace, make_trace
+from repro.util.errors import ConfigError
+
+
+def _mt(threads, natives=None):
+    return MultiTrace(
+        threads=[make_trace(a, writes=w) for a, w in threads],
+        thread_native_core=natives or list(range(len(threads))),
+    )
+
+
+class TestStriped:
+    def test_modulo_blocks(self):
+        pl = striped(4, block_words=16)
+        assert pl.home_of_one(0) == 0
+        assert pl.home_of_one(16) == 1
+        assert pl.home_of_one(64) == 0
+        assert pl.home_of_one(65) == 0  # same block as 64
+
+    def test_vectorized_matches_scalar(self):
+        pl = striped(8, block_words=4)
+        addrs = np.arange(0, 100, 7)
+        vec = pl.home_of(addrs)
+        assert vec.tolist() == [pl.home_of_one(int(a)) for a in addrs]
+
+    def test_perfect_balance(self):
+        pl = striped(4, block_words=1)
+        homes = pl.home_of(np.arange(400))
+        counts = np.bincount(homes)
+        assert (counts == 100).all()
+
+
+class TestFirstTouch:
+    def test_first_toucher_owns(self):
+        # thread 0 touches word 5 at position 0; thread 1 touches it at position 1
+        mt = _mt([([5], [1]), ([5], [0])])
+        pl = first_touch(mt, 2, block_words=1)
+        assert pl.home_of_one(5) == 0
+
+    def test_interleave_order_breaks_ties(self):
+        # both touch word 9 as their k-th access: lower thread id wins
+        mt = _mt([([1, 9], [1, 1]), ([2, 9], [1, 1])])
+        pl = first_touch(mt, 2, block_words=1)
+        assert pl.home_of_one(9) == 0
+
+    def test_later_position_loses(self):
+        # thread 1 touches word 9 at position 0, thread 0 at position 1
+        mt = _mt([([1, 9], [1, 1]), ([9, 2], [1, 1])])
+        pl = first_touch(mt, 2, block_words=1)
+        assert pl.home_of_one(9) == 1
+
+    def test_block_granularity_groups_words(self):
+        mt = _mt([([0], [1]), ([1], [1])])  # same 16-word block
+        pl = first_touch(mt, 2, block_words=16)
+        assert pl.home_of_one(0) == pl.home_of_one(1) == 0
+
+    def test_unseen_block_falls_back_to_stripe(self):
+        mt = _mt([([0], [1])])
+        pl = first_touch(mt, 2, block_words=1)
+        assert pl.home_of_one(999) == 999 % 2
+
+    def test_private_regions_home_at_owner(self, ocean_small):
+        pl = first_touch(ocean_small, 8)
+        from repro.trace.synthetic.base import PRIVATE_BASE, PRIVATE_SPAN
+
+        for t in (0, 3, 7):
+            addr = PRIVATE_BASE + t * PRIVATE_SPAN + 3
+            assert pl.home_of_one(addr) == t
+
+    def test_empty_trace_ok(self):
+        mt = MultiTrace(threads=[make_trace([])])
+        pl = first_touch(mt, 4)
+        assert pl.num_mapped_blocks() == 0
+
+
+class TestProfileOpt:
+    def test_majority_accessor_owns(self):
+        mt = _mt([([7], [0]), ([7, 7, 7], [0, 0, 0])])
+        pl = profile_optimal(mt, 2, block_words=1)
+        assert pl.home_of_one(7) == 1
+
+    def test_write_weight_tips_balance(self):
+        # thread 0: two reads; thread 1: one write
+        mt = _mt([([7, 7], [0, 0]), ([7], [1])])
+        assert profile_optimal(mt, 2, block_words=1).home_of_one(7) == 0
+        assert profile_optimal(mt, 2, block_words=1, write_weight=3.0).home_of_one(7) == 1
+
+    def test_never_worse_than_first_touch_on_local_fraction(self):
+        from repro.trace.synthetic import make_workload
+
+        mt = make_workload("lu", num_threads=4, blocks=4, block_words=16)
+        ft = first_touch(mt, 4)
+        po = profile_optimal(mt, 4)
+        def local_fraction(pl):
+            tot = loc = 0
+            for t, tr in enumerate(mt.threads):
+                homes = pl.home_of(tr["addr"])
+                loc += int((homes == t).sum())
+                tot += tr.size
+            return loc / tot
+        assert local_fraction(po) >= local_fraction(ft) - 1e-12
+
+    def test_capacity_rebalance_respects_cap(self):
+        # 10 blocks all favoured by thread 0; cap forces spreading
+        addrs = list(range(0, 10))
+        mt = _mt([(addrs * 3, [0] * 30), ([0], [0])])
+        pl = profile_optimal(mt, 2, block_words=1, capacity_blocks=6)
+        assert pl.core_load().max() <= 6
+
+    def test_bad_write_weight_rejected(self):
+        mt = _mt([([1], [0])])
+        with pytest.raises(ConfigError):
+            profile_optimal(mt, 2, write_weight=0.0)
+
+
+class TestPlacementBase:
+    def test_core_load_matches_map(self):
+        mt = _mt([([0, 16, 32], [1, 1, 1])])
+        pl = first_touch(mt, 4, block_words=16)
+        assert pl.core_load().sum() == pl.num_mapped_blocks() == 3
+
+    def test_invalid_num_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            StripedPlacement(0)
+
+    def test_invalid_block_words_rejected(self):
+        with pytest.raises(ConfigError):
+            StripedPlacement(4, block_words=0)

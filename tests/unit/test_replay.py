@@ -1,0 +1,112 @@
+"""Unit tests for OptimalReplay (DP decisions driving the machines)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import small_test_config
+from repro.core.costs import CostModel
+from repro.core.decision import Decision, OptimalReplay, optimal_replay_for
+from repro.core.em2ra import EM2RAMachine
+from repro.placement import first_touch, striped
+from repro.trace.events import MultiTrace, make_trace
+from repro.trace.synthetic import make_workload
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture
+def cfg():
+    return small_test_config(num_cores=4, guest_contexts=4)
+
+
+class TestOptimalReplay:
+    def test_decision_for_indexes_thread_and_access(self):
+        r = OptimalReplay(
+            [np.array([Decision.LOCAL, Decision.REMOTE]), np.array([Decision.MIGRATE])]
+        )
+        assert r.decision_for(0, 1) == Decision.REMOTE
+        assert r.decision_for(1, 0) == Decision.MIGRATE
+
+    def test_local_plan_entry_becomes_migrate(self):
+        # consulted as non-local (after eviction displacement) -> MIGRATE
+        r = OptimalReplay([np.array([Decision.LOCAL])])
+        assert r.decision_for(0, 0) == Decision.MIGRATE
+
+    def test_out_of_range_access_rejected(self):
+        r = OptimalReplay([np.array([Decision.REMOTE])])
+        with pytest.raises(ConfigError, match="no decision"):
+            r.decision_for(0, 5)
+
+    def test_decide_directs_to_proper_api(self):
+        r = OptimalReplay([np.array([Decision.REMOTE])])
+        with pytest.raises(ConfigError, match="index-addressed"):
+            r.decide(0, 1, 0, False)
+
+    def test_clone_shares_plan(self):
+        r = OptimalReplay([np.zeros(3, dtype=np.int8)])
+        assert r.clone() is r
+
+
+class TestOptimalReplayFor:
+    def test_plans_cover_every_access(self, cfg):
+        trace = make_workload("pingpong", num_threads=4, rounds=8, run=2)
+        pl = first_touch(trace, 4)
+        replay = optimal_replay_for(trace, pl, CostModel(cfg))
+        for t, tr in enumerate(trace.threads):
+            assert len(replay.decisions_per_thread[t]) == tr.size
+
+    def test_empty_thread_supported(self, cfg):
+        mt = MultiTrace(threads=[make_trace([]), make_trace([16])])
+        pl = striped(4, block_words=16)
+        replay = optimal_replay_for(mt, pl, CostModel(cfg))
+        assert len(replay.decisions_per_thread[0]) == 0
+
+
+class TestReplayThroughMachine:
+    def test_machine_follows_the_plan(self, cfg):
+        # single thread, one far access then back: plan says REMOTE
+        mt = MultiTrace(threads=[make_trace([16, 0, 0], icounts=1)])
+        pl = striped(4, block_words=16)
+        cm = CostModel(cfg)
+        replay = optimal_replay_for(mt, pl, cm)
+        assert Decision(int(replay.decisions_per_thread[0][0])) == Decision.REMOTE
+        m = EM2RAMachine(mt, pl, cfg, scheme=replay)
+        m.run()
+        assert m.results()["remote_accesses"] == 1
+        assert m.results()["migrations"] == 0
+
+    def test_long_run_plan_migrates(self, cfg):
+        mt = MultiTrace(threads=[make_trace([16] * 30, icounts=1)])
+        pl = striped(4, block_words=16)
+        cm = CostModel(cfg)
+        replay = optimal_replay_for(mt, pl, cm)
+        m = EM2RAMachine(mt, pl, cfg, scheme=replay)
+        m.run()
+        assert m.results()["migrations"] == 1
+        assert m.results()["remote_accesses"] == 0
+
+    def test_replay_completes_under_eviction_pressure(self):
+        """Evictions displace threads mid-plan; replay must still drain."""
+        cfg = small_test_config(num_cores=4, guest_contexts=1)
+        rng = np.random.default_rng(0)
+        threads = [
+            make_trace((rng.integers(0, 2, 20) * 16).astype(np.int64), icounts=1)
+            for _ in range(6)
+        ]
+        mt = MultiTrace(threads=threads, thread_native_core=[0, 1, 2, 3, 0, 1])
+        pl = striped(4, block_words=16)
+        replay = optimal_replay_for(mt, pl, CostModel(cfg))
+        m = EM2RAMachine(mt, pl, cfg, scheme=replay)
+        m.run()
+        assert all(th.done for th in m.threads)
+
+    def test_replay_traffic_not_above_em2(self, cfg):
+        from repro.core.em2 import EM2Machine
+
+        trace = make_workload("ocean", num_threads=4, grid_n=20, iterations=1)
+        pl = first_touch(trace, 4)
+        cm = CostModel(cfg)
+        em2 = EM2Machine(trace, pl, cfg)
+        em2.run()
+        opt = EM2RAMachine(trace, pl, cfg, scheme=optimal_replay_for(trace, pl, cm))
+        opt.run()
+        assert opt.results()["flit_hops"] <= em2.results()["flit_hops"] * 1.05

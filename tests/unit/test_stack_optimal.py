@@ -1,0 +1,189 @@
+"""Unit tests for the optimal stack-depth DP (§4).
+
+An independent memoized recursion over explicit states — written
+directly from the model definition in the module docstring — must
+agree exactly with the vectorized DP, and the DP must lower-bound
+every fixed-depth scheme.
+"""
+
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from repro.arch.config import small_test_config
+from repro.core.costs import CostModel
+from repro.core.decision.stack_optimal import (
+    _StackCosts,
+    fixed_depth_cost,
+    optimal_stack_depths,
+)
+from repro.util.errors import ConfigError
+
+
+def reference_cost(homes, spops, spushes, native, cm, K):
+    """Slow reference: explicit state recursion (memoized)."""
+    C = _StackCosts(cm, native, K)
+    n0 = native
+    N = len(homes)
+    NAT = ("nat",)
+
+    @lru_cache(maxsize=None)
+    def rec(k, state):
+        if k == N:
+            return 0.0
+        h, spop, spush = int(homes[k]), int(spops[k]), int(spushes[k])
+        # phase 1: segment
+        if state == NAT:
+            st, carry_cost = NAT, 0.0
+        else:
+            _, c, d = state
+            if spop > d:  # underflow
+                st, carry_cost = NAT, C.mig_base[c, n0] + C.ser[d]
+            else:
+                d2 = d - spop + spush
+                if d2 > C.K:  # overflow
+                    st, carry_cost = NAT, C.mig_base[c, n0] + C.ser[C.K]
+                else:
+                    st, carry_cost = ("g", c, d2), 0.0
+        # phase 2: the access must execute at h
+        best = np.inf
+        if st == NAT:
+            if h == n0:
+                best = carry_cost + rec(k + 1, NAT)
+            else:
+                for delta in range(C.K + 1):
+                    cand = (
+                        carry_cost
+                        + C.mig_base[n0, h]
+                        + C.ser[delta]
+                        + rec(k + 1, ("g", h, delta))
+                    )
+                    best = min(best, cand)
+        else:
+            _, c, d = st
+            if c == h:
+                best = carry_cost + rec(k + 1, st)
+            elif h == n0:
+                best = carry_cost + C.mig_base[c, n0] + C.ser[d] + rec(k + 1, NAT)
+            else:
+                for delta in range(d + 1):
+                    fl = C.flush[c, d - delta] if d - delta > 0 else 0.0
+                    cand = (
+                        carry_cost
+                        + C.mig_base[c, h]
+                        + C.ser[delta]
+                        + fl
+                        + rec(k + 1, ("g", h, delta))
+                    )
+                    best = min(best, cand)
+        return float(best)
+
+    return rec(0, NAT)
+
+
+@pytest.fixture
+def cm():
+    return CostModel(small_test_config(num_cores=4))
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_small_traces(self, cm, seed):
+        rng = np.random.default_rng(seed)
+        K = 4
+        n = int(rng.integers(1, 14))
+        homes = rng.integers(0, 4, n)
+        spops = rng.integers(0, K + 1, n)
+        spushes = rng.integers(0, K + 1, n)
+        native = int(rng.integers(0, 4))
+        expect = reference_cost(homes, spops, spushes, native, cm, K)
+        got = optimal_stack_depths(homes, spops, spushes, native, cm, max_depth=K)
+        assert got.total_cost == pytest.approx(expect)
+
+    def test_deeper_window(self, cm):
+        rng = np.random.default_rng(77)
+        K = 8
+        homes = rng.integers(0, 4, 10)
+        spops = rng.integers(0, 5, 10)
+        spushes = rng.integers(0, 5, 10)
+        expect = reference_cost(homes, spops, spushes, 0, cm, K)
+        got = optimal_stack_depths(homes, spops, spushes, 0, cm, max_depth=K)
+        assert got.total_cost == pytest.approx(expect)
+
+
+class TestDominance:
+    @pytest.mark.parametrize("depth", [0, 1, 2, 4])
+    def test_dp_lower_bounds_fixed_depth(self, cm, depth):
+        rng = np.random.default_rng(3)
+        K = 4
+        homes = rng.integers(0, 4, 120)
+        spops = rng.integers(0, 3, 120)
+        spushes = rng.integers(0, 3, 120)
+        opt = optimal_stack_depths(homes, spops, spushes, 0, cm, max_depth=K)
+        fix = fixed_depth_cost(homes, spops, spushes, 0, cm, depth=depth, max_depth=K)
+        assert opt.total_cost <= fix.total_cost + 1e-9
+
+
+class TestSemantics:
+    def test_all_local_free(self, cm):
+        homes = np.full(10, 1)
+        res = optimal_stack_depths(
+            homes, np.zeros(10, int), np.zeros(10, int), 1, cm, max_depth=4
+        )
+        assert res.total_cost == 0.0
+        assert res.migrations == 0
+
+    def test_single_remote_access_migrates_minimal_depth(self, cm):
+        homes = np.array([2])
+        res = optimal_stack_depths(
+            homes, np.array([1]), np.array([1]), 0, cm, max_depth=4
+        )
+        assert res.migrations == 1
+        # carrying depth >= 1 avoids an underflow round trip; the DP
+        # should carry exactly what the segment needs
+        assert res.total_cost <= fixed_depth_cost(
+            homes, np.array([1]), np.array([1]), 0, cm, depth=4
+        ).total_cost + 1e-9
+
+    def test_underflow_forces_return(self, cm):
+        """Carrying 0 entries to a guest that then pops must bounce home."""
+        homes = np.array([2, 2])
+        spops = np.array([0, 3])
+        spushes = np.array([0, 0])
+        fix = fixed_depth_cost(homes, spops, spushes, 0, cm, depth=0, max_depth=4)
+        assert fix.forced_returns >= 1
+
+    def test_overflow_forces_return(self, cm):
+        """A guest whose segment pushes past the window bounces home."""
+        homes = np.array([2, 2])
+        spops = np.array([0, 0])
+        spushes = np.array([0, 4])
+        fix = fixed_depth_cost(homes, spops, spushes, 0, cm, depth=4, max_depth=4)
+        assert fix.forced_returns >= 1
+
+    def test_stack_context_smaller_than_full_em2(self, cm):
+        """§4's headline: stack-EM² moves far fewer bits than EM²."""
+        rng = np.random.default_rng(5)
+        homes = rng.integers(0, 4, 100)
+        spops = rng.integers(0, 3, 100)
+        spushes = rng.integers(0, 3, 100)
+        res = optimal_stack_depths(homes, spops, spushes, 0, cm, max_depth=4)
+        full_bits = res.migrations * cm.config.context.full_context_bits
+        assert res.migrated_bits < full_bits
+
+    def test_activity_beyond_window_rejected(self, cm):
+        with pytest.raises(ConfigError, match="exceeds window"):
+            optimal_stack_depths(
+                np.array([1]), np.array([9]), np.array([0]), 0, cm, max_depth=4
+            )
+
+    def test_depth_reconstruction_in_range(self, cm):
+        rng = np.random.default_rng(13)
+        homes = rng.integers(0, 4, 60)
+        spops = rng.integers(0, 3, 60)
+        spushes = rng.integers(0, 3, 60)
+        res = optimal_stack_depths(homes, spops, spushes, 0, cm, max_depth=4)
+        d = res.depths
+        assert ((d >= -1) & (d <= 4)).all()
+        assert (d >= 0).sum() == res.migrations

@@ -1,0 +1,119 @@
+"""Unit tests for the stack-machine kernel library."""
+
+import numpy as np
+import pytest
+
+from repro.stackmachine import StackMachine, assemble, stack_workload
+from repro.stackmachine.programs import (
+    annotate_stack_activity,
+    dot_product_program,
+    histogram_program,
+    reduction_program,
+)
+from repro.trace.events import STACK_TRACE_DTYPE, make_trace
+from repro.util.errors import ConfigError
+
+
+class TestKernelsCorrect:
+    """The kernels are real programs — verify their *results*."""
+
+    def test_dot_product_value(self):
+        a_base, b_base, out = 100, 200, 300
+        mem = {a_base + i: i + 1 for i in range(4)}
+        mem.update({b_base + i: 10 for i in range(4)})
+        vm = StackMachine(assemble(dot_product_program(a_base, b_base, out, 4)), mem)
+        vm.run()
+        assert vm.memory[out] == (1 + 2 + 3 + 4) * 10
+
+    def test_reduction_value(self):
+        base, out = 50, 99
+        mem = {base + i * 2: i for i in range(5)}  # stride 2
+        vm = StackMachine(assemble(reduction_program(base, out, 5, stride=2)), mem)
+        vm.run()
+        assert vm.memory[out] == sum(range(5))
+
+    def test_histogram_counts(self):
+        keys, hist = 100, 400
+        mem = {keys + i: i for i in range(8)}  # keys 0..7, 4 buckets
+        vm = StackMachine(assemble(histogram_program(keys, hist, 8, 4)), mem)
+        vm.run()
+        assert [vm.memory.get(hist + b, 0) for b in range(4)] == [2, 2, 2, 2]
+
+    def test_dot_product_trace_shape(self):
+        vm = StackMachine(
+            assemble(dot_product_program(100, 200, 300, 3)),
+            {**{100 + i: 1 for i in range(3)}, **{200 + i: 1 for i in range(3)}},
+        )
+        trace = vm.run()
+        # 2 loads per iteration + final store
+        assert trace.size == 3 * 2 + 1
+        assert trace["write"].sum() == 1
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConfigError):
+            dot_product_program(0, 0, 0, 0)
+        with pytest.raises(ConfigError):
+            reduction_program(0, 0, 5, stride=0)
+        with pytest.raises(ConfigError):
+            histogram_program(0, 0, 5, 0)
+
+
+class TestStackWorkload:
+    @pytest.mark.parametrize("kernel", ["dot", "reduce", "hist"])
+    def test_produces_stack_multitrace(self, kernel):
+        mt = stack_workload(kernel, num_threads=4, n=16)
+        assert mt.is_stack
+        assert mt.num_threads == 4
+        assert mt.total_accesses > 0
+
+    def test_shared_threads_access_remote_data(self):
+        from repro.placement import first_touch
+
+        mt = stack_workload("dot", num_threads=4, n=16, shared_fraction=1.0)
+        pl = first_touch(mt, 4)
+        homes = pl.home_of(mt.threads[3]["addr"])
+        assert (homes != 3).any()
+
+    def test_zero_shared_fraction_all_private(self):
+        from repro.placement import first_touch
+
+        mt = stack_workload("dot", num_threads=4, n=16, shared_fraction=0.0)
+        pl = first_touch(mt, 4)
+        for t in range(1, 4):
+            homes = pl.home_of(mt.threads[t]["addr"])
+            assert (homes == t).all()
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigError):
+            stack_workload("fft")
+
+    def test_deterministic(self):
+        a = stack_workload("reduce", num_threads=3, n=8, seed=5)
+        b = stack_workload("reduce", num_threads=3, n=8, seed=5)
+        for ta, tb in zip(a.threads, b.threads):
+            assert (ta == tb).all()
+
+
+class TestAnnotate:
+    def test_output_is_stack_dtype(self):
+        tr = make_trace([1, 2, 3], icounts=[5, 5, 5])
+        out = annotate_stack_activity(tr)
+        assert out.dtype == STACK_TRACE_DTYPE
+
+    def test_activity_bounded_by_max_depth(self):
+        tr = make_trace(np.arange(100), icounts=np.full(100, 50))
+        out = annotate_stack_activity(tr, max_depth=4)
+        assert out["spop"].max() <= 4
+        assert out["spush"].max() <= 4
+
+    def test_deterministic(self):
+        tr = make_trace(np.arange(50), icounts=np.full(50, 3))
+        a = annotate_stack_activity(tr, seed=1)
+        b = annotate_stack_activity(tr, seed=1)
+        assert (a == b).all()
+
+    def test_preserves_addresses_and_writes(self):
+        tr = make_trace([9, 8], writes=[1, 0])
+        out = annotate_stack_activity(tr)
+        assert out["addr"].tolist() == [9, 8]
+        assert out["write"].tolist() == [1, 0]

@@ -1,0 +1,255 @@
+"""Unit tests for the stack-machine ISA, assembler, interpreter, cache."""
+
+import numpy as np
+import pytest
+
+from repro.stackmachine import (
+    AssemblyError,
+    Instruction,
+    MachineFault,
+    Opcode,
+    StackCache,
+    StackMachine,
+    assemble,
+)
+from repro.stackmachine.isa import STACK_EFFECT, HAS_OPERAND
+from repro.util.errors import ConfigError, ProtocolError
+
+
+class TestISA:
+    def test_operand_requirements_enforced(self):
+        with pytest.raises(ConfigError):
+            Instruction(Opcode.LIT)  # needs operand
+        with pytest.raises(ConfigError):
+            Instruction(Opcode.ADD, operand=3)  # takes none
+
+    def test_every_opcode_has_stack_effect(self):
+        assert set(STACK_EFFECT) == set(Opcode)
+
+    def test_repr(self):
+        assert repr(Instruction(Opcode.LIT, 7)) == "lit 7"
+        assert repr(Instruction(Opcode.ADD)) == "add"
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        prog = assemble("lit 2\nlit 3\nadd\nhalt")
+        assert [i.opcode for i in prog] == [Opcode.LIT, Opcode.LIT, Opcode.ADD, Opcode.HALT]
+
+    def test_labels_resolve(self):
+        prog = assemble(
+            """
+            lit 1
+            jz end
+            nop
+            end:
+            halt
+            """
+        )
+        assert prog[1].operand == 3  # 'end' is the 4th instruction
+
+    def test_comments_and_blank_lines_ignored(self):
+        prog = assemble("; header\n\nlit 1 ; inline\nhalt\n")
+        assert len(prog) == 2
+
+    def test_hex_operands(self):
+        prog = assemble("lit 0x10\nhalt")
+        assert prog[0].operand == 16
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate\nhalt")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("x:\nnop\nx:\nhalt")
+
+    def test_missing_operand(self):
+        with pytest.raises(AssemblyError, match="exactly one operand"):
+            assemble("lit\nhalt")
+
+    def test_unresolved_operand(self):
+        with pytest.raises(AssemblyError, match="neither an int nor a label"):
+            assemble("jmp nowhere\nhalt")
+
+
+class TestStackCache:
+    def test_push_pop_lifo(self):
+        s = StackCache(4)
+        for v in (1, 2, 3):
+            s.push(v)
+        assert [s.pop() for _ in range(3)] == [3, 2, 1]
+
+    def test_overflow_spills_bottom(self):
+        events = []
+        s = StackCache(2, spill_hook=lambda kind, n: events.append(kind))
+        s.push(1)
+        s.push(2)
+        s.push(3)  # spills 1
+        assert s.spills == 1
+        assert events == ["spill"]
+        assert s.window_depth == 2
+        assert s.depth == 3
+
+    def test_underflow_refills(self):
+        s = StackCache(2)
+        for v in (1, 2, 3):  # 1 spilled
+            s.push(v)
+        assert s.pop() == 3
+        assert s.pop() == 2
+        assert s.pop() == 1  # refilled from backing
+        assert s.refills == 1
+
+    def test_empty_pop_faults(self):
+        with pytest.raises(ProtocolError, match="underflow"):
+            StackCache(2).pop()
+
+    def test_peek_refills_when_needed(self):
+        s = StackCache(3)
+        for v in (1, 2, 3, 4, 5):
+            s.push(v)  # 1,2 spilled
+        assert s.pop() and s.pop() and s.pop()  # window empty
+        assert s.peek(1) == 1  # needs refill of 2 entries
+        assert s.refills >= 2
+
+    def test_peek_beyond_capacity_rejected(self):
+        s = StackCache(2)
+        with pytest.raises(ProtocolError, match="capacity"):
+            s.peek(2)
+
+    def test_snapshot_order(self):
+        s = StackCache(2)
+        for v in (1, 2, 3, 4):
+            s.push(v)
+        assert s.snapshot() == [1, 2, 3, 4]
+
+    def test_capacity_minimum(self):
+        with pytest.raises(ConfigError):
+            StackCache(1)
+
+
+class TestStackMachine:
+    def _run(self, src, memory=None, **kw):
+        vm = StackMachine(assemble(src), memory=memory, **kw)
+        trace = vm.run()
+        return vm, trace
+
+    def test_arithmetic(self):
+        vm, _ = self._run("lit 2\nlit 3\nadd\nlit 100\nstore\nhalt")
+        assert vm.memory[100] == 5
+
+    def test_load_store_roundtrip(self):
+        vm, trace = self._run(
+            "lit 42\nlit 7\nstore\nlit 7\nload\nlit 8\nstore\nhalt"
+        )
+        assert vm.memory[8] == 42
+        assert trace.size == 3  # store, load, store
+        assert trace["write"].tolist() == [1, 0, 1]
+        assert trace["addr"].tolist() == [7, 7, 8]
+
+    def test_loop_with_return_stack(self):
+        # sum 0..4 using the return stack as the loop counter
+        vm, _ = self._run(
+            """
+                lit 0       ; acc
+                lit 5       ; counter
+                tor         ; -> rstack
+            loop:
+                fromr
+                dup
+                tor         ; peek counter
+                add         ; acc += counter
+                fromr
+                lit 1
+                sub
+                dup
+                tor
+                jnz loop
+                fromr
+                drop
+                lit 50
+                store
+                halt
+            """
+        )
+        assert vm.memory[50] == 5 + 4 + 3 + 2 + 1
+
+    def test_call_ret(self):
+        vm, _ = self._run(
+            """
+                lit 3
+                call double
+                lit 10
+                store
+                halt
+            double:
+                dup
+                add
+                ret
+            """
+        )
+        assert vm.memory[10] == 6
+
+    def test_division_by_zero_faults(self):
+        with pytest.raises(MachineFault, match="division"):
+            self._run("lit 1\nlit 0\ndiv\nhalt")
+
+    def test_negative_address_faults(self):
+        with pytest.raises(MachineFault, match="negative address"):
+            self._run("lit 0\nlit 1\nsub\nload\nhalt")
+
+    def test_fuel_exhaustion(self):
+        vm = StackMachine(assemble("start:\njmp start\nhalt"))
+        with pytest.raises(MachineFault, match="fuel"):
+            vm.run(fuel=100)
+
+    def test_icount_counts_nonmemory_instructions(self):
+        _, trace = self._run("lit 1\nlit 2\nadd\nlit 9\nstore\nhalt")
+        assert trace["icount"].tolist() == [4]  # 4 non-memory before the store
+
+    def test_self_contained_segment_has_zero_drawdown(self):
+        # lit a, lit addr, store: the segment creates its own operands,
+        # so a migration carrying depth 0 would NOT underflow -> spop 0
+        _, trace = self._run("lit 1\nlit 9\nstore\nhalt")
+        assert trace["spop"].tolist() == [0]
+        assert trace["spush"].tolist() == [0]
+
+    def test_load_leaves_result_on_stack(self):
+        # lit addr, load: no drawdown below segment start; result stays
+        _, trace = self._run("lit 9\nload\nlit 10\nstore\nhalt")
+        assert trace["spop"][0] == 0
+        assert trace["spush"][0] == 1
+        # second segment (lit 10, store) consumes the loaded value from
+        # BELOW its start -> drawdown 1... plus the store's own addr pop
+        # is covered by its lit. Net: spop 1, spush 0.
+        assert trace["spop"][1] == 1
+        assert trace["spush"][1] == 0
+
+    def test_cross_segment_drawdown(self):
+        # segment 1 leaves values 1,2 on the stack; segment 2's add
+        # consumes both from below its own start -> spop 2
+        _, trace = self._run(
+            "lit 1\nlit 2\nlit 3\nlit 9\nstore\nadd\nlit 10\nstore\nhalt"
+        )
+        assert trace["spop"].tolist() == [0, 2]
+        # segment 1 leaves values 1,2 above its floor; segment 2 nets out
+        assert trace["spush"].tolist() == [2, 0]
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(MachineFault):
+            StackMachine([])
+
+    def test_step_after_halt_faults(self):
+        vm = StackMachine(assemble("halt"))
+        vm.run()
+        with pytest.raises(MachineFault):
+            vm.step()
+
+    def test_rot_and_over(self):
+        vm, _ = self._run(
+            "lit 1\nlit 2\nlit 3\nrot\nlit 20\nstore\nlit 21\nstore\nlit 22\nstore\nhalt"
+        )
+        # after rot: stack is 2 3 1 (top); stores pop top-first
+        assert vm.memory[20] == 1
+        assert vm.memory[21] == 3
+        assert vm.memory[22] == 2

@@ -1,0 +1,72 @@
+"""Unit tests for sweep utilities."""
+
+import math
+
+import pytest
+
+from repro.analysis.sweep import geomean, grid, normalize, sweep
+from repro.util.errors import ConfigError
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        pts = grid(a=[1, 2], b=["x", "y"])
+        assert len(pts) == 4
+        assert {(p["a"], p["b"]) for p in pts} == {(1, "x"), (1, "y"), (2, "x"), (2, "y")}
+
+    def test_empty_grid_is_single_point(self):
+        assert grid() == [{}]
+
+    def test_empty_value_list_rejected(self):
+        with pytest.raises(ConfigError):
+            grid(a=[])
+
+    def test_order_is_row_major(self):
+        pts = grid(a=[1, 2], b=[10, 20])
+        assert pts[0] == {"a": 1, "b": 10}
+        assert pts[1] == {"a": 1, "b": 20}
+
+
+class TestSweep:
+    def test_merges_params_and_metrics(self):
+        rows = sweep(grid(x=[1, 2]), lambda x: {"y": x * 10})
+        assert rows == [{"x": 1, "y": 10}, {"x": 2, "y": 20}]
+
+    def test_empty_points(self):
+        assert sweep([], lambda: {}) == []
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        assert geomean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_empty_nan(self):
+        assert math.isnan(geomean([]))
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ConfigError):
+            geomean([-1.0])
+
+
+class TestNormalize:
+    def test_divides_by_baseline(self):
+        rows = [{"c": 10}, {"c": 20}]
+        normalize(rows, "c")
+        assert rows[0]["c_norm"] == 1.0
+        assert rows[1]["c_norm"] == 2.0
+
+    def test_custom_baseline_row(self):
+        rows = [{"c": 10}, {"c": 20}]
+        normalize(rows, "c", baseline_row=1)
+        assert rows[0]["c_norm"] == 0.5
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigError):
+            normalize([{"c": 0}], "c")
+
+    def test_bad_row_rejected(self):
+        with pytest.raises(ConfigError):
+            normalize([{"c": 1}], "c", baseline_row=5)

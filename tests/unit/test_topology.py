@@ -1,0 +1,153 @@
+"""Unit tests for mesh/torus/ring topologies."""
+
+import numpy as np
+import pytest
+
+from repro.arch.topology import (
+    Mesh2D,
+    RingTopology,
+    TorusTopology,
+    UnidirectionalRing,
+    topology_for,
+)
+from repro.arch.config import SystemConfig
+from repro.util.errors import ConfigError
+
+
+class TestMesh2D:
+    def test_coords_roundtrip(self):
+        m = Mesh2D(4, 4)
+        for core in range(16):
+            x, y = m.coords(core)
+            assert m.core_at(x, y) == core
+
+    def test_manhattan_distance(self):
+        m = Mesh2D(4, 4)
+        assert m.distance(0, 15) == 6  # (0,0) -> (3,3)
+        assert m.distance(0, 3) == 3
+        assert m.distance(5, 5) == 0
+
+    def test_distance_symmetric(self):
+        m = Mesh2D(4, 3)
+        for i in range(12):
+            for j in range(12):
+                assert m.distance(i, j) == m.distance(j, i)
+
+    def test_route_is_xy(self):
+        m = Mesh2D(4, 4)
+        path = m.route(0, 10)  # (0,0) -> (2,2): X first then Y
+        assert path == [0, 1, 2, 6, 10]
+
+    def test_route_length_matches_distance(self):
+        m = Mesh2D(5, 3)
+        for i in range(15):
+            for j in range(15):
+                assert len(m.route(i, j)) == m.distance(i, j) + 1
+
+    def test_route_hops_are_neighbors(self):
+        m = Mesh2D(4, 4)
+        path = m.route(3, 12)
+        for u, v in zip(path, path[1:]):
+            assert m.distance(u, v) == 1
+
+    def test_distance_matrix_matches_pairwise(self):
+        m = Mesh2D(3, 3)
+        mat = m.distance_matrix
+        for i in range(9):
+            for j in range(9):
+                assert mat[i, j] == m.distance(i, j)
+
+    def test_distance_matrix_readonly(self):
+        m = Mesh2D(2, 2)
+        with pytest.raises(ValueError):
+            m.distance_matrix[0, 0] = 5
+
+    def test_square_factory(self):
+        m = Mesh2D.square(64)
+        assert (m.width, m.height) == (8, 8)
+        m = Mesh2D.square(12)
+        assert m.width * m.height == 12
+
+    def test_out_of_range_core_rejected(self):
+        m = Mesh2D(2, 2)
+        with pytest.raises(ConfigError):
+            m.distance(0, 4)
+
+    def test_links_are_mesh_edges(self):
+        m = Mesh2D(2, 2)
+        links = set(m.links())
+        assert links == {(0, 1), (1, 0), (0, 2), (2, 0), (1, 3), (3, 1), (2, 3), (3, 2)}
+
+
+class TestTorus:
+    def test_wraparound_shortens(self):
+        t = TorusTopology(4, 4)
+        assert t.distance(0, 3) == 1  # wrap in x
+        assert t.distance(0, 12) == 1  # wrap in y
+
+    def test_never_longer_than_mesh(self):
+        t = TorusTopology(4, 4)
+        m = Mesh2D(4, 4)
+        assert (t.distance_matrix <= m.distance_matrix).all()
+
+    def test_route_length_matches_distance(self):
+        t = TorusTopology(4, 3)
+        for i in range(12):
+            for j in range(12):
+                assert len(t.route(i, j)) == t.distance(i, j) + 1
+
+    def test_matrix_matches_scalar(self):
+        t = TorusTopology(3, 3)
+        mat = t.distance_matrix
+        for i in range(9):
+            for j in range(9):
+                assert mat[i, j] == t.distance(i, j)
+
+
+class TestRing:
+    def test_distance_both_directions(self):
+        r = RingTopology(8)
+        assert r.distance(0, 1) == 1
+        assert r.distance(0, 7) == 1
+        assert r.distance(0, 4) == 4
+
+    def test_route_wraps(self):
+        r = RingTopology(8)
+        assert r.route(0, 7) == [0, 7]
+        assert r.route(1, 3) == [1, 2, 3]
+
+
+class TestUnidirectionalRing:
+    def test_distance_is_clockwise_only(self):
+        r = UnidirectionalRing(8)
+        assert r.distance(0, 1) == 1
+        assert r.distance(1, 0) == 7  # must go all the way around
+        assert r.distance(3, 3) == 0
+
+    def test_route_wraps_forward(self):
+        r = UnidirectionalRing(4)
+        assert r.route(2, 1) == [2, 3, 0, 1]
+
+    def test_route_length_matches_distance(self):
+        r = UnidirectionalRing(6)
+        for i in range(6):
+            for j in range(6):
+                assert len(r.route(i, j)) == r.distance(i, j) + 1
+
+    def test_links_form_one_cycle(self):
+        r = UnidirectionalRing(5)
+        links = r.links()
+        assert len(links) == 5
+        nxt = dict(links)
+        node, seen = 0, set()
+        while node not in seen:
+            seen.add(node)
+            node = nxt[node]
+        assert seen == set(range(5))
+
+
+def test_topology_for_matches_config():
+    cfg = SystemConfig(num_cores=64)
+    topo = topology_for(cfg)
+    assert topo.num_cores == 64
+    assert (topo.width, topo.height) == (8, 8)

@@ -1,0 +1,84 @@
+"""Unit tests for the trace schema and MultiTrace container."""
+
+import numpy as np
+import pytest
+
+from repro.trace.events import (
+    STACK_TRACE_DTYPE,
+    TRACE_DTYPE,
+    MultiTrace,
+    empty_trace,
+    make_trace,
+    validate_trace,
+)
+from repro.util.errors import TraceFormatError
+
+
+class TestMakeTrace:
+    def test_defaults(self):
+        tr = make_trace([1, 2, 3])
+        assert tr.dtype == TRACE_DTYPE
+        assert (tr["write"] == 0).all()
+        assert (tr["icount"] == 0).all()
+
+    def test_stack_fields_select_stack_dtype(self):
+        tr = make_trace([1, 2], spops=[1, 0])
+        assert tr.dtype == STACK_TRACE_DTYPE
+        assert tr["spush"].tolist() == [0, 0]
+
+    def test_scalar_broadcast_not_allowed_but_arrays_work(self):
+        tr = make_trace([1, 2, 3], writes=[1, 0, 1], icounts=[5, 5, 5])
+        assert tr["write"].tolist() == [1, 0, 1]
+
+    def test_empty(self):
+        assert empty_trace().size == 0
+        assert empty_trace(stack=True).dtype == STACK_TRACE_DTYPE
+
+
+class TestValidate:
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(TraceFormatError):
+            validate_trace(np.zeros(4, dtype=np.int64))
+
+    def test_non_array_rejected(self):
+        with pytest.raises(TraceFormatError):
+            validate_trace([1, 2, 3])
+
+    def test_2d_rejected(self):
+        arr = np.zeros((2, 2), dtype=TRACE_DTYPE)
+        with pytest.raises(TraceFormatError):
+            validate_trace(arr)
+
+    def test_bad_write_flag_rejected(self):
+        tr = make_trace([1], writes=[2])
+        with pytest.raises(TraceFormatError):
+            validate_trace(tr)
+
+
+class TestMultiTrace:
+    def test_default_native_cores(self):
+        mt = MultiTrace(threads=[make_trace([1]), make_trace([2])])
+        assert mt.thread_native_core == [0, 1]
+
+    def test_native_core_length_mismatch_rejected(self):
+        with pytest.raises(TraceFormatError):
+            MultiTrace(threads=[make_trace([1])], thread_native_core=[0, 1])
+
+    def test_bad_thread_reported_with_index(self):
+        with pytest.raises(TraceFormatError, match="thread 1"):
+            MultiTrace(threads=[make_trace([1]), np.zeros(3)])
+
+    def test_total_accesses_and_footprint(self):
+        mt = MultiTrace(threads=[make_trace([1, 2, 2]), make_trace([2, 9])])
+        assert mt.total_accesses == 5
+        assert mt.footprint() == 3  # {1, 2, 9}
+
+    def test_summary_write_fraction(self):
+        mt = MultiTrace(threads=[make_trace([1, 2], writes=[1, 0])])
+        assert mt.summary()["write_fraction"] == 0.5
+
+    def test_is_stack(self):
+        plain = MultiTrace(threads=[make_trace([1])])
+        stack = MultiTrace(threads=[make_trace([1], spops=[1])])
+        assert not plain.is_stack
+        assert stack.is_stack

@@ -1,0 +1,73 @@
+"""Unit tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.trace.events import MultiTrace, make_trace
+from repro.trace.io import load_multitrace, save_multitrace
+from repro.util.errors import TraceFormatError
+
+
+def _mt():
+    return MultiTrace(
+        threads=[
+            make_trace([1, 2, 3], writes=[0, 1, 0], icounts=[4, 4, 4]),
+            make_trace([9, 8], writes=[1, 1]),
+        ],
+        thread_native_core=[2, 0],
+        name="roundtrip",
+        params={"alpha": 3, "beta": "x"},
+    )
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "trace.npz"
+    save_multitrace(_mt(), path)
+    loaded = load_multitrace(path)
+    orig = _mt()
+    assert loaded.name == "roundtrip"
+    assert loaded.params == {"alpha": 3, "beta": "x"}
+    assert loaded.thread_native_core == [2, 0]
+    assert len(loaded.threads) == 2
+    for a, b in zip(loaded.threads, orig.threads):
+        assert (a == b).all()
+
+
+def test_roundtrip_stack_trace(tmp_path):
+    mt = MultiTrace(threads=[make_trace([1, 2], spops=[1, 2], spushes=[0, 1])])
+    path = tmp_path / "stack.npz"
+    save_multitrace(mt, path)
+    loaded = load_multitrace(path)
+    assert loaded.is_stack
+    assert loaded.threads[0]["spop"].tolist() == [1, 2]
+
+
+def test_load_rejects_foreign_npz(tmp_path):
+    path = tmp_path / "foreign.npz"
+    np.savez(path, foo=np.arange(4))
+    with pytest.raises(TraceFormatError, match="not a repro trace"):
+        load_multitrace(path)
+
+
+def test_load_rejects_missing_thread(tmp_path):
+    import json
+
+    path = tmp_path / "broken.npz"
+    meta = json.dumps({"name": "x", "params": {}, "num_threads": 2})
+    np.savez(
+        path,
+        thread_00000=make_trace([1]),
+        native_cores=np.array([0, 1]),
+        meta_json=np.frombuffer(meta.encode(), dtype=np.uint8),
+    )
+    with pytest.raises(TraceFormatError, match="missing"):
+        load_multitrace(path)
+
+
+def test_empty_threads_roundtrip(tmp_path):
+    mt = MultiTrace(threads=[make_trace([]), make_trace([5])])
+    path = tmp_path / "empty.npz"
+    save_multitrace(mt, path)
+    loaded = load_multitrace(path)
+    assert loaded.threads[0].size == 0
+    assert loaded.threads[1]["addr"].tolist() == [5]

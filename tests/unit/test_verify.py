@@ -1,0 +1,117 @@
+"""Unit tests for the protocol audit module."""
+
+import pytest
+
+from repro.arch.config import small_test_config
+from repro.coherence import DirectoryCCSimulator
+from repro.coherence.msi import DirState
+from repro.core.em2 import EM2Machine
+from repro.core.em2ra import EM2RAMachine
+from repro.core.decision import NeverMigrate
+from repro.placement import first_touch, striped
+from repro.trace.events import MultiTrace, make_trace
+from repro.trace.synthetic import make_workload
+from repro.util.errors import ProtocolError
+from repro.verify import (
+    audit_directory,
+    audit_home_only_caching,
+    audit_message_conservation,
+    audit_thread_completion,
+    full_machine_audit,
+)
+
+
+@pytest.fixture
+def finished_em2():
+    cfg = small_test_config(num_cores=4, guest_contexts=2)
+    trace = make_workload("pingpong", num_threads=4, rounds=12, run=2)
+    pl = first_touch(trace, 4)
+    m = EM2Machine(trace, pl, cfg)
+    m.run()
+    return m
+
+
+class TestMachineAudits:
+    def test_clean_run_passes_all(self, finished_em2):
+        out = full_machine_audit(finished_em2)
+        assert out["threads"] == 4
+        assert out["lines_checked"] > 0
+
+    def test_home_only_violation_detected(self, finished_em2):
+        # plant a foreign line in core 0's L1: word 16 = block 1, which
+        # no thread touched, so it stripes to core 1 != 0
+        finished_em2.caches[0].l1.fill(16 * finished_em2.config.word_bytes)
+        with pytest.raises(ProtocolError, match="cached at core 0"):
+            audit_home_only_caching(finished_em2)
+
+    def test_unfinished_thread_detected(self, finished_em2):
+        finished_em2.threads[2].done = False
+        with pytest.raises(ProtocolError, match="unfinished"):
+            audit_thread_completion(finished_em2)
+
+    def test_in_transit_detected(self, finished_em2):
+        finished_em2.threads[1].in_transit = True
+        with pytest.raises(ProtocolError, match="in transit"):
+            audit_thread_completion(finished_em2)
+
+    def test_occupied_context_detected(self, finished_em2):
+        finished_em2.contexts[1].admit_native(1, 0.0)
+        with pytest.raises(ProtocolError, match="holds"):
+            audit_thread_completion(finished_em2)
+
+    def test_message_conservation_on_ra_machine(self):
+        cfg = small_test_config(num_cores=4, guest_contexts=2)
+        mt = MultiTrace(threads=[make_trace([16, 32, 16], icounts=1)])
+        m = EM2RAMachine(mt, striped(4, block_words=16), cfg, scheme=NeverMigrate())
+        m.run()
+        out = audit_message_conservation(m)
+        assert out["RA_REQUEST"] == out["RA_REPLY"] == 3
+
+    def test_message_imbalance_detected(self, finished_em2):
+        finished_em2.stats.counters.add("migrations", 5)  # fake extra
+        with pytest.raises(ProtocolError, match="migration messages"):
+            audit_message_conservation(finished_em2)
+
+
+class TestDirectoryAudit:
+    def _run_cc(self):
+        cfg = small_test_config(num_cores=4)
+        trace = make_workload("hotspot", num_threads=4, accesses_per_thread=64,
+                              hot_fraction=0.5)
+        sim = DirectoryCCSimulator(trace, first_touch(trace, 4), cfg)
+        sim.run()
+        return sim
+
+    def test_clean_run_passes(self):
+        sim = self._run_cc()
+        out = audit_directory(sim)
+        assert out["directory_lines"] > 0
+
+    def test_phantom_sharer_detected(self):
+        sim = self._run_cc()
+        # corrupt: add a sharer whose cache doesn't hold the line
+        for line, entry in sim.directory.items():
+            if entry.state == DirState.SHARED:
+                entry.sharers.add(
+                    next(
+                        c
+                        for c in range(4)
+                        if sim.caches[c].probe(line * sim.config.l2.line_bytes) is None
+                    )
+                )
+                break
+        else:
+            pytest.skip("no shared line in this run")
+        with pytest.raises(ProtocolError):
+            audit_directory(sim)
+
+    def test_lost_owner_detected(self):
+        sim = self._run_cc()
+        for line, entry in sim.directory.items():
+            if entry.state == DirState.EXCLUSIVE:
+                sim.caches[entry.owner].invalidate(line * sim.config.l2.line_bytes)
+                break
+        else:
+            pytest.skip("no exclusive line in this run")
+        with pytest.raises(ProtocolError):
+            audit_directory(sim)

@@ -1,0 +1,212 @@
+"""Unit tests for every synthetic workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.placement import first_touch
+from repro.trace.events import validate_trace
+from repro.trace.runlength import (
+    fraction_single_access_runs,
+    merge_histograms,
+    run_length_histogram,
+)
+from repro.trace.synthetic import GENERATORS, make_workload
+from repro.trace.synthetic.base import AddressSpace, PRIVATE_BASE
+from repro.util.errors import ConfigError
+
+
+class TestAddressSpace:
+    def test_shared_regions_disjoint(self):
+        sp = AddressSpace(num_threads=4)
+        a = sp.shared_region("a", 100)
+        b = sp.shared_region("b", 50)
+        assert b >= a + 100
+
+    def test_duplicate_region_rejected(self):
+        sp = AddressSpace(num_threads=2)
+        sp.shared_region("x", 10)
+        with pytest.raises(ConfigError):
+            sp.shared_region("x", 10)
+
+    def test_private_regions_disjoint_from_shared(self):
+        sp = AddressSpace(num_threads=4)
+        sp.shared_region("big", 1 << 19)
+        for t in range(4):
+            assert sp.private_base(t) >= PRIVATE_BASE
+
+    def test_private_bases_distinct(self):
+        sp = AddressSpace(num_threads=8)
+        bases = [sp.private_base(t) for t in range(8)]
+        assert len(set(bases)) == 8
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_generator_produces_valid_multitrace(name):
+    kwargs = {"num_threads": 4}
+    if name == "ocean":
+        kwargs["grid_n"] = 20
+    mt = make_workload(name, **kwargs)
+    assert mt.num_threads == 4
+    assert mt.total_accesses > 0
+    for tr in mt.threads:
+        validate_trace(tr)
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_generator_deterministic_given_seed(name):
+    kwargs = {"num_threads": 4, "seed": 42}
+    if name == "ocean":
+        kwargs["grid_n"] = 20
+    a = make_workload(name, **kwargs)
+    b = make_workload(name, **kwargs)
+    for ta, tb in zip(a.threads, b.threads):
+        assert (ta == tb).all()
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ValueError, match="unknown workload"):
+        make_workload("splash2-ocean")
+
+
+class TestOcean:
+    def test_bimodal_run_lengths(self):
+        """The Figure 2 shape: a large mass at run length 1 AND long runs."""
+        mt = make_workload("ocean", num_threads=8, grid_n=66, iterations=2)
+        pl = first_touch(mt, 8)
+        hists = [
+            run_length_histogram(pl.home_of(tr["addr"]), t)
+            for t, tr in enumerate(mt.threads)
+        ]
+        agg = merge_histograms(hists)
+        frac1 = fraction_single_access_runs(agg)
+        assert 0.30 <= frac1 <= 0.70  # "about half" (§3 / Fig. 2)
+        long_runs = sum(c for v, c in agg.bins().items() if v >= 10)
+        assert long_runs > 0.2 * agg.count  # the other mode exists
+
+    def test_rows_partition_grid(self):
+        from repro.trace.synthetic.ocean import OceanGenerator
+
+        g = OceanGenerator(num_threads=4, grid_n=20)
+        rows = [g.rows_of(t) for t in range(4)]
+        assert rows[0][0] == 0 and rows[-1][1] == 20
+        for (a, b), (c, d) in zip(rows, rows[1:]):
+            assert b == c
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ConfigError):
+            make_workload("ocean", num_threads=8, grid_n=8)
+
+    def test_first_touch_homes_own_rows(self):
+        mt = make_workload("ocean", num_threads=4, grid_n=20, iterations=1)
+        from repro.trace.synthetic.ocean import OceanGenerator
+
+        g = OceanGenerator(num_threads=4, grid_n=20)
+        pl = first_touch(mt, 4)
+        r0, r1 = g.rows_of(2)
+        mid_row_addr = g.addr(r0 + (r1 - r0) // 2, 10)
+        assert pl.home_of_one(int(mid_row_addr)) == 2
+
+
+class TestFFT:
+    def test_transpose_touches_all_peers(self):
+        mt = make_workload("fft", num_threads=4, points_per_thread=64)
+        pl = first_touch(mt, 4)
+        homes = pl.home_of(mt.threads[0]["addr"])
+        assert set(np.unique(homes)) == {0, 1, 2, 3}
+
+    def test_points_below_threads_rejected(self):
+        with pytest.raises(ConfigError):
+            make_workload("fft", num_threads=16, points_per_thread=8)
+
+
+class TestLU:
+    def test_owner_map_in_range(self):
+        from repro.trace.synthetic.lu import LUGenerator
+
+        g = LUGenerator(num_threads=4, blocks=6)
+        owners = {g.owner(i, j) for i in range(6) for j in range(6)}
+        assert owners <= set(range(4))
+        assert len(owners) == 4  # all threads own something
+
+    def test_remote_reads_of_pivot(self):
+        mt = make_workload("lu", num_threads=4, blocks=4, block_words=16)
+        pl = first_touch(mt, 4)
+        remote_frac = np.mean(
+            [
+                (pl.home_of(tr["addr"]) != t).mean()
+                for t, tr in enumerate(mt.threads)
+                if tr.size
+            ]
+        )
+        assert remote_frac > 0.05
+
+
+class TestRadix:
+    def test_scatter_phase_hits_many_cores(self):
+        mt = make_workload("radix", num_threads=8, keys_per_thread=128)
+        pl = first_touch(mt, 8)
+        homes = pl.home_of(mt.threads[3]["addr"])
+        assert len(set(np.unique(homes))) >= 6
+
+    def test_write_fraction_substantial(self):
+        mt = make_workload("radix", num_threads=4, keys_per_thread=64)
+        assert mt.summary()["write_fraction"] > 0.25
+
+
+class TestMicro:
+    def test_private_only_all_local(self):
+        mt = make_workload("private", num_threads=4)
+        pl = first_touch(mt, 4)
+        for t, tr in enumerate(mt.threads):
+            assert (pl.home_of(tr["addr"]) == t).all()
+
+    def test_pingpong_consumer_run_length(self):
+        mt = make_workload("pingpong", num_threads=4, rounds=10, run=3)
+        pl = first_touch(mt, 4)
+        homes = pl.home_of(mt.threads[1]["addr"])  # consumer of pair 0
+        h = run_length_histogram(homes, native_core=1)
+        assert h[3] > 0  # consumer's buffer runs have length `run`
+
+    def test_pingpong_odd_thread_count_rejected(self):
+        with pytest.raises(ConfigError):
+            make_workload("pingpong", num_threads=3)
+
+    def test_hotspot_homed_at_core0(self):
+        from repro.trace.synthetic.micro import HotspotGenerator
+
+        g = HotspotGenerator(num_threads=4, accesses_per_thread=128)
+        mt = g.generate()
+        pl = first_touch(mt, 4)
+        assert pl.home_of_one(g.hot_base) == 0
+
+    def test_uniform_nonlocal_fraction_high(self):
+        mt = make_workload("uniform", num_threads=8, accesses_per_thread=256)
+        from repro.placement import striped
+
+        pl = striped(8)
+        fracs = [
+            (pl.home_of(tr["addr"]) != t).mean() for t, tr in enumerate(mt.threads)
+        ]
+        assert np.mean(fracs) > 0.8
+
+
+class TestWaterBarnesRaytrace:
+    def test_water_mostly_private(self):
+        mt = make_workload("water", num_threads=4, molecules_per_thread=16, timesteps=2)
+        pl = first_touch(mt, 4)
+        remote = np.mean(
+            [(pl.home_of(tr["addr"]) != t).mean() for t, tr in enumerate(mt.threads)]
+        )
+        assert remote < 0.4
+
+    def test_barnes_tree_shared(self):
+        mt = make_workload("barnes", num_threads=4, bodies_per_thread=8, timesteps=1)
+        pl = first_touch(mt, 4)
+        homes = pl.home_of(mt.threads[2]["addr"])
+        assert len(set(np.unique(homes))) >= 3  # tree walk crosses cores
+
+    def test_raytrace_read_mostly(self):
+        mt = make_workload(
+            "raytrace", num_threads=4, rays_per_thread=64, scene_words=512
+        )
+        assert mt.summary()["write_fraction"] < 0.6

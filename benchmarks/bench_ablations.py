@@ -13,7 +13,7 @@ import pytest
 
 from conftest import cached_first_touch, cached_workload, emit
 from repro.analysis.reports import format_table
-from repro.analysis.sweep import normalize
+from repro.analysis.sweep import grid, normalize, sweep
 from repro.arch.config import NocConfig, small_test_config
 from repro.core.costs import CostModel
 from repro.core.decision import NeverMigrate
@@ -25,28 +25,36 @@ from repro.placement.dynamic import evaluate_dynamic_placement
 from repro.trace.synthetic import make_workload
 
 
-def test_lookahead_window_convergence(benchmark, bench_cost):
+def test_lookahead_window_convergence(benchmark, bench_cost, bench_workers):
     """Cost vs lookahead window, normalized to the DP optimum: how much
     future does a decision unit need?"""
     trace = cached_workload("ocean", num_threads=16, grid_n=98, iterations=1)
     placement = cached_first_touch(trace, 16)
 
-    def sweep():
-        windows = [1, 2, 4, 8, 16, 64, np.inf]
-        opt_total = 0.0
-        costs = {w: 0.0 for w in windows}
+    def eval_window(window):
+        total = 0.0
         for t, tr in enumerate(trace.threads):
             homes = placement.home_of(tr["addr"])
-            opt_total += optimal_cost(homes, tr["write"], t, bench_cost)
-            for w in windows:
-                d = lookahead_decisions(homes, tr["write"], t, bench_cost, w)
-                costs[w] += decision_cost(homes, tr["write"], d, t, bench_cost)
-        return [
-            {"window": str(w), "cost": costs[w], "x_optimal": costs[w] / opt_total}
-            for w in windows
-        ], opt_total
+            d = lookahead_decisions(homes, tr["write"], t, bench_cost, window)
+            total += decision_cost(homes, tr["write"], d, t, bench_cost)
+        return {"cost": total}
 
-    rows, opt_total = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    def run_sweep():
+        opt_total = sum(
+            optimal_cost(placement.home_of(tr["addr"]), tr["write"], t, bench_cost)
+            for t, tr in enumerate(trace.threads)
+        )
+        rows = sweep(
+            grid(window=[1, 2, 4, 8, 16, 64, np.inf]),
+            eval_window,
+            workers=bench_workers,
+        )
+        for r in rows:
+            r["window"] = str(r["window"])
+            r["x_optimal"] = r["cost"] / opt_total
+        return rows, opt_total
+
+    rows, opt_total = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     emit(
         f"ablation: lookahead window vs DP optimum (ocean; optimal={opt_total:.0f})",
         format_table(rows),
@@ -57,31 +65,30 @@ def test_lookahead_window_convergence(benchmark, bench_cost):
     assert ratios[-1] < 1.6  # infinite-window greedy lands near optimal
 
 
-def test_guest_context_pressure(benchmark):
+def test_guest_context_pressure(benchmark, bench_workers):
     """Evictions vs guest-context count (DESIGN.md ablation 4)."""
     trace = cached_workload(
         "hotspot", num_threads=16, accesses_per_thread=96, hot_fraction=0.5, burst=4
     )
 
-    def sweep():
-        rows = []
-        for guests in (1, 2, 4, 8):
-            cfg = small_test_config(num_cores=16, guest_contexts=guests)
-            pl = first_touch(trace, 16)
-            m = EM2Machine(trace, pl, cfg)
-            m.run()
-            r = m.results()
-            rows.append(
-                {
-                    "guest_contexts": guests,
-                    "evictions": r["evictions"],
-                    "stalls": m.stats.counters["admission_stalls"],
-                    "completion": r["completion_time"],
-                }
-            )
-        return rows
+    def eval_point(guest_contexts):
+        cfg = small_test_config(num_cores=16, guest_contexts=guest_contexts)
+        pl = first_touch(trace, 16)
+        m = EM2Machine(trace, pl, cfg)
+        m.run()
+        r = m.results()
+        return {
+            "evictions": r["evictions"],
+            "stalls": m.stats.counters["admission_stalls"],
+            "completion": r["completion_time"],
+        }
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    def run_sweep():
+        return sweep(
+            grid(guest_contexts=[1, 2, 4, 8]), eval_point, workers=bench_workers
+        )
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     emit("ablation: guest-context count (hotspot, EM2)", format_table(rows))
     ev = [r["evictions"] for r in rows]
     assert ev[0] >= ev[-1]  # pressure falls with more contexts

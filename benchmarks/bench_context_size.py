@@ -17,6 +17,7 @@ import pytest
 from conftest import cached_first_touch, cached_workload, emit
 from repro.analysis.energy import EnergyModel
 from repro.analysis.reports import format_table
+from repro.analysis.sweep import grid, sweep
 from repro.arch.config import ContextConfig, NocConfig, SystemConfig
 from repro.core.costs import CostModel
 from repro.core.decision import AlwaysMigrate, HistoryRunLength, NeverMigrate
@@ -40,26 +41,27 @@ def workload():
     return trace, cached_first_touch(trace, 16)
 
 
-def test_context_size_sweep(benchmark, workload):
+def test_context_size_sweep(benchmark, workload, bench_workers):
     trace, placement = workload
     energy = EnergyModel()
 
-    def sweep():
-        rows = []
-        for bits in (256, 512, 1024, 1536, 2048, 4096):
-            cm = CostModel(_config_with(bits))
-            r = evaluate_scheme(trace, placement, AlwaysMigrate(), cm)
-            rows.append(
-                {
-                    "context_bits": bits,
-                    "em2_cost": r.total_cost,
-                    "traffic_Mbit": r.traffic_bits / 1e6,
-                    "network_energy_uJ": energy.network_energy(r.traffic_bits * 4) / 1e6,
-                }
-            )
-        return rows
+    def eval_point(context_bits):
+        cm = CostModel(_config_with(context_bits))
+        r = evaluate_scheme(trace, placement, AlwaysMigrate(), cm)
+        return {
+            "em2_cost": r.total_cost,
+            "traffic_Mbit": r.traffic_bits / 1e6,
+            "network_energy_uJ": energy.network_energy(r.traffic_bits * 4) / 1e6,
+        }
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    def run_sweep():
+        return sweep(
+            grid(context_bits=[256, 512, 1024, 1536, 2048, 4096]),
+            eval_point,
+            workers=bench_workers,
+        )
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     emit("ex-context: EM2 cost/traffic vs context size (ocean, 16 cores)",
          format_table(rows))
     costs = [r["em2_cost"] for r in rows]
@@ -69,28 +71,27 @@ def test_context_size_sweep(benchmark, workload):
     assert costs[3] > 1.2 * costs[0]
 
 
-def test_link_width_sweep(benchmark, workload):
+def test_link_width_sweep(benchmark, workload, bench_workers):
     """'especially on low-bandwidth interconnects' (§5): narrower flits
     hurt pure EM² much more than the RA-heavy hybrid."""
     trace, placement = workload
 
-    def sweep():
-        rows = []
-        for flit in (32, 64, 128, 256):
-            cm = CostModel(_config_with(1536, flit_bits=flit))
-            em2 = evaluate_scheme(trace, placement, AlwaysMigrate(), cm)
-            ra = evaluate_scheme(trace, placement, NeverMigrate(), cm)
-            rows.append(
-                {
-                    "flit_bits": flit,
-                    "em2_cost": em2.total_cost,
-                    "ra_cost": ra.total_cost,
-                    "em2_over_ra": em2.total_cost / ra.total_cost,
-                }
-            )
-        return rows
+    def eval_point(flit_bits):
+        cm = CostModel(_config_with(1536, flit_bits=flit_bits))
+        em2 = evaluate_scheme(trace, placement, AlwaysMigrate(), cm)
+        ra = evaluate_scheme(trace, placement, NeverMigrate(), cm)
+        return {
+            "em2_cost": em2.total_cost,
+            "ra_cost": ra.total_cost,
+            "em2_over_ra": em2.total_cost / ra.total_cost,
+        }
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    def run_sweep():
+        return sweep(
+            grid(flit_bits=[32, 64, 128, 256]), eval_point, workers=bench_workers
+        )
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     emit("ex-context: link-width sensitivity (EM2 vs RA-only)", format_table(rows))
     # EM2's relative penalty must grow as links narrow
     ratios = [r["em2_over_ra"] for r in rows]

@@ -12,6 +12,7 @@ import pytest
 
 from conftest import cached_first_touch, cached_workload, emit
 from repro.analysis.reports import format_table
+from repro.analysis.sweep import grid, sweep
 from repro.core.decision import (
     AlwaysMigrate,
     DistanceThreshold,
@@ -103,28 +104,27 @@ def test_scheme_vs_optimal(benchmark, bench_cost, wl):
         assert by["history(be)"] <= by["random(0.5)"] * 1.25
 
 
-def test_crossover_run_length(benchmark, bench_cost):
+def test_crossover_run_length(benchmark, bench_cost, bench_workers):
     """Ablation: sweep the consumer run length; migration should beat
     RA exactly past the break-even length (the §3 crossover)."""
 
-    def sweep():
-        rows = []
-        for run in (1, 2, 4, 8, 16, 32):
-            trace = cached_workload("pingpong", num_threads=8, rounds=32, run=run)
-            placement = cached_first_touch(trace, 8)
-            em2 = evaluate_scheme(trace, placement, AlwaysMigrate(), bench_cost)
-            ra = evaluate_scheme(trace, placement, NeverMigrate(), bench_cost)
-            rows.append(
-                {
-                    "run_length": run,
-                    "em2_cost": em2.total_cost,
-                    "ra_cost": ra.total_cost,
-                    "winner": "EM2" if em2.total_cost < ra.total_cost else "RA",
-                }
-            )
-        return rows
+    def eval_point(run_length):
+        trace = cached_workload("pingpong", num_threads=8, rounds=32, run=run_length)
+        placement = cached_first_touch(trace, 8)
+        em2 = evaluate_scheme(trace, placement, AlwaysMigrate(), bench_cost)
+        ra = evaluate_scheme(trace, placement, NeverMigrate(), bench_cost)
+        return {
+            "em2_cost": em2.total_cost,
+            "ra_cost": ra.total_cost,
+            "winner": "EM2" if em2.total_cost < ra.total_cost else "RA",
+        }
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    def run_sweep():
+        return sweep(
+            grid(run_length=[1, 2, 4, 8, 16, 32]), eval_point, workers=bench_workers
+        )
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     emit("ex-schemes: migration-vs-RA crossover in run length", format_table(rows))
     assert rows[0]["winner"] == "RA"  # run length 1: RA must win (§3)
     assert rows[-1]["winner"] == "EM2"  # long runs: migration must win

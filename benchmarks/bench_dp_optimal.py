@@ -16,6 +16,7 @@ import pytest
 
 from conftest import cached_first_touch, cached_workload, emit
 from repro.analysis.reports import format_table
+from repro.analysis.sweep import grid, sweep
 from repro.arch.config import SystemConfig
 from repro.core.costs import CostModel
 from repro.core.decision import AlwaysMigrate, NeverMigrate
@@ -60,28 +61,27 @@ def test_dp_optimal_vs_static_extremes(benchmark, bench_cost, pingpong16):
     assert migs > 0 and ras > 0  # a true hybrid wins here
 
 
-def test_dp_runtime_scaling(benchmark):
+def test_dp_runtime_scaling(benchmark, bench_workers):
     """Measure T(N, P); report T / (N*P) — flat ratios mean O(N*P)."""
 
-    def sweep():
-        rows = []
-        rng = np.random.default_rng(0)
-        for P in (16, 64, 256):
-            cm = CostModel(SystemConfig(num_cores=P))
-            for N in (2000, 8000):
-                homes = rng.integers(0, P, N)
-                writes = rng.random(N) < 0.3
-                t0 = time.perf_counter()
-                optimal_cost(homes, writes, 0, cm)
-                dt = time.perf_counter() - t0
-                rows.append(
-                    {"P": P, "N": N, "seconds": dt,
-                     "ns_per_NP": dt / (N * P) * 1e9,
-                     "ns_per_NP2": dt / (N * P * P) * 1e9}
-                )
-        return rows
+    def eval_point(P, N):
+        rng = np.random.default_rng(P * 100003 + N)
+        cm = CostModel(SystemConfig(num_cores=P))
+        homes = rng.integers(0, P, N)
+        writes = rng.random(N) < 0.3
+        t0 = time.perf_counter()
+        optimal_cost(homes, writes, 0, cm)
+        dt = time.perf_counter() - t0
+        return {"seconds": dt,
+                "ns_per_NP": dt / (N * P) * 1e9,
+                "ns_per_NP2": dt / (N * P * P) * 1e9}
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    def run_sweep():
+        return sweep(
+            grid(P=[16, 64, 256], N=[2000, 8000]), eval_point, workers=bench_workers
+        )
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     emit("ex-dp: DP runtime scaling (paper bound O(N*P^2); ours O(N*P))",
          format_table(rows))
     # doubling checks are noisy in CI; assert the gross property instead:

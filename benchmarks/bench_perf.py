@@ -1,0 +1,214 @@
+"""Sweep-throughput harness: serial vs parallel, cold vs warm cache.
+
+This is the measurement companion to ISSUE 1's performance layer. It
+runs one multi-point (workload x scheme) sweep four ways —
+
+1. serial        (``workers=1``, no cache)
+2. parallel      (``workers=N`` process pool, no cache)
+3. cold cache    (parallel + empty content-addressed cache)
+4. warm cache    (parallel + the cache populated by run 3)
+
+— verifies all four produce identical result rows, and writes
+timings, speedups, and cache hit/miss counters to ``BENCH_perf.json``.
+
+The sweep callback is a module-level function over plain strings, so
+it pickles into pool workers (closures over fixtures would silently
+degrade to the serial path — by design, but useless for measuring).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py [--smoke] [--workers N]
+
+or via pytest (smoke configuration only)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf.py
+
+Note: parallel speedup is bounded by the machine. The report records
+``cpu_count`` so a 1-core CI box showing ~1x is interpretable; the
+>=2x acceptance target applies on >=4-core hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from functools import partial
+from pathlib import Path
+
+from repro.analysis.cache import ResultCache, canonical_rows
+from repro.analysis.sweep import grid, sweep
+from repro.arch.config import small_test_config
+from repro.core.costs import CostModel
+from repro.core.decision.costaware import CostAwareHistory
+from repro.core.decision.history import AddressIndexedHistory, HistoryRunLength
+from repro.core.evaluation import evaluate_scheme
+from repro.placement import first_touch
+from repro.trace.synthetic import make_workload
+
+CORES = 16
+
+# Each point regenerates its trace inside the worker: the generation +
+# sequential scheme walk is the unit of work being parallelized.
+WORKLOAD_PARAMS = {
+    "full": {
+        "ocean": dict(name="ocean", num_threads=16, grid_n=130, iterations=2),
+        "fft": dict(name="fft", num_threads=16, points_per_thread=1024),
+        "pingpong": dict(name="pingpong", num_threads=16, rounds=2048, run=4),
+        "uniform": dict(name="uniform", num_threads=16, accesses_per_thread=16384),
+    },
+    "smoke": {
+        "pingpong": dict(name="pingpong", num_threads=8, rounds=24, run=4),
+        "uniform": dict(name="uniform", num_threads=8, accesses_per_thread=128),
+    },
+}
+
+SCHEMES = {
+    "full": ["history", "addr-history", "costaware"],
+    "smoke": ["history", "costaware"],
+}
+
+
+def _make_scheme(name: str, cost: CostModel):
+    be = cost.break_even_run_length(0, cost.config.num_cores - 1)
+    if name == "history":
+        return HistoryRunLength(threshold=be)
+    if name == "addr-history":
+        return AddressIndexedHistory(threshold=be)
+    if name == "costaware":
+        return CostAwareHistory(cost)
+    raise ValueError(f"unknown scheme {name!r}")
+
+
+def eval_point(workload: str, scheme: str, _mode: str = "full") -> dict:
+    """One sweep point: generate the trace, evaluate the scheme on it."""
+    params = dict(WORKLOAD_PARAMS[_mode][workload])
+    trace = make_workload(params.pop("name"), **params)
+    placement = first_touch(trace, CORES)
+    cost = CostModel(small_test_config(num_cores=CORES))
+    r = evaluate_scheme(trace, placement, _make_scheme(scheme, cost), cost)
+    return {
+        "total_cost": r.total_cost,
+        "migrations": r.migrations,
+        "remote_accesses": r.remote_accesses,
+        "local_accesses": r.local_accesses,
+        "traffic_bits": r.traffic_bits,
+    }
+
+
+def _cache_extra(mode: str) -> dict:
+    return {"bench": "bench_perf", "mode": mode, "cores": CORES}
+
+
+def run_harness(mode: str = "full", workers: int = 4, cache_dir: str | None = None) -> dict:
+    points = grid(
+        workload=sorted(WORKLOAD_PARAMS[mode]), scheme=SCHEMES[mode]
+    )
+    fn = partial(eval_point, _mode=mode)
+    report: dict = {
+        "mode": mode,
+        "workers": workers,
+        "points": len(points),
+        "cpu_count": os.cpu_count(),
+    }
+
+    t0 = time.perf_counter()
+    rows_serial = sweep(points, fn, workers=1)
+    report["serial_seconds"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    rows_parallel = sweep(points, fn, workers=workers)
+    report["parallel_seconds"] = time.perf_counter() - t0
+    report["parallel_speedup"] = report["serial_seconds"] / report["parallel_seconds"]
+    report["parallel_rows_identical"] = rows_parallel == rows_serial
+
+    own_tmp = cache_dir is None
+    if own_tmp:
+        cache_dir = tempfile.mkdtemp(prefix="bench_perf_cache_")
+    try:
+        cold = ResultCache(cache_dir)
+        cold.clear()
+        t0 = time.perf_counter()
+        rows_cold = sweep(
+            points, fn, workers=workers, cache=cold, cache_extra=_cache_extra(mode)
+        )
+        report["cold_cache_seconds"] = time.perf_counter() - t0
+        report["cold_cache_stats"] = cold.stats()
+
+        warm = ResultCache(cache_dir)
+        t0 = time.perf_counter()
+        rows_warm = sweep(
+            points, fn, workers=workers, cache=warm, cache_extra=_cache_extra(mode)
+        )
+        report["warm_cache_seconds"] = time.perf_counter() - t0
+        report["warm_cache_stats"] = warm.stats()
+        total = warm.hits + warm.misses
+        report["warm_skip_fraction"] = warm.hits / total if total else 0.0
+        report["warm_speedup_vs_serial"] = (
+            report["serial_seconds"] / report["warm_cache_seconds"]
+        )
+        canon = canonical_rows(rows_serial)
+        report["cold_rows_identical"] = rows_cold == canon
+        report["warm_rows_identical"] = rows_warm == canon
+    finally:
+        if own_tmp:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+    return report
+
+
+# ---------------------------------------------------------------- pytest
+def test_perf_smoke():
+    """Smoke configuration: correctness of the four paths, not speed."""
+    report = run_harness(mode="smoke", workers=2)
+    assert report["parallel_rows_identical"]
+    assert report["cold_rows_identical"]
+    assert report["warm_rows_identical"]
+    assert report["warm_skip_fraction"] >= 0.9
+    assert report["cold_cache_stats"]["hits"] == 0
+
+
+# ---------------------------------------------------------------- script
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true", help="small fast configuration")
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--cache-dir", default=None,
+                    help="cache dir to use (default: fresh tempdir; cleared "
+                         "at start so the cold run is genuinely cold)")
+    ap.add_argument("--out", default=None,
+                    help="report path (default: <repo>/BENCH_perf.json)")
+    args = ap.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    report = run_harness(mode=mode, workers=args.workers, cache_dir=args.cache_dir)
+
+    out = Path(args.out) if args.out else Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    print(json.dumps(report, indent=2, sort_keys=True))
+    ok = (
+        report["parallel_rows_identical"]
+        and report["cold_rows_identical"]
+        and report["warm_rows_identical"]
+        and report["warm_skip_fraction"] >= 0.9
+    )
+    print(
+        f"\nserial {report['serial_seconds']:.2f}s | "
+        f"parallel({args.workers}) {report['parallel_seconds']:.2f}s "
+        f"({report['parallel_speedup']:.2f}x) | "
+        f"warm cache {report['warm_cache_seconds']:.2f}s "
+        f"(skips {report['warm_skip_fraction']:.0%} of evaluations) | "
+        f"rows identical: {ok}"
+    )
+    if not ok:
+        print("FAIL: row mismatch or warm cache skipped < 90%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

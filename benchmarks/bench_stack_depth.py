@@ -18,6 +18,7 @@ import pytest
 
 from conftest import cached_first_touch, emit
 from repro.analysis.reports import format_table
+from repro.analysis.sweep import grid, sweep
 from repro.core.decision.stack_optimal import fixed_depth_cost, optimal_stack_depths
 from repro.placement import first_touch
 from repro.stackmachine import stack_workload
@@ -49,7 +50,8 @@ def _depth_sweep(mt, placement, cost_model):
         {"depth": "optimal (DP)", "network_cost": opt_cost,
          "migrated_kbit": opt_bits / 1000, "forced_returns": int(opt_forced)}
     )
-    for depth in (0, 1, 2, 4, 8):
+
+    def eval_depth(depth):
         cost = bits = forced = 0
         for t, tr in enumerate(mt.threads):
             homes = placement.home_of(tr["addr"])
@@ -59,10 +61,16 @@ def _depth_sweep(mt, placement, cost_model):
             cost += res.total_cost
             bits += res.migrated_bits
             forced += res.forced_returns
-        rows.append(
-            {"depth": depth, "network_cost": cost, "migrated_kbit": bits / 1000,
-             "forced_returns": forced}
-        )
+        return {"network_cost": cost, "migrated_kbit": bits / 1000,
+                "forced_returns": forced}
+
+    fixed_rows = sweep(grid(depth=[0, 1, 2, 4, 8]), eval_depth)
+    # match the summary table's column order (depth first)
+    rows.extend(
+        {"depth": r["depth"], "network_cost": r["network_cost"],
+         "migrated_kbit": r["migrated_kbit"], "forced_returns": r["forced_returns"]}
+        for r in fixed_rows
+    )
     return rows
 
 

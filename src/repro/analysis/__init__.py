@@ -1,16 +1,24 @@
-"""Analysis utilities: energy model, experiment report tables."""
+"""Analysis utilities: energy model, report tables, parallel sweeps,
+and the content-addressed result cache."""
 
+from repro.analysis.cache import ResultCache, canonical_rows, stable_key
 from repro.analysis.energy import EnergyModel, EnergyReport
+from repro.analysis.parallel import SweepPointError, parallel_sweep
 from repro.analysis.reports import format_table, runlength_table, to_csv
 from repro.analysis.sweep import geomean, grid, normalize, sweep
 
 __all__ = [
     "EnergyModel",
     "EnergyReport",
+    "ResultCache",
+    "SweepPointError",
+    "canonical_rows",
     "format_table",
     "runlength_table",
     "to_csv",
     "grid",
+    "parallel_sweep",
+    "stable_key",
     "sweep",
     "geomean",
     "normalize",

@@ -1,0 +1,190 @@
+"""Content-addressed on-disk cache for sweep results.
+
+Re-running a bench after an unrelated edit used to recompute every
+(trace, placement, scheme) point from scratch. This cache keys each
+point's result rows by a stable SHA-256 of *everything that determines
+the numbers*:
+
+* the sweep point itself (parameters passed to the callback),
+* the workload/trace specification and seed,
+* the cost-model / system configuration,
+* a code-version salt (:data:`CACHE_SALT`), bumped whenever an
+  evaluation kernel changes semantics.
+
+Anything not in the key — formatting, plotting, docs — can change
+freely and the warm cache still hits. Changing a seed, a config field,
+or the salt changes the hash, so stale rows are structurally
+unreachable rather than explicitly expired. ``clear()`` wipes the
+directory for explicit invalidation.
+
+Values are JSON (one file per key, written atomically via rename), so
+cached rows contain plain Python scalars. Callers that need cached and
+freshly-computed rows to compare equal should pass both through
+:func:`canonical_rows`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.util.errors import ConfigError
+
+# Bump the schema component when a kernel change invalidates old rows.
+CACHE_SCHEMA = 1
+
+
+def code_salt() -> str:
+    """Default cache salt: package version + cache schema version.
+
+    Imported lazily — :mod:`repro` imports :mod:`repro.analysis` at
+    package init, so a module-level ``from repro import __version__``
+    would be circular.
+    """
+    from repro import __version__
+
+    return f"repro-{__version__}-schema{CACHE_SCHEMA}"
+
+
+def _jsonable(obj):
+    """Recursively convert numpy scalars/arrays, tuples, and dataclasses
+    into canonical JSON-representable Python values."""
+    import dataclasses
+
+    import numpy as np
+
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return [_jsonable(v) for v in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": type(obj).__name__,
+            **{k: _jsonable(v) for k, v in dataclasses.asdict(obj).items()},
+        }
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise ConfigError(
+        f"cannot build a stable cache key from {type(obj).__name__}: {obj!r}"
+    )
+
+
+def stable_key(obj) -> str:
+    """Deterministic SHA-256 hex digest of an arbitrary JSON-able object.
+
+    Dict ordering does not matter (keys are sorted); numpy scalars,
+    arrays, tuples, and (frozen) dataclasses are canonicalized first.
+    """
+    canonical = json.dumps(_jsonable(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def canonical_rows(rows: list[dict]) -> list[dict]:
+    """Rows as they would look after a JSON round trip (plain scalars)."""
+    return json.loads(json.dumps([_jsonable(r) for r in rows]))
+
+
+class ResultCache:
+    """Content-addressed result store: one JSON file per key.
+
+    ``enabled=False`` turns every lookup into a miss and every store
+    into a no-op (the ``--no-cache`` path) while keeping counters, so
+    callers never need two code paths.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike,
+        salt: str | None = None,
+        enabled: bool = True,
+    ) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.salt = salt if salt is not None else code_salt()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        if self.enabled:
+            try:
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise ConfigError(
+                    f"cannot use cache dir {self.cache_dir}: {exc}"
+                ) from exc
+
+    # -- keys --------------------------------------------------------------
+    def key(self, **parts) -> str:
+        """Stable key over named parts; the salt is always mixed in."""
+        return stable_key({"salt": self.salt, **parts})
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    # -- lookup / store ----------------------------------------------------
+    def get(self, key: str) -> list[dict] | None:
+        """Rows for ``key``, or None on a miss. Counts hits/misses."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["rows"]
+
+    def put(self, key: str, rows: list[dict]) -> None:
+        """Store ``rows`` under ``key`` (atomic rename; JSON-canonical)."""
+        if not self.enabled:
+            return
+        payload = json.dumps({"key": key, "rows": canonical_rows(rows)})
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance -------------------------------------------------------
+    def clear(self) -> int:
+        """Explicit invalidation: delete every entry, return the count."""
+        if not self.cache_dir.is_dir():
+            return 0
+        n = 0
+        for path in self.cache_dir.glob("*.json"):
+            path.unlink(missing_ok=True)
+            n += 1
+        return n
+
+    def __len__(self) -> int:
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*.json"))
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "entries": len(self),
+            "enabled": self.enabled,
+        }

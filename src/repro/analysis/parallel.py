@@ -1,0 +1,161 @@
+"""Process-parallel sweep execution.
+
+Every headline table in this repo is a cartesian sweep evaluated point
+by point, and the points are independent — embarrassingly parallel.
+:func:`parallel_sweep` fans the points out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` while keeping the
+three properties the benches rely on:
+
+* **Deterministic ordering** — rows come back in the exact order of
+  ``points``, regardless of which worker finished first (chunks are
+  submitted and collected in index order).
+* **Attributed failures** — an exception inside ``fn`` surfaces in the
+  parent as :class:`SweepPointError` carrying the failing point on its
+  ``.point`` attribute, chained to the original exception.
+* **Graceful degradation** — ``workers=1``, a single point, an
+  unpicklable callback, or a pool that cannot start all fall back to
+  the in-process serial loop with identical semantics.
+
+The callback contract matches :func:`repro.analysis.sweep.sweep`:
+``fn(**point)`` returns a metrics mapping, and the returned row merges
+the point's parameters with the metrics. A metric key that collides
+with a parameter key raises :class:`~repro.util.errors.ConfigError`
+(silent overwrites corrupted tables; see ISSUE 1).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Mapping
+
+from repro.util.errors import ConfigError, ReproError
+
+
+class SweepPointError(ReproError):
+    """A sweep callback raised; ``point`` is the failing sweep point."""
+
+    def __init__(self, message: str, point: Mapping | None = None) -> None:
+        super().__init__(message)
+        self.point = dict(point) if point is not None else None
+
+
+def merge_row(point: Mapping, metrics: Mapping) -> dict:
+    """Merge a sweep point with its metrics, rejecting key collisions."""
+    row = dict(point)
+    for key in metrics:
+        if key in row:
+            raise ConfigError(
+                f"sweep metric key {key!r} collides with a parameter key "
+                f"(point {row!r}); rename one of them"
+            )
+    row.update(metrics)
+    return row
+
+
+def default_workers() -> int:
+    """Worker count when the caller passes ``workers=None``."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def _is_picklable(obj) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def _eval_point(fn: Callable[..., Mapping], point: Mapping) -> dict:
+    try:
+        metrics = fn(**point)
+    except Exception as exc:
+        raise SweepPointError(
+            f"sweep point {dict(point)!r} failed: {type(exc).__name__}: {exc}",
+            point=point,
+        ) from exc
+    return merge_row(point, metrics)
+
+
+def _run_chunk(fn: Callable[..., Mapping], chunk: list[dict]) -> list:
+    """Worker entry point: evaluate a chunk, packaging any failure.
+
+    The failure is shipped back as a marker tuple rather than raised,
+    so the parent can re-raise with the point attached even when the
+    original exception is unpicklable.
+    """
+    rows: list = []
+    for point in chunk:
+        try:
+            rows.append(("ok", _eval_point(fn, point)))
+        except Exception as exc:
+            packaged = exc if _is_picklable(exc) else ReproError(
+                f"{type(exc).__name__}: {exc}"
+            )
+            rows.append(("err", dict(point), packaged))
+            break  # remaining points in this chunk are not evaluated
+    return rows
+
+
+def _serial_sweep(points: list[dict], fn: Callable[..., Mapping]) -> list[dict]:
+    return [_eval_point(fn, point) for point in points]
+
+
+def _chunked(points: list[dict], chunk: int) -> list[list[dict]]:
+    return [points[i : i + chunk] for i in range(0, len(points), chunk)]
+
+
+def parallel_sweep(
+    points: Iterable[Mapping],
+    fn: Callable[..., Mapping],
+    workers: int | None = None,
+    chunk: int | None = None,
+) -> list[dict]:
+    """Evaluate ``fn(**point)`` for every point, fanning out over
+    ``workers`` processes.
+
+    ``workers=None`` uses :func:`default_workers` (the CPU count);
+    ``workers=1`` runs serially in-process. ``chunk`` is the number of
+    points shipped to a worker per task (default: enough to give each
+    worker ~4 tasks, amortizing pickling without starving the pool).
+
+    Row order always matches point order. Worker exceptions re-raise
+    in the parent as :class:`SweepPointError` with the failing point.
+    """
+    points = [dict(p) for p in points]
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    if chunk is not None and chunk < 1:
+        raise ConfigError(f"chunk must be >= 1, got {chunk}")
+
+    if workers == 1 or len(points) <= 1 or not _is_picklable(fn):
+        return _serial_sweep(points, fn)
+
+    if chunk is None:
+        chunk = max(1, -(-len(points) // (workers * 4)))
+
+    chunks = _chunked(points, chunk)
+    try:
+        executor = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
+    except OSError:  # no usable multiprocessing primitives on this host
+        return _serial_sweep(points, fn)
+    rows: list[dict] = []
+    with executor:
+        futures = [executor.submit(_run_chunk, fn, c) for c in chunks]
+        # collect in submission order -> deterministic row ordering
+        for future in futures:
+            for marker in future.result():
+                if marker[0] == "err":
+                    _, point, exc = marker
+                    if isinstance(exc, (SweepPointError, ConfigError)):
+                        raise exc  # already attributed / a collision
+                    raise SweepPointError(
+                        f"sweep point {point!r} failed: "
+                        f"{type(exc).__name__}: {exc}",
+                        point=point,
+                    ) from exc
+                rows.append(marker[1])
+    return rows

@@ -3,6 +3,13 @@
 A sweep is a cartesian product over named parameter lists, evaluated
 by a callback returning a result dict per point. Results accumulate
 into table rows ready for :func:`repro.analysis.reports.format_table`.
+
+``sweep`` composes the two performance layers of ISSUE 1 behind its
+original signature: ``workers`` fans points out over
+:func:`repro.analysis.parallel.parallel_sweep`, and ``cache`` consults
+a :class:`repro.analysis.cache.ResultCache` per point so warm re-runs
+skip evaluation entirely. Both default off, so existing callers are
+untouched.
 """
 
 from __future__ import annotations
@@ -11,6 +18,7 @@ import itertools
 import math
 from typing import Callable, Iterable, Mapping
 
+from repro.analysis.parallel import parallel_sweep
 from repro.util.errors import ConfigError
 
 
@@ -33,16 +41,48 @@ def grid(**params: Iterable) -> list[dict]:
 def sweep(
     points: Iterable[Mapping],
     fn: Callable[..., Mapping],
+    workers: int = 1,
+    chunk: int | None = None,
+    cache: "ResultCache | None" = None,
+    cache_extra: Mapping | None = None,
 ) -> list[dict]:
     """Evaluate ``fn(**point)`` for every point; each row merges the
-    point's parameters with the returned metrics (metrics win on key
-    collisions — callers should avoid them)."""
-    rows = []
-    for point in points:
-        metrics = fn(**point)
-        row = dict(point)
-        row.update(metrics)
-        rows.append(row)
+    point's parameters with the returned metrics. A metric key that
+    collides with a parameter key raises :class:`ConfigError` naming
+    the key — silent overwrites corrupt result tables.
+
+    ``workers > 1`` evaluates points in parallel processes (row order
+    still matches point order; see
+    :func:`repro.analysis.parallel.parallel_sweep`). ``cache`` skips
+    points whose rows are already on disk; ``cache_extra`` folds
+    context the points don't carry (trace spec/seed, cost config) into
+    every cache key. Cached results pass through JSON, so with a cache
+    attached *all* rows are JSON-canonicalized for uniformity.
+    """
+    points = [dict(p) for p in points]
+    if cache is None:
+        return parallel_sweep(points, fn, workers=workers, chunk=chunk)
+
+    from repro.analysis.cache import canonical_rows
+
+    keys = [cache.key(point=p, extra=dict(cache_extra or {})) for p in points]
+    rows: list[dict | None] = []
+    missing: list[int] = []
+    for i, k in enumerate(keys):
+        hit = cache.get(k)
+        if hit is None:
+            rows.append(None)
+            missing.append(i)
+        else:
+            rows.append(hit[0])
+    if missing:
+        fresh = parallel_sweep(
+            [points[i] for i in missing], fn, workers=workers, chunk=chunk
+        )
+        fresh = canonical_rows(fresh)
+        for i, row in zip(missing, fresh):
+            cache.put(keys[i], [row])
+            rows[i] = row
     return rows
 
 

@@ -16,12 +16,15 @@ invalid arguments so the CLI is scriptable.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
 
 from repro import __version__
+from repro.analysis.cache import ResultCache
 from repro.analysis.reports import format_table, runlength_table
+from repro.analysis.sweep import sweep
 from repro.arch.config import SystemConfig
 from repro.core.costs import CostModel
 from repro.core.decision import (
@@ -109,6 +112,48 @@ SCHEME_NAMES = [
 ]
 
 
+def _cache_for(args) -> ResultCache | None:
+    """Build the result cache implied by --cache-dir/--no-cache.
+
+    Returns None when caching is off (no directory configured, or
+    --no-cache given — the latter bypasses both reads and writes).
+    """
+    cache_dir = getattr(args, "cache_dir", None) or os.environ.get("REPRO_CACHE_DIR")
+    if cache_dir is None or getattr(args, "no_cache", False):
+        return None
+    return ResultCache(cache_dir)
+
+
+def _cache_context(trace, config, placement_name: str) -> dict:
+    """Everything besides the sweep point that determines result rows:
+    the trace spec (generator name, params — including its seed — and
+    thread pinning), the placement policy, and the full system config.
+    The code-version salt is mixed in by :class:`ResultCache`."""
+    return {
+        "trace": {
+            "name": trace.name,
+            "params": trace.params,
+            "threads": trace.num_threads,
+            "accesses": trace.total_accesses,
+            "native_cores": list(trace.thread_native_core),
+        },
+        "placement": placement_name,
+        "config": config,
+    }
+
+
+def _eval_scheme_point(scheme: str, *, _trace, _placement, _config) -> dict:
+    """Sweep callback for ``evaluate``/``shootout`` — module-level so it
+    pickles into pool workers. Rebuilds the cost model per call (cheap:
+    cached matrices) and drops the 'scheme' metric, which would collide
+    with the sweep parameter of the same name."""
+    cost = CostModel(_config)
+    r = evaluate_scheme(_trace, _placement, _scheme_for(scheme, cost), cost)
+    metrics = r.as_dict()
+    metrics.pop("scheme")
+    return metrics
+
+
 # ---------------------------------------------------------------- commands
 def cmd_info(args) -> int:
     print(f"repro {__version__} — EM2 (SPAA'11) reproduction")
@@ -143,15 +188,22 @@ def cmd_fig2(args) -> int:
 
 
 def cmd_evaluate(args) -> int:
+    from functools import partial
+
     trace = _load_or_generate(args)
     config = SystemConfig(num_cores=args.cores)
-    cost = CostModel(config)
     placement = _placement_for(args.placement, trace, args.cores)
-    rows = []
     names = SCHEME_NAMES if args.scheme == "all" else [args.scheme]
-    for name in names:
-        r = evaluate_scheme(trace, placement, _scheme_for(name, cost), cost)
-        rows.append(r.as_dict())
+    cache = _cache_for(args)
+    rows = sweep(
+        [{"scheme": name} for name in names],
+        partial(_eval_scheme_point, _trace=trace, _placement=placement, _config=config),
+        workers=args.workers,
+        cache=cache,
+        cache_extra=_cache_context(trace, config, args.placement),
+    )
+    if cache is not None:
+        print(f"cache: {cache.stats()}", file=sys.stderr)
     if getattr(args, "csv", False):
         from repro.analysis.reports import to_csv
 
@@ -189,6 +241,8 @@ def cmd_optimal(args) -> int:
 
 
 def cmd_shootout(args) -> int:
+    from functools import partial
+
     trace = _load_or_generate(args)
     config = SystemConfig(num_cores=args.cores)
     cost = CostModel(config)
@@ -203,14 +257,23 @@ def cmd_shootout(args) -> int:
         for t, tr in enumerate(trace.threads)
         if tr.size
     )
+    cache = _cache_for(args)
+    scheme_rows = sweep(
+        [{"scheme": name} for name in SCHEME_NAMES],
+        partial(_eval_scheme_point, _trace=trace, _placement=placement, _config=config),
+        workers=args.workers,
+        cache=cache,
+        cache_extra=_cache_context(trace, config, args.placement),
+    )
+    if cache is not None:
+        print(f"cache: {cache.stats()}", file=sys.stderr)
     rows = [{"scheme": "optimal (DP)", "total_cost": opt, "x_optimal": 1.0}]
-    for name in SCHEME_NAMES:
-        r = evaluate_scheme(trace, placement, _scheme_for(name, cost), cost)
+    for r in scheme_rows:
         rows.append(
             {
-                "scheme": name,
-                "total_cost": r.total_cost,
-                "x_optimal": r.total_cost / opt if opt else float("nan"),
+                "scheme": r["scheme"],
+                "total_cost": r["total_cost"],
+                "x_optimal": r["total_cost"] / opt if opt else float("nan"),
             }
         )
     print(format_table(rows))
@@ -302,6 +365,25 @@ def build_parser() -> argparse.ArgumentParser:
             "--param", action="append", default=[], help="generator key=value"
         )
 
+    def add_perf_args(sp):
+        sp.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="evaluate sweep points in N parallel processes (default 1)",
+        )
+        sp.add_argument(
+            "--cache-dir",
+            default=None,
+            help="content-addressed result cache directory "
+            "(default: $REPRO_CACHE_DIR, unset = no caching)",
+        )
+        sp.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="bypass the result cache entirely (no reads, no writes)",
+        )
+
     sp = sub.add_parser("workload", help="generate + save a workload")
     add_trace_args(sp)
     sp.add_argument("--out", required=True)
@@ -317,6 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("evaluate", help="score a scheme on a workload")
     add_trace_args(sp)
+    add_perf_args(sp)
     sp.add_argument("--scheme", default="all", choices=SCHEME_NAMES + ["all"])
     sp.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
     sp.set_defaults(fn=cmd_evaluate)
@@ -328,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("shootout", help="all schemes vs the DP optimum")
     add_trace_args(sp)
+    add_perf_args(sp)
     sp.set_defaults(fn=cmd_shootout)
 
     sp = sub.add_parser("stackdepth", help="stack-EM2 depth DP vs fixed depths")

@@ -28,6 +28,14 @@ class DecisionScheme(ABC):
 
     name = "abstract"
 
+    #: True for schemes whose ``decide`` is a pure function of
+    #: (current, home, write) — no address sensitivity, no history, no
+    #: randomness — and whose ``observe`` is a no-op. The evaluator
+    #: batches such schemes segment-by-segment instead of walking the
+    #: trace one access at a time (see
+    #: :func:`repro.core.evaluation.evaluate_thread_batched`).
+    stateless = False
+
     @abstractmethod
     def decide(self, current: int, home: int, addr: int, write: bool) -> Decision:
         """Return MIGRATE or REMOTE for a non-local access."""

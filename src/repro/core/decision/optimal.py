@@ -185,26 +185,49 @@ def decision_cost(
 
     Validates consistency: a LOCAL decision requires the thread to be
     at the home, MIGRATE moves it there, REMOTE leaves it in place.
+
+    Fully vectorized: the thread's position before access ``k`` is the
+    home of the most recent MIGRATE before ``k`` (or ``start_core``),
+    recoverable with one ``maximum.accumulate`` over migrate indices —
+    no per-access Python loop.
     """
     homes = np.asarray(homes, dtype=np.int64)
     writes = np.asarray(writes).astype(bool)
-    decisions = np.asarray(decisions)
+    decisions = np.asarray(decisions, dtype=np.int64)
+    n = homes.size
+    if n == 0:
+        return 0.0
     mig, ra_r, ra_w = _cost_matrices(cost_model)
-    cur = start_core
-    total = 0.0
-    for k in range(homes.size):
-        h = int(homes[k])
-        d = int(decisions[k])
-        if d == Decision.LOCAL:
-            if cur != h:
-                raise ConfigError(
-                    f"access {k}: LOCAL decision but thread at {cur}, home {h}"
-                )
-        elif d == Decision.MIGRATE:
-            total += mig[cur, h]
-            cur = h
-        elif d == Decision.REMOTE:
-            total += (ra_w if writes[k] else ra_r)[cur, h]
-        else:
-            raise ConfigError(f"access {k}: unknown decision {d}")
+
+    is_local = decisions == Decision.LOCAL
+    is_mig = decisions == Decision.MIGRATE
+    is_ra = decisions == Decision.REMOTE
+    unknown = ~(is_local | is_mig | is_ra)
+
+    # position before access k: home of the latest MIGRATE strictly
+    # before k, else the start core
+    idx = np.arange(n)
+    last_mig = np.maximum.accumulate(np.where(is_mig, idx, -1))
+    prev_mig = np.concatenate(([-1], last_mig[:-1]))
+    cur = np.where(prev_mig >= 0, homes[np.maximum(prev_mig, 0)], start_core)
+
+    bad_local = is_local & (cur != homes)
+    # report the earliest violation, matching the sequential walk
+    first_unknown = int(np.argmax(unknown)) if unknown.any() else n
+    first_bad = int(np.argmax(bad_local)) if bad_local.any() else n
+    if first_unknown < first_bad:
+        raise ConfigError(
+            f"access {first_unknown}: unknown decision {int(decisions[first_unknown])}"
+        )
+    if first_bad < n:
+        raise ConfigError(
+            f"access {first_bad}: LOCAL decision but thread at "
+            f"{int(cur[first_bad])}, home {int(homes[first_bad])}"
+        )
+
+    total = float(mig[cur[is_mig], homes[is_mig]].sum())
+    ra_read = is_ra & ~writes
+    ra_write = is_ra & writes
+    total += float(ra_r[cur[ra_read], homes[ra_read]].sum())
+    total += float(ra_w[cur[ra_write], homes[ra_write]].sum())
     return total

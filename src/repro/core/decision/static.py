@@ -20,6 +20,7 @@ class AlwaysMigrate(DecisionScheme):
     """Pure EM²: every non-local access migrates to the home core."""
 
     name = "always-migrate"
+    stateless = True
 
     def decide(self, current: int, home: int, addr: int, write: bool) -> Decision:
         return Decision.MIGRATE
@@ -33,6 +34,7 @@ class NeverMigrate(DecisionScheme):
     """
 
     name = "never-migrate"
+    stateless = True
 
     def decide(self, current: int, home: int, addr: int, write: bool) -> Decision:
         return Decision.REMOTE
@@ -69,6 +71,12 @@ class NativeFirst(DecisionScheme):
         self.away = away if away is not None else NeverMigrate()
         self.native_core = native_core
 
+    @property
+    def stateless(self) -> bool:
+        # the native-core latch is fixed after the first consult, so the
+        # composition is batchable exactly when the away policy is
+        return self.away.stateless
+
     def decide(self, current: int, home: int, addr: int, write: bool) -> Decision:
         if self.native_core is None:
             self.native_core = current
@@ -96,6 +104,7 @@ class DistanceThreshold(DecisionScheme):
     """
 
     name = "distance-threshold"
+    stateless = True
 
     def __init__(self, distance_matrix: np.ndarray, threshold: float) -> None:
         self.distance_matrix = np.asarray(distance_matrix)

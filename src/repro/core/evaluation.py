@@ -9,7 +9,15 @@ model, and gathers the statistics every bench in this repo reports
 
 ``AlwaysMigrate`` and ``NeverMigrate`` take vectorized fast paths
 (identical semantics, no per-access Python loop) so the Figure 2-scale
-workloads evaluate in milliseconds.
+workloads evaluate in milliseconds. Any other *stateless* scheme
+(``DecisionScheme.stateless``: decide depends only on (current, home,
+write), observe is a no-op) takes the segment-batched kernel
+:func:`evaluate_thread_batched`, which consults the scheme once per
+home-run instead of once per access — between position changes the
+(current, home, write) triple, and hence the decision, cannot change.
+Stateful schemes (history, random) keep the sequential walk, which is
+itself unboxed: the hot loop runs on plain Python lists and floats,
+not per-access numpy scalar extraction.
 """
 
 from __future__ import annotations
@@ -94,33 +102,44 @@ def evaluate_thread(
     ra_bits_r = cost_model.remote_access_bits(write=False)
     ra_bits_w = cost_model.remote_access_bits(write=True)
 
-    cur = start_core
+    # hot loop: plain lists and nested-list cost tables keep every
+    # per-access operation in native Python objects (no numpy scalar
+    # boxing/unboxing per access)
+    homes_l = homes.tolist()
+    writes_l = writes.tolist()
+    addrs_l = addrs.tolist()
+    mig_t = mig.tolist()
+    ra_r_t = ra_r.tolist()
+    ra_w_t = ra_w.tolist()
+    MIGRATE, LOCAL = Decision.MIGRATE, Decision.LOCAL
+    decide, observe = scheme.decide, scheme.observe
+
+    cur = int(start_core)
     cost = 0.0
     n_mig = n_ra = n_loc = 0
     bits = 0
-    exec_cores = np.empty(homes.size, dtype=np.int64)
-    for k in range(homes.size):
-        h = int(homes[k])
-        w = bool(writes[k])
-        a = int(addrs[k])
+    exec_list: list[int] = []
+    append = exec_list.append
+    for h, w, a in zip(homes_l, writes_l, addrs_l):
         if h == cur:
             n_loc += 1
-            exec_cores[k] = cur
-            scheme.observe(cur, h, a, w, Decision.LOCAL)
+            append(cur)
+            observe(cur, h, a, w, LOCAL)
             continue
-        d = scheme.decide(cur, h, a, w)
-        if d == Decision.MIGRATE:
-            cost += mig[cur, h]
+        d = decide(cur, h, a, w)
+        if d == MIGRATE:
+            cost += mig_t[cur][h]
             bits += mig_bits
             cur = h
             n_mig += 1
+            append(h)
         else:
-            cost += (ra_w if w else ra_r)[cur, h]
+            cost += (ra_w_t if w else ra_r_t)[cur][h]
             bits += ra_bits_w if w else ra_bits_r
             n_ra += 1
-        exec_cores[k] = h if d == Decision.MIGRATE else cur
-        scheme.observe(cur, h, a, w, d)
-    return cost, n_mig, n_ra, n_loc, bits, exec_cores
+            append(cur)
+        observe(cur, h, a, w, d)
+    return cost, n_mig, n_ra, n_loc, bits, np.array(exec_list, dtype=np.int64)
 
 
 def _fast_always_migrate(homes, writes, start_core, cost_model):
@@ -154,6 +173,93 @@ def _fast_never_migrate(homes, writes, start_core, cost_model):
     return cost, 0, n_ra, n_loc, bits, exec_cores
 
 
+def evaluate_thread_batched(
+    homes: np.ndarray,
+    writes: np.ndarray,
+    start_core: int,
+    scheme: DecisionScheme,
+    cost_model: CostModel,
+) -> tuple[float, int, int, int, int, np.ndarray]:
+    """Segment-batched evaluation for stateless schemes.
+
+    For a scheme whose decision is a pure function of (current, home,
+    write), the decision cannot change while the thread stays put and
+    the home stays put — so the trace is processed one *home run* at a
+    time. Per run the scheme is consulted at most twice (read and
+    write flavour), and the run's cost is charged with vectorized
+    counts. Python work is O(runs), not O(accesses); exact parity with
+    :func:`evaluate_thread` is enforced by the unit tests.
+    """
+    if not scheme.stateless:
+        raise ValueError(f"scheme {scheme.name!r} is not stateless")
+    homes = np.asarray(homes, dtype=np.int64)
+    writes = np.asarray(writes).astype(bool)
+    n = homes.size
+    if n == 0:
+        return 0.0, 0, 0, 0, 0, np.empty(0, dtype=np.int64)
+    mig = cost_model.migration
+    ra_r = cost_model.remote_read
+    ra_w = cost_model.remote_write
+    mig_bits = cost_model.migration_bits()
+    ra_bits_r = cost_model.remote_access_bits(write=False)
+    ra_bits_w = cost_model.remote_access_bits(write=True)
+
+    # run boundaries: maximal segments of constant home
+    change = np.flatnonzero(homes[1:] != homes[:-1]) + 1
+    starts = np.concatenate(([0], change))
+    ends = np.concatenate((change, [n]))
+    # prefix sums make per-segment write counts O(1)
+    wsum = np.concatenate(([0], np.cumsum(writes)))
+
+    MIGRATE = Decision.MIGRATE
+    cur = int(start_core)
+    cost = 0.0
+    n_mig = n_ra = n_loc = 0
+    bits = 0
+    exec_cores = np.empty(n, dtype=np.int64)
+
+    def charge_remote(s: int, e: int, h: int) -> None:
+        nonlocal cost, bits, n_ra
+        n_w = int(wsum[e] - wsum[s])
+        n_r = (e - s) - n_w
+        cost += n_r * ra_r[cur, h] + n_w * ra_w[cur, h]
+        bits += n_r * ra_bits_r + n_w * ra_bits_w
+        n_ra += e - s
+        exec_cores[s:e] = cur
+
+    for s, e in zip(starts.tolist(), ends.tolist()):
+        h = int(homes[s])
+        if h == cur:
+            n_loc += e - s
+            exec_cores[s:e] = cur
+            continue
+        seg_writes = int(wsum[e] - wsum[s])
+        has_read = seg_writes < e - s
+        has_write = seg_writes > 0
+        d_read = scheme.decide(cur, h, 0, False) if has_read else None
+        d_write = scheme.decide(cur, h, 0, True) if has_write else None
+        if d_read == MIGRATE and (d_write == MIGRATE or not has_write):
+            k = s  # migrate on the first access of the run
+        elif d_write == MIGRATE and d_read != MIGRATE:
+            # RA through the reads until the first write, then migrate
+            k = s + int(np.argmax(writes[s:e]))
+        elif d_read == MIGRATE:
+            # (write policy says RA, read policy migrates)
+            k = s + int(np.argmax(~writes[s:e]))
+        else:
+            charge_remote(s, e, h)
+            continue
+        if k > s:
+            charge_remote(s, k, h)
+        cost += mig[cur, h]
+        bits += mig_bits
+        n_mig += 1
+        cur = h
+        exec_cores[k:e] = h
+        n_loc += e - k - 1
+    return float(cost), n_mig, n_ra, n_loc, int(bits), exec_cores
+
+
 def evaluate_scheme(
     trace: MultiTrace,
     placement: Placement,
@@ -175,6 +281,10 @@ def evaluate_scheme(
             out = _fast_always_migrate(homes, writes, start, cost_model)
         elif isinstance(scheme, NeverMigrate):
             out = _fast_never_migrate(homes, writes, start, cost_model)
+        elif scheme.stateless:
+            per_thread = scheme.clone()
+            per_thread.reset()
+            out = evaluate_thread_batched(homes, writes, start, per_thread, cost_model)
         else:
             per_thread = scheme.clone()
             per_thread.reset()

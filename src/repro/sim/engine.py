@@ -2,10 +2,17 @@
 
 Design notes
 ------------
-* Events are ``(time, seq, callback, args)`` tuples in a binary heap.
+* Events are ``(time, seq, callback, args)`` records in a binary heap.
   ``seq`` is a monotonically increasing counter, which makes same-time
   events run in scheduling (FIFO) order — determinism matters because
   the protocol models break ties by arrival order.
+* :class:`Event` is a ``__slots__`` class, not a dataclass: large NoC
+  runs allocate millions of events, and per-instance ``__dict__``
+  plus generated dataclass ``__init__`` overhead dominated profiles.
+* Cancellation is lazy in the heap (cancelled events are skipped when
+  popped) but eager in the bookkeeping: the engine keeps a live-event
+  counter so :meth:`Engine.pending` is O(1) instead of scanning the
+  whole heap per call.
 * Callbacks schedule further events; the engine never inspects model
   state. This keeps the engine reusable for every architecture model.
 * ``run()`` executes to quiescence (empty queue) or until ``until``;
@@ -17,25 +24,49 @@ Design notes
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.util.errors import ReproError
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback. Ordered by (time, seq)."""
 
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_engine")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple = (),
+        engine: "Engine | None" = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._engine = engine
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, seq={self.seq}{flag})"
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it when popped."""
+        """Mark the event so the engine skips it when popped.
+
+        Idempotent; the owning engine's live-event counter is
+        decremented exactly once.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._engine is not None:
+            self._engine._live -= 1
 
 
 class Engine:
@@ -44,6 +75,7 @@ class Engine:
     def __init__(self) -> None:
         self._queue: list[Event] = []
         self._seq = 0
+        self._live = 0  # scheduled and not yet executed or cancelled
         self.now: float = 0.0
         self.events_executed: int = 0
 
@@ -54,8 +86,9 @@ class Engine:
         """
         if delay < 0:
             raise ReproError(f"cannot schedule into the past (delay={delay})")
-        ev = Event(self.now + delay, self._seq, callback, args)
+        ev = Event(self.now + delay, self._seq, callback, args, engine=self)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._queue, ev)
         return ev
 
@@ -75,6 +108,8 @@ class Engine:
             ev = heapq.heappop(self._queue)
             if ev.cancelled:
                 continue
+            self._live -= 1
+            ev._engine = None  # late cancel() must not re-decrement
             self.now = ev.time
             self.events_executed += 1
             ev.callback(*ev.args)
@@ -103,5 +138,6 @@ class Engine:
                 )
 
     def pending(self) -> int:
-        """Number of (non-cancelled) events still queued."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        """Number of (non-cancelled) events still queued. O(1): reads
+        the live counter rather than scanning the heap."""
+        return self._live

@@ -119,3 +119,45 @@ def test_peek_time_skips_cancelled():
     eng.schedule(3.0, lambda: None)
     ev.cancel()
     assert eng.peek_time() == 3.0
+
+
+def test_pending_counter_tracks_schedule_cancel_execute():
+    eng = Engine()
+    evs = [eng.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert eng.pending() == 5
+    evs[0].cancel()
+    evs[1].cancel()
+    assert eng.pending() == 3
+    evs[0].cancel()  # double-cancel must not decrement twice
+    assert eng.pending() == 3
+    eng.step()
+    assert eng.pending() == 2
+    eng.run()
+    assert eng.pending() == 0
+
+
+def test_cancel_after_execution_does_not_corrupt_counter():
+    eng = Engine()
+    ev = eng.schedule(1.0, lambda: None)
+    eng.run()
+    assert eng.pending() == 0
+    ev.cancel()  # already executed: must be a no-op for the counter
+    assert eng.pending() == 0
+
+
+def test_pending_large_queue_mostly_cancelled():
+    # pending() reads a counter, so mass cancellation keeps it exact
+    # without ever scanning the heap
+    eng = Engine()
+    events = [eng.schedule(float(i), lambda: None) for i in range(1000)]
+    for ev in events[::2]:
+        ev.cancel()
+    assert eng.pending() == 500
+
+
+def test_event_is_slotted():
+    eng = Engine()
+    ev = eng.schedule(1.0, lambda: None)
+    assert not hasattr(ev, "__dict__")
+    with pytest.raises(AttributeError):
+        ev.arbitrary_attribute = 1

@@ -11,7 +11,13 @@ from repro.core.decision import (
     HistoryRunLength,
     NeverMigrate,
 )
-from repro.core.evaluation import evaluate_scheme, evaluate_thread
+from repro.core.decision import NativeFirst
+from repro.core.decision.base import Decision, DecisionScheme
+from repro.core.evaluation import (
+    evaluate_scheme,
+    evaluate_thread,
+    evaluate_thread_batched,
+)
 from repro.placement import first_touch, striped
 from repro.trace.events import MultiTrace, make_trace
 
@@ -102,6 +108,118 @@ class TestFastPathsMatchSequential:
         assert fast[0] == pytest.approx(slow[0])
         assert fast[1:5] == slow[1:5]
         assert (fast[5] == slow[5]).all()
+
+
+def _runny_trace(seed, cores=4, runs=40):
+    """Homes with realistic run structure plus mixed reads/writes."""
+    rng = np.random.default_rng(seed)
+    homes = np.repeat(rng.integers(0, cores, runs), rng.integers(1, 6, runs))
+    writes = rng.random(homes.size) < 0.4
+    return homes.astype(np.int64), writes
+
+
+class _WriteMigrates(DecisionScheme):
+    """Asymmetric test scheme: writes migrate, reads stay remote —
+    exercises the mixed-decision segments of the batched kernel."""
+
+    name = "write-migrates"
+    stateless = True
+
+    def decide(self, current, home, addr, write):
+        return Decision.MIGRATE if write else Decision.REMOTE
+
+    def clone(self):
+        return _WriteMigrates()
+
+
+class _ReadMigrates(DecisionScheme):
+    name = "read-migrates"
+    stateless = True
+
+    def decide(self, current, home, addr, write):
+        return Decision.REMOTE if write else Decision.MIGRATE
+
+    def clone(self):
+        return _ReadMigrates()
+
+
+class TestBatchedMatchesSequential:
+    """evaluate_thread_batched must agree with the sequential walk on
+    every statistic (cost up to float summation order)."""
+
+    def _check(self, scheme_factory, homes, writes, start, cm):
+        fast = evaluate_thread_batched(homes, writes, start, scheme_factory(), cm)
+        slow = evaluate_thread(homes, writes, start, scheme_factory(), cm)
+        assert fast[0] == pytest.approx(slow[0])
+        assert fast[1:5] == slow[1:5]
+        assert (fast[5] == slow[5]).all()
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("threshold", [0, 1, 2, 100])
+    def test_distance_threshold(self, cm, seed, threshold):
+        homes, writes = _runny_trace(seed)
+        dm = cm.topology.distance_matrix
+        self._check(lambda: DistanceThreshold(dm, threshold), homes, writes, 0, cm)
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("start", [0, 2])
+    def test_native_first_over_distance(self, cm, seed, start):
+        homes, writes = _runny_trace(10 + seed)
+        dm = cm.topology.distance_matrix
+        self._check(
+            lambda: NativeFirst(away=DistanceThreshold(dm, 1)),
+            homes, writes, start, cm,
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_read_write_asymmetric_schemes(self, cm, seed):
+        homes, writes = _runny_trace(20 + seed)
+        self._check(_WriteMigrates, homes, writes, 0, cm)
+        self._check(_ReadMigrates, homes, writes, 0, cm)
+
+    def test_empty_thread(self, cm):
+        out = evaluate_thread_batched(
+            np.empty(0, np.int64), np.empty(0, bool), 0, _WriteMigrates(), cm
+        )
+        assert out[:5] == (0.0, 0, 0, 0, 0) and out[5].size == 0
+
+    def test_stateful_scheme_rejected(self, cm):
+        with pytest.raises(ValueError, match="not stateless"):
+            evaluate_thread_batched(
+                np.array([1]), np.array([False]), 0,
+                HistoryRunLength(threshold=2.0), cm,
+            )
+
+    def test_stateless_flags(self, cm):
+        dm = cm.topology.distance_matrix
+        assert DistanceThreshold(dm, 1).stateless
+        assert NativeFirst(away=DistanceThreshold(dm, 1)).stateless
+        assert not NativeFirst(away=HistoryRunLength(threshold=2.0)).stateless
+        assert not HistoryRunLength(threshold=2.0).stateless
+
+    def test_evaluate_scheme_dispatch_matches_sequential(self, cm):
+        """Whole-trace totals through the stateless fast path equal a
+        hand-run sequential evaluation."""
+        rng = np.random.default_rng(0)
+        threads = []
+        for _ in range(3):
+            addrs = np.repeat(rng.integers(0, 64, 30), rng.integers(1, 5, 30))
+            threads.append(make_trace(addrs, writes=rng.integers(0, 2, addrs.size)))
+        mt = MultiTrace(threads=threads, thread_native_core=[0, 1, 2])
+        pl = striped(4, block_words=4)
+        dm = cm.topology.distance_matrix
+        r = evaluate_scheme(mt, pl, DistanceThreshold(dm, 1), cm)
+        total = 0.0
+        migs = 0
+        for t, tr in enumerate(mt.threads):
+            homes = pl.home_of(tr["addr"])
+            cost, n_mig, *_ = evaluate_thread(
+                homes, tr["write"], t, DistanceThreshold(dm, 1), cm
+            )
+            total += cost
+            migs += n_mig
+        assert r.total_cost == pytest.approx(total)
+        assert r.migrations == migs
 
 
 class TestEvaluateScheme:

@@ -185,3 +185,58 @@ class TestDecisionCost:
         assert decision_cost(homes, np.zeros(2, bool), d, 0, cm) == pytest.approx(
             cm.migration[0, 2]
         )
+
+
+class TestDecisionCostVectorized:
+    """The vectorized decision_cost must match a scalar reference walk
+    on random valid decision sequences, and report the earliest error
+    on invalid ones."""
+
+    @staticmethod
+    def _scalar_reference(homes, writes, decisions, start, cm):
+        cur = start
+        total = 0.0
+        for h, w, d in zip(homes, writes, decisions):
+            if d == Decision.MIGRATE:
+                total += cm.migration[cur, h]
+                cur = h
+            elif d == Decision.REMOTE:
+                total += (cm.remote_write if w else cm.remote_read)[cur, h]
+            else:
+                assert cur == h
+        return total
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_scalar_reference(self, cm, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 120))
+        homes = rng.integers(0, 4, n)
+        writes = rng.random(n) < 0.4
+        cur = 0
+        decisions = np.empty(n, dtype=np.int64)
+        for k in range(n):  # build a *valid* random sequence
+            if homes[k] == cur and rng.random() < 0.5:
+                decisions[k] = Decision.LOCAL
+            elif rng.random() < 0.5:
+                decisions[k] = Decision.MIGRATE
+                cur = homes[k]
+            else:
+                decisions[k] = Decision.REMOTE
+        expect = self._scalar_reference(homes, writes, decisions, 0, cm)
+        assert decision_cost(homes, writes, decisions, 0, cm) == pytest.approx(expect)
+
+    def test_earliest_error_wins(self, cm):
+        # access 1 is an invalid LOCAL, access 2 an unknown decision:
+        # the report must name access 1
+        homes = np.array([0, 3, 0])
+        decisions = np.array([Decision.LOCAL, Decision.LOCAL, 9])
+        with pytest.raises(ConfigError, match="access 1"):
+            decision_cost(homes, np.zeros(3, bool), decisions, 0, cm)
+
+    def test_local_valid_after_migration(self, cm):
+        homes = np.array([2, 2, 1, 1])
+        d = np.array(
+            [Decision.MIGRATE, Decision.LOCAL, Decision.MIGRATE, Decision.LOCAL]
+        )
+        expect = cm.migration[0, 2] + cm.migration[2, 1]
+        assert decision_cost(homes, np.zeros(4, bool), d, 0, cm) == pytest.approx(expect)

@@ -1,0 +1,160 @@
+"""Unit tests for the process-parallel sweep executor.
+
+The load-bearing property is ISSUE 1's equivalence guarantee: a sweep
+run with ``workers=4`` must produce the *identical* row list — values,
+types, and ordering — as ``workers=1``, and a worker failure must
+surface in the parent naming the sweep point that caused it.
+
+Callbacks used in the pool tests live at module level: closures do not
+pickle, and an unpicklable callback (deliberately) degrades to the
+serial path, which would make the parallel tests vacuous.
+"""
+
+import pickle
+
+import pytest
+
+from repro.analysis.parallel import (
+    SweepPointError,
+    default_workers,
+    merge_row,
+    parallel_sweep,
+)
+from repro.analysis.sweep import grid
+from repro.arch.config import small_test_config
+from repro.core.costs import CostModel
+from repro.core.decision import AlwaysMigrate, HistoryRunLength
+from repro.core.evaluation import evaluate_scheme
+from repro.placement import first_touch
+from repro.trace.synthetic import make_workload
+from repro.util.errors import ConfigError
+
+_WORKLOADS = {
+    "pingpong": dict(name="pingpong", num_threads=4, rounds=16, run=4),
+    "uniform": dict(name="uniform", num_threads=4, accesses_per_thread=64),
+}
+
+
+def _make_scheme(name):
+    if name == "always":
+        return AlwaysMigrate()
+    return HistoryRunLength(threshold=3.0)
+
+
+def _eval_real_point(workload, scheme):
+    """A real evaluation: trace generation + scheme walk, per point."""
+    params = dict(_WORKLOADS[workload])
+    trace = make_workload(params.pop("name"), **params)
+    placement = first_touch(trace, 4)
+    cm = CostModel(small_test_config(num_cores=4))
+    metrics = evaluate_scheme(trace, placement, _make_scheme(scheme), cm).as_dict()
+    metrics.pop("scheme")  # would collide with the point's 'scheme' key
+    return metrics
+
+
+def _ident(x):
+    return {"y": x}
+
+
+def _boom(x):
+    if x == 3:
+        raise ValueError("x exploded")
+    return {"y": x}
+
+
+def _collide(x):
+    return {"x": x}
+
+
+class _Unpicklable(Exception):
+    def __init__(self, handle):
+        super().__init__("holds a live handle")
+        self.handle = handle
+
+
+def _boom_unpicklable(x):
+    raise _Unpicklable(handle=lambda: None)
+
+
+class TestParallelMatchesSerial:
+    def test_rows_identical_schemes_x_workloads(self):
+        """2 schemes x 2 workloads: workers=4 rows == workers=1 rows,
+        including value types (pickle round trips preserve numpy)."""
+        points = grid(workload=sorted(_WORKLOADS), scheme=["always", "history"])
+        serial = parallel_sweep(points, _eval_real_point, workers=1)
+        par = parallel_sweep(points, _eval_real_point, workers=4)
+        assert par == serial
+        for a, b in zip(serial, par):
+            assert list(a) == list(b)  # key order too
+            assert {k: type(v) for k, v in a.items()} == {
+                k: type(v) for k, v in b.items()
+            }
+        assert repr(par) == repr(serial)
+
+    def test_ordering_with_explicit_chunks(self):
+        points = grid(x=list(range(13)))
+        rows = parallel_sweep(points, _ident, workers=3, chunk=2)
+        assert [r["x"] for r in rows] == list(range(13))
+
+    def test_single_point_and_empty(self):
+        assert parallel_sweep([{"x": 9}], _ident, workers=4) == [{"x": 9, "y": 9}]
+        assert parallel_sweep([], _ident, workers=4) == []
+
+
+class TestFailureAttribution:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_exception_carries_failing_point(self, workers):
+        with pytest.raises(SweepPointError) as ei:
+            parallel_sweep(grid(x=[1, 2, 3, 4]), _boom, workers=workers)
+        assert ei.value.point == {"x": 3}
+        assert "x exploded" in str(ei.value)
+
+    def test_unpicklable_exception_still_attributed(self):
+        with pytest.raises(SweepPointError) as ei:
+            parallel_sweep(grid(x=[1]), _boom_unpicklable, workers=1)
+        assert ei.value.point == {"x": 1}
+
+    def test_sweep_point_error_survives_pickling(self):
+        err = SweepPointError("boom", point={"x": 3})
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.point == {"x": 3}
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_metric_key_collision_is_config_error(self, workers):
+        with pytest.raises(ConfigError, match="'x'"):
+            parallel_sweep(grid(x=[1, 2]), _collide, workers=workers)
+
+
+class TestDegradation:
+    def test_unpicklable_callback_falls_back_to_serial(self):
+        calls = []
+
+        def fn(x):  # closure: unpicklable, must run in-process
+            calls.append(x)
+            return {"y": x * 2}
+
+        rows = parallel_sweep(grid(x=[1, 2, 3]), fn, workers=4)
+        assert rows == [{"x": 1, "y": 2}, {"x": 2, "y": 4}, {"x": 3, "y": 6}]
+        assert calls == [1, 2, 3]
+
+    def test_workers_none_uses_cpu_count(self):
+        assert default_workers() >= 1
+        rows = parallel_sweep(grid(x=[1, 2]), _ident, workers=None)
+        assert [r["x"] for r in rows] == [1, 2]
+
+    def test_bad_workers_and_chunk_rejected(self):
+        with pytest.raises(ConfigError):
+            parallel_sweep(grid(x=[1]), _ident, workers=0)
+        with pytest.raises(ConfigError):
+            parallel_sweep(grid(x=[1, 2]), _ident, workers=2, chunk=0)
+
+
+class TestMergeRow:
+    def test_merges_and_preserves_point_order(self):
+        row = merge_row({"a": 1, "b": 2}, {"c": 3})
+        assert row == {"a": 1, "b": 2, "c": 3}
+        assert list(row) == ["a", "b", "c"]
+
+    def test_collision_names_key(self):
+        with pytest.raises(ConfigError, match="'b'"):
+            merge_row({"a": 1, "b": 2}, {"b": 9})

@@ -1,0 +1,152 @@
+"""Unit tests for the content-addressed sweep result cache.
+
+(`test_cache.py` covers the architectural data cache; this file covers
+`repro.analysis.cache`, the on-disk memoization layer for sweeps.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cache import (
+    ResultCache,
+    canonical_rows,
+    code_salt,
+    stable_key,
+)
+from repro.analysis.sweep import grid, sweep
+from repro.arch.config import small_test_config
+from repro.util.errors import ConfigError
+
+CALLS = {"n": 0}
+
+
+def _counted(x):
+    CALLS["n"] += 1
+    return {"y": x * 2, "f": np.float64(x) / 4}
+
+
+class TestStableKey:
+    def test_dict_order_insensitive(self):
+        assert stable_key({"a": 1, "b": 2}) == stable_key({"b": 2, "a": 1})
+
+    def test_numpy_scalars_canonicalize(self):
+        assert stable_key({"x": np.int64(3)}) == stable_key({"x": 3})
+        assert stable_key([1.5]) == stable_key((np.float64(1.5),))
+
+    def test_dataclass_configs_hash_by_content(self):
+        a = stable_key(small_test_config(num_cores=4))
+        b = stable_key(small_test_config(num_cores=4))
+        c = stable_key(small_test_config(num_cores=8))
+        assert a == b
+        assert a != c
+
+    def test_unrepresentable_object_rejected(self):
+        with pytest.raises(ConfigError):
+            stable_key({"fn": object()})
+
+    def test_canonical_rows_are_plain_scalars(self):
+        rows = canonical_rows([{"a": np.float64(1.5), "b": np.int32(2)}])
+        assert rows == [{"a": 1.5, "b": 2}]
+        assert type(rows[0]["a"]) is float
+        assert type(rows[0]["b"]) is int
+
+
+class TestRoundTrip:
+    def test_cold_miss_then_warm_hit(self, tmp_path):
+        CALLS["n"] = 0
+        points = grid(x=[1, 2, 3])
+        cold = ResultCache(tmp_path)
+        rows_cold = sweep(points, _counted, cache=cold)
+        assert cold.hits == 0 and cold.misses == 3
+        assert CALLS["n"] == 3
+
+        warm = ResultCache(tmp_path)
+        rows_warm = sweep(points, _counted, cache=warm)
+        assert warm.hits == 3 and warm.misses == 0
+        assert CALLS["n"] == 3  # every evaluation skipped
+        assert rows_warm == rows_cold
+        assert warm.stats()["hit_rate"] == 1.0
+
+    def test_cached_rows_equal_uncached_after_canonicalization(self, tmp_path):
+        points = grid(x=[4, 5])
+        plain = sweep(points, _counted)
+        cached = sweep(points, _counted, cache=ResultCache(tmp_path))
+        assert cached == canonical_rows(plain)
+
+    def test_partial_warm_recomputes_only_missing(self, tmp_path):
+        CALLS["n"] = 0
+        sweep(grid(x=[1, 2]), _counted, cache=ResultCache(tmp_path))
+        c = ResultCache(tmp_path)
+        rows = sweep(grid(x=[1, 2, 3]), _counted, cache=c)
+        assert c.hits == 2 and c.misses == 1
+        assert CALLS["n"] == 3  # 2 cold + only the new point
+        assert [r["x"] for r in rows] == [1, 2, 3]
+
+
+class TestInvalidation:
+    def test_cost_config_changes_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = cache.key(point={"x": 1}, extra={"config": small_test_config(num_cores=4)})
+        other = cache.key(point={"x": 1}, extra={"config": small_test_config(num_cores=8)})
+        assert base != other
+
+    def test_trace_seed_change_misses(self, tmp_path):
+        CALLS["n"] = 0
+        points = grid(x=[5])
+        sweep(points, _counted, cache=ResultCache(tmp_path),
+              cache_extra={"trace_seed": 1})
+        c2 = ResultCache(tmp_path)
+        sweep(points, _counted, cache=c2, cache_extra={"trace_seed": 2})
+        assert c2.misses == 1 and c2.hits == 0
+        assert CALLS["n"] == 2
+
+    def test_salt_change_misses(self, tmp_path):
+        a = ResultCache(tmp_path, salt="kernel-v1")
+        a.put(a.key(point={"x": 1}), [{"y": 1}])
+        assert a.get(a.key(point={"x": 1})) == [{"y": 1}]
+        b = ResultCache(tmp_path, salt="kernel-v2")
+        assert b.get(b.key(point={"x": 1})) is None
+
+    def test_default_salt_includes_version_and_schema(self):
+        salt = code_salt()
+        assert "schema" in salt
+        assert ResultCache("/tmp/unused-dir-not-created", enabled=False).salt == salt
+
+    def test_clear_wipes_entries(self, tmp_path):
+        c = ResultCache(tmp_path)
+        c.put(c.key(point={"x": 1}), [{"y": 1}])
+        c.put(c.key(point={"x": 2}), [{"y": 2}])
+        assert len(c) == 2
+        assert c.clear() == 2
+        assert len(c) == 0
+        assert c.get(c.key(point={"x": 1})) is None
+
+
+class TestDisabled:
+    def test_disabled_bypasses_reads_and_writes(self, tmp_path):
+        warm = ResultCache(tmp_path)
+        key = warm.key(point={"x": 1})
+        warm.put(key, [{"y": 10}])
+
+        off = ResultCache(tmp_path, enabled=False)
+        assert off.get(key) is None  # entry exists on disk, still a miss
+        assert off.misses == 1
+        off.put(off.key(point={"x": 2}), [{"y": 20}])
+        assert len(warm) == 1  # nothing new written
+
+    def test_no_cache_sweep_reevaluates_every_run(self, tmp_path):
+        CALLS["n"] = 0
+        points = grid(x=[7])
+        off = ResultCache(tmp_path / "off", enabled=False)
+        sweep(points, _counted, cache=off)
+        sweep(points, _counted, cache=off)
+        assert CALLS["n"] == 2
+        assert len(off) == 0
+        assert off.stats()["enabled"] is False
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        c = ResultCache(tmp_path)
+        key = c.key(point={"x": 1})
+        (tmp_path / f"{key}.json").write_text("{not json")
+        assert c.get(key) is None
+        assert c.misses == 1

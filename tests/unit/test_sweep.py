@@ -35,6 +35,15 @@ class TestSweep:
     def test_empty_points(self):
         assert sweep([], lambda: {}) == []
 
+    def test_metric_key_collision_names_the_key(self):
+        with pytest.raises(ConfigError, match="'x'"):
+            sweep(grid(x=[1, 2]), lambda x: {"x": x, "y": 1})
+
+    def test_workers_kwarg_preserves_rows(self):
+        # closure callback -> degrades to serial; rows must be unchanged
+        rows = sweep(grid(x=[1, 2, 3]), lambda x: {"y": x * 10}, workers=4)
+        assert rows == [{"x": 1, "y": 10}, {"x": 2, "y": 20}, {"x": 3, "y": 30}]
+
 
 class TestGeomean:
     def test_known_value(self):

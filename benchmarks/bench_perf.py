@@ -72,6 +72,96 @@ SCHEMES = {
     "smoke": ["history", "costaware"],
 }
 
+# ---------------------------------------------------------------- throughput
+# Detailed-simulator throughput: accesses/second through the behavioral
+# EM2 machine (event-driven) and the directory-CC simulator (round-robin).
+# These exercise the per-access hot paths (columnar trace decode, cached
+# NoC tables, counter cells) that the sweep harness above never touches.
+THROUGHPUT_PARAMS = {
+    "full": {
+        "machine": dict(name="pingpong", num_threads=16, rounds=1500, run=8),
+        "cc": dict(name="uniform", num_threads=16, accesses_per_thread=8192,
+                   region_words=4096),
+    },
+    "smoke": {
+        "machine": dict(name="pingpong", num_threads=8, rounds=250, run=8),
+        "cc": dict(name="uniform", num_threads=8, accesses_per_thread=1024,
+                   region_words=1024),
+    },
+}
+
+# Pre-optimization accesses/second, measured on the commit before the
+# hot-path overhaul (best of 3 on the same parameters above, CORES=16).
+# The speedup the report prints is relative to these; they are fixed
+# reference points, not re-measured.
+PRE_PR_BASELINE = {
+    "full": {"machine": 108913.0, "cc": 34082.0},
+    "smoke": {"machine": 111222.0, "cc": 44167.0},
+}
+
+
+def _bench_machine(mode: str, repeats: int) -> dict:
+    from repro.core.em2 import EM2Machine
+
+    params = dict(THROUGHPUT_PARAMS[mode]["machine"])
+    trace = make_workload(params.pop("name"), **params)
+    placement = first_touch(trace, CORES)
+    config = small_test_config(num_cores=CORES)
+    best = 0.0
+    for _ in range(repeats):
+        m = EM2Machine(trace, placement, config)
+        t0 = time.perf_counter()
+        m.run()
+        best = max(best, trace.total_accesses / (time.perf_counter() - t0))
+    return {"accesses": trace.total_accesses, "accesses_per_sec": best}
+
+
+def _bench_cc(mode: str, repeats: int) -> dict:
+    from repro.coherence.simulator import DirectoryCCSimulator
+
+    params = dict(THROUGHPUT_PARAMS[mode]["cc"])
+    trace = make_workload(params.pop("name"), **params)
+    placement = first_touch(trace, CORES)
+    config = small_test_config(num_cores=CORES)
+    best = 0.0
+    for _ in range(repeats):
+        sim = DirectoryCCSimulator(trace, placement, config)
+        t0 = time.perf_counter()
+        sim.run()
+        best = max(best, trace.total_accesses / (time.perf_counter() - t0))
+    return {"accesses": trace.total_accesses, "accesses_per_sec": best}
+
+
+def golden_parity() -> bool:
+    """Recompute every golden scenario and compare against the committed
+    fixture — the gate that makes a throughput number trustworthy: fast
+    but wrong is a fail, not a win."""
+    bench_dir = Path(__file__).resolve().parent
+    if str(bench_dir) not in sys.path:
+        sys.path.insert(0, str(bench_dir))
+    import make_golden_fixtures as golden
+
+    committed = json.loads(golden.FIXTURE_PATH.read_text())
+    return golden.scenario_results() == committed
+
+
+def run_throughput(mode: str = "full", repeats: int = 3) -> dict:
+    """Throughput section of the report: machine + CC accesses/sec,
+    speedup vs the recorded pre-PR baseline, and the parity gate."""
+    machine = _bench_machine(mode, repeats)
+    cc = _bench_cc(mode, repeats)
+    base = PRE_PR_BASELINE[mode]
+    return {
+        "machine_accesses": machine["accesses"],
+        "machine_accesses_per_sec": machine["accesses_per_sec"],
+        "machine_speedup_vs_pre_pr": machine["accesses_per_sec"] / base["machine"],
+        "cc_accesses": cc["accesses"],
+        "cc_accesses_per_sec": cc["accesses_per_sec"],
+        "cc_speedup_vs_pre_pr": cc["accesses_per_sec"] / base["cc"],
+        "pre_pr_baseline": base,
+        "golden_parity": golden_parity(),
+    }
+
 
 def _make_scheme(name: str, cost: CostModel):
     be = cost.break_even_run_length(0, cost.config.num_cores - 1)
@@ -171,6 +261,16 @@ def test_perf_smoke():
     assert report["cold_cache_stats"]["hits"] == 0
 
 
+def test_throughput_smoke():
+    """Throughput section runs and the parity gate holds (no speed
+    assertion here — CI hardware varies; speed is judged by the
+    regression-diff step against the committed baseline)."""
+    report = run_throughput(mode="smoke", repeats=1)
+    assert report["golden_parity"]
+    assert report["machine_accesses_per_sec"] > 0
+    assert report["cc_accesses_per_sec"] > 0
+
+
 # ---------------------------------------------------------------- script
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -181,10 +281,26 @@ def main(argv: list[str] | None = None) -> int:
                          "at start so the cold run is genuinely cold)")
     ap.add_argument("--out", default=None,
                     help="report path (default: <repo>/BENCH_perf.json)")
+    ap.add_argument("--repeats", type=int, default=5,
+                    help="throughput repetitions per simulator (best-of)")
+    ap.add_argument("--profile", nargs="?", type=int, const=25, default=None,
+                    metavar="N",
+                    help="profile the throughput section under cProfile and "
+                         "print the top N functions (default 25)")
     args = ap.parse_args(argv)
 
     mode = "smoke" if args.smoke else "full"
     report = run_harness(mode=mode, workers=args.workers, cache_dir=args.cache_dir)
+
+    if args.profile is not None:
+        from repro.cli import run_profiled
+
+        throughput = run_profiled(
+            lambda: run_throughput(mode=mode, repeats=args.repeats), args.profile
+        )
+    else:
+        throughput = run_throughput(mode=mode, repeats=args.repeats)
+    report.update(throughput)
 
     out = Path(args.out) if args.out else Path(__file__).resolve().parent.parent / "BENCH_perf.json"
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -195,6 +311,7 @@ def main(argv: list[str] | None = None) -> int:
         and report["cold_rows_identical"]
         and report["warm_rows_identical"]
         and report["warm_skip_fraction"] >= 0.9
+        and report["golden_parity"]
     )
     print(
         f"\nserial {report['serial_seconds']:.2f}s | "
@@ -204,8 +321,18 @@ def main(argv: list[str] | None = None) -> int:
         f"(skips {report['warm_skip_fraction']:.0%} of evaluations) | "
         f"rows identical: {ok}"
     )
+    print(
+        f"machine {report['machine_accesses_per_sec']:.0f} acc/s "
+        f"({report['machine_speedup_vs_pre_pr']:.2f}x pre-PR) | "
+        f"cc {report['cc_accesses_per_sec']:.0f} acc/s "
+        f"({report['cc_speedup_vs_pre_pr']:.2f}x pre-PR) | "
+        f"golden parity: {report['golden_parity']}"
+    )
     if not ok:
-        print("FAIL: row mismatch or warm cache skipped < 90%", file=sys.stderr)
+        print(
+            "FAIL: row mismatch, warm cache skipped < 90%, or golden parity broken",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

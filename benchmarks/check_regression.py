@@ -1,0 +1,93 @@
+"""Diff a fresh BENCH_perf.json against the committed throughput baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_perf.json \
+        [--baseline benchmarks/baseline_throughput.json] [--threshold 0.20]
+
+Compares every throughput metric present in both files and warns when
+the fresh number is more than ``threshold`` below the baseline. Exit
+status is 1 on a regression so CI can surface it — the CI step runs
+with ``continue-on-error`` because shared runners are noisy; the
+warning is a signal to look, not a merge gate.
+
+The baseline records accesses/second on the reference machine that
+produced it (see the ``host_note`` field); absolute comparisons across
+different hardware are only indicative.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline_throughput.json"
+
+# report keys compared (higher is better for all of them)
+METRICS = [
+    "machine_accesses_per_sec",
+    "cc_accesses_per_sec",
+    "parallel_speedup",
+    "warm_skip_fraction",
+]
+
+
+def compare(report: dict, baseline: dict, threshold: float) -> list[str]:
+    """Return one warning line per metric below baseline * (1 - threshold)."""
+    warnings = []
+    base_metrics = baseline.get("metrics", baseline)
+    for key in METRICS:
+        if key not in report or key not in base_metrics:
+            continue
+        fresh = float(report[key])
+        base = float(base_metrics[key])
+        if base <= 0:
+            continue
+        ratio = fresh / base
+        if ratio < 1.0 - threshold:
+            warnings.append(
+                f"REGRESSION {key}: {fresh:.0f} vs baseline {base:.0f} "
+                f"({ratio:.0%} of baseline, threshold {1.0 - threshold:.0%})"
+            )
+    return warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("report", help="fresh BENCH_perf.json to check")
+    ap.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="warn when a metric drops more than this "
+                         "fraction below baseline (default 0.20)")
+    args = ap.parse_args(argv)
+
+    report = json.loads(Path(args.report).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+
+    if baseline.get("mode") not in (None, report.get("mode")):
+        print(
+            f"note: baseline mode {baseline.get('mode')!r} != "
+            f"report mode {report.get('mode')!r}; comparison is indicative only"
+        )
+
+    warnings = compare(report, baseline, args.threshold)
+    base_metrics = baseline.get("metrics", baseline)
+    for key in METRICS:
+        if key in report and key in base_metrics:
+            print(
+                f"{key}: {float(report[key]):.2f} "
+                f"(baseline {float(base_metrics[key]):.2f})"
+            )
+    if warnings:
+        print()
+        for w in warnings:
+            print(f"::warning::{w}")
+        return 1
+    print("\nno throughput regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

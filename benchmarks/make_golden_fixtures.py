@@ -1,0 +1,117 @@
+"""Regenerate the golden-fixture snapshots used by the parity tests.
+
+The detailed simulators (EM², EM²-RA, RA-only, directory-CC) are
+hot-path-optimized under a *bit-identical results* contract: any
+refactor of the per-access loops must reproduce exactly the
+``results()`` dicts captured here on fixed-seed traces. The snapshots
+in ``tests/fixtures/golden_results.json`` were generated **before**
+the columnar-decode optimization and committed; the tier-1 test
+``tests/integration/test_golden_fixtures.py`` recomputes every
+scenario and asserts exact equality, so a refactor that changes
+behaviour fails loudly.
+
+Only rerun this script when simulator *semantics* change on purpose::
+
+    PYTHONPATH=src python benchmarks/make_golden_fixtures.py
+
+and say so in the commit message — silently regenerating fixtures
+defeats the regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.arch.config import small_test_config
+from repro.coherence.simulator import DirectoryCCSimulator
+from repro.core.costs import CostModel
+from repro.core.decision.history import HistoryRunLength
+from repro.core.em2 import EM2Machine
+from repro.core.em2ra import EM2RAMachine
+from repro.core.remote_access import RemoteAccessMachine
+from repro.placement import first_touch
+from repro.trace.synthetic import make_workload
+
+FIXTURE_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "tests"
+    / "fixtures"
+    / "golden_results.json"
+)
+
+CORES = 4
+
+# Fixed-seed traces: generators are deterministic given their seed
+# (default 0), so these reproduce exactly on every machine.
+TRACES = {
+    "pingpong": dict(name="pingpong", num_threads=4, rounds=12, run=3),
+    "uniform": dict(name="uniform", num_threads=4, accesses_per_thread=96,
+                    region_words=256),
+}
+
+
+def _make(trace_key: str):
+    params = dict(TRACES[trace_key])
+    trace = make_workload(params.pop("name"), **params)
+    placement = first_touch(trace, CORES)
+    config = small_test_config(num_cores=CORES)
+    return trace, placement, config
+
+
+def _history_scheme(config) -> HistoryRunLength:
+    cost = CostModel(config)
+    return HistoryRunLength(
+        threshold=cost.break_even_run_length(0, config.num_cores - 1)
+    )
+
+
+def _cc_results(sim: DirectoryCCSimulator) -> dict:
+    r = sim.run()
+    return {
+        "completion_time": r.completion_time,
+        "per_thread_time": r.per_thread_time,
+        "traffic_bits": r.traffic_bits,
+        "stats": r.stats,
+        "directory_overhead_bits": sim.directory_overhead_bits(),
+    }
+
+
+def scenario_results() -> dict:
+    """Run every (trace, architecture) scenario and collect results()."""
+    out: dict[str, dict] = {}
+    for trace_key in sorted(TRACES):
+        trace, placement, config = _make(trace_key)
+
+        m = EM2Machine(trace, placement, config)
+        m.run()
+        out[f"{trace_key}/em2"] = m.results()
+
+        trace, placement, config = _make(trace_key)
+        m = EM2RAMachine(trace, placement, config, _history_scheme(config))
+        m.run()
+        out[f"{trace_key}/em2ra-history"] = m.results()
+
+        trace, placement, config = _make(trace_key)
+        m = RemoteAccessMachine(trace, placement, config)
+        m.run()
+        out[f"{trace_key}/ra-only"] = m.results()
+
+        for protocol in ("msi", "mesi"):
+            trace, placement, config = _make(trace_key)
+            sim = DirectoryCCSimulator(trace, placement, config,
+                                       protocol=protocol)
+            out[f"{trace_key}/cc-{protocol}"] = _cc_results(sim)
+    return out
+
+
+def main() -> int:
+    results = scenario_results()
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(results)} scenarios to {FIXTURE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

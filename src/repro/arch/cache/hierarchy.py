@@ -49,22 +49,58 @@ class CacheHierarchy:
         self._l1_cfg = l1
         self._l2_cfg = l2
         self.memory_fills = 0
+        # AccessResult is frozen, so the zero-writeback results can be
+        # shared across accesses — the common case allocates nothing
+        self._l1_hit = AccessResult(ServiceLevel.L1, l1.hit_latency)
+        self._l2_hit = AccessResult(ServiceLevel.L2, l1.hit_latency + l2.hit_latency)
+        self._mem_fill = AccessResult(
+            ServiceLevel.MEMORY, l1.hit_latency + l2.hit_latency
+        )
+        # same-line memo: the line the previous access hit in L1. A
+        # repeat of that line skips set indexing and the policy touch —
+        # safe because every policy's touch is idempotent on the way it
+        # just touched (LRU early-returns, PLRU rewrites the same bits,
+        # random is a no-op). Reset on every L1 miss (the only path
+        # that can evict the memoized line) and on invalidate().
+        self._last_la = -1
+        self._last_line: object = None
 
     def access(self, addr: int, write: bool) -> AccessResult:
-        """Perform a load/store on the hierarchy, returning where it hit."""
-        line = self.l1.lookup(addr)
-        if line is not None:
+        """Perform a load/store on the hierarchy, returning where it hit.
+
+        The L1-hit case is ``CacheArray.lookup`` inlined (same counter
+        and recency updates): it runs once per simulated access and the
+        call frame showed up in machine-level profiles.
+        """
+        l1 = self.l1
+        line_addr = addr >> l1._line_shift
+        if line_addr == self._last_la:
+            l1.hits += 1
+            if write:
+                self._last_line.dirty = True
+            return self._l1_hit
+        si = line_addr % l1.num_sets
+        way = l1._sets[si].get(line_addr // l1.num_sets)
+        if way is not None:
+            l1.hits += 1
+            l1._policies[si].touch(way)
+            line = l1._lines[si][way]
+            self._last_la = line_addr
+            self._last_line = line
             if write:
                 line.dirty = True
-            return AccessResult(ServiceLevel.L1, self._l1_cfg.hit_latency)
+            return self._l1_hit
+        self._last_la = -1
+        l1.misses += 1
 
-        wb_mem = 0
         l2_line = self.l2.lookup(addr)
         if l2_line is not None:
             # fill into L1 from L2; dirtiness stays with the L1 copy
             dirty = l2_line.dirty or write
             l2_line.dirty = False
-            wb_mem += self._fill_l1(addr, dirty)
+            wb_mem = self._fill_l1(addr, dirty)
+            if wb_mem == 0:
+                return self._l2_hit
             return AccessResult(
                 ServiceLevel.L2,
                 self._l1_cfg.hit_latency + self._l2_cfg.hit_latency,
@@ -73,10 +109,13 @@ class CacheHierarchy:
 
         # memory fill -> L2 then L1
         self.memory_fills += 1
+        wb_mem = 0
         victim = self.l2.fill(addr, dirty=False)
         if victim is not None and victim.dirty:
             wb_mem += 1
         wb_mem += self._fill_l1(addr, write)
+        if wb_mem == 0:
+            return self._mem_fill
         return AccessResult(
             ServiceLevel.MEMORY,
             self._l1_cfg.hit_latency + self._l2_cfg.hit_latency,
@@ -92,7 +131,7 @@ class CacheHierarchy:
             si = self.l1.set_index(addr)
             victim_addr = (victim.tag * self.l1.num_sets + si) << (
                 self._l1_cfg.line_bytes.bit_length() - 1
-            )
+            )  # line_bytes is a validated power of two
             l2_victim = self.l2.fill(victim_addr, dirty=True)
             if l2_victim is not None and l2_victim.dirty:
                 wb_mem += 1
@@ -104,6 +143,7 @@ class CacheHierarchy:
 
     def invalidate(self, addr: int) -> bool:
         """Drop the line from both levels (CC invalidation). True if present."""
+        self._last_la = -1
         a = self.l1.invalidate(addr)
         b = self.l2.invalidate(addr)
         return a is not None or b is not None

@@ -39,8 +39,10 @@ class LRUPolicy(ReplacementPolicy):
         self._order = list(range(ways))  # front = LRU, back = MRU
 
     def touch(self, way: int) -> None:
-        self._order.remove(way)
-        self._order.append(way)
+        order = self._order
+        if order[-1] != way:  # already MRU: common case for repeated hits
+            order.remove(way)
+            order.append(way)
 
     def victim(self) -> int:
         return self._order[0]

@@ -60,10 +60,12 @@ class CacheArray:
         """Return the resident line (updating recency), or None on miss.
 
         Updates hit/miss counters; use :meth:`probe` for a side-effect-
-        free check.
+        free check. Index math is inlined (not via the address helpers):
+        this runs once per simulated memory access.
         """
-        si = self.set_index(addr)
-        way = self._sets[si].get(self.tag_of(addr))
+        line_addr = addr >> self._line_shift
+        si = line_addr % self.num_sets
+        way = self._sets[si].get(line_addr // self.num_sets)
         if way is None:
             self.misses += 1
             return None
@@ -74,15 +76,17 @@ class CacheArray:
 
     def probe(self, addr: int) -> CacheLine | None:
         """Check residency without touching counters or recency."""
-        si = self.set_index(addr)
-        way = self._sets[si].get(self.tag_of(addr))
+        line_addr = addr >> self._line_shift
+        si = line_addr % self.num_sets
+        way = self._sets[si].get(line_addr // self.num_sets)
         return None if way is None else self._lines[si][way]
 
     def fill(self, addr: int, dirty: bool = False, state: int = 0) -> CacheLine | None:
         """Insert the line for ``addr``; return the victim line if one
         was evicted (caller decides whether a writeback is needed)."""
-        si = self.set_index(addr)
-        tag = self.tag_of(addr)
+        line_addr = addr >> self._line_shift
+        si = line_addr % self.num_sets
+        tag = line_addr // self.num_sets
         existing = self._sets[si].get(tag)
         if existing is not None:  # refill of a resident line: update in place
             line = self._lines[si][existing]
@@ -113,8 +117,9 @@ class CacheArray:
 
         Returns the removed line, or None if it was not resident.
         """
-        si = self.set_index(addr)
-        tag = self.tag_of(addr)
+        line_addr = addr >> self._line_shift
+        si = line_addr % self.num_sets
+        tag = line_addr // self.num_sets
         way = self._sets[si].pop(tag, None)
         if way is None:
             return None

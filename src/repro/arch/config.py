@@ -64,12 +64,24 @@ class NocConfig:
         check_positive("noc router_latency", self.router_latency)
         check_positive("noc link_latency", self.link_latency)
         check_positive("noc num_virtual_channels", self.num_virtual_channels)
+        # memo table for message_flits: simulators serialize the same
+        # handful of payload sizes (context, control, data line) millions
+        # of times. Not a dataclass field, so eq/hash/asdict ignore it.
+        object.__setattr__(self, "_flits_memo", {})
 
     def message_flits(self, payload_bits: int) -> int:
-        """Flit count for a message carrying ``payload_bits`` of payload."""
-        if payload_bits < 0:
-            raise ValueError("payload_bits must be >= 0")
-        return 1 + -(-payload_bits // self.flit_bits)  # 1 head flit + ceil
+        """Flit count for a message carrying ``payload_bits`` of payload.
+
+        Memoized per payload size — the per-access loops call this for
+        every message, and real runs use only a few distinct sizes.
+        """
+        flits = self._flits_memo.get(payload_bits)
+        if flits is None:
+            if payload_bits < 0:
+                raise ValueError("payload_bits must be >= 0")
+            flits = 1 + -(-payload_bits // self.flit_bits)  # 1 head flit + ceil
+            self._flits_memo[payload_bits] = flits
+        return flits
 
 
 @dataclass(frozen=True)
@@ -152,6 +164,13 @@ class SystemConfig:
                     f"num_cores={self.num_cores} not divisible by mesh_width={self.mesh_width}"
                 )
         check_positive("guest_contexts", self.guest_contexts)
+        # The directory-CC simulator reconstructs victim addresses with
+        # bit_length() shifts (DirectoryCCSimulator._victim_addr), which
+        # silently corrupts addresses for non-power-of-two line or flit
+        # sizes — reject them here rather than produce wrong traffic.
+        check_power_of_two("l1.line_bytes", self.l1.line_bytes)
+        check_power_of_two("l2.line_bytes", self.l2.line_bytes)
+        check_power_of_two("noc.flit_bits", self.noc.flit_bits)
 
     @property
     def word_bytes(self) -> int:

@@ -29,6 +29,13 @@ class Network:
 
     Statistics: per-vnet message counts, flit-hops (the traffic/energy
     proxy used by the energy model), and delivered-latency accumulators.
+
+    ``send`` is on the per-access path of every behavioral machine, so
+    all loop-invariant work is hoisted into ``__init__``: hop counts
+    come from the topology's precomputed :attr:`~Topology.hop_table`,
+    per-vnet counter keys are resolved once into integer-bump cells,
+    flit counts are memoized by :meth:`NocConfig.message_flits`, and
+    the per-hop latency constant is folded.
     """
 
     def __init__(self, engine: Engine, topology: Topology, config: NocConfig) -> None:
@@ -38,14 +45,27 @@ class Network:
         self.stats = StatSet("noc")
         # (src, dst, vc) -> earliest free time, only touched in contention mode
         self._link_free: dict[tuple[int, int, int], float] = defaultdict(float)
+        self._hops = topology.hop_table
+        self._per_hop = config.router_latency + config.link_latency
+        counters = self.stats.counters
+        self._vnet_cells = {
+            vnet: (
+                counters.cell(f"messages.{vnet.name}"),
+                counters.cell(f"flits.{vnet.name}"),
+            )
+            for vnet in VirtualNetwork
+        }
+        self._flit_hops_cell = counters.cell("flit_hops")
+        # delivery LatencyStats stay lazily created (first delivery on a
+        # vnet), so as_dict() keys match the unoptimized behaviour
+        self._delivery_stats: dict[VirtualNetwork, object] = {}
 
     # ------------------------------------------------------------------
     def zero_load_latency(self, src: int, dst: int, payload_bits: int) -> float:
         """Latency ignoring contention; also used by the analytical cost model."""
-        hops = self.topology.distance(src, dst)
+        hops = self._hops[src][dst]
         flits = self.config.message_flits(payload_bits)
-        per_hop = self.config.router_latency + self.config.link_latency
-        return hops * per_hop + (flits - 1)
+        return hops * self._per_hop + (flits - 1)
 
     # ------------------------------------------------------------------
     def send(
@@ -54,25 +74,33 @@ class Network:
         on_deliver: Callable[[Message], None],
     ) -> Message:
         """Inject ``msg`` now; schedule ``on_deliver(msg)`` at arrival."""
-        msg.inject_time = self.engine.now
+        now = self.engine.now
+        msg.inject_time = now
         flits = self.config.message_flits(msg.payload_bits)
-        hops = self.topology.distance(msg.src, msg.dst)
+        hops = self._hops[msg.src][msg.dst]
 
-        self.stats.counters.add(f"messages.{msg.vnet.name}")
-        self.stats.counters.add(f"flits.{msg.vnet.name}", flits)
-        self.stats.counters.add("flit_hops", flits * max(hops, 1))
+        msg_cell, flit_cell = self._vnet_cells[msg.vnet]
+        msg_cell.n += 1
+        flit_cell.n += flits
+        self._flit_hops_cell.n += flits * (hops if hops > 0 else 1)
 
         if msg.src == msg.dst:
             # Loopback: still pays serialization into/out of the NI.
-            arrival = self.engine.now + (flits - 1) + 1
+            arrival = now + (flits - 1) + 1
         elif not self.config.contention:
-            arrival = self.engine.now + self.zero_load_latency(msg.src, msg.dst, msg.payload_bits)
+            arrival = now + hops * self._per_hop + (flits - 1)
         else:
             arrival = self._contended_arrival(msg, flits)
 
+        delivery = self._delivery_stats.get(msg.vnet)
+        if delivery is None:
+            delivery = self._delivery_stats[msg.vnet] = self.stats.latency(
+                f"delivery.{msg.vnet.name}"
+            )
+
         def _deliver() -> None:
             msg.deliver_time = self.engine.now
-            self.stats.latency(f"delivery.{msg.vnet.name}").add(msg.latency)
+            delivery.add(msg.latency)
             on_deliver(msg)
 
         self.engine.schedule_at(arrival, _deliver)
@@ -80,18 +108,22 @@ class Network:
 
     def _contended_arrival(self, msg: Message, flits: int) -> float:
         """Walk the route reserving each (link, VC) for ``flits`` cycles."""
-        per_hop = self.config.router_latency + self.config.link_latency
-        route = self.topology.route(msg.src, msg.dst)
+        per_hop = self._per_hop
+        route = self.topology.route_cached(msg.src, msg.dst)
         vc = int(msg.vnet) % self.config.num_virtual_channels
+        link_free = self._link_free
+        queueing = self.stats.latency("queueing")
         head = self.engine.now
-        for u, v in zip(route, route[1:]):
-            key = (u, v, vc)
-            start = max(head, self._link_free[key])
+        prev = route[0]
+        for v in route[1:]:
+            key = (prev, v, vc)
+            start = max(head, link_free[key])
             queued = start - head
             if queued > 0:
-                self.stats.latency("queueing").add(queued)
-            self._link_free[key] = start + flits
+                queueing.add(queued)
+            link_free[key] = start + flits
             head = start + per_hop
+            prev = v
         return head + (flits - 1)
 
     # ------------------------------------------------------------------

@@ -46,6 +46,31 @@ class Topology(ABC):
         mat.setflags(write=False)
         return mat
 
+    @cached_property
+    def hop_table(self) -> list[list[int]]:
+        """``distance_matrix`` as nested plain-int lists.
+
+        The per-access simulator loops index this (``hops[src][dst]``)
+        instead of calling :meth:`distance`: two list subscripts on
+        native ints, no coordinate math and no numpy scalar boxing.
+        """
+        return self.distance_matrix.tolist()
+
+    @cached_property
+    def _route_cache(self) -> dict[int, list[int]]:
+        return {}
+
+    def route_cached(self, src: int, dst: int) -> list[int]:
+        """Memoized :meth:`route`. Routes are deterministic per (src,
+        dst), so the contention-mode NoC walks a cached list instead of
+        rebuilding the path for every message. Callers must not mutate
+        the returned list."""
+        key = src * self.num_cores + dst
+        route = self._route_cache.get(key)
+        if route is None:
+            route = self._route_cache[key] = self.route(src, dst)
+        return route
+
     def links(self) -> list[tuple[int, int]]:
         """Directed physical links (u, v) with dist(u, v) == 1."""
         out = []

@@ -345,6 +345,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro", description="EM2 (SPAA'11) reproduction toolkit"
     )
+    p.add_argument(
+        "--profile",
+        nargs="?",
+        type=int,
+        const=25,
+        default=None,
+        metavar="N",
+        help="run the command under cProfile and print the top N "
+        "functions by cumulative time (default 25)",
+    )
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="version + available components").set_defaults(
@@ -431,10 +441,33 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def run_profiled(fn, top_n: int = 25, stream=None):
+    """Run ``fn()`` under cProfile; print the top ``top_n`` functions
+    by cumulative time to ``stream`` (default stderr). Returns ``fn``'s
+    result. Shared by the CLI ``--profile`` flag and the benchmark
+    harness so hot-path regressions are one flag away from a profile."""
+    import cProfile
+    import pstats
+
+    stream = stream if stream is not None else sys.stderr
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+        pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(
+            top_n
+        )
+    return result
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.profile is not None:
+            return run_profiled(lambda: args.fn(args), args.profile)
         return args.fn(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

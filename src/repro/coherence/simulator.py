@@ -92,21 +92,48 @@ class DirectoryCCSimulator:
         self.traffic_bits = 0
         self._line_bits = config.l2.line_bytes * 8
         self._per_hop = config.noc.router_latency + config.noc.link_latency
-        self._homes = [
-            placement.home_of(tr["addr"]) if tr.size else np.zeros(0, dtype=np.int64)
+        self._native = [c % config.num_cores for c in trace.thread_native_core]
+        # Columnar trace decode: plain-int/bool/float columns replace
+        # per-record numpy structured-scalar extraction in run()
+        self._addr_cols: list[list[int]] = [tr["addr"].tolist() for tr in trace.threads]
+        self._write_cols: list[list[bool]] = [
+            (tr["write"] != 0).tolist() for tr in trace.threads
+        ]
+        self._icount_cols: list[list[float]] = [
+            tr["icount"].astype(np.float64).tolist() for tr in trace.threads
+        ]
+        self._home_cols: list[list[int]] = [
+            placement.home_of(tr["addr"]).tolist() if tr.size else []
             for tr in trace.threads
         ]
-        self._native = [c % config.num_cores for c in trace.thread_native_core]
+        # loop-invariant hoists: cached NoC hop table, victim-address
+        # shift, word size, and integer-bump counter cells
+        self._hops = self.topology.hop_table
+        self._flit_bits = config.noc.flit_bits
+        self._word_bytes = config.word_bytes
+        self._line_shift = config.l2.line_bytes.bit_length() - 1
+        self._victim_home_memo: dict[int, int] = {}
+        counters = self.stats.counters
+        self._c_hits = counters.cell("hits")
+        self._c_misses = counters.cell("misses")
+        self._c_silent = counters.cell("silent_upgrades")
+        self._c_inv = counters.cell("invalidations")
+        self._c_wb = counters.cell("writebacks")
+        self._c_dram = counters.cell("dram_fills")
+        self._c_flit_hops = counters.cell("flit_hops")
+        self._kind_cells: dict[str, object] = {}
 
     # -- message accounting ----------------------------------------------
     def _msg(self, src: int, dst: int, bits: int, kind: str) -> float:
         """Charge one message; return its zero-load latency."""
-        noc = self.config.noc
-        flits = noc.message_flits(bits)
-        hops = self.topology.distance(src, dst)
-        self.stats.counters.add(f"msg.{kind}")
-        self.traffic_bits += flits * noc.flit_bits
-        self.stats.counters.add("flit_hops", flits * max(hops, 1))
+        flits = self.config.noc.message_flits(bits)  # memoized per size
+        hops = self._hops[src][dst]
+        cell = self._kind_cells.get(kind)
+        if cell is None:  # one cell per message kind, created on first use
+            cell = self._kind_cells[kind] = self.stats.counters.cell("msg." + kind)
+        cell.n += 1
+        self.traffic_bits += flits * self._flit_bits
+        self._c_flit_hops.n += flits * (hops if hops > 0 else 1)
         return hops * self._per_hop + (flits - 1)
 
     def _dir_entry(self, line: int) -> DirectoryEntry:
@@ -138,9 +165,9 @@ class DirectoryCCSimulator:
     def _victim_addr(self, core: int, addr: int, victim_tag: int) -> int:
         arr = self.caches[core]
         si = arr.set_index(addr)
-        return (victim_tag * arr.num_sets + si) << (
-            self.config.l2.line_bytes.bit_length() - 1
-        )
+        # line_bytes is a validated power of two (SystemConfig), so the
+        # shift reconstructs the byte address exactly
+        return (victim_tag * arr.num_sets + si) << self._line_shift
 
     def _evict_line(self, core: int, addr: int, state: MSIState) -> float:
         """Victim coherence: writeback (M) or sharer removal (S).
@@ -149,10 +176,14 @@ class DirectoryCCSimulator:
         """
         line = self._line(addr)
         entry = self._dir_entry(line)
-        home = self.placement.home_of_one(addr // self.config.word_bytes)
+        home = self._victim_home_memo.get(line)
+        if home is None:
+            # victim homes recur per line; memoize the vectorized lookup
+            home = self.placement.home_of_one(addr // self._word_bytes)
+            self._victim_home_memo[line] = home
         if state == MSIState.MODIFIED:
             lat = self._msg(core, home, CTRL_BITS + self._line_bits, "writeback")
-            self.stats.counters.add("writebacks")
+            self._c_wb.n += 1
             if entry.state != DirState.EXCLUSIVE or entry.owner != core:
                 raise ProtocolError(
                     f"M eviction by {core} but directory says {entry.state.name}/{entry.owner}"
@@ -179,30 +210,38 @@ class DirectoryCCSimulator:
         return lat
 
     # -- the protocol -----------------------------------------------------
-    def access(self, core: int, word_addr: int, write: bool) -> float:
-        """One load/store by ``core`` at a word address; returns latency."""
+    def access(
+        self, core: int, word_addr: int, write: bool, home: int | None = None
+    ) -> float:
+        """One load/store by ``core`` at a word address; returns latency.
+
+        ``home`` is the line's home core when the caller already knows
+        it (the columnar driver precomputes homes per access); left
+        None, it is looked up through the placement on a miss.
+        """
         cfg = self.config
-        addr = int(word_addr) * cfg.word_bytes  # byte address for the arrays
+        addr = int(word_addr) * self._word_bytes  # byte address for the arrays
         state = self._probe_state(core, addr)
         if state == MSIState.MODIFIED or (
             state in (MSIState.SHARED, MSIState.EXCLUSIVE) and not write
         ):
             self.caches[core].lookup(addr)  # recency + hit counters
-            self.stats.counters.add("hits")
+            self._c_hits.n += 1
             return float(cfg.l1.hit_latency)
         if state == MSIState.EXCLUSIVE and write:
             # MESI's payoff: E -> M silently, no directory traffic
             line = self.caches[core].lookup(addr)
             line.state = int(MSIState.MODIFIED)
             line.dirty = True
-            self.stats.counters.add("hits")
-            self.stats.counters.add("silent_upgrades")
+            self._c_hits.n += 1
+            self._c_silent.n += 1
             return float(cfg.l1.hit_latency)
 
         line = self._line(addr)
         entry = self._dir_entry(line)
-        home = self.placement.home_of_one(word_addr)
-        self.stats.counters.add("misses")
+        if home is None:
+            home = self.placement.home_of_one(word_addr)
+        self._c_misses.n += 1
         lat = self._msg(core, home, CTRL_BITS, "getx" if write else "gets")
 
         if not write:
@@ -227,7 +266,7 @@ class DirectoryCCSimulator:
                 entry.state = DirState.SHARED
             elif entry.state == DirState.UNCACHED:
                 lat += cfg.cost.dram_latency  # home fetches from memory
-                self.stats.counters.add("dram_fills")
+                self._c_dram.n += 1
                 if self.protocol == "mesi":
                     grant = MSIState.EXCLUSIVE  # sole clean copy
             if grant == MSIState.EXCLUSIVE:
@@ -255,7 +294,7 @@ class DirectoryCCSimulator:
                 else:  # E: clean copy, control ack (MESI)
                     lat += self._msg(owner, home, CTRL_BITS, "inv-ack")
                 self.caches[owner].invalidate(addr)
-                self.stats.counters.add("invalidations")
+                self._c_inv.n += 1
             elif entry.state == DirState.SHARED:
                 inv_lat = 0.0
                 for sharer in sorted(entry.sharers - {core}):
@@ -263,11 +302,11 @@ class DirectoryCCSimulator:
                     ack = self._msg(sharer, home, CTRL_BITS, "inv-ack")
                     inv_lat = max(inv_lat, inv + ack)  # invalidations overlap
                     self.caches[sharer].invalidate(addr)
-                    self.stats.counters.add("invalidations")
+                    self._c_inv.n += 1
                 lat += inv_lat
             elif entry.state == DirState.UNCACHED:
                 lat += cfg.cost.dram_latency
-                self.stats.counters.add("dram_fills")
+                self._c_dram.n += 1
             if state == MSIState.SHARED:
                 # upgrade: data already present, grant only
                 lat += self._msg(home, core, CTRL_BITS, "upgrade-ack")
@@ -285,25 +324,52 @@ class DirectoryCCSimulator:
 
     # -- driver -------------------------------------------------------------
     def run(self) -> CCResult:
-        """Interleaved execution of the whole trace."""
+        """Interleaved execution of the whole trace.
+
+        Columnar driver: the round-robin walk reads plain-int columns
+        (no per-record structured scalars) and serves private-cache
+        hits inline — probe + recency lookup, exactly the sequence
+        ``access()`` performs — skipping the directory path entirely.
+        Misses and MESI silent upgrades fall through to ``access()``
+        with the precomputed home. Results are bit-identical to the
+        record-at-a-time driver.
+        """
         T = self.trace.num_threads
         times = [0.0] * T
         idx = [0] * T
-        sizes = [int(tr.size) for tr in self.trace.threads]
-        live = sum(1 for s in sizes if s > 0)
-        while live > 0:
-            for t in range(T):
+        addr_cols, write_cols = self._addr_cols, self._write_cols
+        icount_cols, home_cols = self._icount_cols, self._home_cols
+        sizes = [len(a) for a in addr_cols]
+        caches, native, wb = self.caches, self._native, self._word_bytes
+        hit_lat = float(self.config.l1.hit_latency)
+        c_hits = self._c_hits
+        MOD = int(MSIState.MODIFIED)
+        SH = int(MSIState.SHARED)
+        EX = int(MSIState.EXCLUSIVE)
+        active = [t for t in range(T) if sizes[t] > 0]
+        while active:
+            finished = False
+            for t in active:
                 k = idx[t]
-                if k >= sizes[t]:
-                    continue
-                rec = self.trace.threads[t][k]
-                lat = self.access(
-                    self._native[t], int(rec["addr"]), bool(rec["write"])
-                )
-                times[t] += float(rec["icount"]) + lat
-                idx[t] += 1
-                if idx[t] == sizes[t]:
-                    live -= 1
+                word = addr_cols[t][k]
+                write = write_cols[t][k]
+                core = native[t]
+                arr = caches[core]
+                byte_addr = word * wb
+                line = arr.probe(byte_addr)
+                st = line.state if line is not None else 0
+                if st == MOD or (not write and (st == SH or st == EX)):
+                    arr.lookup(byte_addr)  # recency + hit counters
+                    c_hits.n += 1
+                    lat = hit_lat
+                else:
+                    lat = self.access(core, word, write, home=home_cols[t][k])
+                times[t] += icount_cols[t][k] + lat
+                idx[t] = k + 1
+                if k + 1 == sizes[t]:
+                    finished = True
+            if finished:
+                active = [t for t in active if idx[t] < sizes[t]]
         stats = self.stats.as_dict()
         return CCResult(
             completion_time=max(times, default=0.0),

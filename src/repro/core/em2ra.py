@@ -47,6 +47,7 @@ class EM2RAMachine(MigrationMachineBase):
         self._schemes = [scheme.clone() for _ in range(trace.num_threads)]
         for s in self._schemes:
             s.reset()
+        self._c_remote = self.stats.counters.cell("remote_accesses")
 
     def _handle_nonlocal(
         self, th: ThreadState, addr: int, write: bool, home: int, delay: float
@@ -66,7 +67,7 @@ class EM2RAMachine(MigrationMachineBase):
     def _remote_access(
         self, th: ThreadState, addr: int, write: bool, home: int, delay: float
     ) -> None:
-        self.stats.counters.add("remote_accesses")
+        self._c_remote.n += 1
         req_bits = 64 + 8 + (self.config.word_bits if write else 0)
         msg = Message(
             src=th.core,

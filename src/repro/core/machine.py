@@ -22,11 +22,12 @@ mechanism.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from heapq import heappush
 
 import numpy as np
 
-from repro.arch.cache.hierarchy import CacheHierarchy
+from repro.arch.cache.hierarchy import CacheHierarchy, ServiceLevel
 from repro.arch.config import SystemConfig
 from repro.arch.core_model import ContextFile, build_context_files
 from repro.arch.memory.dram import MemorySystem
@@ -54,6 +55,19 @@ class ThreadState:
     run_home: int = -1
     run_len: int = 0
     last_recorded_idx: int = -1  # guards re-executed accesses after migration
+    # this thread's columns from the machine's columnar decode, bound
+    # once at construction — the step loop indexes them without going
+    # through the machine's per-thread list-of-lists
+    addrs: list | None = None
+    writes: list | None = None
+    icounts: list | None = None
+    homes: list | None = None
+    size: int = 0
+    # recycled step event (see _step): the previous step event is out
+    # of the heap once it fires, so the local fast path rewrites it in
+    # place instead of allocating a new Event per access. A cancelled
+    # event may still sit in the heap (lazy deletion) and is abandoned.
+    _ev: Event | None = None
 
 
 class MigrationMachineBase:
@@ -94,10 +108,44 @@ class MigrationMachineBase:
         # (network backpressure; see _try_admit)
         self._waiting: list[list[ThreadState]] = [[] for _ in range(config.num_cores)]
         self.stats = StatSet("machine")
-        self._homes = [
-            placement.home_of(tr["addr"]) if tr.size else np.zeros(0, dtype=np.int64)
+        # Columnar trace decode: each thread's structured array is
+        # unpacked ONCE into plain-Python columns, so the per-access
+        # step loop does two list subscripts instead of a numpy
+        # structured-scalar extraction plus int()/bool()/float() boxing
+        # per field — the dominant cost in pre-columnar profiles.
+        self._addrs: list[list[int]] = [tr["addr"].tolist() for tr in trace.threads]
+        self._writes: list[list[bool]] = [
+            (tr["write"] != 0).tolist() for tr in trace.threads
+        ]
+        self._icounts: list[list[float]] = [
+            tr["icount"].astype(np.float64).tolist() for tr in trace.threads
+        ]
+        self._homes: list[list[int]] = [
+            placement.home_of(tr["addr"]).tolist() if tr.size else []
             for tr in trace.threads
         ]
+        self._sizes: list[int] = [int(tr.size) for tr in trace.threads]
+        # loop-invariant hoists + integer-bump counter cells (per-access
+        # events bypass string-keyed Counter.add)
+        self._word_bytes = config.word_bytes
+        self._multiplex = config.multiplex_contexts
+        counters = self.stats.counters
+        self._c_local = counters.cell("local_accesses")
+        self._c_migrations = counters.cell("migrations")
+        self._c_evictions = counters.cell("evictions")
+        self._c_dram = counters.cell("dram_fills")
+        self._c_stalls = counters.cell("admission_stalls")
+        # pre-bound hot callables: skips a descriptor lookup per event
+        # (self._step resolves the subclass override, bound once)
+        self._schedule = self.engine.schedule
+        self._step_cb = self._step
+        for th in self.threads:
+            t = th.tid
+            th.addrs = self._addrs[t]
+            th.writes = self._writes[t]
+            th.icounts = self._icounts[t]
+            th.homes = self._homes[t]
+            th.size = self._sizes[t]
         self._started = False
 
     # ------------------------------------------------------------------
@@ -120,14 +168,17 @@ class MigrationMachineBase:
 
     # ------------------------------------------------------------------
     def _access_latency(self, core: int, addr: int, write: bool) -> float:
-        """Local memory access at ``core`` (cache hierarchy + DRAM)."""
+        """Local memory access at ``core`` (cache hierarchy + DRAM).
+
+        ``addr`` is a plain-int word address (columnar decode upstream).
+        """
         if self.caches is None:
             return self.config.cost.cache_access
-        res = self.caches[core].access(int(addr) * self.config.word_bytes, bool(write))
+        res = self.caches[core].access(addr * self._word_bytes, write)
         lat = float(res.latency)
-        if not res.hit:
+        if res.level is ServiceLevel.MEMORY:
             lat += self.memory.miss_latency(core, self.engine.now)
-            self.stats.counters.add("dram_fills")
+            self._c_dram.n += 1
         return lat
 
     def _record_run(self, th: ThreadState, home: int) -> None:
@@ -149,31 +200,75 @@ class MigrationMachineBase:
 
     # ------------------------------------------------------------------
     def _step(self, th: ThreadState) -> None:
-        """Process thread's next access from its current core."""
+        """Process thread's next access from its current core.
+
+        Reads the columnar decode (plain lists) and inlines the common
+        case of :meth:`_record_run` — this runs once per access and is
+        the hottest function in machine-level profiles.
+        """
         th.pending = None
-        tr = self.trace.threads[th.tid]
-        if th.idx >= tr.size:
+        idx = th.idx
+        if idx >= th.size:
             self._finish(th)
             return
-        rec = tr[th.idx]
-        home = int(self._homes[th.tid][th.idx])
-        delay = float(rec["icount"])  # local non-memory work
-        if self.config.multiplex_contexts:
+        home = th.homes[idx]
+        delay = th.icounts[idx]  # local non-memory work
+        if self._multiplex:
             # instruction-granularity multiplexing (§2): the pipeline is
             # time-shared by every resident context at issue time
             delay *= max(self.contexts[th.core].occupancy(), 1)
-        first_execution = th.idx != th.last_recorded_idx
-        self._record_run(th, home)
+        first_execution = idx != th.last_recorded_idx
+        if first_execution:  # inlined _record_run (re-executions skip it)
+            th.last_recorded_idx = idx
+            if home == th.run_home:
+                th.run_len += 1
+            else:
+                if th.run_home >= 0 and th.run_home != th.native:
+                    self.stats.histogram("run_length").add(
+                        th.run_len, weight=th.run_len
+                    )
+                th.run_home = home
+                th.run_len = 1
         if home == th.core:
             if first_execution:
                 # an access re-executing after a migration is already
                 # accounted as a migration, matching the analytical model
-                self.stats.counters.add("local_accesses")
-            lat = self._access_latency(th.core, int(rec["addr"]), bool(rec["write"]))
-            th.idx += 1
-            th.pending = self.engine.schedule(delay + lat, self._step, th)
+                self._c_local.n += 1
+            # inlined _access_latency: one call frame per access matters
+            caches = self.caches
+            if caches is None:
+                lat = self.config.cost.cache_access
+            else:
+                res = caches[home].access(
+                    th.addrs[idx] * self._word_bytes, th.writes[idx]
+                )
+                lat = res.latency
+                if res.level is ServiceLevel.MEMORY:
+                    lat += self.memory.miss_latency(home, self.engine.now)
+                    self._c_dram.n += 1
+            th.idx = idx + 1
+            # inlined Engine.schedule (delay and lat are always >= 0):
+            # the schedule call frame is the hottest remaining edge
+            eng = self.engine
+            when = eng.now + delay + lat
+            seq = eng._seq
+            ev = th._ev
+            if ev is None or ev.cancelled:
+                # first step, or the old event still sits cancelled in
+                # the heap (lazy deletion) — it cannot be rewritten
+                ev = th._ev = Event(when, seq, self._step_cb, (th,), eng)
+            else:
+                # the previous step event already fired (it invoked this
+                # very call), so it is out of the heap: rewrite in place
+                ev.time = when
+                ev.seq = seq
+                ev._engine = eng  # the run loop cleared it on pop
+            eng._seq = seq + 1
+            eng._live += 1
+            heappush(eng._queue, (when, seq, ev))
+            th.pending = ev
             return
-        self._handle_nonlocal(th, int(rec["addr"]), bool(rec["write"]), home, delay)
+        self._handle_nonlocal(th, th.addrs[idx], th.writes[idx], home, delay)
 
     def _finish(self, th: ThreadState) -> None:
         th.done = True
@@ -189,7 +284,7 @@ class MigrationMachineBase:
         self.contexts[src].release(th.tid)
         th.in_transit = True
         self._admit_waiter_if_any(src)
-        self.stats.counters.add("migrations")
+        self._c_migrations.n += 1
         msg = Message(
             src=th.core,
             dst=dest,
@@ -226,7 +321,7 @@ class MigrationMachineBase:
         else:
             victim = self._pick_evictable_victim(dest)
             if victim is None:
-                self.stats.counters.add("admission_stalls")
+                self._c_stalls.n += 1
                 self._waiting[dest].append(th)
                 return
             ctx.replace_guest(victim, th.tid, now)
@@ -271,7 +366,7 @@ class MigrationMachineBase:
             victim.pending.cancel()
             victim.pending = None
         victim.in_transit = True
-        self.stats.counters.add("evictions")
+        self._c_evictions.n += 1
         msg = Message(
             src=core,
             dst=victim.native,

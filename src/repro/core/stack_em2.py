@@ -171,6 +171,10 @@ class StackEM2Machine(MigrationMachineBase):
         # per-thread resident guest depth; meaningless while at native
         self._depth = [0] * trace.num_threads
         self._clamped = 0
+        # columnar decode of the stack fields (base decodes addr/write/
+        # icount/home); the step loop below never touches numpy records
+        self._spops = [tr["spop"].tolist() for tr in trace.threads]
+        self._spushes = [tr["spush"].tolist() for tr in trace.threads]
 
     # ------------------------------------------------------------------
     def _stack_bits(self, depth: int) -> int:
@@ -178,44 +182,44 @@ class StackEM2Machine(MigrationMachineBase):
 
     def _step(self, th: ThreadState) -> None:  # overrides the base walk
         th.pending = None
-        tr = self.trace.threads[th.tid]
-        if th.idx >= tr.size:
+        tid = th.tid
+        idx = th.idx
+        if idx >= th.size:
             self._finish(th)
             return
-        rec = tr[th.idx]
-        home = int(self._homes[th.tid][th.idx])
-        delay = float(rec["icount"])
-        first_execution = th.idx != th.last_recorded_idx
+        home = th.homes[idx]
+        delay = th.icounts[idx]
+        first_execution = idx != th.last_recorded_idx
         self._record_run(th, home)
 
         # ---- segment stack activity (only meaningful away from home base)
         if first_execution and th.core != th.native:
-            spop, spush = int(rec["spop"]), int(rec["spush"])
-            d = self._depth[th.tid]
+            spop, spush = self._spops[tid][idx], self._spushes[tid][idx]
+            d = self._depth[tid]
             if spop > d:
                 self.stats.counters.add("underflow_returns")
-                self._migrate_stack(th, th.native, self._depth[th.tid], delay)
+                self._migrate_stack(th, th.native, self._depth[tid], delay)
                 return
             d2 = d - spop + spush
             if d2 > self.window:
                 self.stats.counters.add("overflow_returns")
-                self._depth[th.tid] = self.window
+                self._depth[tid] = self.window
                 self._migrate_stack(th, th.native, self.window, delay)
                 return
-            self._depth[th.tid] = d2
+            self._depth[tid] = d2
 
         # ---- the access itself
         if home == th.core:
             if first_execution:
-                self.stats.counters.add("local_accesses")
-            lat = self._access_latency(th.core, int(rec["addr"]), bool(rec["write"]))
-            th.idx += 1
-            th.pending = self.engine.schedule(delay + lat, self._step, th)
+                self._c_local.n += 1
+            lat = self._access_latency(th.core, th.addrs[idx], th.writes[idx])
+            th.idx = idx + 1
+            th.pending = self._schedule(delay + lat, self._step_cb, th)
             return
 
         # migrate to the home, choosing a carry depth
-        held = self.window if th.core == th.native else self._depth[th.tid]
-        carry = self.depth_scheme.carry_depth(th.tid, th.idx, held, self.window)
+        held = self.window if th.core == th.native else self._depth[tid]
+        carry = self.depth_scheme.carry_depth(tid, idx, held, self.window)
         if carry > held:
             carry = held
             self._clamped += 1
@@ -223,7 +227,7 @@ class StackEM2Machine(MigrationMachineBase):
             # flush the rest to the native stack memory (data message)
             flush_words = held - carry
             self._flush(th.core, th.native, flush_words)
-        self._depth[th.tid] = carry
+        self._depth[tid] = carry
         self._migrate_stack(th, home, carry, delay)
 
     # ------------------------------------------------------------------
@@ -231,7 +235,7 @@ class StackEM2Machine(MigrationMachineBase):
         src = th.core
         self.contexts[src].release(th.tid)
         th.in_transit = True
-        self.stats.counters.add("migrations")
+        self._c_migrations.n += 1
         self.stats.counters.add("migrated_stack_words", depth)
         msg = Message(
             src=src,
@@ -275,7 +279,7 @@ class StackEM2Machine(MigrationMachineBase):
             victim.pending.cancel()
             victim.pending = None
         victim.in_transit = True
-        self.stats.counters.add("evictions")
+        self._c_evictions.n += 1
         depth = self._depth[victim_tid]
         msg = Message(
             src=core,

@@ -24,30 +24,69 @@ from typing import Iterable
 import numpy as np
 
 
+class CounterCell:
+    """A single-slot integer accumulator bound to one counter key.
+
+    The hot-path alternative to string-keyed :meth:`Counter.add`: a
+    simulator hoists ``cell = counters.cell("hits")`` out of its
+    per-access loop and bumps ``cell.n += 1`` — one integer add, no
+    string hashing or dict lookup per event. Pending bumps are folded
+    into the owning counter lazily on any read, so observers see
+    exactly the totals they would have seen with ``add``.
+    """
+
+    __slots__ = ("n",)
+
+    def __init__(self) -> None:
+        self.n = 0
+
+
 class Counter:
     """Named monotone counters. Missing keys read as zero."""
 
     def __init__(self) -> None:
         self._counts: dict[str, int] = defaultdict(int)
+        self._cells: dict[str, CounterCell] = {}
 
     def add(self, key: str, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"Counter.add amount must be >= 0, got {amount}")
         self._counts[key] += amount
 
+    def cell(self, key: str) -> CounterCell:
+        """Return the integer-bump accumulator for ``key`` (created on
+        first request; one cell per key, shared by all callers)."""
+        c = self._cells.get(key)
+        if c is None:
+            c = self._cells[key] = CounterCell()
+        return c
+
+    def _fold_cells(self) -> None:
+        """Drain pending cell bumps into the key-value store. A key
+        whose cell was never bumped stays absent, matching ``add``."""
+        for key, c in self._cells.items():
+            if c.n:
+                self._counts[key] += c.n
+                c.n = 0
+
     def __getitem__(self, key: str) -> int:
+        self._fold_cells()
         return self._counts.get(key, 0)
 
     def keys(self) -> Iterable[str]:
+        self._fold_cells()
         return self._counts.keys()
 
     def total(self) -> int:
+        self._fold_cells()
         return sum(self._counts.values())
 
     def as_dict(self) -> dict[str, int]:
+        self._fold_cells()
         return dict(self._counts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        self._fold_cells()
         return f"Counter({dict(self._counts)!r})"
 
 

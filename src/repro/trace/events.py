@@ -122,8 +122,21 @@ class MultiTrace:
         return np.concatenate([t["addr"] for t in self.threads])
 
     def footprint(self) -> int:
-        """Number of distinct word addresses touched."""
-        return int(np.unique(self.all_addrs()).size)
+        """Number of distinct word addresses touched.
+
+        Computed as per-thread ``np.unique`` folded through
+        ``np.union1d`` — peak memory is one deduplicated thread plus
+        the running union, never the concatenated address stream that
+        ``all_addrs`` materializes (long traces made that allocation
+        the footprint of the footprint).
+        """
+        union: np.ndarray | None = None
+        for t in self.threads:
+            if t.size == 0:
+                continue
+            uniq = np.unique(t["addr"])
+            union = uniq if union is None else np.union1d(union, uniq)
+        return 0 if union is None else int(union.size)
 
     def summary(self) -> dict:
         return {

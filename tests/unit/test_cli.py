@@ -22,6 +22,15 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "workloads:" in out and "ocean" in out
 
+    def test_profile_flag(self, capsys):
+        """--profile wraps the command in cProfile and prints a stats
+        table (to stderr) without changing the command's output or rc."""
+        assert main(["--profile", "5", "info"]) == 0
+        captured = capsys.readouterr()
+        assert "workloads:" in captured.out
+        assert "cumulative" in captured.err
+        assert "function calls" in captured.err
+
     def test_fig2_small(self, capsys):
         rc = main(
             ["fig2", "--threads", "4", "--cores", "4", "--grid", "20",

@@ -11,9 +11,12 @@ runs one multi-point (workload x scheme) sweep four ways —
 — verifies all four produce identical result rows, and writes
 timings, speedups, and cache hit/miss counters to ``BENCH_perf.json``.
 
-The sweep callback is a module-level function over plain strings, so
-it pickles into pool workers (closures over fixtures would silently
-degrade to the serial path — by design, but useless for measuring).
+Every point is a partial :class:`~repro.spec.ExperimentSpec` overlay
+swept through :func:`repro.analysis.sweep.sweep_specs`: pool workers
+receive serialized spec dicts and rebuild through the registries
+(:func:`repro.runner.run_spec_dict`), so nothing here needs to pickle
+beyond plain dicts, and cache keys derive from the canonical spec
+dict rather than ad-hoc context.
 
 Run directly::
 
@@ -37,23 +40,18 @@ import shutil
 import sys
 import tempfile
 import time
-from functools import partial
 from pathlib import Path
 
 from repro.analysis.cache import ResultCache, canonical_rows
-from repro.analysis.sweep import grid, sweep
-from repro.arch.config import small_test_config
-from repro.core.costs import CostModel
-from repro.core.decision.costaware import CostAwareHistory
-from repro.core.decision.history import AddressIndexedHistory, HistoryRunLength
-from repro.core.evaluation import evaluate_scheme
-from repro.placement import first_touch
-from repro.trace.synthetic import make_workload
+from repro.analysis.sweep import sweep_specs
+from repro.runner import build, clear_build_memo
+from repro.spec import ExperimentSpec, MachineSpec, PlacementSpec, WorkloadSpec
 
 CORES = 16
 
-# Each point regenerates its trace inside the worker: the generation +
-# sequential scheme walk is the unit of work being parallelized.
+# Workload sub-spec overlays per sweep axis value. Workers rebuild each
+# point's trace from its spec (memoized per process), so the generation
+# + sequential scheme walk is the unit of work being parallelized.
 WORKLOAD_PARAMS = {
     "full": {
         "ocean": dict(name="ocean", num_threads=16, grid_n=130, iterations=2),
@@ -100,16 +98,48 @@ PRE_PR_BASELINE = {
 }
 
 
+def _base_spec() -> ExperimentSpec:
+    """Shared base for every sweep point; points overlay workload/scheme."""
+    return ExperimentSpec(
+        machine=MachineSpec(name="analytical", cores=CORES, preset="small-test"),
+        placement=PlacementSpec(name="first-touch"),
+    )
+
+
+def _points(mode: str) -> list[dict]:
+    """(workload x scheme) grid as partial-spec overlays."""
+    pts = []
+    for workload in sorted(WORKLOAD_PARAMS[mode]):
+        params = dict(WORKLOAD_PARAMS[mode][workload])
+        name = params.pop("name")
+        for scheme in SCHEMES[mode]:
+            pts.append(
+                {"workload": {"name": name, "params": params}, "scheme": scheme}
+            )
+    return pts
+
+
+def _throughput_built(mode: str, which: str, machine: str):
+    """Build (never run) the throughput spec's live pieces via the
+    registry path; the bench times the machine's run() alone."""
+    params = dict(THROUGHPUT_PARAMS[mode][which])
+    name = params.pop("name")
+    spec = ExperimentSpec(
+        workload=WorkloadSpec(name=name, params=params),
+        machine=MachineSpec(name=machine, cores=CORES, preset="small-test"),
+        placement=PlacementSpec(name="first-touch"),
+    )
+    return build(spec)
+
+
 def _bench_machine(mode: str, repeats: int) -> dict:
     from repro.core.em2 import EM2Machine
 
-    params = dict(THROUGHPUT_PARAMS[mode]["machine"])
-    trace = make_workload(params.pop("name"), **params)
-    placement = first_touch(trace, CORES)
-    config = small_test_config(num_cores=CORES)
+    built = _throughput_built(mode, "machine", "em2")
+    trace = built.trace
     best = 0.0
     for _ in range(repeats):
-        m = EM2Machine(trace, placement, config)
+        m = EM2Machine(trace, built.placement, built.config)
         t0 = time.perf_counter()
         m.run()
         best = max(best, trace.total_accesses / (time.perf_counter() - t0))
@@ -119,13 +149,11 @@ def _bench_machine(mode: str, repeats: int) -> dict:
 def _bench_cc(mode: str, repeats: int) -> dict:
     from repro.coherence.simulator import DirectoryCCSimulator
 
-    params = dict(THROUGHPUT_PARAMS[mode]["cc"])
-    trace = make_workload(params.pop("name"), **params)
-    placement = first_touch(trace, CORES)
-    config = small_test_config(num_cores=CORES)
+    built = _throughput_built(mode, "cc", "cc-msi")
+    trace = built.trace
     best = 0.0
     for _ in range(repeats):
-        sim = DirectoryCCSimulator(trace, placement, config)
+        sim = DirectoryCCSimulator(trace, built.placement, built.config)
         t0 = time.perf_counter()
         sim.run()
         best = max(best, trace.total_accesses / (time.perf_counter() - t0))
@@ -163,42 +191,9 @@ def run_throughput(mode: str = "full", repeats: int = 3) -> dict:
     }
 
 
-def _make_scheme(name: str, cost: CostModel):
-    be = cost.break_even_run_length(0, cost.config.num_cores - 1)
-    if name == "history":
-        return HistoryRunLength(threshold=be)
-    if name == "addr-history":
-        return AddressIndexedHistory(threshold=be)
-    if name == "costaware":
-        return CostAwareHistory(cost)
-    raise ValueError(f"unknown scheme {name!r}")
-
-
-def eval_point(workload: str, scheme: str, _mode: str = "full") -> dict:
-    """One sweep point: generate the trace, evaluate the scheme on it."""
-    params = dict(WORKLOAD_PARAMS[_mode][workload])
-    trace = make_workload(params.pop("name"), **params)
-    placement = first_touch(trace, CORES)
-    cost = CostModel(small_test_config(num_cores=CORES))
-    r = evaluate_scheme(trace, placement, _make_scheme(scheme, cost), cost)
-    return {
-        "total_cost": r.total_cost,
-        "migrations": r.migrations,
-        "remote_accesses": r.remote_accesses,
-        "local_accesses": r.local_accesses,
-        "traffic_bits": r.traffic_bits,
-    }
-
-
-def _cache_extra(mode: str) -> dict:
-    return {"bench": "bench_perf", "mode": mode, "cores": CORES}
-
-
 def run_harness(mode: str = "full", workers: int = 4, cache_dir: str | None = None) -> dict:
-    points = grid(
-        workload=sorted(WORKLOAD_PARAMS[mode]), scheme=SCHEMES[mode]
-    )
-    fn = partial(eval_point, _mode=mode)
+    base = _base_spec()
+    points = _points(mode)
     report: dict = {
         "mode": mode,
         "workers": workers,
@@ -206,12 +201,13 @@ def run_harness(mode: str = "full", workers: int = 4, cache_dir: str | None = No
         "cpu_count": os.cpu_count(),
     }
 
+    clear_build_memo()  # the serial run pays full generation cost
     t0 = time.perf_counter()
-    rows_serial = sweep(points, fn, workers=1)
+    rows_serial = sweep_specs(base, points, workers=1)
     report["serial_seconds"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    rows_parallel = sweep(points, fn, workers=workers)
+    rows_parallel = sweep_specs(base, points, workers=workers)
     report["parallel_seconds"] = time.perf_counter() - t0
     report["parallel_speedup"] = report["serial_seconds"] / report["parallel_seconds"]
     report["parallel_rows_identical"] = rows_parallel == rows_serial
@@ -223,17 +219,13 @@ def run_harness(mode: str = "full", workers: int = 4, cache_dir: str | None = No
         cold = ResultCache(cache_dir)
         cold.clear()
         t0 = time.perf_counter()
-        rows_cold = sweep(
-            points, fn, workers=workers, cache=cold, cache_extra=_cache_extra(mode)
-        )
+        rows_cold = sweep_specs(base, points, workers=workers, cache=cold)
         report["cold_cache_seconds"] = time.perf_counter() - t0
         report["cold_cache_stats"] = cold.stats()
 
         warm = ResultCache(cache_dir)
         t0 = time.perf_counter()
-        rows_warm = sweep(
-            points, fn, workers=workers, cache=warm, cache_extra=_cache_extra(mode)
-        )
+        rows_warm = sweep_specs(base, points, workers=workers, cache=warm)
         report["warm_cache_seconds"] = time.perf_counter() - t0
         report["warm_cache_stats"] = warm.stats()
         total = warm.hits + warm.misses

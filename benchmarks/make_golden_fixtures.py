@@ -10,6 +10,11 @@ the columnar-decode optimization and committed; the tier-1 test
 scenario and asserts exact equality, so a refactor that changes
 behaviour fails loudly.
 
+Scenarios are declared as :class:`~repro.spec.ExperimentSpec` dicts
+and executed through :func:`repro.runner.run` — the same registry
+construction path as the CLI and the sweep harness — so the parity
+gate also covers spec resolution end to end.
+
 Only rerun this script when simulator *semantics* change on purpose::
 
     PYTHONPATH=src python benchmarks/make_golden_fixtures.py
@@ -23,15 +28,14 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.arch.config import small_test_config
-from repro.coherence.simulator import DirectoryCCSimulator
-from repro.core.costs import CostModel
-from repro.core.decision.history import HistoryRunLength
-from repro.core.em2 import EM2Machine
-from repro.core.em2ra import EM2RAMachine
-from repro.core.remote_access import RemoteAccessMachine
-from repro.placement import first_touch
-from repro.trace.synthetic import make_workload
+from repro.runner import run
+from repro.spec import (
+    ExperimentSpec,
+    MachineSpec,
+    PlacementSpec,
+    SchemeSpec,
+    WorkloadSpec,
+)
 
 FIXTURE_PATH = (
     Path(__file__).resolve().parent.parent
@@ -50,59 +54,41 @@ TRACES = {
                     region_words=256),
 }
 
-
-def _make(trace_key: str):
-    params = dict(TRACES[trace_key])
-    trace = make_workload(params.pop("name"), **params)
-    placement = first_touch(trace, CORES)
-    config = small_test_config(num_cores=CORES)
-    return trace, placement, config
-
-
-def _history_scheme(config) -> HistoryRunLength:
-    cost = CostModel(config)
-    return HistoryRunLength(
-        threshold=cost.break_even_run_length(0, config.num_cores - 1)
-    )
+# Scenario architecture -> machine-registry name. The history scheme's
+# registered default threshold is break_even_run_length(0, cores-1),
+# exactly what the committed fixtures were captured with.
+ARCH_MACHINES = {
+    "em2": "em2",
+    "em2ra-history": "em2ra",
+    "ra-only": "ra-only",
+    "cc-msi": "cc-msi",
+    "cc-mesi": "cc-mesi",
+}
 
 
-def _cc_results(sim: DirectoryCCSimulator) -> dict:
-    r = sim.run()
-    return {
-        "completion_time": r.completion_time,
-        "per_thread_time": r.per_thread_time,
-        "traffic_bits": r.traffic_bits,
-        "stats": r.stats,
-        "directory_overhead_bits": sim.directory_overhead_bits(),
-    }
+def scenario_specs() -> dict[str, dict]:
+    """Every (trace, architecture) scenario as a serialized spec dict."""
+    out: dict[str, dict] = {}
+    for trace_key in sorted(TRACES):
+        params = dict(TRACES[trace_key])
+        name = params.pop("name")
+        for arch, machine in ARCH_MACHINES.items():
+            spec = ExperimentSpec(
+                workload=WorkloadSpec(name=name, params=params),
+                machine=MachineSpec(name=machine, cores=CORES, preset="small-test"),
+                scheme=SchemeSpec(name="history"),
+                placement=PlacementSpec(name="first-touch"),
+            )
+            out[f"{trace_key}/{arch}"] = spec.to_dict()
+    return out
 
 
 def scenario_results() -> dict:
-    """Run every (trace, architecture) scenario and collect results()."""
-    out: dict[str, dict] = {}
-    for trace_key in sorted(TRACES):
-        trace, placement, config = _make(trace_key)
-
-        m = EM2Machine(trace, placement, config)
-        m.run()
-        out[f"{trace_key}/em2"] = m.results()
-
-        trace, placement, config = _make(trace_key)
-        m = EM2RAMachine(trace, placement, config, _history_scheme(config))
-        m.run()
-        out[f"{trace_key}/em2ra-history"] = m.results()
-
-        trace, placement, config = _make(trace_key)
-        m = RemoteAccessMachine(trace, placement, config)
-        m.run()
-        out[f"{trace_key}/ra-only"] = m.results()
-
-        for protocol in ("msi", "mesi"):
-            trace, placement, config = _make(trace_key)
-            sim = DirectoryCCSimulator(trace, placement, config,
-                                       protocol=protocol)
-            out[f"{trace_key}/cc-{protocol}"] = _cc_results(sim)
-    return out
+    """Run every scenario spec and collect the machines' results()."""
+    return {
+        key: run(ExperimentSpec.from_dict(spec_dict))
+        for key, spec_dict in scenario_specs().items()
+    }
 
 
 def main() -> int:

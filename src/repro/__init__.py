@@ -14,16 +14,24 @@ announcement), including every substrate the paper depends on:
   migrate-vs-RA and stack depth (:mod:`repro.core.decision`);
 * a stack-machine substrate (:mod:`repro.stackmachine`).
 
+Experiments are described declaratively by an
+:class:`~repro.spec.ExperimentSpec` naming components out of the
+registries (:mod:`repro.registry`) and executed through the single
+construction path in :mod:`repro.runner`.
+
 Quick start::
 
-    from repro import (SystemConfig, CostModel, make_workload,
-                       first_touch, AlwaysMigrate, evaluate_scheme)
+    from repro import ExperimentSpec, MachineSpec, SchemeSpec, WorkloadSpec, run
 
-    cfg = SystemConfig(num_cores=64)
-    trace = make_workload("ocean", num_threads=64)
-    placement = first_touch(trace, cfg.num_cores)
-    cost = CostModel(cfg)
-    print(evaluate_scheme(trace, placement, AlwaysMigrate(), cost).as_dict())
+    spec = ExperimentSpec(
+        workload=WorkloadSpec(name="ocean", params={"num_threads": 64}),
+        machine=MachineSpec(name="analytical", cores=64),
+        scheme=SchemeSpec(name="history"),
+    )
+    print(run(spec))
+
+``python -m repro list`` enumerates every registered machine, scheme,
+placement, workload, and topology.
 """
 
 from repro.arch.config import (
@@ -71,6 +79,25 @@ from repro.trace.io import load_multitrace, save_multitrace
 from repro.trace.runlength import run_length_histogram, run_lengths
 from repro.trace.synthetic import GENERATORS, make_workload
 from repro.stackmachine import StackMachine, assemble, stack_workload
+from repro.registry import (
+    ALL_REGISTRIES,
+    MACHINES,
+    PLACEMENTS,
+    SCHEMES,
+    TOPOLOGIES,
+    WORKLOADS,
+    Registry,
+)
+from repro.spec import (
+    SPEC_SCHEMA_VERSION,
+    ExperimentSpec,
+    MachineSpec,
+    PlacementSpec,
+    SchemeSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.runner import build, merge_spec, run, run_spec_dict
 
 __version__ = "1.0.0"
 
@@ -126,5 +153,23 @@ __all__ = [
     "StackMachine",
     "assemble",
     "stack_workload",
+    "Registry",
+    "ALL_REGISTRIES",
+    "MACHINES",
+    "SCHEMES",
+    "PLACEMENTS",
+    "WORKLOADS",
+    "TOPOLOGIES",
+    "SPEC_SCHEMA_VERSION",
+    "ExperimentSpec",
+    "WorkloadSpec",
+    "MachineSpec",
+    "SchemeSpec",
+    "PlacementSpec",
+    "TopologySpec",
+    "build",
+    "run",
+    "run_spec_dict",
+    "merge_spec",
     "__version__",
 ]

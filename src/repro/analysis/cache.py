@@ -127,6 +127,17 @@ class ResultCache:
         """Stable key over named parts; the salt is always mixed in."""
         return stable_key({"salt": self.salt, **parts})
 
+    def key_for_spec(self, spec, extra: dict | None = None) -> str:
+        """Key for an :class:`~repro.spec.ExperimentSpec` (or its
+        canonical dict): the spec names everything that determines the
+        result rows, so the spec dict plus the salt *is* the key.
+        ``extra`` folds in context outside the spec (e.g. a trace
+        file's content summary when the spec holds only its path)."""
+        spec_dict = spec.to_dict() if hasattr(spec, "to_dict") else spec
+        if extra:
+            return self.key(spec=spec_dict, extra=dict(extra))
+        return self.key(spec=spec_dict)
+
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.json"
 

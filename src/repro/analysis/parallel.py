@@ -21,6 +21,13 @@ The callback contract matches :func:`repro.analysis.sweep.sweep`:
 the point's parameters with the metrics. A metric key that collides
 with a parameter key raises :class:`~repro.util.errors.ConfigError`
 (silent overwrites corrupted tables; see ISSUE 1).
+
+The spec-driven layer (:func:`repro.analysis.sweep.sweep_specs`) leans
+on the picklability contract: its callback is always the module-level
+:func:`repro.runner.run_spec_dict` and its points are serialized
+:class:`~repro.spec.ExperimentSpec` dicts — plain data — so the
+parallel path holds for every spec the parent can describe, where a
+closure-capturing callback would silently degrade to the serial loop.
 """
 
 from __future__ import annotations

@@ -86,6 +86,92 @@ def sweep(
     return rows
 
 
+def sweep_specs(
+    base_spec,
+    points: Iterable[Mapping],
+    workers: int = 1,
+    chunk: int | None = None,
+    cache: "ResultCache | None" = None,
+    cache_extra: Mapping | None = None,
+) -> list[dict]:
+    """Spec-driven sweep: merge each partial ``point`` into
+    ``base_spec`` (:func:`repro.runner.merge_spec`), run the resulting
+    :class:`~repro.spec.ExperimentSpec` via :func:`repro.runner.run`,
+    and return one row per point merging the point's parameters with
+    the metrics.
+
+    Differences from :func:`sweep`:
+
+    * Workers receive **serialized spec dicts**, never closures — the
+      callback is the module-level :func:`repro.runner.run_spec_dict`,
+      so the parallel path works for every spec the parent can
+      describe (no silent serial fallback on unpicklable captures).
+    * Cache keys derive from the canonical spec dict
+      (:meth:`ExperimentSpec.to_dict`) — the spec *is* everything that
+      determines the numbers, so no ad-hoc context plumbing is needed.
+      ``cache_extra`` remains for context genuinely outside the spec
+      (e.g. the content of a trace file the spec only names by path).
+    * A metric key colliding with a point key (e.g. a ``scheme``
+      metric under a ``scheme`` sweep axis) keeps the point's value —
+      the axis label is authoritative for its own column.
+    """
+    from repro.runner import merge_spec, run_spec_dict
+
+    points = [dict(p) for p in points]
+    spec_dicts = [merge_spec(base_spec, p).to_dict() for p in points]
+
+    def make_row(point: dict, metrics: Mapping) -> dict:
+        row = dict(point)
+        for key, value in metrics.items():
+            if key not in row:
+                row[key] = value
+        return row
+
+    worker_points = [{"spec": d} for d in spec_dicts]
+
+    def metrics_of(raw_rows: list[dict]) -> list[dict]:
+        # parallel_sweep merges the worker point ({"spec": ...}) into
+        # each row; strip it back off to recover the bare metrics.
+        out = []
+        for raw in raw_rows:
+            metrics = dict(raw)
+            metrics.pop("spec", None)
+            out.append(metrics)
+        return out
+
+    if cache is None:
+        raw = parallel_sweep(worker_points, run_spec_dict, workers=workers, chunk=chunk)
+        return [make_row(p, m) for p, m in zip(points, metrics_of(raw))]
+
+    from repro.analysis.cache import canonical_rows
+
+    extra = dict(cache_extra or {})
+    keys = [cache.key_for_spec(d, extra) for d in spec_dicts]
+    rows: list[dict | None] = []
+    missing: list[int] = []
+    for i, k in enumerate(keys):
+        hit = cache.get(k)
+        if hit is None:
+            rows.append(None)
+            missing.append(i)
+        else:
+            rows.append(hit[0])
+    if missing:
+        raw = parallel_sweep(
+            [worker_points[i] for i in missing],
+            run_spec_dict,
+            workers=workers,
+            chunk=chunk,
+        )
+        fresh = canonical_rows(
+            [make_row(points[i], m) for i, m in zip(missing, metrics_of(raw))]
+        )
+        for i, row in zip(missing, fresh):
+            cache.put(keys[i], [row])
+            rows[i] = row
+    return rows
+
+
 def geomean(values: Iterable[float]) -> float:
     """Geometric mean (the standard cross-workload summary statistic).
 

@@ -234,3 +234,34 @@ class UnidirectionalRing(Topology):
 def topology_for(config) -> Mesh2D:
     """Build the default mesh for a :class:`~repro.arch.config.SystemConfig`."""
     return Mesh2D(config.width, config.height)
+
+
+# ------------------------------------------------------------- registry
+from repro.registry import TOPOLOGIES  # noqa: E402  (after class definitions)
+
+
+# Factories take explicit parameters (no **kwargs) so a typo in a
+# TopologySpec's params fails loudly instead of being swallowed.
+@TOPOLOGIES.register("auto", "the default mesh for the system configuration")
+def _make_auto(config):
+    return topology_for(config)
+
+
+@TOPOLOGIES.register("mesh", "2-D mesh with XY routing (EM2 hardware)")
+def _make_mesh(config, width=None, height=None):
+    return Mesh2D(width or config.width, height or config.height)
+
+
+@TOPOLOGIES.register("torus", "2-D torus: mesh with wraparound links")
+def _make_torus(config, width=None, height=None):
+    return TorusTopology(width or config.width, height or config.height)
+
+
+@TOPOLOGIES.register("ring", "bidirectional ring")
+def _make_ring(config, num_cores=None):
+    return RingTopology(num_cores or config.num_cores)
+
+
+@TOPOLOGIES.register("uni-ring", "unidirectional ring (deadlock showcase)")
+def _make_uni_ring(config, num_cores=None):
+    return UnidirectionalRing(num_cores or config.num_cores)

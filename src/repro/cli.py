@@ -3,14 +3,21 @@
 Commands
 --------
 * ``info`` — version, available workloads and schemes.
+* ``list`` — every registered machine, scheme, placement, workload,
+  and topology with one-line descriptions.
 * ``workload`` — generate a synthetic workload and save it as ``.npz``.
 * ``fig2`` — print the Figure 2 run-length table for an ocean run.
 * ``evaluate`` — score a decision scheme on a workload (or saved trace).
 * ``optimal`` — run the §3 optimal DP on one thread and summarize.
 * ``shootout`` — analytical EM² / RA-only / history / optimal comparison.
 
-Every command prints a plain-text table; exit status is nonzero on
-invalid arguments so the CLI is scriptable.
+Every command resolves component names through the registries
+(:mod:`repro.registry`) and constructs experiments through
+:class:`~repro.spec.ExperimentSpec` + :mod:`repro.runner` — the same
+path the benches and golden fixtures use. Unknown names raise
+:class:`~repro.util.errors.ConfigError` listing the registered
+options; exit status is nonzero on invalid arguments so the CLI is
+scriptable.
 """
 
 from __future__ import annotations
@@ -19,32 +26,32 @@ import argparse
 import os
 import sys
 
-import numpy as np
-
 from repro import __version__
 from repro.analysis.cache import ResultCache
 from repro.analysis.reports import format_table, runlength_table
-from repro.analysis.sweep import sweep
-from repro.arch.config import SystemConfig
-from repro.core.costs import CostModel
-from repro.core.decision import (
-    AlwaysMigrate,
-    DistanceThreshold,
-    HistoryRunLength,
-    NeverMigrate,
-    RandomScheme,
-)
-from repro.core.decision.costaware import CostAwareHistory
+from repro.analysis.sweep import sweep_specs
 from repro.core.decision.optimal import optimal_cost, optimal_decisions
-from repro.core.evaluation import evaluate_scheme
-from repro.placement import first_touch, profile_optimal, striped
-from repro.trace.io import load_multitrace, save_multitrace
+from repro.registry import (
+    ALL_REGISTRIES,
+    MACHINES,
+    PLACEMENTS,
+    SCHEMES,
+    WORKLOADS,
+)
+from repro.runner import build, build_scheme, build_workload
+from repro.spec import (
+    ExperimentSpec,
+    MachineSpec,
+    PlacementSpec,
+    SchemeSpec,
+    WorkloadSpec,
+)
+from repro.trace.io import save_multitrace
 from repro.trace.runlength import (
     fraction_single_access_runs,
     merge_histograms,
     run_length_histogram,
 )
-from repro.trace.synthetic import GENERATORS, make_workload
 from repro.util.errors import ReproError
 
 
@@ -66,50 +73,33 @@ def _parse_params(pairs: list[str]) -> dict:
     return out
 
 
-def _load_or_generate(args) -> "MultiTrace":
+def _workload_spec(args) -> WorkloadSpec:
+    """The workload the command line describes: a saved trace by path,
+    or a registered generator by name (validated eagerly so typos fail
+    with the registry's sorted-options message, not mid-sweep)."""
     if getattr(args, "trace", None):
-        return load_multitrace(args.trace)
+        return WorkloadSpec(name="trace-file", trace_path=args.trace)
+    WORKLOADS.entry(args.workload)  # raises ConfigError listing options
     params = _parse_params(getattr(args, "param", []) or [])
     params.setdefault("num_threads", args.threads)
-    return make_workload(args.workload, **params)
+    return WorkloadSpec(name=args.workload, params=params)
 
 
-def _placement_for(name: str, trace, cores: int):
-    if name == "first-touch":
-        return first_touch(trace, cores)
-    if name == "striped":
-        return striped(cores)
-    if name == "profile-opt":
-        return profile_optimal(trace, cores)
-    raise ReproError(f"unknown placement {name!r}")
+def _base_spec(args, machine: str = "analytical") -> ExperimentSpec:
+    """The ExperimentSpec shared by every point of a command's sweep."""
+    PLACEMENTS.entry(args.placement)
+    return ExperimentSpec(
+        workload=_workload_spec(args),
+        machine=MachineSpec(name=machine, cores=args.cores),
+        placement=PlacementSpec(name=args.placement),
+    )
 
 
-def _scheme_for(name: str, cost: CostModel):
-    dm = cost.topology.distance_matrix
-    be = cost.break_even_run_length(0, cost.config.num_cores - 1)
-    table = {
-        "always-migrate": lambda: AlwaysMigrate(),
-        "never-migrate": lambda: NeverMigrate(),
-        "distance-1": lambda: DistanceThreshold(dm, 1),
-        "distance-2": lambda: DistanceThreshold(dm, 2),
-        "history": lambda: HistoryRunLength(threshold=be),
-        "costaware": lambda: CostAwareHistory(cost),
-        "random": lambda: RandomScheme(p=0.5, seed=0),
-    }
-    if name not in table:
-        raise ReproError(f"unknown scheme {name!r}; options: {sorted(table)}")
-    return table[name]()
-
-
-SCHEME_NAMES = [
-    "always-migrate",
-    "never-migrate",
-    "distance-1",
-    "distance-2",
-    "history",
-    "costaware",
-    "random",
-]
+def _scheme_names(args) -> list[str]:
+    if args.scheme == "all":
+        return SCHEMES.names()
+    SCHEMES.entry(args.scheme)  # raises ConfigError listing options
+    return [args.scheme]
 
 
 def _cache_for(args) -> ResultCache | None:
@@ -124,11 +114,12 @@ def _cache_for(args) -> ResultCache | None:
     return ResultCache(cache_dir)
 
 
-def _cache_context(trace, config, placement_name: str) -> dict:
-    """Everything besides the sweep point that determines result rows:
-    the trace spec (generator name, params — including its seed — and
-    thread pinning), the placement policy, and the full system config.
-    The code-version salt is mixed in by :class:`ResultCache`."""
+def _trace_cache_extra(spec: ExperimentSpec, trace) -> dict | None:
+    """Extra cache-key context for path-referenced traces: the spec
+    carries only the file path, so fold the loaded trace's identity in
+    (a generated workload is fully described by the spec — no extra)."""
+    if spec.workload.trace_path is None:
+        return None
     return {
         "trace": {
             "name": trace.name,
@@ -136,35 +127,32 @@ def _cache_context(trace, config, placement_name: str) -> dict:
             "threads": trace.num_threads,
             "accesses": trace.total_accesses,
             "native_cores": list(trace.thread_native_core),
-        },
-        "placement": placement_name,
-        "config": config,
+        }
     }
-
-
-def _eval_scheme_point(scheme: str, *, _trace, _placement, _config) -> dict:
-    """Sweep callback for ``evaluate``/``shootout`` — module-level so it
-    pickles into pool workers. Rebuilds the cost model per call (cheap:
-    cached matrices) and drops the 'scheme' metric, which would collide
-    with the sweep parameter of the same name."""
-    cost = CostModel(_config)
-    r = evaluate_scheme(_trace, _placement, _scheme_for(scheme, cost), cost)
-    metrics = r.as_dict()
-    metrics.pop("scheme")
-    return metrics
 
 
 # ---------------------------------------------------------------- commands
 def cmd_info(args) -> int:
     print(f"repro {__version__} — EM2 (SPAA'11) reproduction")
-    print(f"workloads: {', '.join(sorted(GENERATORS))}")
-    print(f"schemes:   {', '.join(SCHEME_NAMES)}")
-    print(f"placements: first-touch, striped, profile-opt")
+    print(f"workloads: {', '.join(WORKLOADS.names())}")
+    print(f"schemes:   {', '.join(SCHEMES.names())}")
+    print(f"placements: {', '.join(PLACEMENTS.names())}")
+    print(f"machines:  {', '.join(MACHINES.names())}")
+    return 0
+
+
+def cmd_list(args) -> int:
+    """Enumerate every registry with one-line descriptions."""
+    for family, registry in ALL_REGISTRIES.items():
+        print(f"{family}:")
+        width = max((len(e.name) for e in registry.items()), default=0)
+        for entry in registry.items():
+            print(f"  {entry.name:<{width}}  {entry.description}")
     return 0
 
 
 def cmd_workload(args) -> int:
-    trace = _load_or_generate(args)
+    trace = build_workload(_workload_spec(args))
     path = save_multitrace(trace, args.out)
     s = trace.summary()
     print(format_table([s]))
@@ -173,10 +161,18 @@ def cmd_workload(args) -> int:
 
 
 def cmd_fig2(args) -> int:
-    trace = make_workload(
-        "ocean", num_threads=args.threads, grid_n=args.grid, iterations=args.iterations
+    spec = ExperimentSpec(
+        workload=WorkloadSpec(
+            name="ocean",
+            params=dict(
+                num_threads=args.threads, grid_n=args.grid, iterations=args.iterations
+            ),
+        ),
+        machine=MachineSpec(cores=args.cores),
+        placement=PlacementSpec(name="first-touch"),
     )
-    placement = first_touch(trace, args.cores)
+    built = build(spec)
+    trace, placement = built.trace, built.placement
     hists = [
         run_length_histogram(placement.home_of(tr["addr"]), trace.thread_native_core[t])
         for t, tr in enumerate(trace.threads)
@@ -188,19 +184,16 @@ def cmd_fig2(args) -> int:
 
 
 def cmd_evaluate(args) -> int:
-    from functools import partial
-
-    trace = _load_or_generate(args)
-    config = SystemConfig(num_cores=args.cores)
-    placement = _placement_for(args.placement, trace, args.cores)
-    names = SCHEME_NAMES if args.scheme == "all" else [args.scheme]
+    base = _base_spec(args)
+    names = _scheme_names(args)
     cache = _cache_for(args)
-    rows = sweep(
+    extra = _trace_cache_extra(base, build_workload(base.workload)) if cache else None
+    rows = sweep_specs(
+        base,
         [{"scheme": name} for name in names],
-        partial(_eval_scheme_point, _trace=trace, _placement=placement, _config=config),
         workers=args.workers,
         cache=cache,
-        cache_extra=_cache_context(trace, config, args.placement),
+        cache_extra=extra,
     )
     if cache is not None:
         print(f"cache: {cache.stats()}", file=sys.stderr)
@@ -214,10 +207,8 @@ def cmd_evaluate(args) -> int:
 
 
 def cmd_optimal(args) -> int:
-    trace = _load_or_generate(args)
-    config = SystemConfig(num_cores=args.cores)
-    cost = CostModel(config)
-    placement = _placement_for(args.placement, trace, args.cores)
+    built = build(_base_spec(args))
+    trace, placement, cost = built.trace, built.placement, built.cost
     tr = trace.threads[args.thread]
     homes = placement.home_of(tr["addr"])
     start = trace.thread_native_core[args.thread] % args.cores
@@ -241,12 +232,9 @@ def cmd_optimal(args) -> int:
 
 
 def cmd_shootout(args) -> int:
-    from functools import partial
-
-    trace = _load_or_generate(args)
-    config = SystemConfig(num_cores=args.cores)
-    cost = CostModel(config)
-    placement = _placement_for(args.placement, trace, args.cores)
+    base = _base_spec(args)
+    built = build(base)
+    trace, placement, cost = built.trace, built.placement, built.cost
     opt = sum(
         optimal_cost(
             placement.home_of(tr["addr"]),
@@ -258,12 +246,12 @@ def cmd_shootout(args) -> int:
         if tr.size
     )
     cache = _cache_for(args)
-    scheme_rows = sweep(
-        [{"scheme": name} for name in SCHEME_NAMES],
-        partial(_eval_scheme_point, _trace=trace, _placement=placement, _config=config),
+    scheme_rows = sweep_specs(
+        base,
+        [{"scheme": name} for name in SCHEMES.names()],
         workers=args.workers,
         cache=cache,
-        cache_extra=_cache_context(trace, config, args.placement),
+        cache_extra=_trace_cache_extra(base, trace) if cache else None,
     )
     if cache is not None:
         print(f"cache: {cache.stats()}", file=sys.stderr)
@@ -282,6 +270,9 @@ def cmd_shootout(args) -> int:
 
 def cmd_stackdepth(args) -> int:
     from repro.core.decision.stack_optimal import fixed_depth_cost, optimal_stack_depths
+    from repro.core.costs import CostModel
+    from repro.arch.config import SystemConfig
+    from repro.placement import first_touch
     from repro.stackmachine import stack_workload
 
     mt = stack_workload(args.kernel, num_threads=args.threads, n=args.n,
@@ -316,11 +307,10 @@ def cmd_stackdepth(args) -> int:
 def cmd_dynamic(args) -> int:
     from repro.placement.dynamic import evaluate_dynamic_placement
 
-    trace = _load_or_generate(args)
-    config = SystemConfig(num_cores=args.cores)
-    cost = CostModel(config)
+    built = build(_base_spec(args))
+    trace, cost = built.trace, built.cost
     res = evaluate_dynamic_placement(
-        trace, args.cores, _scheme_for("never-migrate", cost), cost,
+        trace, args.cores, build_scheme(SchemeSpec(name="never-migrate"), cost), cost,
         num_epochs=args.epochs, oracle=args.oracle,
     )
     print(
@@ -361,16 +351,20 @@ def build_parser() -> argparse.ArgumentParser:
         fn=cmd_info
     )
 
+    sub.add_parser(
+        "list", help="registered machines/schemes/placements/workloads"
+    ).set_defaults(fn=cmd_list)
+
+    # Component names deliberately have no argparse `choices`: the
+    # registries validate them and their ConfigError lists the options.
     def add_trace_args(sp, with_out=False):
-        sp.add_argument("--workload", default="ocean", choices=sorted(GENERATORS))
+        sp.add_argument("--workload", default="ocean",
+                        help="registered workload name (see `repro list`)")
         sp.add_argument("--trace", help="load a saved .npz trace instead")
         sp.add_argument("--threads", type=int, default=16)
         sp.add_argument("--cores", type=int, default=16)
-        sp.add_argument(
-            "--placement",
-            default="first-touch",
-            choices=["first-touch", "striped", "profile-opt"],
-        )
+        sp.add_argument("--placement", default="first-touch",
+                        help="registered placement name (see `repro list`)")
         sp.add_argument(
             "--param", action="append", default=[], help="generator key=value"
         )
@@ -410,7 +404,8 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("evaluate", help="score a scheme on a workload")
     add_trace_args(sp)
     add_perf_args(sp)
-    sp.add_argument("--scheme", default="all", choices=SCHEME_NAMES + ["all"])
+    sp.add_argument("--scheme", default="all",
+                    help="registered scheme name, or 'all' (see `repro list`)")
     sp.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
     sp.set_defaults(fn=cmd_evaluate)
 

@@ -38,6 +38,7 @@ from repro.arch.config import SystemConfig
 from repro.arch.topology import Topology, topology_for
 from repro.coherence.msi import DirectoryEntry, DirState, MSIState
 from repro.placement.base import Placement
+from repro.registry import MACHINES
 from repro.sim.stats import StatSet
 from repro.trace.events import MultiTrace
 from repro.util.errors import ProtocolError
@@ -382,3 +383,32 @@ class DirectoryCCSimulator:
         """Total directory SRAM for the lines currently tracked —
         the scaling cost EM² eliminates (§1)."""
         return len(self.directory) * DirectoryEntry.bits(self.config.num_cores)
+
+
+def cc_results(sim: DirectoryCCSimulator) -> dict:
+    """Run ``sim`` and flatten its :class:`CCResult` into the metrics
+    dict the golden fixtures snapshot (the registry entry shape)."""
+    r = sim.run()
+    return {
+        "completion_time": r.completion_time,
+        "per_thread_time": r.per_thread_time,
+        "traffic_bits": r.traffic_bits,
+        "stats": r.stats,
+        "directory_overhead_bits": sim.directory_overhead_bits(),
+    }
+
+
+@MACHINES.register("cc-msi", "directory-MSI coherence baseline (detailed DES)")
+def _run_cc_msi(trace, placement, config, scheme=None, topology=None, **params):
+    sim = DirectoryCCSimulator(
+        trace, placement, config, topology=topology, protocol="msi", **params
+    )
+    return cc_results(sim)
+
+
+@MACHINES.register("cc-mesi", "directory-MESI coherence baseline (detailed DES)")
+def _run_cc_mesi(trace, placement, config, scheme=None, topology=None, **params):
+    sim = DirectoryCCSimulator(
+        trace, placement, config, topology=topology, protocol="mesi", **params
+    )
+    return cc_results(sim)

@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.costs import CostModel
 from repro.core.decision.base import Decision, DecisionScheme
 from repro.core.decision.history import PerHomePredictor
+from repro.registry import SCHEMES
 
 
 class CostAwareHistory(DecisionScheme):
@@ -81,3 +82,8 @@ class CostAwareHistory(DecisionScheme):
             self.initial_prediction,
             self.write_fraction_hint,
         )
+
+
+@SCHEMES.register("costaware", "run-length prediction + per-pair break-even test")
+def _make_costaware(cost, **params):
+    return CostAwareHistory(cost, **params)

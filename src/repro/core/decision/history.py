@@ -17,6 +17,7 @@ threshold (2 x migration / remote-access, from the cost model).
 from __future__ import annotations
 
 from repro.core.decision.base import Decision, DecisionScheme
+from repro.registry import SCHEMES
 from repro.util.errors import ConfigError
 
 
@@ -161,3 +162,24 @@ class AddressIndexedHistory(DecisionScheme):
         return AddressIndexedHistory(
             self.threshold, self.table_size, self.block_words, self.initial_prediction
         )
+
+
+# ------------------------------------------------------------- registry
+def _default_threshold(cost) -> float:
+    """The scalar threshold the paper's comparator would be fused with:
+    the migrate/RA break-even run length for the longest mesh hop."""
+    return cost.break_even_run_length(0, cost.config.num_cores - 1)
+
+
+@SCHEMES.register("history", "per-home last-run-length prediction vs break-even")
+def _make_history(cost, threshold: float | None = None, **params):
+    if threshold is None:
+        threshold = _default_threshold(cost)
+    return HistoryRunLength(threshold=threshold, **params)
+
+
+@SCHEMES.register("addr-history", "run-length prediction indexed by address block")
+def _make_addr_history(cost, threshold: float | None = None, **params):
+    if threshold is None:
+        threshold = _default_threshold(cost)
+    return AddressIndexedHistory(threshold=threshold, **params)

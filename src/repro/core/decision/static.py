@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.decision.base import Decision, DecisionScheme
+from repro.registry import SCHEMES
 from repro.util.errors import ConfigError
 from repro.util.rng import as_generator
 
@@ -144,3 +145,37 @@ class RandomScheme(DecisionScheme):
 
     def clone(self) -> "RandomScheme":
         return RandomScheme(self.p, self.seed)
+
+
+# ------------------------------------------------------------- registry
+# Factories take the experiment's CostModel (topology/config context a
+# core-local hardware unit would be provisioned with) plus SchemeSpec
+# params, and return a fresh scheme instance.
+@SCHEMES.register("always-migrate", "pure EM2: migrate on every non-local access")
+def _make_always_migrate(cost, **params):
+    return AlwaysMigrate(**params)
+
+
+@SCHEMES.register("never-migrate", "remote-access-only: never migrate")
+def _make_never_migrate(cost, **params):
+    return NeverMigrate(**params)
+
+
+@SCHEMES.register("distance-1", "migrate when the home is within 1 hop")
+def _make_distance_1(cost, threshold: float = 1, **params):
+    return DistanceThreshold(cost.topology.distance_matrix, threshold, **params)
+
+
+@SCHEMES.register("distance-2", "migrate when the home is within 2 hops")
+def _make_distance_2(cost, threshold: float = 2, **params):
+    return DistanceThreshold(cost.topology.distance_matrix, threshold, **params)
+
+
+@SCHEMES.register("random", "migrate with probability p (sanity baseline)")
+def _make_random(cost, p: float = 0.5, seed: int | None = 0, **params):
+    return RandomScheme(p=p, seed=seed, **params)
+
+
+@SCHEMES.register("native-first", "always migrate home; RA when homed away")
+def _make_native_first(cost, **params):
+    return NativeFirst(**params)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.arch.noc.deadlock import VC_PLAN_EM2
 from repro.core.machine import MigrationMachineBase, ThreadState
+from repro.registry import MACHINES
 
 
 class EM2Machine(MigrationMachineBase):
@@ -33,3 +34,10 @@ class EM2Machine(MigrationMachineBase):
         # Fig. 1 "no" branch: migrate to the home core; the pending
         # access re-executes there (idx is not advanced).
         self._migrate(th, home, after_delay=delay)
+
+
+@MACHINES.register("em2", "pure migration machine (detailed DES, Figure 1)")
+def _run_em2(trace, placement, config, scheme=None, topology=None, **params):
+    m = EM2Machine(trace, placement, config, topology=topology, **params)
+    m.run()
+    return m.results()

@@ -23,6 +23,7 @@ from repro.arch.topology import Topology
 from repro.core.decision.base import Decision, DecisionScheme
 from repro.core.machine import MigrationMachineBase, ThreadState
 from repro.placement.base import Placement
+from repro.registry import MACHINES
 from repro.trace.events import MultiTrace
 
 
@@ -107,3 +108,14 @@ class EM2RAMachine(MigrationMachineBase):
         # core's pinned guests may now displace it
         if not self.contexts[th.core].is_native(th.tid):
             self._admit_waiter_if_any(th.core)
+
+
+@MACHINES.register("em2ra", "hybrid migration / remote-access machine (detailed DES)")
+def _run_em2ra(trace, placement, config, scheme=None, topology=None, **params):
+    if scheme is None:
+        from repro.util.errors import ConfigError
+
+        raise ConfigError("machine 'em2ra' requires a decision scheme")
+    m = EM2RAMachine(trace, placement, config, scheme, topology=topology, **params)
+    m.run()
+    return m.results()

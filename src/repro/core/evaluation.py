@@ -30,6 +30,7 @@ from repro.core.costs import CostModel
 from repro.core.decision.base import Decision, DecisionScheme
 from repro.core.decision.static import AlwaysMigrate, NeverMigrate
 from repro.placement.base import Placement
+from repro.registry import MACHINES
 from repro.sim.stats import Histogram
 from repro.trace.events import MultiTrace
 from repro.trace.runlength import run_length_histogram, merge_histograms
@@ -308,3 +309,15 @@ def evaluate_scheme(
     if collect_run_lengths:
         result.run_length_hist = merge_histograms(hists)
     return result
+
+
+@MACHINES.register(
+    "analytical", "fast trace-driven scheme evaluation (the paper's cost model)"
+)
+def _run_analytical(trace, placement, config, scheme=None, topology=None, **params):
+    if scheme is None:
+        from repro.util.errors import ConfigError
+
+        raise ConfigError("machine 'analytical' requires a decision scheme")
+    cost = CostModel(config, topology)
+    return evaluate_scheme(trace, placement, scheme, cost, **params).as_dict()

@@ -20,6 +20,7 @@ from repro.arch.topology import Topology
 from repro.core.decision.static import NeverMigrate
 from repro.core.em2ra import EM2RAMachine
 from repro.placement.base import Placement
+from repro.registry import MACHINES
 from repro.trace.events import MultiTrace
 
 VC_PLAN_RA_ONLY = VCPlan(
@@ -46,3 +47,10 @@ class RemoteAccessMachine(EM2RAMachine):
         super().__init__(
             trace, placement, config, NeverMigrate(), topology, cache_detail
         )
+
+
+@MACHINES.register("ra-only", "remote-access-only machine (detailed DES)")
+def _run_ra_only(trace, placement, config, scheme=None, topology=None, **params):
+    m = RemoteAccessMachine(trace, placement, config, topology=topology, **params)
+    m.run()
+    return m.results()

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.placement.base import Placement
+from repro.registry import PLACEMENTS
 from repro.trace.events import MultiTrace
 
 
@@ -47,3 +48,8 @@ class FirstTouchPlacement(Placement):
 def first_touch(trace: MultiTrace, num_cores: int, block_words: int = 16) -> FirstTouchPlacement:
     """Convenience constructor mirroring the other placement helpers."""
     return FirstTouchPlacement(trace, num_cores, block_words)
+
+
+PLACEMENTS.register(
+    "first-touch", "home each block at its first accessor (paper default)"
+)(first_touch)

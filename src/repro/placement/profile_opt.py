@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.placement.base import Placement
+from repro.registry import PLACEMENTS
 from repro.trace.events import MultiTrace
 from repro.util.errors import ConfigError
 
@@ -96,3 +97,8 @@ def profile_optimal(
     capacity_blocks: int | None = None,
 ) -> ProfileOptPlacement:
     return ProfileOptPlacement(trace, num_cores, block_words, write_weight, capacity_blocks)
+
+
+PLACEMENTS.register(
+    "profile-opt", "oracle: home each block at its most frequent accessor"
+)(profile_optimal)

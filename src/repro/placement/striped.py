@@ -9,6 +9,7 @@ matters (§2).
 from __future__ import annotations
 
 from repro.placement.base import Placement
+from repro.registry import PLACEMENTS
 
 
 class StripedPlacement(Placement):
@@ -21,3 +22,8 @@ class StripedPlacement(Placement):
 
 def striped(num_cores: int, block_words: int = 16) -> StripedPlacement:
     return StripedPlacement(num_cores, block_words)
+
+
+@PLACEMENTS.register("striped", "round-robin blocks over cores (pessimal baseline)")
+def _make_striped(trace, num_cores: int, **params) -> StripedPlacement:
+    return striped(num_cores, **params)

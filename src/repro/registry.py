@@ -1,0 +1,192 @@
+"""String-keyed component registries: the one name→component map.
+
+Every executable component family in the repo — detailed machines,
+decision schemes, data placements, synthetic workload generators, and
+topologies — registers itself here under a stable string name via the
+``@REGISTRY.register("name")`` decorator at import time. Consumers
+(:mod:`repro.cli`, :mod:`repro.runner`, the benches, the golden-fixture
+generator) resolve names through :meth:`Registry.get` instead of
+keeping private name→constructor tables, so adding a component is a
+one-registry-entry change and every consumer picks it up at once.
+
+Lookup of an unknown name raises :class:`~repro.util.errors.ConfigError`
+listing the registered names (sorted), so CLI typos are self-explaining.
+
+Registries load lazily: each is declared with the modules that contain
+its entries, and the first ``get``/``names``/``items`` call imports
+them. That keeps :mod:`repro.registry` a leaf module (components import
+it, never the reverse at import time) while guaranteeing a registry is
+fully populated no matter which consumer touches it first.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered component: the object plus its one-line description."""
+
+    name: str
+    obj: Any
+    description: str
+
+
+def _first_doc_line(obj: Any) -> str:
+    doc = getattr(obj, "__doc__", None) or ""
+    for line in doc.splitlines():
+        line = line.strip()
+        if line:
+            return line
+    return ""
+
+
+class Registry:
+    """A named map from string keys to components.
+
+    ``kind`` names the family in error messages ("scheme", "workload"
+    ...). ``modules`` are dotted module paths imported on first access
+    so their ``@register`` decorators have run before any lookup.
+    """
+
+    def __init__(self, kind: str, modules: tuple[str, ...] = ()) -> None:
+        self.kind = kind
+        self._modules = tuple(modules)
+        self._entries: dict[str, RegistryEntry] = {}
+        self._loaded = False
+
+    # -- registration ------------------------------------------------------
+    def register(
+        self, name: str, description: str | None = None
+    ) -> Callable[[Any], Any]:
+        """Decorator: ``@SCHEMES.register("history")`` above a factory
+        or class. The description defaults to the first docstring line.
+        Duplicate names are a programming error and raise eagerly."""
+
+        def deco(obj: Any) -> Any:
+            if name in self._entries:
+                raise ConfigError(
+                    f"duplicate {self.kind} registration {name!r} "
+                    f"({self._entries[name].obj!r} vs {obj!r})"
+                )
+            self._entries[name] = RegistryEntry(
+                name=name,
+                obj=obj,
+                description=description if description is not None else _first_doc_line(obj),
+            )
+            return obj
+
+        return deco
+
+    def _ensure_loaded(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        for module in self._modules:
+            importlib.import_module(module)
+
+    # -- lookup ------------------------------------------------------------
+    def get(self, name: str) -> Any:
+        """The registered object, or :class:`ConfigError` naming every
+        registered option (sorted) — the message users see on a typo."""
+        return self.entry(name).obj
+
+    def entry(self, name: str) -> RegistryEntry:
+        self._ensure_loaded()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown {self.kind} {name!r}; registered {self.kind}s: "
+                f"{', '.join(self.names())}"
+            ) from None
+
+    def names(self) -> list[str]:
+        self._ensure_loaded()
+        return sorted(self._entries)
+
+    def items(self) -> Iterator[RegistryEntry]:
+        self._ensure_loaded()
+        for name in self.names():
+            yield self._entries[name]
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure_loaded()
+        return name in self._entries
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._entries)
+
+
+#: Detailed/analytical experiment executors. Entries are functions
+#: ``fn(trace, placement, config, *, scheme=None, topology=None, **params)
+#: -> dict`` returning the scenario's metrics dict.
+MACHINES = Registry(
+    "machine",
+    modules=(
+        "repro.core.evaluation",
+        "repro.core.em2",
+        "repro.core.em2ra",
+        "repro.core.remote_access",
+        "repro.coherence.simulator",
+    ),
+)
+
+#: Decision schemes. Entries are factories
+#: ``fn(cost: CostModel, **params) -> DecisionScheme``.
+SCHEMES = Registry(
+    "scheme",
+    modules=(
+        "repro.core.decision.static",
+        "repro.core.decision.history",
+        "repro.core.decision.costaware",
+    ),
+)
+
+#: Data placements. Entries are factories
+#: ``fn(trace: MultiTrace, num_cores: int, **params) -> Placement``.
+PLACEMENTS = Registry(
+    "placement",
+    modules=(
+        "repro.placement.first_touch",
+        "repro.placement.striped",
+        "repro.placement.profile_opt",
+    ),
+)
+
+#: Synthetic workload generators. Entries are
+#: :class:`~repro.trace.synthetic.base.WorkloadGenerator` subclasses.
+WORKLOADS = Registry(
+    "workload",
+    modules=(
+        "repro.trace.synthetic.ocean",
+        "repro.trace.synthetic.fft",
+        "repro.trace.synthetic.lu",
+        "repro.trace.synthetic.radix",
+        "repro.trace.synthetic.water",
+        "repro.trace.synthetic.water_spatial",
+        "repro.trace.synthetic.barnes",
+        "repro.trace.synthetic.cholesky",
+        "repro.trace.synthetic.raytrace",
+        "repro.trace.synthetic.micro",
+    ),
+)
+
+#: Topologies. Entries are factories
+#: ``fn(config: SystemConfig, **params) -> Topology``.
+TOPOLOGIES = Registry("topology", modules=("repro.arch.topology",))
+
+#: Every registry, keyed by family name — what ``repro list`` walks.
+ALL_REGISTRIES: dict[str, Registry] = {
+    "machines": MACHINES,
+    "schemes": SCHEMES,
+    "placements": PLACEMENTS,
+    "workloads": WORKLOADS,
+    "topologies": TOPOLOGIES,
+}

@@ -1,0 +1,226 @@
+"""Build and run experiments from :class:`~repro.spec.ExperimentSpec`.
+
+This module is the single construction path between declarative specs
+and live objects: every consumer — the CLI, the sweep/bench harness,
+the golden-fixture generator, the integration tests — resolves
+component names through :mod:`repro.registry` *here* and nowhere else.
+
+* :func:`build` turns a spec into the live pieces (trace, placement,
+  system config, topology, cost model, scheme) without running
+  anything.
+* :func:`run` builds and executes the spec's machine, returning its
+  metrics dict — ``results()`` for the detailed DES machines, the
+  :class:`~repro.core.evaluation.EvalResult` dict for the analytical
+  evaluator, bit-identical to direct construction.
+* :func:`merge_spec` overlays a partial sweep point onto a base spec,
+  which is how parameter sweeps become lists of full specs.
+* :func:`run_spec_dict` is the picklable worker entry point: pool
+  workers receive serialized spec dicts, never closures, so any spec
+  the parent can describe, a worker can reproduce.
+
+Workload generation and placement construction are memoized per
+process (specs are deterministic, so rebuilding is pure waste when a
+sweep evaluates ten schemes on one trace). The memo is keyed by the
+canonical spec dict and bounded; traces and placements are treated as
+immutable by every machine, which the golden-fixture parity tests
+enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.arch.config import SystemConfig, small_test_config
+from repro.core.costs import CostModel
+from repro.registry import MACHINES, PLACEMENTS, SCHEMES, TOPOLOGIES, WORKLOADS
+from repro.spec import (
+    ExperimentSpec,
+    MachineSpec,
+    PlacementSpec,
+    SchemeSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.util.errors import ConfigError
+
+# Per-process memo for deterministic, immutable build products. Small
+# and FIFO-bounded: a sweep touches a handful of distinct workloads.
+_MEMO_CAP = 8
+_workload_memo: dict[str, object] = {}
+_placement_memo: dict[str, object] = {}
+
+
+def _memo_put(memo: dict, key: str, value) -> None:
+    if len(memo) >= _MEMO_CAP:
+        memo.pop(next(iter(memo)))
+    memo[key] = value
+
+
+def clear_build_memo() -> None:
+    """Drop memoized traces/placements (tests; long-lived processes)."""
+    _workload_memo.clear()
+    _placement_memo.clear()
+
+
+# ---------------------------------------------------------------- builders
+def build_system_config(machine: MachineSpec) -> SystemConfig:
+    """The :class:`SystemConfig` a machine spec describes."""
+    overrides = dict(machine.config)
+    if machine.preset == "small-test":
+        return small_test_config(num_cores=machine.cores, **overrides)
+    return SystemConfig(num_cores=machine.cores, **overrides)
+
+
+def build_workload(workload: WorkloadSpec):
+    """The spec's :class:`~repro.trace.events.MultiTrace` (memoized)."""
+    from repro.analysis.cache import stable_key
+
+    key = stable_key(workload.to_dict())
+    trace = _workload_memo.get(key)
+    if trace is None:
+        if workload.trace_path is not None:
+            from repro.trace.io import load_multitrace
+
+            trace = load_multitrace(workload.trace_path)
+        else:
+            generator_cls = WORKLOADS.get(workload.name)
+            trace = generator_cls(**workload.params).generate()
+        _memo_put(_workload_memo, key, trace)
+    return trace
+
+
+def build_placement(placement: PlacementSpec, trace, num_cores: int, *, memo_key: str | None = None):
+    """The spec's :class:`~repro.placement.base.Placement` over ``trace``."""
+    factory = PLACEMENTS.get(placement.name)
+    if memo_key is None:
+        return factory(trace, num_cores, **placement.params)
+    from repro.analysis.cache import stable_key
+
+    key = stable_key({"w": memo_key, "p": placement.to_dict(), "cores": num_cores})
+    built = _placement_memo.get(key)
+    if built is None:
+        built = factory(trace, num_cores, **placement.params)
+        _memo_put(_placement_memo, key, built)
+    return built
+
+
+def build_topology(topology: TopologySpec, config: SystemConfig):
+    """The spec's topology, or ``None`` for ``"auto"`` so machines and
+    cost models apply their own default (identical behaviour, and the
+    path the golden fixtures were captured through)."""
+    if topology.name == "auto":
+        if topology.params:
+            raise ConfigError(
+                "topology 'auto' takes no params; name a topology "
+                f"({', '.join(n for n in TOPOLOGIES.names() if n != 'auto')}) "
+                "to parameterize it"
+            )
+        return None
+    return TOPOLOGIES.get(topology.name)(config, **topology.params)
+
+
+def build_scheme(scheme: SchemeSpec, cost: CostModel):
+    """A fresh decision-scheme instance for this experiment's cost model."""
+    return SCHEMES.get(scheme.name)(cost, **scheme.params)
+
+
+@dataclass
+class BuiltExperiment:
+    """Live objects for one spec — everything short of running it."""
+
+    spec: ExperimentSpec
+    trace: object
+    placement: object
+    config: SystemConfig
+    topology: object | None
+    cost: CostModel
+    scheme: object
+
+
+def build(spec: ExperimentSpec) -> BuiltExperiment:
+    """Construct every component the spec names, via the registries."""
+    from repro.analysis.cache import stable_key
+
+    config = build_system_config(spec.machine)
+    trace = build_workload(spec.workload)
+    placement = build_placement(
+        spec.placement,
+        trace,
+        config.num_cores,
+        memo_key=stable_key(spec.workload.to_dict()),
+    )
+    topology = build_topology(spec.topology, config)
+    cost = CostModel(config, topology)
+    scheme = build_scheme(spec.scheme, cost)
+    return BuiltExperiment(
+        spec=spec,
+        trace=trace,
+        placement=placement,
+        config=config,
+        topology=topology,
+        cost=cost,
+        scheme=scheme,
+    )
+
+
+def run(spec: ExperimentSpec) -> dict:
+    """Build the spec and execute its machine; return the metrics dict."""
+    built = build(spec)
+    machine_fn = MACHINES.get(spec.machine.name)
+    return machine_fn(
+        built.trace,
+        built.placement,
+        built.config,
+        scheme=built.scheme,
+        topology=built.topology,
+        **spec.machine.params,
+    )
+
+
+def run_spec_dict(spec: Mapping) -> dict:
+    """Worker entry point: deserialize and run. Module-level so it
+    pickles into :func:`repro.analysis.parallel.parallel_sweep` pools."""
+    return run(ExperimentSpec.from_dict(spec))
+
+
+# ---------------------------------------------------------------- merging
+_SUB_SPEC_TYPES = {
+    "workload": WorkloadSpec,
+    "machine": MachineSpec,
+    "scheme": SchemeSpec,
+    "placement": PlacementSpec,
+    "topology": TopologySpec,
+}
+
+
+def merge_spec(base: ExperimentSpec, point: Mapping) -> ExperimentSpec:
+    """Overlay a partial sweep point onto ``base``.
+
+    Point keys name sub-specs (``workload``/``machine``/``scheme``/
+    ``placement``/``topology``). A string value swaps the component by
+    registered name with fresh default params; a dict value is merged
+    (shallow) over the base sub-spec's fields. Anything else is a
+    :class:`ConfigError` — silent typos would sweep the wrong axis.
+    """
+    overrides = {}
+    for key, value in point.items():
+        sub_cls = _SUB_SPEC_TYPES.get(key)
+        if sub_cls is None:
+            raise ConfigError(
+                f"unknown sweep-spec key {key!r}; valid keys: "
+                f"{', '.join(sorted(_SUB_SPEC_TYPES))}"
+            )
+        if isinstance(value, str):
+            overrides[key] = sub_cls(name=value)
+        elif isinstance(value, Mapping):
+            merged = {**getattr(base, key).to_dict(), **dict(value)}
+            overrides[key] = sub_cls.from_dict(merged)
+        elif isinstance(value, sub_cls):
+            overrides[key] = value
+        else:
+            raise ConfigError(
+                f"sweep-spec value for {key!r} must be a name, dict, or "
+                f"{sub_cls.__name__}, got {type(value).__name__}"
+            )
+    return base.replace(**overrides)

@@ -29,30 +29,22 @@ from repro.trace.synthetic.micro import (
     UniformRandomGenerator,
 )
 
-GENERATORS = {
-    "ocean": OceanGenerator,
-    "fft": FFTGenerator,
-    "lu": LUGenerator,
-    "radix": RadixGenerator,
-    "water": WaterGenerator,
-    "water-spatial": WaterSpatialGenerator,
-    "barnes": BarnesGenerator,
-    "cholesky": CholeskyGenerator,
-    "raytrace": RaytraceGenerator,
-    "uniform": UniformRandomGenerator,
-    "hotspot": HotspotGenerator,
-    "private": PrivateOnlyGenerator,
-    "pingpong": PingPongGenerator,
-}
+from repro.registry import WORKLOADS
+
+# Backwards-compatible view over the workload registry: every generator
+# self-registers at import (each module above carries the decorator),
+# so this dict is derived, never hand-maintained.
+GENERATORS = {entry.name: entry.obj for entry in WORKLOADS.items()}
 
 
 def make_workload(name: str, **kwargs):
-    """Instantiate a generator by name and produce its trace."""
-    try:
-        cls = GENERATORS[name]
-    except KeyError:
-        raise ValueError(f"unknown workload {name!r}; options: {sorted(GENERATORS)}")
-    return cls(**kwargs).generate()
+    """Instantiate a generator by name and produce its trace.
+
+    Resolution goes through :data:`repro.registry.WORKLOADS`; an
+    unknown name raises :class:`~repro.util.errors.ConfigError`
+    listing the registered generators.
+    """
+    return WORKLOADS.get(name)(**kwargs).generate()
 
 
 __all__ = [

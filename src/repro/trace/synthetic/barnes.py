@@ -24,12 +24,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.trace.synthetic.base import TraceBuilder, WorkloadGenerator
+from repro.registry import WORKLOADS
 from repro.util.errors import ConfigError
 
 WORDS_PER_BODY = 8
 WORDS_PER_NODE = 8
 
 
+@WORKLOADS.register("barnes", "BARNES-like N-body octree workload (SPLASH-2 stand-in)")
 class BarnesGenerator(WorkloadGenerator):
     name = "barnes"
 

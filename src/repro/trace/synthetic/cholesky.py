@@ -28,9 +28,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.trace.synthetic.base import TraceBuilder, WorkloadGenerator
+from repro.registry import WORKLOADS
 from repro.util.errors import ConfigError
 
 
+@WORKLOADS.register("cholesky", "CHOLESKY-like sparse factorization workload (SPLASH-2 stand-in)")
 class CholeskyGenerator(WorkloadGenerator):
     name = "cholesky"
 

@@ -24,9 +24,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.trace.synthetic.base import TraceBuilder, WorkloadGenerator
+from repro.registry import WORKLOADS
 from repro.util.errors import ConfigError
 
 
+@WORKLOADS.register("fft", "FFT-like transpose workload (SPLASH-2 stand-in)")
 class FFTGenerator(WorkloadGenerator):
     name = "fft"
 

@@ -10,9 +10,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.trace.synthetic.base import TraceBuilder, WorkloadGenerator
+from repro.registry import WORKLOADS
 from repro.util.errors import ConfigError
 
 
+@WORKLOADS.register("uniform")
 class UniformRandomGenerator(WorkloadGenerator):
     """Every access uniform over a shared region: worst-case locality.
 
@@ -55,6 +57,7 @@ class UniformRandomGenerator(WorkloadGenerator):
         b.emit(self.base + offs, writes=writes, icounts=2)
 
 
+@WORKLOADS.register("hotspot")
 class HotspotGenerator(WorkloadGenerator):
     """A hot shared block plus private background traffic.
 
@@ -117,6 +120,7 @@ class HotspotGenerator(WorkloadGenerator):
                 emitted += 1
 
 
+@WORKLOADS.register("private")
 class PrivateOnlyGenerator(WorkloadGenerator):
     """Every access private: zero migrations under first-touch.
 
@@ -153,6 +157,7 @@ class PrivateOnlyGenerator(WorkloadGenerator):
         b.emit(priv + offs, writes=writes, icounts=2)
 
 
+@WORKLOADS.register("pingpong")
 class PingPongGenerator(WorkloadGenerator):
     """Producer-consumer pairs bouncing on a shared buffer.
 

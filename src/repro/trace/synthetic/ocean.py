@@ -28,9 +28,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.trace.synthetic.base import TraceBuilder, WorkloadGenerator
+from repro.registry import WORKLOADS
 from repro.util.errors import ConfigError
 
 
+@WORKLOADS.register("ocean", "OCEAN-like grid relaxation workload (SPLASH-2 stand-in, Figure 2)")
 class OceanGenerator(WorkloadGenerator):
     name = "ocean"
 

@@ -20,9 +20,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.trace.synthetic.base import TraceBuilder, WorkloadGenerator
+from repro.registry import WORKLOADS
 from repro.util.errors import ConfigError
 
 
+@WORKLOADS.register("radix", "RADIX-sort scatter workload (SPLASH-2 stand-in)")
 class RadixGenerator(WorkloadGenerator):
     name = "radix"
 

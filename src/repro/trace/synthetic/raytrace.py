@@ -19,9 +19,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.trace.synthetic.base import TraceBuilder, WorkloadGenerator
+from repro.registry import WORKLOADS
 from repro.util.errors import ConfigError
 
 
+@WORKLOADS.register("raytrace", "RAYTRACE-like shared-scene workload (SPLASH-2 stand-in)")
 class RaytraceGenerator(WorkloadGenerator):
     name = "raytrace"
 

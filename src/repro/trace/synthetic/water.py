@@ -21,11 +21,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.trace.synthetic.base import TraceBuilder, WorkloadGenerator
+from repro.registry import WORKLOADS
 from repro.util.errors import ConfigError
 
 WORDS_PER_MOL = 8  # pos(2) vel(2) force(2) misc(2) — abstracted
 
 
+@WORKLOADS.register("water", "WATER-like molecular dynamics workload (SPLASH-2 stand-in)")
 class WaterGenerator(WorkloadGenerator):
     name = "water"
 

@@ -22,11 +22,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.trace.synthetic.base import TraceBuilder, WorkloadGenerator
+from repro.registry import WORKLOADS
 from repro.util.errors import ConfigError
 
 WORDS_PER_CELL = 16  # positions + forces for the cell's molecules
 
 
+@WORKLOADS.register("water-spatial", "WATER-SPATIAL-like cell-decomposed MD workload (SPLASH-2 stand-in)")
 class WaterSpatialGenerator(WorkloadGenerator):
     name = "water-spatial"
 

@@ -44,6 +44,15 @@ def test_fixture_committed():
     assert FIXTURE.exists(), "golden fixture missing; run make_golden_fixtures.py"
 
 
+def test_scenario_specs_round_trip():
+    """Every scenario is a serializable ExperimentSpec: parity through
+    the spec path also proves spec resolution is lossless."""
+    from repro.spec import ExperimentSpec
+
+    for key, spec_dict in golden.scenario_specs().items():
+        assert ExperimentSpec.from_dict(spec_dict).to_dict() == spec_dict, key
+
+
 def test_scenario_set_matches(committed, recomputed):
     assert sorted(recomputed) == sorted(committed)
 

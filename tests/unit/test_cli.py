@@ -140,3 +140,60 @@ class TestCommands:
              "--param", "accesses_per_thread=16", "--scheme", "never-migrate"]
         )
         assert rc == 0
+
+
+class TestRegistryErrors:
+    """Unknown component names exit 2 with the registered options listed
+    (sorted) — a ConfigError from the registry, not a bare KeyError."""
+
+    def test_unknown_scheme_lists_options(self, capsys):
+        from repro.registry import SCHEMES
+
+        rc = main(
+            ["evaluate", "--workload", "private", "--threads", "2",
+             "--cores", "4", "--scheme", "hisstory"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown scheme 'hisstory'" in err
+        assert ", ".join(SCHEMES.names()) in err
+
+    def test_unknown_placement_lists_options(self, capsys):
+        from repro.registry import PLACEMENTS
+
+        rc = main(
+            ["evaluate", "--workload", "private", "--threads", "2",
+             "--cores", "4", "--placement", "round-robin"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown placement 'round-robin'" in err
+        assert ", ".join(PLACEMENTS.names()) in err
+
+    def test_unknown_workload_lists_options(self, capsys):
+        from repro.registry import WORKLOADS
+
+        rc = main(["evaluate", "--workload", "splash2-ocean", "--cores", "4"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown workload 'splash2-ocean'" in err
+        assert ", ".join(WORKLOADS.names()) in err
+
+
+class TestListCommand:
+    def test_lists_every_registry_family(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for family in ("machines:", "schemes:", "placements:",
+                       "workloads:", "topologies:"):
+            assert family in out
+
+    def test_entries_carry_descriptions(self, capsys):
+        from repro.registry import ALL_REGISTRIES
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for registry in ALL_REGISTRIES.values():
+            for entry in registry.items():
+                assert entry.name in out
+                assert entry.description  # non-empty one-liner

@@ -1,0 +1,157 @@
+"""Unit tests for the component registries, plus registry-driven
+conformance checks over every registered decision scheme."""
+
+import pytest
+
+from repro.arch.config import small_test_config
+from repro.core.costs import CostModel
+from repro.core.decision.base import DecisionScheme
+from repro.registry import (
+    ALL_REGISTRIES,
+    MACHINES,
+    PLACEMENTS,
+    SCHEMES,
+    TOPOLOGIES,
+    WORKLOADS,
+    Registry,
+)
+from repro.util.errors import ConfigError
+
+
+class TestRegistryMechanics:
+    def test_unknown_name_lists_sorted_options(self):
+        r = Registry("widget")
+        r.register("zeta", "last")(object())
+        r.register("alpha", "first")(object())
+        with pytest.raises(ConfigError, match="unknown widget 'beta'") as exc:
+            r.get("beta")
+        assert "alpha, zeta" in str(exc.value)
+
+    def test_duplicate_registration_rejected(self):
+        r = Registry("widget")
+        r.register("x")(object())
+        with pytest.raises(ConfigError, match="duplicate"):
+            r.register("x")(object())
+
+    def test_description_defaults_to_first_doc_line(self):
+        r = Registry("widget")
+
+        @r.register("doc")
+        class Widget:
+            """One-line summary.
+
+            Longer prose.
+            """
+
+        assert r.entry("doc").description == "One-line summary."
+
+    def test_contains_and_len(self):
+        r = Registry("widget")
+        r.register("a")(object())
+        assert "a" in r and "b" not in r
+        assert len(r) == 1
+
+    def test_items_iterates_sorted(self):
+        r = Registry("widget")
+        r.register("b")(1)
+        r.register("a")(2)
+        assert [e.name for e in r.items()] == ["a", "b"]
+
+
+class TestPopulation:
+    """The families the repo ships register themselves at import time."""
+
+    def test_machines(self):
+        assert {"analytical", "em2", "em2ra", "ra-only", "cc-msi",
+                "cc-mesi"} <= set(MACHINES.names())
+
+    def test_schemes(self):
+        assert {"always-migrate", "never-migrate", "history", "addr-history",
+                "costaware", "distance-1", "distance-2", "random",
+                "native-first"} <= set(SCHEMES.names())
+
+    def test_placements(self):
+        assert {"first-touch", "striped", "profile-opt"} <= set(PLACEMENTS.names())
+
+    def test_workloads(self):
+        assert {"ocean", "fft", "lu", "radix", "water", "water-spatial",
+                "barnes", "cholesky", "raytrace", "uniform", "hotspot",
+                "private", "pingpong"} <= set(WORKLOADS.names())
+
+    def test_topologies(self):
+        assert {"auto", "mesh", "torus", "ring", "uni-ring"} <= set(
+            TOPOLOGIES.names()
+        )
+
+    def test_every_entry_has_a_description(self):
+        for family, registry in ALL_REGISTRIES.items():
+            for entry in registry.items():
+                assert entry.description, f"{family}/{entry.name} lacks a description"
+
+
+# ---------------------------------------------------------------- conformance
+# A fixed probe sequence of (current, home, addr, write) non-local
+# accesses. Feeding it to a scheme (decide + observe) yields a decision
+# signature; fresh instances of the same factory must agree, and
+# reset()/clone() must restore that fresh-instance behaviour.
+_PROBE = [
+    (0, 1, 16, False),
+    (0, 2, 24, True),
+    (1, 3, 16, False),
+    (2, 1, 8, False),
+    (0, 1, 16, True),
+    (0, 1, 16, False),
+    (3, 2, 24, True),
+]
+
+
+def _signature(scheme: DecisionScheme) -> list[int]:
+    out = []
+    for current, home, addr, write in _PROBE:
+        d = scheme.decide(current, home, addr, write)
+        scheme.observe(current, home, addr, write, d)
+        out.append(int(d))
+    return out
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return CostModel(small_test_config(num_cores=4))
+
+
+@pytest.mark.parametrize("name", SCHEMES.names())
+class TestSchemeConformance:
+    """Registry-driven: every registered scheme, present and future,
+    must satisfy the DecisionScheme contract."""
+
+    def test_factory_builds_a_decision_scheme(self, name, cost):
+        assert isinstance(SCHEMES.get(name)(cost), DecisionScheme)
+
+    def test_fresh_instances_agree(self, name, cost):
+        factory = SCHEMES.get(name)
+        assert _signature(factory(cost)) == _signature(factory(cost))
+
+    def test_reset_restores_fresh_behaviour(self, name, cost):
+        factory = SCHEMES.get(name)
+        baseline = _signature(factory(cost))
+        scheme = factory(cost)
+        _signature(scheme)  # accumulate state (history, RNG position)
+        scheme.reset()
+        assert _signature(scheme) == baseline
+
+    def test_clone_is_independent_and_fresh(self, name, cost):
+        factory = SCHEMES.get(name)
+        baseline = _signature(factory(cost))
+        scheme = factory(cost)
+        _signature(scheme)  # dirty the original
+        clone = scheme.clone()
+        assert type(clone) is type(scheme)
+        assert clone is not scheme
+        # A clone carries the parameters but none of the accumulated
+        # per-thread state: it behaves like a fresh instance ...
+        assert _signature(clone) == baseline
+        # ... and driving the clone further must not disturb the
+        # original: after a reset the original is fresh again too.
+        _signature(clone)
+        scheme.reset()
+        assert _signature(scheme) == baseline

@@ -1,0 +1,134 @@
+"""Unit tests for the spec -> live-objects construction path."""
+
+import pytest
+
+from repro.arch.config import small_test_config
+from repro.arch.topology import Mesh2D
+from repro.core.costs import CostModel
+from repro.core.evaluation import evaluate_scheme
+from repro.placement import first_touch
+from repro.runner import (
+    build,
+    build_topology,
+    build_workload,
+    clear_build_memo,
+    merge_spec,
+    run,
+    run_spec_dict,
+)
+from repro.spec import (
+    ExperimentSpec,
+    MachineSpec,
+    PlacementSpec,
+    SchemeSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.trace.synthetic import make_workload
+from repro.util.errors import ConfigError
+
+WORKLOAD = WorkloadSpec(name="pingpong", params={"num_threads": 4, "rounds": 8})
+
+
+def _spec(machine="analytical", scheme="history") -> ExperimentSpec:
+    return ExperimentSpec(
+        workload=WORKLOAD,
+        machine=MachineSpec(name=machine, cores=4, preset="small-test"),
+        scheme=SchemeSpec(name=scheme),
+        placement=PlacementSpec(name="first-touch"),
+    )
+
+
+class TestEquivalence:
+    """run(spec) reproduces direct construction bit for bit — the
+    property that lets every consumer switch to specs safely."""
+
+    def test_analytical_matches_direct_evaluation(self):
+        spec = _spec()
+        trace = make_workload("pingpong", num_threads=4, rounds=8)
+        placement = first_touch(trace, 4)
+        cost = CostModel(small_test_config(num_cores=4))
+        built = build(spec)
+        direct = evaluate_scheme(trace, placement, built.scheme.clone(), cost)
+        assert run(spec) == direct.as_dict()
+
+    def test_em2_matches_direct_machine(self):
+        from repro.core.em2 import EM2Machine
+
+        trace = make_workload("pingpong", num_threads=4, rounds=8)
+        placement = first_touch(trace, 4)
+        machine = EM2Machine(trace, placement, small_test_config(num_cores=4))
+        machine.run()
+        assert run(_spec(machine="em2")) == machine.results()
+
+    def test_run_spec_dict_round_trips(self):
+        spec = _spec()
+        assert run_spec_dict(spec.to_dict()) == run(spec)
+
+
+class TestBuild:
+    def test_build_yields_every_component(self):
+        built = build(_spec())
+        assert built.trace.num_threads == 4
+        assert built.config.num_cores == 4
+        assert built.cost.config is built.config
+        assert built.scheme is not None
+        assert built.topology is None  # "auto" defers to the machine default
+
+    def test_auto_topology_with_params_rejected(self):
+        # "auto" is the absence of a choice; parameterizing it is a
+        # config error that names the topologies that do take params.
+        with pytest.raises(ConfigError, match="'auto' takes no params"):
+            build_topology(
+                TopologySpec(name="auto", params={"width": 2}),
+                small_test_config(num_cores=4),
+            )
+
+    def test_named_topology_is_built(self):
+        topo = build_topology(TopologySpec(name="mesh"), small_test_config(num_cores=4))
+        assert isinstance(topo, Mesh2D)
+
+    def test_workload_memoized_per_spec(self):
+        clear_build_memo()
+        a = build_workload(WORKLOAD)
+        b = build_workload(WorkloadSpec(name="pingpong",
+                                        params={"num_threads": 4, "rounds": 8}))
+        assert a is b
+        clear_build_memo()
+        assert build_workload(WORKLOAD) is not a
+
+    def test_unknown_names_raise_config_error(self):
+        with pytest.raises(ConfigError, match="unknown machine"):
+            run(_spec(machine="quantum"))
+        with pytest.raises(ConfigError, match="unknown scheme"):
+            build(_spec(scheme="clairvoyant"))
+
+
+class TestMergeSpec:
+    def test_string_swaps_component_with_defaults(self):
+        merged = merge_spec(_spec(), {"scheme": "never-migrate"})
+        assert merged.scheme == SchemeSpec(name="never-migrate")
+        assert merged.workload == WORKLOAD  # untouched axes pass through
+
+    def test_mapping_overlays_subspec_fields(self):
+        merged = merge_spec(_spec(), {"workload": {"params": {"num_threads": 8}}})
+        assert merged.workload.name == "pingpong"
+        assert merged.workload.params == {"num_threads": 8}
+
+    def test_subspec_instance_passes_through(self):
+        sub = PlacementSpec(name="striped")
+        assert merge_spec(_spec(), {"placement": sub}).placement is sub
+
+    def test_unknown_point_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown sweep-spec key 'schem'"):
+            merge_spec(_spec(), {"schem": "history"})
+
+    def test_bad_value_type_rejected(self):
+        with pytest.raises(ConfigError, match="must be a name, dict"):
+            merge_spec(_spec(), {"scheme": 42})
+
+    def test_merge_does_not_mutate_base(self):
+        base = _spec()
+        merge_spec(base, {"scheme": "random", "workload": {"name": "uniform"}})
+        assert base.scheme.name == "history"
+        assert base.workload.name == "pingpong"

@@ -4,7 +4,9 @@ import math
 
 import pytest
 
-from repro.analysis.sweep import geomean, grid, normalize, sweep
+from repro.analysis.cache import ResultCache
+from repro.analysis.sweep import geomean, grid, normalize, sweep, sweep_specs
+from repro.spec import ExperimentSpec, MachineSpec, PlacementSpec, WorkloadSpec
 from repro.util.errors import ConfigError
 
 
@@ -43,6 +45,59 @@ class TestSweep:
         # closure callback -> degrades to serial; rows must be unchanged
         rows = sweep(grid(x=[1, 2, 3]), lambda x: {"y": x * 10}, workers=4)
         assert rows == [{"x": 1, "y": 10}, {"x": 2, "y": 20}, {"x": 3, "y": 30}]
+
+
+def _base_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        workload=WorkloadSpec(name="pingpong",
+                              params={"num_threads": 4, "rounds": 8}),
+        machine=MachineSpec(name="analytical", cores=4, preset="small-test"),
+        placement=PlacementSpec(name="first-touch"),
+    )
+
+
+class TestSweepSpecs:
+    POINTS = [{"scheme": "never-migrate"}, {"scheme": "always-migrate"},
+              {"scheme": "history"}]
+
+    def test_one_row_per_point_with_axis_labels(self):
+        rows = sweep_specs(_base_spec(), self.POINTS)
+        assert [r["scheme"] for r in rows] == [p["scheme"] for p in self.POINTS]
+        for row in rows:
+            assert "total_cost" in row and "migrations" in row
+
+    def test_point_value_wins_metric_collision(self):
+        # The analytical evaluator reports its own "scheme" metric (the
+        # class's internal name); the sweep axis label must win.
+        rows = sweep_specs(_base_spec(), [{"scheme": "never-migrate"}])
+        assert rows[0]["scheme"] == "never-migrate"
+
+    def test_parallel_rows_match_serial(self):
+        serial = sweep_specs(_base_spec(), self.POINTS, workers=1)
+        parallel = sweep_specs(_base_spec(), self.POINTS, workers=2)
+        assert parallel == serial
+
+    def test_cache_hits_on_second_run(self, tmp_path):
+        cold = ResultCache(tmp_path)
+        rows_cold = sweep_specs(_base_spec(), self.POINTS, cache=cold)
+        assert cold.hits == 0 and cold.misses == len(self.POINTS)
+        warm = ResultCache(tmp_path)
+        rows_warm = sweep_specs(_base_spec(), self.POINTS, cache=warm)
+        assert warm.hits == len(self.POINTS) and warm.misses == 0
+        assert rows_warm == rows_cold
+
+    def test_cache_extra_partitions_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        sweep_specs(_base_spec(), self.POINTS[:1], cache=cache,
+                    cache_extra={"trace": "v1"})
+        again = ResultCache(tmp_path)
+        sweep_specs(_base_spec(), self.POINTS[:1], cache=again,
+                    cache_extra={"trace": "v2"})
+        assert again.hits == 0  # different extra context, different key
+
+    def test_unknown_point_key_rejected(self):
+        with pytest.raises(ConfigError, match="sweep-spec key"):
+            sweep_specs(_base_spec(), [{"sceme": "history"}])
 
 
 class TestGeomean:

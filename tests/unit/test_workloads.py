@@ -64,8 +64,10 @@ def test_generator_deterministic_given_seed(name):
 
 
 def test_unknown_workload_rejected():
-    with pytest.raises(ValueError, match="unknown workload"):
+    with pytest.raises(ConfigError, match="unknown workload") as exc:
         make_workload("splash2-ocean")
+    # The error names every registered generator, sorted.
+    assert ", ".join(sorted(GENERATORS)) in str(exc.value)
 
 
 class TestOcean:

@@ -10,6 +10,10 @@ runs one multi-point (workload x scheme) sweep four ways —
 
 — verifies all four produce identical result rows, and writes
 timings, speedups, and cache hit/miss counters to ``BENCH_perf.json``.
+Two further sections cover the trace plane: generation throughput of
+the vectorized synthetic generators (gated by the golden-trace
+bit-identity fixture) and the on-disk trace store (cold generate+persist
+vs warm load-from-disk sweep).
 
 Every point is a partial :class:`~repro.spec.ExperimentSpec` overlay
 swept through :func:`repro.analysis.sweep.sweep_specs`: pool workers
@@ -43,9 +47,12 @@ import time
 from pathlib import Path
 
 from repro.analysis.cache import ResultCache, canonical_rows
+from repro.analysis.parallel import effective_workers
 from repro.analysis.sweep import sweep_specs
+from repro.registry import WORKLOADS
 from repro.runner import build, clear_build_memo
 from repro.spec import ExperimentSpec, MachineSpec, PlacementSpec, WorkloadSpec
+from repro.trace.store import TraceStore, set_trace_store
 
 CORES = 16
 
@@ -95,6 +102,48 @@ THROUGHPUT_PARAMS = {
 PRE_PR_BASELINE = {
     "full": {"machine": 108913.0, "cc": 34082.0},
     "smoke": {"machine": 111222.0, "cc": 44167.0},
+}
+
+# ---------------------------------------------------------------- tracegen
+# Synthetic-generator throughput: accesses/second of MultiTrace
+# generation itself (the cost the trace store and shared-memory layer
+# amortize away, and the thing the vectorization PR made ~18x faster).
+TRACEGEN_PARAMS = {
+    "full": {
+        "ocean": dict(num_threads=32, grid_n=258, iterations=2),
+        "lu": dict(num_threads=16, blocks=12, block_words=256),
+        "fft": dict(num_threads=16, points_per_thread=4096, butterfly_stages=5),
+        "radix": dict(num_threads=16, keys_per_thread=4096, passes=3),
+        "water": dict(num_threads=16, molecules_per_thread=128, timesteps=3),
+        "barnes": dict(num_threads=16, bodies_per_thread=128, tree_depth=5, timesteps=2),
+        "raytrace": dict(num_threads=16, rays_per_thread=256, nodes_per_ray=8),
+    },
+    "smoke": {
+        "ocean": dict(num_threads=8, grid_n=66, iterations=2),
+        "lu": dict(num_threads=8, blocks=8, block_words=64),
+        "fft": dict(num_threads=8, points_per_thread=512, butterfly_stages=4),
+        "radix": dict(num_threads=8, keys_per_thread=512, passes=2),
+        "water": dict(num_threads=8, molecules_per_thread=32, timesteps=2),
+        "barnes": dict(num_threads=8, bodies_per_thread=32, tree_depth=4, timesteps=2),
+        "raytrace": dict(num_threads=8, rays_per_thread=64, nodes_per_ray=8),
+    },
+}
+
+# Generation throughput on the commit before the vectorization PR
+# (best of 2 per generator on the parameters above; the aggregate is
+# accesses-weighted: total accesses / sum of per-generator times).
+# Fixed reference points, not re-measured.
+TRACEGEN_PRE_PR = {
+    "full": {
+        "ocean": 20499485.6, "lu": 13745925.8, "fft": 41650367.5,
+        "radix": 47375466.0, "water": 743219.5, "barnes": 182520.4,
+        "raytrace": 115924.6, "_aggregate": 1712509.2,
+    },
+    "smoke": {
+        "ocean": 7379811.9, "lu": 3563818.2, "fft": 11840623.4,
+        "radix": 17271433.5, "water": 547563.3, "barnes": 197400.2,
+        "raytrace": 196367.4, "_aggregate": 937537.2,
+    },
 }
 
 
@@ -173,6 +222,91 @@ def golden_parity() -> bool:
     return golden.scenario_results() == committed
 
 
+def tracegen_golden_parity() -> bool:
+    """Regenerate every golden-trace scenario and compare SHA-256
+    digests against the committed fixture — the bit-identity contract
+    of the generator vectorization (same gate as
+    ``tests/unit/test_golden_traces.py``, run here so a fast-but-drifted
+    generator can never post a throughput win)."""
+    bench_dir = Path(__file__).resolve().parent
+    if str(bench_dir) not in sys.path:
+        sys.path.insert(0, str(bench_dir))
+    import make_golden_traces as golden
+
+    committed = json.loads(golden.FIXTURE_PATH.read_text())
+    return golden.scenario_digests() == committed
+
+
+def run_tracegen(mode: str = "full", repeats: int = 2) -> dict:
+    """Trace-generation throughput per generator plus the parity gate.
+
+    Per generator: best-of-``repeats`` accesses/second. The aggregate is
+    accesses-weighted (total accesses / total best-run time), matching
+    how the pre-PR baseline was measured — loop-bound generators like
+    barnes/water dominate it, exactly the ones vectorization targets.
+    """
+    per_gen = {}
+    total_acc = 0.0
+    total_time = 0.0
+    for name, params in TRACEGEN_PARAMS[mode].items():
+        best = 0.0
+        acc = 0
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            mt = WORKLOADS.get(name)(seed=0, **params).generate()
+            dt = time.perf_counter() - t0
+            acc = mt.total_accesses
+            best = max(best, acc / dt)
+        per_gen[name] = best
+        total_acc += acc
+        total_time += acc / best
+    aggregate = total_acc / total_time
+    base = TRACEGEN_PRE_PR[mode]
+    return {
+        "tracegen_accesses_per_sec": aggregate,
+        "tracegen_speedup_vs_pre_pr": aggregate / base["_aggregate"],
+        "tracegen_per_generator": per_gen,
+        "tracegen_per_generator_speedup": {
+            name: per_gen[name] / base[name] for name in per_gen
+        },
+        "tracegen_pre_pr_baseline": base,
+        "tracegen_golden_parity": tracegen_golden_parity(),
+    }
+
+
+def run_trace_store(mode: str, base: ExperimentSpec, points: list[dict]) -> dict:
+    """Warm-trace-cache sweep: the same sweep serially, first against an
+    empty on-disk trace store (cold: generate + persist), then again in
+    a fresh "process" (memo cleared) so every trace loads from disk."""
+    store_dir = tempfile.mkdtemp(prefix="bench_perf_traces_")
+    out: dict = {}
+    try:
+        store = TraceStore(store_dir)
+        set_trace_store(store)
+
+        clear_build_memo()
+        t0 = time.perf_counter()
+        rows_cold = sweep_specs(base, points, workers=1, share_traces=False)
+        out["trace_store_cold_seconds"] = time.perf_counter() - t0
+        out["trace_store_cold_stats"] = store.stats()
+
+        store.hits = store.misses = 0
+        clear_build_memo()  # simulate a fresh process: disk is the only cache
+        t0 = time.perf_counter()
+        rows_warm = sweep_specs(base, points, workers=1, share_traces=False)
+        out["trace_store_warm_seconds"] = time.perf_counter() - t0
+        out["trace_store_warm_stats"] = store.stats()
+        out["trace_store_warm_speedup"] = (
+            out["trace_store_cold_seconds"] / out["trace_store_warm_seconds"]
+        )
+        out["trace_store_rows_identical"] = rows_warm == rows_cold
+    finally:
+        set_trace_store(None)
+        clear_build_memo()
+        shutil.rmtree(store_dir, ignore_errors=True)
+    return out
+
+
 def run_throughput(mode: str = "full", repeats: int = 3) -> dict:
     """Throughput section of the report: machine + CC accesses/sec,
     speedup vs the recorded pre-PR baseline, and the parity gate."""
@@ -194,9 +328,12 @@ def run_throughput(mode: str = "full", repeats: int = 3) -> dict:
 def run_harness(mode: str = "full", workers: int = 4, cache_dir: str | None = None) -> dict:
     base = _base_spec()
     points = _points(mode)
+    effective = effective_workers(workers)
     report: dict = {
         "mode": mode,
-        "workers": workers,
+        "workers": effective,
+        "workers_requested": workers,
+        "workers_effective": effective,
         "points": len(points),
         "cpu_count": os.cpu_count(),
     }
@@ -239,6 +376,8 @@ def run_harness(mode: str = "full", workers: int = 4, cache_dir: str | None = No
     finally:
         if own_tmp:
             shutil.rmtree(cache_dir, ignore_errors=True)
+
+    report.update(run_trace_store(mode, base, points))
     return report
 
 
@@ -251,6 +390,10 @@ def test_perf_smoke():
     assert report["warm_rows_identical"]
     assert report["warm_skip_fraction"] >= 0.9
     assert report["cold_cache_stats"]["hits"] == 0
+    assert report["workers_effective"] <= (os.cpu_count() or 1)
+    assert report["trace_store_rows_identical"]
+    assert report["trace_store_cold_stats"]["hits"] == 0
+    assert report["trace_store_warm_stats"]["misses"] == 0
 
 
 def test_throughput_smoke():
@@ -261,6 +404,14 @@ def test_throughput_smoke():
     assert report["golden_parity"]
     assert report["machine_accesses_per_sec"] > 0
     assert report["cc_accesses_per_sec"] > 0
+
+
+def test_tracegen_smoke():
+    """Generation throughput runs and the bit-identity gate holds."""
+    report = run_tracegen(mode="smoke", repeats=1)
+    assert report["tracegen_golden_parity"]
+    assert report["tracegen_accesses_per_sec"] > 0
+    assert set(report["tracegen_per_generator"]) == set(TRACEGEN_PARAMS["smoke"])
 
 
 # ---------------------------------------------------------------- script
@@ -293,6 +444,7 @@ def main(argv: list[str] | None = None) -> int:
     else:
         throughput = run_throughput(mode=mode, repeats=args.repeats)
     report.update(throughput)
+    report.update(run_tracegen(mode=mode, repeats=max(args.repeats // 2, 1)))
 
     out = Path(args.out) if args.out else Path(__file__).resolve().parent.parent / "BENCH_perf.json"
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -302,12 +454,15 @@ def main(argv: list[str] | None = None) -> int:
         report["parallel_rows_identical"]
         and report["cold_rows_identical"]
         and report["warm_rows_identical"]
+        and report["trace_store_rows_identical"]
         and report["warm_skip_fraction"] >= 0.9
         and report["golden_parity"]
+        and report["tracegen_golden_parity"]
     )
     print(
         f"\nserial {report['serial_seconds']:.2f}s | "
-        f"parallel({args.workers}) {report['parallel_seconds']:.2f}s "
+        f"parallel({report['workers_effective']} of {args.workers} requested) "
+        f"{report['parallel_seconds']:.2f}s "
         f"({report['parallel_speedup']:.2f}x) | "
         f"warm cache {report['warm_cache_seconds']:.2f}s "
         f"(skips {report['warm_skip_fraction']:.0%} of evaluations) | "
@@ -320,9 +475,17 @@ def main(argv: list[str] | None = None) -> int:
         f"({report['cc_speedup_vs_pre_pr']:.2f}x pre-PR) | "
         f"golden parity: {report['golden_parity']}"
     )
+    print(
+        f"tracegen {report['tracegen_accesses_per_sec']:.0f} acc/s "
+        f"({report['tracegen_speedup_vs_pre_pr']:.2f}x pre-PR) | "
+        f"trace store warm {report['trace_store_warm_seconds']:.2f}s "
+        f"({report['trace_store_warm_speedup']:.2f}x vs cold) | "
+        f"trace parity: {report['tracegen_golden_parity']}"
+    )
     if not ok:
         print(
-            "FAIL: row mismatch, warm cache skipped < 90%, or golden parity broken",
+            "FAIL: row mismatch, warm cache skipped < 90%, or a golden "
+            "parity gate (results or traces) broken",
             file=sys.stderr,
         )
         return 1

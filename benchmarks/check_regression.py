@@ -31,6 +31,8 @@ METRICS = [
     "cc_accesses_per_sec",
     "parallel_speedup",
     "warm_skip_fraction",
+    "tracegen_accesses_per_sec",
+    "trace_store_warm_speedup",
 ]
 
 

@@ -1,0 +1,81 @@
+"""Generate/refresh ``tests/fixtures/golden_traces.json``.
+
+The fixture pins a SHA-256 digest (:meth:`repro.trace.events.MultiTrace.digest`)
+per (generator, params, seed) scenario. It was generated from the
+*pre-vectorization* Python-loop generators and committed before the
+NumPy rewrite, so the loop->vector rewrite is provably
+behavior-preserving: ``tests/unit/test_golden_traces.py`` regenerates
+every scenario and compares digests bit-for-bit.
+
+Re-run this script ONLY when a generator's semantics are deliberately
+changed (new phase structure, new parameter); never to paper over an
+unintended digest drift::
+
+    PYTHONPATH=src python benchmarks/make_golden_traces.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.registry import WORKLOADS
+
+FIXTURE_PATH = (
+    Path(__file__).resolve().parent.parent / "tests" / "fixtures" / "golden_traces.json"
+)
+
+# Scenario sizes are deliberately small-but-structured: every phase and
+# branch of each generator executes (boundary rows, transposes, RNG
+# paths), while the whole fixture regenerates in a few seconds.
+SCENARIOS: list[dict] = [
+    {"name": "ocean", "params": {"num_threads": 8, "grid_n": 34, "iterations": 2}, "seed": 0},
+    {"name": "ocean", "params": {"num_threads": 5, "grid_n": 23, "iterations": 1}, "seed": 0},
+    {"name": "lu", "params": {"num_threads": 8, "blocks": 6, "block_words": 32}, "seed": 0},
+    {"name": "lu", "params": {"num_threads": 6, "blocks": 5, "block_words": 16}, "seed": 0},
+    {"name": "fft", "params": {"num_threads": 8, "points_per_thread": 64, "butterfly_stages": 3}, "seed": 0},
+    {"name": "fft", "params": {"num_threads": 4, "points_per_thread": 32, "butterfly_stages": 5}, "seed": 0},
+    {"name": "radix", "params": {"num_threads": 8, "keys_per_thread": 64, "radix_bits": 4, "passes": 2}, "seed": 0},
+    {"name": "radix", "params": {"num_threads": 4, "keys_per_thread": 48, "radix_bits": 3, "passes": 3}, "seed": 11},
+    {"name": "water", "params": {"num_threads": 8, "molecules_per_thread": 16, "timesteps": 2}, "seed": 0},
+    {"name": "water", "params": {"num_threads": 4, "molecules_per_thread": 12, "timesteps": 3, "interaction_fraction": 0.4}, "seed": 5},
+    {"name": "barnes", "params": {"num_threads": 8, "bodies_per_thread": 16, "tree_depth": 4, "timesteps": 2}, "seed": 0},
+    {"name": "barnes", "params": {"num_threads": 4, "bodies_per_thread": 10, "tree_depth": 5, "branching": 3, "timesteps": 1}, "seed": 9},
+    {"name": "raytrace", "params": {"num_threads": 8, "rays_per_thread": 33, "scene_words": 2048, "nodes_per_ray": 8}, "seed": 0},
+    {"name": "raytrace", "params": {"num_threads": 4, "rays_per_thread": 17, "scene_words": 512, "nodes_per_ray": 5, "zipf_s": 1.6}, "seed": 7},
+    {"name": "water-spatial", "params": {"num_threads": 8, "timesteps": 2}, "seed": 0},
+    {"name": "cholesky", "params": {"num_threads": 8, "supernodes": 24, "block_words": 24, "fanin": 3}, "seed": 0},
+    {"name": "uniform", "params": {"num_threads": 8, "accesses_per_thread": 256}, "seed": 0},
+    {"name": "hotspot", "params": {"num_threads": 8, "accesses_per_thread": 256, "burst": 3}, "seed": 0},
+    {"name": "private", "params": {"num_threads": 8, "accesses_per_thread": 256}, "seed": 0},
+    {"name": "pingpong", "params": {"num_threads": 8, "rounds": 48, "run": 4}, "seed": 0},
+]
+
+
+def scenario_key(sc: dict) -> str:
+    return json.dumps({"name": sc["name"], "params": sc["params"], "seed": sc["seed"]},
+                      sort_keys=True)
+
+
+def scenario_digests() -> dict[str, dict]:
+    out = {}
+    for sc in SCENARIOS:
+        gen = WORKLOADS.get(sc["name"])(seed=sc["seed"], **sc["params"])
+        mt = gen.generate()
+        out[scenario_key(sc)] = {
+            "digest": mt.digest(),
+            "accesses": mt.total_accesses,
+            "threads": mt.num_threads,
+        }
+    return out
+
+
+def main() -> int:
+    digests = scenario_digests()
+    FIXTURE_PATH.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(digests)} trace digests to {FIXTURE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,12 +32,18 @@ closure-capturing callback would silently degrade to the serial loop.
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Mapping
 
 from repro.util.errors import ConfigError, ReproError
+
+#: Below this many points, pool startup costs more than it saves and
+#: :func:`parallel_sweep` runs serially regardless of ``workers``.
+POOL_MIN_POINTS = 4
 
 
 class SweepPointError(ReproError):
@@ -64,6 +70,22 @@ def merge_row(point: Mapping, metrics: Mapping) -> dict:
 def default_workers() -> int:
     """Worker count when the caller passes ``workers=None``."""
     return max(os.cpu_count() or 1, 1)
+
+
+def effective_workers(requested: int | None) -> int:
+    """The worker count actually used for ``requested``.
+
+    Requests are clamped to the CPU count: oversubscribing cores with
+    CPU-bound simulator processes only adds context-switch overhead
+    (the seed's bench ran 4 workers on 1 core and measured a parallel
+    "speedup" of 0.5). Benches record both the requested and this
+    effective value so results stay interpretable across machines.
+    """
+    if requested is None:
+        return default_workers()
+    if requested < 1:
+        raise ConfigError(f"workers must be >= 1, got {requested}")
+    return min(requested, default_workers())
 
 
 def _is_picklable(obj) -> bool:
@@ -113,6 +135,45 @@ def _chunked(points: list[dict], chunk: int) -> list[list[dict]]:
     return [points[i : i + chunk] for i in range(0, len(points), chunk)]
 
 
+# One pool per process, reused across parallel_sweep calls with the
+# same worker count. Pool startup (fork/spawn + module imports in every
+# worker) costs hundreds of ms; a bench that runs ten sweeps back to
+# back was paying it ten times.
+_pool: ProcessPoolExecutor | None = None
+_pool_workers: int = 0
+
+
+def _get_pool(max_workers: int) -> ProcessPoolExecutor | None:
+    global _pool, _pool_workers
+    if _pool is not None and _pool_workers == max_workers:
+        return _pool
+    shutdown_pool()
+    try:
+        _pool = ProcessPoolExecutor(max_workers=max_workers)
+        _pool_workers = max_workers
+    except OSError:  # no usable multiprocessing primitives on this host
+        _pool = None
+        _pool_workers = 0
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Dispose the cached worker pool (idempotent; registered atexit).
+
+    Also called when a pool breaks mid-sweep — a fresh pool is the only
+    recovery from a killed worker, and keeping the broken one cached
+    would fail every later sweep in the process.
+    """
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+        _pool_workers = 0
+
+
+atexit.register(shutdown_pool)
+
+
 def parallel_sweep(
     points: Iterable[Mapping],
     fn: Callable[..., Mapping],
@@ -123,34 +184,38 @@ def parallel_sweep(
     ``workers`` processes.
 
     ``workers=None`` uses :func:`default_workers` (the CPU count);
-    ``workers=1`` runs serially in-process. ``chunk`` is the number of
-    points shipped to a worker per task (default: enough to give each
-    worker ~4 tasks, amortizing pickling without starving the pool).
+    requests above the CPU count are clamped (:func:`effective_workers`).
+    Sweeps of fewer than :data:`POOL_MIN_POINTS` points, an effective
+    worker count of 1, or an unpicklable ``fn`` run serially in-process
+    with identical semantics. ``chunk`` is the number of points shipped
+    to a worker per task (default: enough to give each worker ~4 tasks,
+    amortizing pickling without starving the pool). The pool itself is
+    created once per process and reused across calls.
 
     Row order always matches point order. Worker exceptions re-raise
     in the parent as :class:`SweepPointError` with the failing point.
     """
     points = [dict(p) for p in points]
-    if workers is None:
-        workers = default_workers()
-    if workers < 1:
-        raise ConfigError(f"workers must be >= 1, got {workers}")
+    workers = effective_workers(workers)
     if chunk is not None and chunk < 1:
         raise ConfigError(f"chunk must be >= 1, got {chunk}")
 
-    if workers == 1 or len(points) <= 1 or not _is_picklable(fn):
+    if (
+        workers == 1
+        or len(points) < POOL_MIN_POINTS
+        or not _is_picklable(fn)
+    ):
         return _serial_sweep(points, fn)
 
     if chunk is None:
         chunk = max(1, -(-len(points) // (workers * 4)))
 
     chunks = _chunked(points, chunk)
-    try:
-        executor = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
-    except OSError:  # no usable multiprocessing primitives on this host
+    executor = _get_pool(min(workers, len(chunks)))
+    if executor is None:
         return _serial_sweep(points, fn)
     rows: list[dict] = []
-    with executor:
+    try:
         futures = [executor.submit(_run_chunk, fn, c) for c in chunks]
         # collect in submission order -> deterministic row ordering
         for future in futures:
@@ -165,4 +230,10 @@ def parallel_sweep(
                         point=point,
                     ) from exc
                 rows.append(marker[1])
+    except BrokenProcessPool:
+        # a worker died (OOM kill, segfault); the pool is unusable —
+        # dispose it so the next sweep starts clean, then re-raise so
+        # the caller's cleanup (e.g. shm unlink) still runs.
+        shutdown_pool()
+        raise
     return rows

@@ -86,6 +86,68 @@ def sweep(
     return rows
 
 
+def _sharing_engages(share_traces, workers: int, num_points: int) -> bool:
+    """Whether a spec sweep should publish workloads over shared memory.
+
+    Sharing only pays when a process pool will actually engage — the
+    gate mirrors :func:`repro.analysis.parallel.parallel_sweep`'s own
+    serial-fallback conditions, so we never publish segments that only
+    the parent would read.
+    """
+    if share_traces not in ("auto", True, False):
+        raise ConfigError(
+            f"share_traces must be 'auto', True, or False, got {share_traces!r}"
+        )
+    if share_traces is False:
+        return False
+    from repro.analysis.parallel import POOL_MIN_POINTS, effective_workers
+    from repro.analysis.shm import shm_available
+
+    if effective_workers(workers) <= 1 or num_points < POOL_MIN_POINTS:
+        return False
+    return shm_available()
+
+
+def _run_spec_points(
+    spec_dicts: list[dict], share_traces, workers: int, chunk: int | None
+) -> list[dict]:
+    """Fan ``spec_dicts`` out over :func:`parallel_sweep`, publishing
+    each distinct workload once over shared memory when sharing engages.
+
+    The parent builds every unique workload (hitting its own memo and
+    the on-disk trace store), publishes the columns, and attaches the
+    descriptor to each worker point; workers map the same physical
+    pages read-only instead of regenerating the trace per process. The
+    ``published_traces`` context manager unlinks every segment on the
+    way out — including when a worker death propagates
+    ``BrokenProcessPool`` through ``parallel_sweep``.
+    """
+    from repro.runner import run_spec_dict
+
+    if not _sharing_engages(share_traces, workers, len(spec_dicts)):
+        worker_points = [{"spec": d} for d in spec_dicts]
+        return parallel_sweep(worker_points, run_spec_dict, workers=workers, chunk=chunk)
+
+    from repro.analysis.shm import published_traces
+    from repro.runner import build_workload
+    from repro.spec import WorkloadSpec
+
+    workload_keys = []
+    unique: dict[str, WorkloadSpec] = {}
+    for d in spec_dicts:
+        wspec = WorkloadSpec.from_dict(d["workload"])
+        key = wspec.cache_key()
+        workload_keys.append(key)
+        unique.setdefault(key, wspec)
+    traces = {key: build_workload(wspec) for key, wspec in unique.items()}
+    with published_traces(traces) as descriptors:
+        worker_points = [
+            {"spec": d, "shm_trace": descriptors[key]}
+            for d, key in zip(spec_dicts, workload_keys)
+        ]
+        return parallel_sweep(worker_points, run_spec_dict, workers=workers, chunk=chunk)
+
+
 def sweep_specs(
     base_spec,
     points: Iterable[Mapping],
@@ -93,6 +155,7 @@ def sweep_specs(
     chunk: int | None = None,
     cache: "ResultCache | None" = None,
     cache_extra: Mapping | None = None,
+    share_traces="auto",
 ) -> list[dict]:
     """Spec-driven sweep: merge each partial ``point`` into
     ``base_spec`` (:func:`repro.runner.merge_spec`), run the resulting
@@ -106,6 +169,13 @@ def sweep_specs(
       callback is the module-level :func:`repro.runner.run_spec_dict`,
       so the parallel path works for every spec the parent can
       describe (no silent serial fallback on unpicklable captures).
+    * With ``share_traces`` (default ``"auto"``), the parent builds
+      each distinct workload once and publishes it into POSIX shared
+      memory; pool workers attach zero-copy read-only views instead of
+      regenerating traces per process (:mod:`repro.analysis.shm`).
+      ``"auto"`` engages only when the pool itself will (enough points,
+      more than one effective worker, shm usable on this host);
+      ``False`` forces the old regenerate-in-worker behaviour.
     * Cache keys derive from the canonical spec dict
       (:meth:`ExperimentSpec.to_dict`) — the spec *is* everything that
       determines the numbers, so no ad-hoc context plumbing is needed.
@@ -115,9 +185,9 @@ def sweep_specs(
       metric under a ``scheme`` sweep axis) keeps the point's value —
       the axis label is authoritative for its own column.
     """
-    from repro.runner import merge_spec, run_spec_dict
-
     points = [dict(p) for p in points]
+    from repro.runner import merge_spec
+
     spec_dicts = [merge_spec(base_spec, p).to_dict() for p in points]
 
     def make_row(point: dict, metrics: Mapping) -> dict:
@@ -127,20 +197,20 @@ def sweep_specs(
                 row[key] = value
         return row
 
-    worker_points = [{"spec": d} for d in spec_dicts]
-
     def metrics_of(raw_rows: list[dict]) -> list[dict]:
-        # parallel_sweep merges the worker point ({"spec": ...}) into
-        # each row; strip it back off to recover the bare metrics.
+        # parallel_sweep merges the worker point ({"spec": ..., maybe
+        # "shm_trace": ...}) into each row; strip the plumbing back off
+        # to recover the bare metrics.
         out = []
         for raw in raw_rows:
             metrics = dict(raw)
             metrics.pop("spec", None)
+            metrics.pop("shm_trace", None)
             out.append(metrics)
         return out
 
     if cache is None:
-        raw = parallel_sweep(worker_points, run_spec_dict, workers=workers, chunk=chunk)
+        raw = _run_spec_points(spec_dicts, share_traces, workers, chunk)
         return [make_row(p, m) for p, m in zip(points, metrics_of(raw))]
 
     from repro.analysis.cache import canonical_rows
@@ -157,11 +227,8 @@ def sweep_specs(
         else:
             rows.append(hit[0])
     if missing:
-        raw = parallel_sweep(
-            [worker_points[i] for i in missing],
-            run_spec_dict,
-            workers=workers,
-            chunk=chunk,
+        raw = _run_spec_points(
+            [spec_dicts[i] for i in missing], share_traces, workers, chunk
         )
         fresh = canonical_rows(
             [make_row(points[i], m) for i, m in zip(missing, metrics_of(raw))]

@@ -10,6 +10,7 @@ Commands
 * ``evaluate`` — score a decision scheme on a workload (or saved trace).
 * ``optimal`` — run the §3 optimal DP on one thread and summarize.
 * ``shootout`` — analytical EM² / RA-only / history / optimal comparison.
+* ``trace`` — manage the on-disk trace store (``build``/``ls``/``gc``).
 
 Every command resolves component names through the registries
 (:mod:`repro.registry`) and constructs experiments through
@@ -304,6 +305,62 @@ def cmd_stackdepth(args) -> int:
     return 0
 
 
+def _trace_store(args) -> "TraceStore":
+    from repro.trace.store import TraceStore, _ENV_DIR
+
+    root = args.dir or os.environ.get(_ENV_DIR)
+    if root is None:
+        root = os.path.join(os.path.expanduser("~"), ".cache", "repro", "traces")
+    return TraceStore(root)
+
+
+def cmd_trace(args) -> int:
+    """Manage the content-addressed trace store (see repro.trace.store)."""
+    store = _trace_store(args)
+    if args.trace_cmd == "build":
+        wspec = _workload_spec(args)
+        if wspec.trace_path is not None:
+            raise ReproError("`trace build` generates workloads; --trace is not valid here")
+        key = wspec.cache_key()
+        cached = store.get(key)
+        if cached is not None:
+            print(f"already cached: {store.path_for(key)}")
+            return 0
+        from repro.registry import WORKLOADS as _W
+
+        mt = _W.get(wspec.name)(**wspec.params).generate()
+        path = store.put(key, mt)
+        print(format_table([mt.summary()]))
+        print(f"stored to {path}")
+        return 0
+    if args.trace_cmd == "ls":
+        entries = store.entries()
+        if not entries:
+            print(f"trace store {store.root} is empty")
+            return 0
+        rows = [
+            {
+                "name": e.get("name", "?"),
+                "threads": e.get("threads", "?"),
+                "accesses": e.get("accesses", "?"),
+                "mbytes": round(e["bytes"] / 1e6, 2),
+                "key": e["key"][:12],
+            }
+            for e in entries
+        ]
+        print(format_table(rows))
+        print(f"{len(entries)} entries, {store.total_bytes() / 1e6:.1f} MB in {store.root}")
+        return 0
+    if args.trace_cmd == "gc":
+        evicted = store.gc(int(args.max_mbytes * 1e6))
+        print(
+            f"evicted {len(evicted)} entries; "
+            f"{store.total_bytes() / 1e6:.1f} MB remain in {store.root}"
+        )
+        return 0
+    raise ReproError(f"unknown trace sub-command {args.trace_cmd!r}")
+
+
 def cmd_dynamic(args) -> int:
     from repro.placement.dynamic import evaluate_dynamic_placement
 
@@ -426,6 +483,34 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--n", type=int, default=48)
     sp.add_argument("--max-depth", type=int, default=8)
     sp.set_defaults(fn=cmd_stackdepth)
+
+    sp = sub.add_parser("trace", help="manage the on-disk trace store")
+    tsub = sp.add_subparsers(dest="trace_cmd", required=True)
+
+    def add_store_dir(tsp):
+        tsp.add_argument(
+            "--dir",
+            default=None,
+            help="trace store directory (default: $REPRO_TRACE_DIR, "
+            "else ~/.cache/repro/traces)",
+        )
+
+    tsp = tsub.add_parser("build", help="generate a workload into the store")
+    add_trace_args(tsp)
+    add_store_dir(tsp)
+    tsp.set_defaults(fn=cmd_trace)
+    tsp = tsub.add_parser("ls", help="list stored traces")
+    add_store_dir(tsp)
+    tsp.set_defaults(fn=cmd_trace)
+    tsp = tsub.add_parser("gc", help="evict LRU entries over a size cap")
+    add_store_dir(tsp)
+    tsp.add_argument(
+        "--max-mbytes",
+        type=float,
+        default=512.0,
+        help="keep at most this many MB of traces (default 512)",
+    )
+    tsp.set_defaults(fn=cmd_trace)
 
     sp = sub.add_parser("dynamic", help="epoch re-placement vs static first-touch")
     add_trace_args(sp)

@@ -28,6 +28,7 @@ enforce.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -45,15 +46,27 @@ from repro.spec import (
 from repro.util.errors import ConfigError
 
 # Per-process memo for deterministic, immutable build products. Small
-# and FIFO-bounded: a sweep touches a handful of distinct workloads.
+# and LRU-bounded: a sweep touches a handful of distinct workloads, but
+# alternates between them — evicting the *least recently used* entry
+# (not the oldest-inserted, which FIFO did) keeps a round-robin over N
+# workloads resident as long as N <= cap.
 _MEMO_CAP = 8
-_workload_memo: dict[str, object] = {}
-_placement_memo: dict[str, object] = {}
+_workload_memo: "OrderedDict[str, object]" = OrderedDict()
+_placement_memo: "OrderedDict[str, object]" = OrderedDict()
 
 
-def _memo_put(memo: dict, key: str, value) -> None:
-    if len(memo) >= _MEMO_CAP:
-        memo.pop(next(iter(memo)))
+def _memo_get(memo: OrderedDict, key: str):
+    value = memo.get(key)
+    if value is not None:
+        memo.move_to_end(key)
+    return value
+
+
+def _memo_put(memo: OrderedDict, key: str, value) -> None:
+    if key in memo:
+        memo.move_to_end(key)
+    elif len(memo) >= _MEMO_CAP:
+        memo.popitem(last=False)
     memo[key] = value
 
 
@@ -73,21 +86,49 @@ def build_system_config(machine: MachineSpec) -> SystemConfig:
 
 
 def build_workload(workload: WorkloadSpec):
-    """The spec's :class:`~repro.trace.events.MultiTrace` (memoized)."""
-    from repro.analysis.cache import stable_key
+    """The spec's :class:`~repro.trace.events.MultiTrace`.
 
-    key = stable_key(workload.to_dict())
-    trace = _workload_memo.get(key)
-    if trace is None:
-        if workload.trace_path is not None:
-            from repro.trace.io import load_multitrace
+    Resolution order: per-process memo, then the on-disk trace store
+    (when one is active — see :mod:`repro.trace.store`), then the
+    generator. Freshly generated traces are written back to the store
+    so every later process on this machine skips generation entirely.
+    Traces named by ``trace_path`` are already on disk and bypass the
+    store (caching a file as a file would just duplicate it).
+    """
+    key = workload.cache_key()
+    trace = _memo_get(_workload_memo, key)
+    if trace is not None:
+        return trace
+    if workload.trace_path is not None:
+        from repro.trace.io import load_multitrace
 
-            trace = load_multitrace(workload.trace_path)
-        else:
+        trace = load_multitrace(workload.trace_path)
+    else:
+        from repro.trace.store import active_trace_store
+
+        store = active_trace_store()
+        trace = store.get(key) if store is not None else None
+        if trace is None:
             generator_cls = WORKLOADS.get(workload.name)
             trace = generator_cls(**workload.params).generate()
-        _memo_put(_workload_memo, key, trace)
+            if store is not None:
+                store.put(key, trace)
+    _memo_put(_workload_memo, key, trace)
     return trace
+
+
+def seed_workload_memo(workload: WorkloadSpec | Mapping, trace) -> None:
+    """Pre-load the build memo with an externally supplied trace.
+
+    This is how shared-memory sweep workers avoid regenerating
+    workloads: the parent publishes the trace, the worker attaches a
+    zero-copy view and seeds it here under the same key
+    :func:`build_workload` would compute, so the normal build path
+    finds it without knowing where it came from.
+    """
+    if not isinstance(workload, WorkloadSpec):
+        workload = WorkloadSpec.from_dict(workload)
+    _memo_put(_workload_memo, workload.cache_key(), trace)
 
 
 def build_placement(placement: PlacementSpec, trace, num_cores: int, *, memo_key: str | None = None):
@@ -98,7 +139,7 @@ def build_placement(placement: PlacementSpec, trace, num_cores: int, *, memo_key
     from repro.analysis.cache import stable_key
 
     key = stable_key({"w": memo_key, "p": placement.to_dict(), "cores": num_cores})
-    built = _placement_memo.get(key)
+    built = _memo_get(_placement_memo, key)
     if built is None:
         built = factory(trace, num_cores, **placement.params)
         _memo_put(_placement_memo, key, built)
@@ -178,10 +219,27 @@ def run(spec: ExperimentSpec) -> dict:
     )
 
 
-def run_spec_dict(spec: Mapping) -> dict:
+def run_spec_dict(spec: Mapping, shm_trace: Mapping | None = None) -> dict:
     """Worker entry point: deserialize and run. Module-level so it
-    pickles into :func:`repro.analysis.parallel.parallel_sweep` pools."""
-    return run(ExperimentSpec.from_dict(spec))
+    pickles into :func:`repro.analysis.parallel.parallel_sweep` pools.
+
+    ``shm_trace`` is an optional shared-memory descriptor
+    (:func:`repro.analysis.shm.publish`) for this spec's workload: the
+    worker attaches a zero-copy read-only view and seeds the build memo
+    with it, so :func:`build_workload` never regenerates the trace. If
+    attaching fails (segment already unlinked, shm unavailable in this
+    worker) the descriptor is ignored and the normal generate/load path
+    runs — slower, never wrong.
+    """
+    parsed = ExperimentSpec.from_dict(spec)
+    if shm_trace is not None:
+        try:
+            from repro.analysis.shm import attach
+
+            seed_workload_memo(parsed.workload, attach(shm_trace))
+        except Exception:
+            pass
+    return run(parsed)
 
 
 # ---------------------------------------------------------------- merging

@@ -87,6 +87,15 @@ class WorkloadSpec:
     def from_dict(cls, data: Mapping) -> "WorkloadSpec":
         return _from_dict(cls, data, owner="workload")
 
+    def cache_key(self) -> str:
+        """Deterministic SHA-256 over the canonical workload dict — the
+        content address of this spec's trace in the on-disk trace store
+        (:mod:`repro.trace.store`) and the cross-process identity the
+        shared-memory distribution layer keys attachments by."""
+        from repro.analysis.cache import stable_key
+
+        return stable_key(self.to_dict())
+
 
 @dataclass(frozen=True)
 class SchemeSpec:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -137,6 +139,27 @@ class MultiTrace:
             uniq = np.unique(t["addr"])
             union = uniq if union is None else np.union1d(union, uniq)
         return 0 if union is None else int(union.size)
+
+    def digest(self) -> str:
+        """SHA-256 over the exact trace bytes (plus dtype, native cores,
+        and metadata) — equal digests mean bit-identical traces.
+
+        This is the currency of the generator-vectorization contract
+        (``tests/fixtures/golden_traces.json``) and the integrity check
+        of the on-disk trace store: any reordering, dtype change, or
+        single-bit drift in any thread's records changes the digest.
+        """
+        h = hashlib.sha256()
+        h.update(
+            json.dumps(
+                {"name": self.name, "params": self.params}, sort_keys=True, default=str
+            ).encode()
+        )
+        h.update(np.asarray(self.thread_native_core, dtype=np.int64).tobytes())
+        for tr in self.threads:
+            h.update(str(tr.dtype.descr).encode())
+            h.update(np.ascontiguousarray(tr).tobytes())
+        return h.hexdigest()
 
     def summary(self) -> dict:
         return {

@@ -1,0 +1,207 @@
+"""Content-addressed on-disk trace cache.
+
+Workload generation used to happen once per process per sweep: every
+pool worker re-ran the Python generators for every spec it evaluated.
+The trace store makes workload data a build-once, share-everywhere
+artifact — one NPZ per :meth:`repro.spec.WorkloadSpec.cache_key`, so a
+spec's trace is generated exactly once per machine and every later
+process (CLI run, sweep worker, bench) loads the columns from disk.
+
+Layout: ``<root>/<salt-mixed key>.npz`` (the trace container written
+by :func:`repro.trace.io.save_multitrace`) plus a tiny ``.json``
+sidecar with display metadata so ``repro trace ls`` never has to
+decompress traces. Writes are atomic (tempfile + rename); a corrupt or
+truncated entry is treated as a miss and deleted, never propagated —
+the generator is the source of truth, the store only a cache.
+
+Eviction is LRU by file mtime under a byte-size cap (``gc``); reads
+touch the mtime so hot traces survive. The store is off by default and
+activates per process via :func:`set_trace_store` or the
+``REPRO_TRACE_DIR`` environment variable (inherited by pool workers).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.trace.events import MultiTrace
+from repro.trace.io import load_multitrace, save_multitrace
+from repro.util.errors import ConfigError, TraceFormatError
+
+#: Bump when a deliberate generator-semantics change invalidates stored
+#: traces (the golden-trace fixture changes in the same commit).
+TRACE_STORE_SCHEMA = 1
+
+_ENV_DIR = "REPRO_TRACE_DIR"
+
+
+class TraceStore:
+    """Content-addressed MultiTrace cache rooted at one directory."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ConfigError(f"cannot use trace store dir {self.root}: {exc}") from exc
+
+    # -- keys / paths ------------------------------------------------------
+    def _key(self, cache_key: str) -> str:
+        from repro.analysis.cache import stable_key
+
+        return stable_key({"trace": cache_key, "schema": TRACE_STORE_SCHEMA})
+
+    def path_for(self, cache_key: str) -> Path:
+        return self.root / f"{self._key(cache_key)}.npz"
+
+    def _meta_path(self, npz_path: Path) -> Path:
+        return npz_path.with_suffix(".json")
+
+    # -- lookup / store ----------------------------------------------------
+    def get(self, cache_key: str) -> MultiTrace | None:
+        """The stored trace, or None. Corrupt entries are evicted and
+        counted as misses — a worker never crashes on a bad cache file."""
+        path = self.path_for(cache_key)
+        if not path.is_file():
+            self.misses += 1
+            return None
+        try:
+            mt = load_multitrace(path)
+        except TraceFormatError:
+            self._drop(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        try:  # LRU touch; best-effort
+            os.utime(path)
+        except OSError:
+            pass
+        return mt
+
+    def put(self, cache_key: str, mt: MultiTrace) -> Path:
+        """Store ``mt`` atomically; returns the entry path."""
+        path = self.path_for(cache_key)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".npz.tmp")
+        os.close(fd)
+        try:
+            save_multitrace(mt, tmp)
+            # save_multitrace appends .npz when the suffix isn't .npz
+            written = Path(tmp + ".npz") if not tmp.endswith(".npz") else Path(tmp)
+            os.replace(written, path)
+        except BaseException:
+            for leftover in (tmp, tmp + ".npz"):
+                try:
+                    os.unlink(leftover)
+                except OSError:
+                    pass
+            raise
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        meta = {
+            "name": mt.name,
+            "threads": mt.num_threads,
+            "accesses": mt.total_accesses,
+            "params": mt.params,
+            "stored_at": time.time(),
+        }
+        self._meta_path(path).write_text(json.dumps(meta, sort_keys=True, default=str))
+        return path
+
+    def _drop(self, path: Path) -> None:
+        for p in (path, self._meta_path(path)):
+            try:
+                p.unlink()
+            except OSError:
+                pass
+
+    # -- maintenance -------------------------------------------------------
+    def entries(self) -> list[dict]:
+        """One dict per stored trace (key stem, bytes, mtime, metadata)."""
+        out = []
+        for path in sorted(self.root.glob("*.npz")):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entry = {
+                "key": path.stem,
+                "bytes": stat.st_size,
+                "mtime": stat.st_mtime,
+            }
+            meta_path = self._meta_path(path)
+            try:
+                entry.update(json.loads(meta_path.read_text()))
+            except (OSError, json.JSONDecodeError):
+                pass
+            out.append(entry)
+        return out
+
+    def total_bytes(self) -> int:
+        return sum(e["bytes"] for e in self.entries())
+
+    def gc(self, max_bytes: int) -> list[str]:
+        """Evict least-recently-used entries until the store fits
+        ``max_bytes``; returns the evicted key stems."""
+        if max_bytes < 0:
+            raise ConfigError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = sorted(self.entries(), key=lambda e: e["mtime"])
+        total = sum(e["bytes"] for e in entries)
+        evicted = []
+        for entry in entries:
+            if total <= max_bytes:
+                break
+            self._drop(self.root / f"{entry['key']}.npz")
+            total -= entry["bytes"]
+            evicted.append(entry["key"])
+        return evicted
+
+    def clear(self) -> int:
+        n = 0
+        for path in self.root.glob("*.npz"):
+            self._drop(path)
+            n += 1
+        return n
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "entries": len(self.entries()),
+            "bytes": self.total_bytes(),
+        }
+
+
+# ---------------------------------------------------------------- process-wide
+_store: TraceStore | None = None
+_store_resolved = False
+
+
+def set_trace_store(store: TraceStore | str | os.PathLike | None) -> None:
+    """Install (or disable, with None) the process-wide trace store
+    consulted by :func:`repro.runner.build_workload`."""
+    global _store, _store_resolved
+    _store = TraceStore(store) if isinstance(store, (str, os.PathLike)) else store
+    _store_resolved = True
+
+
+def active_trace_store() -> TraceStore | None:
+    """The process-wide store: whatever :func:`set_trace_store`
+    installed, else a store rooted at ``$REPRO_TRACE_DIR`` when that is
+    set, else None (caching off)."""
+    global _store, _store_resolved
+    if not _store_resolved:
+        env = os.environ.get(_ENV_DIR)
+        _store = TraceStore(env) if env else None
+        _store_resolved = True
+    return _store

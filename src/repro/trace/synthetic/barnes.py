@@ -81,49 +81,86 @@ class BarnesGenerator(WorkloadGenerator):
         words = np.arange(self.bpt * WORDS_PER_BODY, dtype=np.int64)
         b.emit(self.body_addr(thread, 0) + words, writes=1, icounts=1)
         # each thread first-touches a slice of every tree level (spatial locality)
+        w = np.arange(WORDS_PER_NODE, dtype=np.int64)
         for level, size in enumerate(self.level_sizes):
             lo = (size * thread) // self.num_threads
             hi = (size * (thread + 1)) // self.num_threads
-            for idx in range(lo, hi):
-                w = np.arange(WORDS_PER_NODE, dtype=np.int64)
-                b.emit(self.node_addr(level, idx) + w, writes=1, icounts=1)
+            if hi <= lo:
+                continue
+            bases = self.tree_base + (
+                self.level_off[level] + np.arange(lo, hi, dtype=np.int64)
+            ) * WORDS_PER_NODE
+            b.emit((bases[:, None] + w[None, :]).ravel(), writes=1, icounts=1)
+
+    def _node_draw_bounds(self, walk: bool, thread: int) -> tuple[np.ndarray, np.ndarray]:
+        """(lows, highs) for one body's per-level node draws, in level order."""
+        sizes = np.asarray(self.level_sizes, dtype=np.int64)
+        lows = np.zeros(self.depth, dtype=np.int64)
+        highs = sizes.copy()
+        if walk:
+            # spatial bias: prefer nodes in own slice at deep levels
+            deep = np.arange(self.depth) >= self.depth // 2
+            lo = (sizes * thread) // self.num_threads
+            hi = np.maximum((sizes * (thread + 1)) // self.num_threads, lo + 1)
+            lows[deep] = lo[deep]
+            highs[deep] = hi[deep]
+        return lows, highs
 
     def _tree_build(self, thread: int, b: TraceBuilder) -> None:
-        """Insert own bodies: root-to-leaf RMW path per body."""
-        for body in range(self.bpt):
-            path_icount = 4
-            for level in range(self.depth):
-                size = self.level_sizes[level]
-                idx = int(self.rng.integers(0, size))
-                addr = self.node_addr(level, idx)
-                b.emit(
-                    np.array([addr, addr + 1], dtype=np.int64),
-                    writes=np.array([0, 1], dtype=np.uint8),
-                    icounts=path_icount,
-                )
+        """Insert own bodies: root-to-leaf RMW path per body.
+
+        Node indices are drawn with per-level bounds tiled body-major —
+        numpy's array-bound ``integers`` consumes the bit stream exactly
+        like the scalar per-draw loop it replaced, so the traces are
+        bit-identical to the pre-vectorization generator.
+        """
+        path_icount = 4
+        lows, highs = self._node_draw_bounds(walk=False, thread=thread)
+        idxs = self.rng.integers(np.tile(lows, self.bpt), np.tile(highs, self.bpt))
+        flat = self.level_off[np.tile(np.arange(self.depth), self.bpt)] + idxs
+        addrs = self.tree_base + flat * WORDS_PER_NODE
+        seq = np.stack([addrs, addrs + 1], axis=-1).ravel()
+        b.emit(
+            seq,
+            writes=np.tile(np.array([0, 1], dtype=np.uint8), idxs.size),
+            icounts=path_icount,
+        )
 
     def _force_walk(self, thread: int, b: TraceBuilder) -> None:
         """Per body: read the root path (hot upper levels) + local update."""
-        for body in range(self.bpt):
-            # upper levels: everyone reads node subsets — read-only hot set
-            for level in range(self.depth):
-                size = self.level_sizes[level]
-                # spatial bias: prefer nodes in own slice at deep levels
-                if level >= self.depth // 2:
-                    lo = (size * thread) // self.num_threads
-                    hi = max((size * (thread + 1)) // self.num_threads, lo + 1)
-                    idx = int(self.rng.integers(lo, hi))
-                else:
-                    idx = int(self.rng.integers(0, size))
-                w = np.arange(3, dtype=np.int64)  # centre-of-mass words
-                b.emit(self.node_addr(level, idx) + w, writes=0, icounts=3)
-            # update own body (local RMW)
-            base = self.body_addr(thread, body)
-            b.emit(
-                np.array([base + 2, base + 3, base + 2, base + 3], dtype=np.int64),
-                writes=np.array([0, 0, 1, 1], dtype=np.uint8),
-                icounts=6,
-            )
+        lows, highs = self._node_draw_bounds(walk=True, thread=thread)
+        idxs = self.rng.integers(np.tile(lows, self.bpt), np.tile(highs, self.bpt))
+        flat = self.level_off[np.tile(np.arange(self.depth), self.bpt)] + idxs
+        node_bases = (self.tree_base + flat * WORDS_PER_NODE).reshape(
+            self.bpt, self.depth
+        )
+        w = np.arange(3, dtype=np.int64)  # centre-of-mass words
+        reads = (node_bases[:, :, None] + w[None, None, :]).reshape(self.bpt, -1)
+        body_bases = self.body_addr(thread, 0) + np.arange(
+            self.bpt, dtype=np.int64
+        ) * WORDS_PER_BODY
+        # update own body (local RMW)
+        updates = body_bases[:, None] + np.array([2, 3, 2, 3], dtype=np.int64)[None, :]
+        seq = np.hstack([reads, updates]).ravel()
+        writes = np.tile(
+            np.concatenate(
+                [
+                    np.zeros(3 * self.depth, dtype=np.uint8),
+                    np.array([0, 0, 1, 1], dtype=np.uint8),
+                ]
+            ),
+            self.bpt,
+        )
+        icounts = np.tile(
+            np.concatenate(
+                [
+                    np.full(3 * self.depth, 3, dtype=np.uint16),
+                    np.full(4, 6, dtype=np.uint16),
+                ]
+            ),
+            self.bpt,
+        )
+        b.emit(seq, writes=writes, icounts=icounts)
 
     def _thread_trace(self, thread: int, b: TraceBuilder) -> None:
         self._init_phase(thread, b)

@@ -67,12 +67,18 @@ class AddressSpace:
 
 
 class TraceBuilder:
-    """Accumulates one thread's accesses in append-amortized chunks."""
+    """Accumulates one thread's accesses in append-amortized chunks.
+
+    ``emit`` keeps write/icount parts *unmaterialized* (a scalar stays
+    a scalar until :meth:`build` fills the final column), so emitting a
+    whole-phase address column costs one array append rather than two
+    broadcast copies per call.
+    """
 
     def __init__(self) -> None:
         self._addr: list[np.ndarray] = []
-        self._write: list[np.ndarray] = []
-        self._icount: list[np.ndarray] = []
+        self._write: list[tuple] = []  # (scalar-or-array, length)
+        self._icount: list[tuple] = []
 
     def emit(self, addrs, writes=0, icounts=0) -> None:
         """Append a block of accesses.
@@ -82,19 +88,29 @@ class TraceBuilder:
         addrs = np.atleast_1d(np.asarray(addrs, dtype=np.int64))
         n = addrs.size
         self._addr.append(addrs)
-        self._write.append(np.broadcast_to(np.asarray(writes, dtype=np.uint8), (n,)).copy())
-        self._icount.append(np.broadcast_to(np.asarray(icounts, dtype=np.uint16), (n,)).copy())
+        self._write.append((writes, n))
+        self._icount.append((icounts, n))
 
     def emit_one(self, addr: int, write: bool = False, icount: int = 0) -> None:
         self.emit([addr], 1 if write else 0, icount)
 
+    @staticmethod
+    def _fill(parts: list[tuple], total: int, dtype) -> np.ndarray:
+        out = np.empty(total, dtype=dtype)
+        pos = 0
+        for value, n in parts:
+            out[pos : pos + n] = value
+            pos += n
+        return out
+
     def build(self) -> np.ndarray:
         if not self._addr:
             return make_trace([])
+        total = sum(a.size for a in self._addr)
         return make_trace(
             np.concatenate(self._addr).astype(np.uint64),
-            np.concatenate(self._write),
-            np.concatenate(self._icount),
+            self._fill(self._write, total, np.uint8),
+            self._fill(self._icount, total, np.uint16),
         )
 
     def __len__(self) -> int:

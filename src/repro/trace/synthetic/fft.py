@@ -82,15 +82,29 @@ class FFTGenerator(WorkloadGenerator):
         b.emit(seq, writes=writes, icounts=4)
 
     def _transpose_phase(self, thread: int, b: TraceBuilder) -> None:
-        """All-to-all: read my sub-block from each peer, store locally."""
+        """All-to-all: read my sub-block from each peer, store locally.
+
+        One whole-phase column: per peer (in ring order), a remote read
+        run over the peer's sub-block followed by local stores into our
+        own partition.
+        """
         sub = max(self.ppt // self.num_threads, 1)
-        for peer_off in range(1, self.num_threads):
-            peer = (thread + peer_off) % self.num_threads
-            src = self.block_base(peer) + 2 * thread * sub
-            words = np.arange(2 * sub, dtype=np.int64)
-            b.emit(src + words, writes=0, icounts=1)  # one remote run per peer
-            dst = self.block_base(thread) + 2 * peer * sub
-            b.emit(dst + words, writes=1, icounts=1)  # local stores
+        peers = (thread + np.arange(1, self.num_threads, dtype=np.int64)) % (
+            self.num_threads
+        )
+        if peers.size == 0:
+            return
+        words = np.arange(2 * sub, dtype=np.int64)
+        src = self.data_base + 2 * peers * self.ppt + 2 * thread * sub
+        dst = self.block_base(thread) + 2 * peers * sub
+        # shape (peers, 2, 2*sub): axis 1 = [remote read run, local stores]
+        seq = np.stack(
+            [src[:, None] + words[None, :], dst[:, None] + words[None, :]], axis=1
+        ).ravel()
+        writes = np.tile(
+            np.repeat(np.array([0, 1], dtype=np.uint8), 2 * sub), peers.size
+        )
+        b.emit(seq, writes=writes, icounts=1)
 
     def _thread_trace(self, thread: int, b: TraceBuilder) -> None:
         self._init_phase(thread, b)

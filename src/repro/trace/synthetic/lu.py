@@ -45,6 +45,14 @@ class LUGenerator(WorkloadGenerator):
         self.matrix_base = self.space.shared_region(
             "matrix", blocks * blocks * block_words
         )
+        # owner map + per-block access templates, hoisted out of the
+        # per-thread emission loops
+        idx = np.arange(blocks * blocks, dtype=np.int64)
+        self._owner_flat = self._owner_of(idx // blocks, idx % blocks)
+        words = np.arange(block_words, dtype=np.int64)
+        self._read_tpl = words
+        self._update_tpl = np.repeat(words, 2)
+        self._update_writes = np.tile(np.array([0, 1], dtype=np.uint8), block_words)
 
     def params(self) -> dict:
         return {
@@ -53,53 +61,62 @@ class LUGenerator(WorkloadGenerator):
             "block_words": self.block_words,
         }
 
-    def owner(self, bi: int, bj: int) -> int:
-        """2-D cyclic block-to-thread map (as in SPLASH-2 contiguous LU)."""
+    def _owner_of(self, bi, bj):
+        """2-D cyclic block-to-thread map (as in SPLASH-2 contiguous LU);
+        accepts scalars or arrays."""
         q = max(int(self.num_threads**0.5), 1)
         cols = self.num_threads // q
         if q * cols == self.num_threads:
             return (bi % q) * cols + (bj % cols)
         return (bi * self.blocks + bj) % self.num_threads
 
+    def owner(self, bi: int, bj: int) -> int:
+        return int(self._owner_flat[bi * self.blocks + bj])
+
     def block_base(self, bi: int, bj: int) -> int:
         return self.matrix_base + (bi * self.blocks + bj) * self.block_words
 
     def _read_block(self, bi: int, bj: int, b: TraceBuilder, stride: int = 1) -> None:
-        words = np.arange(0, self.block_words, stride, dtype=np.int64)
+        words = self._read_tpl if stride == 1 else np.arange(
+            0, self.block_words, stride, dtype=np.int64
+        )
         b.emit(self.block_base(bi, bj) + words, writes=0, icounts=2)
 
     def _update_block(self, bi: int, bj: int, b: TraceBuilder) -> None:
-        words = np.arange(self.block_words, dtype=np.int64)
-        base = self.block_base(bi, bj)
-        seq = np.column_stack([base + words, base + words]).ravel()
-        writes = np.tile(np.array([0, 1], dtype=np.uint8), words.size)
-        b.emit(seq, writes=writes, icounts=3)
+        b.emit(
+            self.block_base(bi, bj) + self._update_tpl,
+            writes=self._update_writes,
+            icounts=3,
+        )
 
     def _init_phase(self, thread: int, b: TraceBuilder) -> None:
-        for bi in range(self.blocks):
-            for bj in range(self.blocks):
-                if self.owner(bi, bj) == thread:
-                    words = np.arange(self.block_words, dtype=np.int64)
-                    b.emit(self.block_base(bi, bj) + words, writes=1, icounts=1)
+        mine = np.nonzero(self._owner_flat == thread)[0].astype(np.int64)
+        if mine.size == 0:
+            return
+        bases = self.matrix_base + mine * self.block_words
+        b.emit((bases[:, None] + self._read_tpl[None, :]).ravel(), writes=1, icounts=1)
 
     def _thread_trace(self, thread: int, b: TraceBuilder) -> None:
         self._init_phase(thread, b)
-        for k in range(self.blocks):
+        owner = self._owner_flat
+        B = self.blocks
+        for k in range(B):
             # diagonal factorization by its owner
-            if self.owner(k, k) == thread:
+            if owner[k * B + k] == thread:
                 self._update_block(k, k, b)
             # perimeter updates: read diag remotely, update own block
-            for i in range(k + 1, self.blocks):
-                if self.owner(i, k) == thread:
+            for i in range(k + 1, B):
+                if owner[i * B + k] == thread:
                     self._read_block(k, k, b)
                     self._update_block(i, k, b)
-                if self.owner(k, i) == thread:
+                if owner[k * B + i] == thread:
                     self._read_block(k, k, b)
                     self._update_block(k, i, b)
             # trailing submatrix updates
-            for i in range(k + 1, self.blocks):
-                for j in range(k + 1, self.blocks):
-                    if self.owner(i, j) == thread:
-                        self._read_block(i, k, b)
-                        self._read_block(k, j, b)
-                        self._update_block(i, j, b)
+            for i in range(k + 1, B):
+                row = owner[i * B + k + 1 : (i + 1) * B]
+                for j in np.nonzero(row == thread)[0]:
+                    jj = int(j) + k + 1
+                    self._read_block(i, k, b)
+                    self._read_block(k, jj, b)
+                    self._update_block(i, jj, b)

@@ -83,26 +83,31 @@ class OceanGenerator(WorkloadGenerator):
     # -- phases ------------------------------------------------------------
     def _init_phase(self, thread: int, b: TraceBuilder) -> None:
         r0, r1 = self.rows_of(thread)
+        rows = np.arange(r0, r1, dtype=np.int64)
         cols = np.arange(self.grid_n, dtype=np.int64)
-        for r in range(r0, r1):
-            b.emit(self.addr(r, cols), writes=1, icounts=1)
+        b.emit(
+            (self.grid_base + rows[:, None] * self.grid_n + cols[None, :]).ravel(),
+            writes=1,
+            icounts=1,
+        )
 
     def _stencil_sweep(self, thread: int, b: TraceBuilder) -> None:
         n = self.grid_n
         r0, r1 = self.rows_of(thread)
+        # physical grid boundary rows are fixed
+        rows = np.arange(max(r0, 1), min(r1, n - 1), dtype=np.int64)
+        if rows.size == 0:
+            return
         cols = np.arange(1, n - 1, dtype=np.int64)
-        for r in range(r0, r1):
-            if r == 0 or r == n - 1:
-                continue  # physical grid boundary rows are fixed
-            north = self.addr(r - 1, cols)
-            south = self.addr(r + 1, cols)
-            east = self.addr(r, cols + 1)
-            west = self.addr(r, cols - 1)
-            center = self.addr(r, cols)
-            # per-point order: N S E W C(read) C(write)
-            seq = np.column_stack([north, south, east, west, center, center]).ravel()
-            writes = np.tile(np.array([0, 0, 0, 0, 0, 1], dtype=np.uint8), cols.size)
-            b.emit(seq, writes=writes, icounts=self.stencil_icount)
+        center = self.grid_base + rows[:, None] * n + cols[None, :]
+        # per-point order: N S E W C(read) C(write), row-major over the block
+        seq = np.stack(
+            [center - n, center + n, center + 1, center - 1, center, center], axis=-1
+        ).ravel()
+        writes = np.tile(
+            np.array([0, 0, 0, 0, 0, 1], dtype=np.uint8), rows.size * cols.size
+        )
+        b.emit(seq, writes=writes, icounts=self.stencil_icount)
 
     def _reduction_phase(self, thread: int, b: TraceBuilder) -> None:
         n = self.grid_n

@@ -77,17 +77,19 @@ class RadixGenerator(WorkloadGenerator):
             seq = np.column_stack([key_addrs, priv_hist, priv_hist]).ravel()
             writes = np.tile(np.array([0, 0, 1], dtype=np.uint8), self.kpt)
             b.emit(seq, writes=writes, icounts=2)
-            # 2. prefix sum over shared histogram: touch each peer's bucket row
-            for step in (1, 2, 4):
-                peer = (thread + step) % self.num_threads
-                hw = self.hist_base + peer * self.radix + np.arange(
-                    self.radix, dtype=np.int64
-                )
-                b.emit(hw, writes=0, icounts=1)
-            own = self.hist_base + thread * self.radix + np.arange(
-                self.radix, dtype=np.int64
+            # 2. prefix sum over shared histogram: touch each peer's bucket
+            # row (steps 1, 2, 4), then write our own — one phase column
+            rows = np.array(
+                [(thread + s) % self.num_threads for s in (1, 2, 4)] + [thread],
+                dtype=np.int64,
             )
-            b.emit(own, writes=1, icounts=1)
+            hwords = np.arange(self.radix, dtype=np.int64)
+            hw = (self.hist_base + rows[:, None] * self.radix + hwords[None, :]).ravel()
+            b.emit(
+                hw,
+                writes=np.repeat(np.array([0, 0, 0, 1], dtype=np.uint8), self.radix),
+                icounts=1,
+            )
             # 3. permute: read own key (local), scatter-write to global out
             dest_thread = (my_keys % self.num_threads).astype(np.int64)
             dest_slot = (my_keys // self.num_threads) % self.kpt

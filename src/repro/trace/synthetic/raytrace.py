@@ -80,23 +80,39 @@ class RaytraceGenerator(WorkloadGenerator):
     def _thread_trace(self, thread: int, b: TraceBuilder) -> None:
         self._init_phase(thread, b)
         stack = self.space.private_base(thread)
-        for ray in range(self.rpt):
-            nodes = self._zipf_nodes(self.npr)
-            for d, node in enumerate(nodes.tolist()):
-                # probe scene node (1-2 shared reads)
-                addr = self.scene_base + int(node)
-                b.emit(
-                    np.array([addr, addr + 1 - (node == self.scene_words - 1)]),
-                    writes=0,
-                    icounts=5,
-                )
-                # push/pop private ray stack between probes
-                b.emit_one(stack + d, write=True, icount=2)
-                b.emit_one(stack + d, write=False, icount=2)
-            # write the pixel (thread-owned framebuffer band)
-            b.emit_one(self.fb_base + thread * self.rpt + ray, write=True, icount=3)
+        # Rays are processed in poll-aligned groups of 16: the zipf node
+        # draws batch across the group (rejection sampling consumes the
+        # bit stream per sample, so one big draw equals the per-ray
+        # draws it replaced), and the work-queue poll draw lands after
+        # every 16th ray exactly as in the scalar loop.
+        npr = self.npr
+        stack_words = stack + np.arange(npr, dtype=np.int64)
+        # per-node record template: probe, probe+1 (clamped), push, pop
+        node_writes = np.tile(np.array([0, 0, 1, 0], dtype=np.uint8), npr)
+        node_icounts = np.tile(np.array([5, 5, 2, 2], dtype=np.uint16), npr)
+        ray_writes = np.concatenate([node_writes, np.array([1], dtype=np.uint8)])
+        ray_icounts = np.concatenate([node_icounts, np.array([3], dtype=np.uint16)])
+        for g in range(0, self.rpt, 16):
+            cnt = min(16, self.rpt - g)
+            nodes = self._zipf_nodes(cnt * npr).reshape(cnt, npr)
+            probe = self.scene_base + nodes
+            probe2 = probe + 1 - (nodes == self.scene_words - 1)
+            push = np.broadcast_to(stack_words, (cnt, npr))
+            # (cnt, npr, 4) -> per ray: probe, probe2, push, pop per node
+            records = np.stack([probe, probe2, push, push], axis=-1).reshape(cnt, -1)
+            pixels = (
+                self.fb_base + thread * self.rpt + np.arange(g, g + cnt, dtype=np.int64)
+            )[:, None]
+            b.emit(
+                np.hstack([records, pixels]).ravel(),
+                writes=np.tile(ray_writes, cnt),
+                icounts=np.tile(ray_icounts, cnt),
+            )
             # occasionally poll the work queue (contended shared RMW)
-            if ray % 16 == 15:
+            if cnt == 16:
                 victim = int(self.rng.integers(0, self.num_threads))
-                b.emit_one(self.work_base + victim, write=False, icount=1)
-                b.emit_one(self.work_base + victim, write=True, icount=0)
+                b.emit(
+                    np.array([self.work_base + victim] * 2, dtype=np.int64),
+                    writes=np.array([0, 1], dtype=np.uint8),
+                    icounts=np.array([1, 0], dtype=np.uint16),
+                )

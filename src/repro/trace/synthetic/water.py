@@ -67,14 +67,21 @@ class WaterGenerator(WorkloadGenerator):
         b.emit(self.mol_addr(thread, 0) + words, writes=1, icounts=1)
 
     def _local_update(self, thread: int, b: TraceBuilder) -> None:
-        for m in range(self.mpt):
-            base = self.mol_addr(thread, m)
-            w = np.arange(WORDS_PER_MOL, dtype=np.int64)
-            seq = np.concatenate([base + w, base + w[:4]])
-            writes = np.concatenate(
+        # per molecule: read all words, then write back the first four —
+        # one whole-phase column over the thread's molecule block
+        w = np.arange(WORDS_PER_MOL, dtype=np.int64)
+        tpl = np.concatenate([w, w[:4]])
+        bases = self.mol_addr(thread, 0) + np.arange(self.mpt, dtype=np.int64) * (
+            WORDS_PER_MOL
+        )
+        seq = (bases[:, None] + tpl[None, :]).ravel()
+        writes = np.tile(
+            np.concatenate(
                 [np.zeros(WORDS_PER_MOL, dtype=np.uint8), np.ones(4, dtype=np.uint8)]
-            )
-            b.emit(seq, writes=writes, icounts=6)
+            ),
+            self.mpt,
+        )
+        b.emit(seq, writes=writes, icounts=6)
 
     def _pairwise_phase(self, thread: int, b: TraceBuilder) -> None:
         n_pairs = max(int(self.mpt * self.num_threads * self.frac / 8), 1)
@@ -82,23 +89,20 @@ class WaterGenerator(WorkloadGenerator):
             self.num_threads
         )
         mols = self.rng.integers(0, self.mpt, n_pairs)
-        for peer, mol in zip(peers.tolist(), mols.tolist()):
-            if peer == thread:
-                continue
-            rbase = self.mol_addr(int(peer), int(mol))
-            # read peer position (2 words), RMW peer force (read+write)
-            b.emit(
-                np.array([rbase, rbase + 1, rbase + 4, rbase + 4], dtype=np.int64),
-                writes=np.array([0, 0, 0, 1], dtype=np.uint8),
-                icounts=8,
-            )
-            # accumulate into own molecule force (local)
-            own = self.mol_addr(thread, int(mol) % self.mpt)
-            b.emit(
-                np.array([own + 4, own + 4], dtype=np.int64),
-                writes=np.array([0, 1], dtype=np.uint8),
-                icounts=4,
-            )
+        keep = peers != thread
+        peers, mols = peers[keep].astype(np.int64), mols[keep].astype(np.int64)
+        if peers.size == 0:
+            return
+        # per pair: read peer position (2 words), RMW peer force, then
+        # RMW our own molecule's force word — emitted as one column
+        rbase = self.mol_base + (peers * self.mpt + mols) * WORDS_PER_MOL
+        own = self.mol_base + (thread * self.mpt + mols % self.mpt) * WORDS_PER_MOL
+        seq = np.stack(
+            [rbase, rbase + 1, rbase + 4, rbase + 4, own + 4, own + 4], axis=-1
+        ).ravel()
+        writes = np.tile(np.array([0, 0, 0, 1, 0, 1], dtype=np.uint8), peers.size)
+        icounts = np.tile(np.array([8, 8, 8, 8, 4, 4], dtype=np.uint16), peers.size)
+        b.emit(seq, writes=writes, icounts=icounts)
 
     def _global_accumulate(self, thread: int, b: TraceBuilder) -> None:
         cell = self.global_base + (thread % 16)

@@ -74,13 +74,20 @@ class WaterSpatialGenerator(WorkloadGenerator):
         return (cid * self.num_threads) // (self.n**3)
 
     def _owned_cells(self, thread: int) -> list[tuple[int, int, int]]:
-        out = []
-        for z in range(self.n):
-            for y in range(self.n):
-                for x in range(self.n):
-                    if self.owner_of_cell(x, y, z) == thread:
-                        out.append((x, y, z))
-        return out
+        """Cells owned by ``thread``, in ascending cell-id order.
+
+        ``owner_of_cell`` is monotone in the cell id, so the owned set
+        is the contiguous id range [ceil(t*N/T), ceil((t+1)*N/T)) —
+        computed directly instead of scanning all n**3 cells.
+        """
+        total = self.n**3
+        lo = -(-thread * total // self.num_threads)
+        hi = -(-(thread + 1) * total // self.num_threads)
+        cids = np.arange(lo, hi, dtype=np.int64)
+        xs = cids % self.n
+        ys = (cids // self.n) % self.n
+        zs = cids // (self.n * self.n)
+        return list(zip(xs.tolist(), ys.tolist(), zs.tolist()))
 
     # -- phases ------------------------------------------------------------
     def _init_phase(self, thread: int, b: TraceBuilder) -> None:

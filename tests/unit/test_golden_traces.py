@@ -1,0 +1,51 @@
+"""Generator bit-identity contract against ``golden_traces.json``.
+
+The fixture was generated from the pre-vectorization Python-loop
+generators (``benchmarks/make_golden_traces.py``) and committed before
+the NumPy rewrite. Every scenario regenerates here and must produce
+the exact same trace digest — same seed, bit-identical trace — so the
+loop->vector rewrite (and any future generator change) is provably
+behavior-preserving or deliberately re-fixtured.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+FIXTURE_PATH = Path(__file__).resolve().parent.parent / "fixtures" / "golden_traces.json"
+BENCH_DIR = Path(__file__).resolve().parent.parent.parent / "benchmarks"
+
+COMMITTED = json.loads(FIXTURE_PATH.read_text())
+
+
+def _scenarios():
+    if str(BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(BENCH_DIR))
+    import make_golden_traces as mgt
+
+    return mgt
+
+
+def test_fixture_covers_every_scenario():
+    mgt = _scenarios()
+    assert {mgt.scenario_key(sc) for sc in mgt.SCENARIOS} == set(COMMITTED)
+
+
+@pytest.mark.parametrize("key", sorted(COMMITTED), ids=lambda k: json.loads(k)["name"])
+def test_trace_digest_matches_golden(key):
+    mgt = _scenarios()
+    sc = json.loads(key)
+    from repro.registry import WORKLOADS
+
+    mt = WORKLOADS.get(sc["name"])(seed=sc["seed"], **sc["params"]).generate()
+    expected = COMMITTED[key]
+    assert mt.total_accesses == expected["accesses"]
+    assert mt.num_threads == expected["threads"]
+    assert mt.digest() == expected["digest"], (
+        f"{sc['name']} trace drifted from the pre-vectorization golden digest "
+        f"(params {sc['params']}, seed {sc['seed']})"
+    )

@@ -15,10 +15,13 @@ import pickle
 import pytest
 
 from repro.analysis.parallel import (
+    POOL_MIN_POINTS,
     SweepPointError,
     default_workers,
+    effective_workers,
     merge_row,
     parallel_sweep,
+    shutdown_pool,
 )
 from repro.analysis.sweep import grid
 from repro.arch.config import small_test_config
@@ -147,6 +150,50 @@ class TestDegradation:
             parallel_sweep(grid(x=[1]), _ident, workers=0)
         with pytest.raises(ConfigError):
             parallel_sweep(grid(x=[1, 2]), _ident, workers=2, chunk=0)
+
+
+class TestScheduling:
+    def test_effective_workers_clamps_to_cpu_count(self, monkeypatch):
+        import repro.analysis.parallel as par
+
+        monkeypatch.setattr(par, "default_workers", lambda: 2)
+        assert effective_workers(8) == 2
+        assert effective_workers(1) == 1
+        assert effective_workers(None) == 2
+
+    def test_effective_workers_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            effective_workers(0)
+
+    def test_small_sweeps_skip_the_pool(self, monkeypatch):
+        """Below POOL_MIN_POINTS the pool must not even be created —
+        startup costs more than the points."""
+        import repro.analysis.parallel as par
+
+        monkeypatch.setattr(par, "default_workers", lambda: 4)
+        created = []
+        real_get = par._get_pool
+        monkeypatch.setattr(
+            par, "_get_pool", lambda n: created.append(n) or real_get(n)
+        )
+        points = grid(x=list(range(POOL_MIN_POINTS - 1)))
+        rows = parallel_sweep(points, _ident, workers=4)
+        assert [r["x"] for r in rows] == list(range(POOL_MIN_POINTS - 1))
+        assert created == []
+
+    def test_pool_is_reused_across_sweeps(self, monkeypatch):
+        import repro.analysis.parallel as par
+
+        monkeypatch.setattr(par, "default_workers", lambda: 2)
+        shutdown_pool()
+        points = grid(x=list(range(8)))
+        parallel_sweep(points, _ident, workers=2)
+        first = par._pool
+        assert first is not None
+        parallel_sweep(points, _ident, workers=2)
+        assert par._pool is first
+        shutdown_pool()
+        assert par._pool is None
 
 
 class TestMergeRow:

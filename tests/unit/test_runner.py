@@ -97,6 +97,36 @@ class TestBuild:
         clear_build_memo()
         assert build_workload(WORKLOAD) is not a
 
+    def test_workload_memo_evicts_least_recently_used(self):
+        """Round-robin over cap+1 workloads with one kept hot: the hot
+        entry must survive eviction (LRU), where FIFO would drop it."""
+        import repro.runner as runner
+
+        clear_build_memo()
+        specs = [
+            WorkloadSpec(name="pingpong", params={"num_threads": 2, "rounds": r})
+            for r in range(2, 2 + runner._MEMO_CAP + 1)
+        ]
+        hot = build_workload(specs[0])
+        for spec in specs[1:]:
+            build_workload(specs[0])  # keep the first entry recently used
+            build_workload(spec)
+        assert build_workload(specs[0]) is hot
+        clear_build_memo()
+
+    def test_seed_workload_memo_short_circuits_build(self):
+        from repro.runner import seed_workload_memo
+
+        clear_build_memo()
+        sentinel = make_workload("pingpong", num_threads=4, rounds=8)
+        seed_workload_memo(WORKLOAD, sentinel)
+        assert build_workload(WORKLOAD) is sentinel
+        # dict form (what a pool worker holds) seeds the same slot
+        clear_build_memo()
+        seed_workload_memo(WORKLOAD.to_dict(), sentinel)
+        assert build_workload(WORKLOAD) is sentinel
+        clear_build_memo()
+
     def test_unknown_names_raise_config_error(self):
         with pytest.raises(ConfigError, match="unknown machine"):
             run(_spec(machine="quantum"))

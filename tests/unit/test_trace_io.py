@@ -71,3 +71,53 @@ def test_empty_threads_roundtrip(tmp_path):
     loaded = load_multitrace(path)
     assert loaded.threads[0].size == 0
     assert loaded.threads[1]["addr"].tolist() == [5]
+
+
+def test_load_missing_file_is_file_not_found(tmp_path):
+    # a missing file is the caller's problem (bad path), not a format
+    # error the trace store should swallow as a cache miss
+    with pytest.raises(FileNotFoundError):
+        load_multitrace(tmp_path / "nope.npz")
+
+
+def test_load_non_zip_garbage_raises_trace_format_error(tmp_path):
+    path = tmp_path / "garbage.npz"
+    path.write_bytes(b"not a zip archive at all")
+    with pytest.raises(TraceFormatError, match="corrupt trace container"):
+        load_multitrace(path)
+
+
+def test_load_truncated_npz_raises_trace_format_error(tmp_path):
+    path = tmp_path / "truncated.npz"
+    save_multitrace(_mt(), path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(TraceFormatError):
+        load_multitrace(path)
+
+
+def test_load_corrupt_meta_json_raises_trace_format_error(tmp_path):
+    path = tmp_path / "badmeta.npz"
+    np.savez(
+        path,
+        thread_00000=make_trace([1]),
+        native_cores=np.array([0]),
+        meta_json=np.frombuffer(b"{not json", dtype=np.uint8),
+    )
+    with pytest.raises(TraceFormatError):
+        load_multitrace(path)
+
+
+def test_load_wrong_dtype_thread_raises_trace_format_error(tmp_path):
+    import json
+
+    path = tmp_path / "baddtype.npz"
+    meta = json.dumps({"name": "x", "params": {}, "num_threads": 1})
+    np.savez(
+        path,
+        thread_00000=np.arange(4, dtype=np.float64),
+        native_cores=np.array([0]),
+        meta_json=np.frombuffer(meta.encode(), dtype=np.uint8),
+    )
+    with pytest.raises(TraceFormatError):
+        load_multitrace(path)

@@ -222,6 +222,46 @@ def golden_parity() -> bool:
     return golden.scenario_results() == committed
 
 
+#: results() keys that exist only when a fault plane is attached — the
+#: recovery ledger, stripped before comparing against the (fault-free)
+#: golden fixture.
+FAULT_RESULT_KEYS = (
+    "retries",
+    "drops_survived",
+    "dup_ignored",
+    "recovery_stall_cycles",
+)
+
+
+def fault_zero_golden_parity() -> bool:
+    """Run every golden scenario with a quiet fault plane attached (an
+    injector at all-zero rates) and compare against the committed
+    fixture after stripping the fault-only ledger keys — the proof that
+    an *idle* fault plane is observationally free on every machine, not
+    just absent."""
+    bench_dir = Path(__file__).resolve().parent
+    if str(bench_dir) not in sys.path:
+        sys.path.insert(0, str(bench_dir))
+    import make_golden_fixtures as golden
+
+    from repro.runner import run
+    from repro.spec import ExperimentSpec
+
+    committed = json.loads(golden.FIXTURE_PATH.read_text())
+    for key, spec_dict in golden.scenario_specs().items():
+        spec_dict = dict(spec_dict)
+        spec_dict["faults"] = {"name": "iid", "params": {}, "seed": 0}
+        res = run(ExperimentSpec.from_dict(spec_dict))
+        stripped = {
+            k: v
+            for k, v in res.items()
+            if k not in FAULT_RESULT_KEYS and not k.startswith("faults.")
+        }
+        if stripped != committed[key]:
+            return False
+    return True
+
+
 def tracegen_golden_parity() -> bool:
     """Regenerate every golden-trace scenario and compare SHA-256
     digests against the committed fixture — the bit-identity contract
@@ -322,6 +362,7 @@ def run_throughput(mode: str = "full", repeats: int = 3) -> dict:
         "cc_speedup_vs_pre_pr": cc["accesses_per_sec"] / base["cc"],
         "pre_pr_baseline": base,
         "golden_parity": golden_parity(),
+        "fault_zero_golden_parity": fault_zero_golden_parity(),
     }
 
 
@@ -402,6 +443,7 @@ def test_throughput_smoke():
     regression-diff step against the committed baseline)."""
     report = run_throughput(mode="smoke", repeats=1)
     assert report["golden_parity"]
+    assert report["fault_zero_golden_parity"]
     assert report["machine_accesses_per_sec"] > 0
     assert report["cc_accesses_per_sec"] > 0
 
@@ -457,6 +499,7 @@ def main(argv: list[str] | None = None) -> int:
         and report["trace_store_rows_identical"]
         and report["warm_skip_fraction"] >= 0.9
         and report["golden_parity"]
+        and report["fault_zero_golden_parity"]
         and report["tracegen_golden_parity"]
     )
     print(
@@ -473,7 +516,8 @@ def main(argv: list[str] | None = None) -> int:
         f"({report['machine_speedup_vs_pre_pr']:.2f}x pre-PR) | "
         f"cc {report['cc_accesses_per_sec']:.0f} acc/s "
         f"({report['cc_speedup_vs_pre_pr']:.2f}x pre-PR) | "
-        f"golden parity: {report['golden_parity']}"
+        f"golden parity: {report['golden_parity']} | "
+        f"fault-zero parity: {report['fault_zero_golden_parity']}"
     )
     print(
         f"tracegen {report['tracegen_accesses_per_sec']:.0f} acc/s "

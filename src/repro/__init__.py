@@ -88,9 +88,11 @@ from repro.registry import (
     WORKLOADS,
     Registry,
 )
+from repro.faults import FaultInjector
 from repro.spec import (
     SPEC_SCHEMA_VERSION,
     ExperimentSpec,
+    FaultSpec,
     MachineSpec,
     PlacementSpec,
     SchemeSpec,
@@ -167,6 +169,8 @@ __all__ = [
     "SchemeSpec",
     "PlacementSpec",
     "TopologySpec",
+    "FaultSpec",
+    "FaultInjector",
     "build",
     "run",
     "run_spec_dict",

@@ -158,21 +158,48 @@ class ResultCache:
         return payload["rows"]
 
     def put(self, key: str, rows: list[dict]) -> None:
-        """Store ``rows`` under ``key`` (atomic rename; JSON-canonical)."""
+        """Store ``rows`` under ``key`` (atomic rename; JSON-canonical).
+
+        A failing write (disk full, directory turned read-only after
+        construction) is a warned no-op — the cache degrades to a miss
+        on the next read instead of aborting the sweep that computed
+        the rows.
+        """
         if not self.enabled:
             return
         payload = json.dumps({"key": key, "rows": canonical_rows(rows)})
-        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        except OSError as exc:
+            self._warn_write_failure(key, exc)
+            return
         try:
             with os.fdopen(fd, "w") as fh:
                 fh.write(payload)
             os.replace(tmp, self._path(key))
+        except OSError as exc:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            self._warn_write_failure(key, exc)
         except BaseException:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
             raise
+
+    @staticmethod
+    def _warn_write_failure(key: str, exc: OSError) -> None:
+        import warnings
+
+        warnings.warn(
+            f"result cache write for key {key[:12]}… failed ({exc}); "
+            "continuing uncached",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     # -- maintenance -------------------------------------------------------
     def clear(self) -> int:

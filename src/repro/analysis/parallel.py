@@ -35,7 +35,9 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Mapping
 
@@ -157,6 +159,22 @@ def _get_pool(max_workers: int) -> ProcessPoolExecutor | None:
     return _pool
 
 
+def _kill_pool_workers() -> None:
+    """Forcibly terminate the cached pool's worker processes.
+
+    ``shutdown(cancel_futures=True)`` cannot stop a worker that is
+    *currently executing* a hung point — only SIGTERM can. Used by the
+    point-timeout path before disposing the pool.
+    """
+    if _pool is None:
+        return
+    for proc in list(getattr(_pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+
+
 def shutdown_pool() -> None:
     """Dispose the cached worker pool (idempotent; registered atexit).
 
@@ -174,11 +192,16 @@ def shutdown_pool() -> None:
 atexit.register(shutdown_pool)
 
 
+#: Seconds slept before the single retry after a transient pool break.
+POOL_RETRY_BACKOFF = 0.5
+
+
 def parallel_sweep(
     points: Iterable[Mapping],
     fn: Callable[..., Mapping],
     workers: int | None = None,
     chunk: int | None = None,
+    point_timeout: float | None = None,
 ) -> list[dict]:
     """Evaluate ``fn(**point)`` for every point, fanning out over
     ``workers`` processes.
@@ -192,6 +215,19 @@ def parallel_sweep(
     amortizing pickling without starving the pool). The pool itself is
     created once per process and reused across calls.
 
+    ``point_timeout`` (seconds, wall clock) bounds the wait for each
+    chunk's result; when set, ``chunk`` defaults to 1 so a timeout
+    attributes to a single point. A hung worker is SIGTERMed, the pool
+    disposed, and :class:`SweepPointError` raised with that point —
+    never a silent hang. (The bound is approximate for queued chunks:
+    the clock starts when the parent begins waiting on that chunk.)
+
+    A transiently broken pool (worker OOM-killed, segfault) is retried
+    once on a fresh pool after a short backoff — already-collected
+    chunks are not re-evaluated. If the fresh pool breaks too, the
+    remaining points finish serially in-process: degraded throughput,
+    never a lost sweep.
+
     Row order always matches point order. Worker exceptions re-raise
     in the parent as :class:`SweepPointError` with the failing point.
     """
@@ -199,6 +235,8 @@ def parallel_sweep(
     workers = effective_workers(workers)
     if chunk is not None and chunk < 1:
         raise ConfigError(f"chunk must be >= 1, got {chunk}")
+    if point_timeout is not None and point_timeout <= 0:
+        raise ConfigError(f"point_timeout must be > 0, got {point_timeout}")
 
     if (
         workers == 1
@@ -208,32 +246,64 @@ def parallel_sweep(
         return _serial_sweep(points, fn)
 
     if chunk is None:
-        chunk = max(1, -(-len(points) // (workers * 4)))
+        chunk = 1 if point_timeout is not None else max(
+            1, -(-len(points) // (workers * 4))
+        )
 
     chunks = _chunked(points, chunk)
-    executor = _get_pool(min(workers, len(chunks)))
-    if executor is None:
-        return _serial_sweep(points, fn)
     rows: list[dict] = []
-    try:
-        futures = [executor.submit(_run_chunk, fn, c) for c in chunks]
-        # collect in submission order -> deterministic row ordering
-        for future in futures:
-            for marker in future.result():
-                if marker[0] == "err":
-                    _, point, exc = marker
-                    if isinstance(exc, (SweepPointError, ConfigError)):
-                        raise exc  # already attributed / a collision
+    done = 0  # chunks fully collected into rows
+    pool_breaks = 0
+    while done < len(chunks):
+        executor = _get_pool(min(workers, len(chunks) - done))
+        if executor is None:
+            rows.extend(_serial_sweep([p for c in chunks[done:] for p in c], fn))
+            return rows
+        try:
+            futures = [executor.submit(_run_chunk, fn, c) for c in chunks[done:]]
+            # collect in submission order -> deterministic row ordering;
+            # ``done`` advances per collected chunk, so chunks[done] is
+            # always the chunk the current future evaluated
+            for future in futures:
+                wait = (
+                    point_timeout * len(chunks[done])
+                    if point_timeout is not None
+                    else None
+                )
+                try:
+                    markers = future.result(timeout=wait)
+                except FuturesTimeout:
+                    point = chunks[done][0]
+                    _kill_pool_workers()
+                    shutdown_pool()
                     raise SweepPointError(
-                        f"sweep point {point!r} failed: "
-                        f"{type(exc).__name__}: {exc}",
+                        f"sweep point {point!r} exceeded point_timeout="
+                        f"{point_timeout}s; worker killed",
                         point=point,
-                    ) from exc
-                rows.append(marker[1])
-    except BrokenProcessPool:
-        # a worker died (OOM kill, segfault); the pool is unusable —
-        # dispose it so the next sweep starts clean, then re-raise so
-        # the caller's cleanup (e.g. shm unlink) still runs.
-        shutdown_pool()
-        raise
+                    ) from None
+                for marker in markers:
+                    if marker[0] == "err":
+                        _, point, exc = marker
+                        if isinstance(exc, (SweepPointError, ConfigError)):
+                            raise exc  # already attributed / a collision
+                        raise SweepPointError(
+                            f"sweep point {point!r} failed: "
+                            f"{type(exc).__name__}: {exc}",
+                            point=point,
+                        ) from exc
+                    rows.append(marker[1])
+                done += 1
+        except BrokenProcessPool:
+            # a worker died (OOM kill, segfault); the pool is unusable —
+            # dispose it so the next attempt starts clean
+            shutdown_pool()
+            pool_breaks += 1
+            if pool_breaks > 1:
+                # second break: stop trusting multiprocessing on this
+                # host and finish the remaining points in-process
+                rows.extend(
+                    _serial_sweep([p for c in chunks[done:] for p in c], fn)
+                )
+                return rows
+            time.sleep(POOL_RETRY_BACKOFF)
     return rows

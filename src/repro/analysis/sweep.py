@@ -45,6 +45,7 @@ def sweep(
     chunk: int | None = None,
     cache: "ResultCache | None" = None,
     cache_extra: Mapping | None = None,
+    point_timeout: float | None = None,
 ) -> list[dict]:
     """Evaluate ``fn(**point)`` for every point; each row merges the
     point's parameters with the returned metrics. A metric key that
@@ -61,7 +62,9 @@ def sweep(
     """
     points = [dict(p) for p in points]
     if cache is None:
-        return parallel_sweep(points, fn, workers=workers, chunk=chunk)
+        return parallel_sweep(
+            points, fn, workers=workers, chunk=chunk, point_timeout=point_timeout
+        )
 
     from repro.analysis.cache import canonical_rows
 
@@ -77,7 +80,11 @@ def sweep(
             rows.append(hit[0])
     if missing:
         fresh = parallel_sweep(
-            [points[i] for i in missing], fn, workers=workers, chunk=chunk
+            [points[i] for i in missing],
+            fn,
+            workers=workers,
+            chunk=chunk,
+            point_timeout=point_timeout,
         )
         fresh = canonical_rows(fresh)
         for i, row in zip(missing, fresh):
@@ -109,7 +116,11 @@ def _sharing_engages(share_traces, workers: int, num_points: int) -> bool:
 
 
 def _run_spec_points(
-    spec_dicts: list[dict], share_traces, workers: int, chunk: int | None
+    spec_dicts: list[dict],
+    share_traces,
+    workers: int,
+    chunk: int | None,
+    point_timeout: float | None = None,
 ) -> list[dict]:
     """Fan ``spec_dicts`` out over :func:`parallel_sweep`, publishing
     each distinct workload once over shared memory when sharing engages.
@@ -126,7 +137,13 @@ def _run_spec_points(
 
     if not _sharing_engages(share_traces, workers, len(spec_dicts)):
         worker_points = [{"spec": d} for d in spec_dicts]
-        return parallel_sweep(worker_points, run_spec_dict, workers=workers, chunk=chunk)
+        return parallel_sweep(
+            worker_points,
+            run_spec_dict,
+            workers=workers,
+            chunk=chunk,
+            point_timeout=point_timeout,
+        )
 
     from repro.analysis.shm import published_traces
     from repro.runner import build_workload
@@ -145,7 +162,13 @@ def _run_spec_points(
             {"spec": d, "shm_trace": descriptors[key]}
             for d, key in zip(spec_dicts, workload_keys)
         ]
-        return parallel_sweep(worker_points, run_spec_dict, workers=workers, chunk=chunk)
+        return parallel_sweep(
+            worker_points,
+            run_spec_dict,
+            workers=workers,
+            chunk=chunk,
+            point_timeout=point_timeout,
+        )
 
 
 def sweep_specs(
@@ -156,6 +179,7 @@ def sweep_specs(
     cache: "ResultCache | None" = None,
     cache_extra: Mapping | None = None,
     share_traces="auto",
+    point_timeout: float | None = None,
 ) -> list[dict]:
     """Spec-driven sweep: merge each partial ``point`` into
     ``base_spec`` (:func:`repro.runner.merge_spec`), run the resulting
@@ -210,7 +234,9 @@ def sweep_specs(
         return out
 
     if cache is None:
-        raw = _run_spec_points(spec_dicts, share_traces, workers, chunk)
+        raw = _run_spec_points(
+            spec_dicts, share_traces, workers, chunk, point_timeout
+        )
         return [make_row(p, m) for p, m in zip(points, metrics_of(raw))]
 
     from repro.analysis.cache import canonical_rows
@@ -228,7 +254,11 @@ def sweep_specs(
             rows.append(hit[0])
     if missing:
         raw = _run_spec_points(
-            [spec_dicts[i] for i in missing], share_traces, workers, chunk
+            [spec_dicts[i] for i in missing],
+            share_traces,
+            workers,
+            chunk,
+            point_timeout,
         )
         fresh = canonical_rows(
             [make_row(points[i], m) for i, m in zip(missing, metrics_of(raw))]

@@ -88,6 +88,7 @@ class FlitNetwork:
         deadlock_cycles: int = 10_000,
         dateline: bool = False,
         on_deliver: Callable[[object, int], None] | None = None,
+        injector=None,
     ) -> None:
         if num_vcs < 1:
             raise ConfigError("need at least one VC")
@@ -101,8 +102,12 @@ class FlitNetwork:
         self.deadlock_cycles = deadlock_cycles
         self.dateline = dateline
         self.on_deliver = on_deliver
+        self.injector = injector
+        if injector is not None:
+            injector.bind_topology(topology)
         self.cycle = 0
         self.delivered = 0
+        self.dropped = 0
         self.flit_moves = 0
         self._last_progress = 0
         self.latencies: list[int] = []
@@ -121,6 +126,10 @@ class FlitNetwork:
         self._owner: dict[tuple[int, int, int], tuple[int, int] | None] = {}
         self._rr: dict[tuple[int, int], int] = {}
         self._inject_queue: dict[int, list[list[Flit]]] = {
+            n: [] for n in range(topology.num_cores)
+        }
+        # fault-delayed packets waiting for their release cycle
+        self._delayed: dict[int, list[tuple[int, list[Flit]]]] = {
             n: [] for n in range(topology.num_cores)
         }
         self._pkt_payload: dict[int, object] = {}  # head payload until tail ejects
@@ -154,23 +163,46 @@ class FlitNetwork:
             raise ConfigError(f"vc {vc} out of range")
         if num_flits < 1:
             raise ConfigError("packet needs at least one flit")
-        pkt = next(_pkt_ids)
-        flits = [
-            Flit(
-                pkt=pkt,
-                is_head=(i == 0),
-                is_tail=(i == num_flits - 1),
-                dst=dst,
-                vc=vc,
-                injected_at=self.cycle,
-                payload=payload if i == 0 else None,
-            )
-            for i in range(num_flits)
-        ]
-        self._inject_queue[src].append(flits)
+        copies = 1
+        delay = 0
+        if self.injector is not None and src != dst:
+            action, extra = self.injector.on_message(src, dst, float(self.cycle))
+            if action == "drop":
+                self.dropped += 1
+                return
+            if action == "dup":
+                copies = 2
+            elif action == "delay":
+                delay = int(extra)
+        for _ in range(copies):
+            pkt = next(_pkt_ids)
+            flits = [
+                Flit(
+                    pkt=pkt,
+                    is_head=(i == 0),
+                    is_tail=(i == num_flits - 1),
+                    dst=dst,
+                    vc=vc,
+                    injected_at=self.cycle,
+                    payload=payload if i == 0 else None,
+                )
+                for i in range(num_flits)
+            ]
+            if delay > 0:
+                self._delayed[src].append((self.cycle + delay, flits))
+            else:
+                self._inject_queue[src].append(flits)
 
     # -- simulation -------------------------------------------------------
     def _try_inject(self) -> None:
+        for node, delayed in self._delayed.items():
+            if not delayed:
+                continue
+            matured = [entry for entry in delayed if entry[0] <= self.cycle]
+            if matured:
+                self._delayed[node] = [e for e in delayed if e[0] > self.cycle]
+                self._inject_queue[node].extend(flits for _, flits in matured)
+                self._last_progress = self.cycle
         for node, queue in self._inject_queue.items():
             if not queue:
                 continue
@@ -254,6 +286,7 @@ class FlitNetwork:
             for buf in bufs
         )
         n += sum(len(f) for q in self._inject_queue.values() for f in q)
+        n += sum(len(f) for q in self._delayed.values() for _, f in q)
         return n
 
     def run_until_drained(self, max_cycles: int = 1_000_000) -> int:
@@ -264,7 +297,9 @@ class FlitNetwork:
         routing deadlock (or an unroutable configuration).
         """
         while self.pending_flits() > 0:
-            if self.cycle - self._last_progress > self.deadlock_cycles:
+            if self.cycle - self._last_progress > self.deadlock_cycles and not any(
+                self._delayed.values()  # fault-delayed packets still mature
+            ):
                 raise DeadlockError(
                     f"no flit progress for {self.deadlock_cycles} cycles; "
                     f"{self.pending_flits()} flits stuck at cycle {self.cycle}"

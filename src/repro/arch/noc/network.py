@@ -38,10 +38,19 @@ class Network:
     the per-hop latency constant is folded.
     """
 
-    def __init__(self, engine: Engine, topology: Topology, config: NocConfig) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        topology: Topology,
+        config: NocConfig,
+        injector=None,
+    ) -> None:
         self.engine = engine
         self.topology = topology
         self.config = config
+        self.injector = injector
+        if injector is not None:
+            injector.bind_topology(topology)
         self.stats = StatSet("noc")
         # (src, dst, vc) -> earliest free time, only touched in contention mode
         self._link_free: dict[tuple[int, int, int], float] = defaultdict(float)
@@ -72,8 +81,15 @@ class Network:
         self,
         msg: Message,
         on_deliver: Callable[[Message], None],
+        on_drop: Callable[[Message], None] | None = None,
     ) -> Message:
-        """Inject ``msg`` now; schedule ``on_deliver(msg)`` at arrival."""
+        """Inject ``msg`` now; schedule ``on_deliver(msg)`` at arrival.
+
+        ``on_drop`` (fault plane only) fires synchronously when the
+        injector loses this copy in flight — the sender's recovery
+        protocol uses it as an ideal failure detector and schedules its
+        retry a timeout later. Without an injector it never fires.
+        """
         now = self.engine.now
         msg.inject_time = now
         flits = self.config.message_flits(msg.payload_bits)
@@ -92,6 +108,30 @@ class Network:
         else:
             arrival = self._contended_arrival(msg, flits)
 
+        dup_arrival = None
+        injector = self.injector
+        if injector is not None and msg.src != msg.dst:
+            action, extra = injector.on_message(msg.src, msg.dst, now)
+            if action == "drop":
+                # Lost in flight: traffic was spent, nothing arrives.
+                # The sender's timeout/retry protocol must recover.
+                if on_drop is not None:
+                    on_drop(msg)
+                return msg
+            if action == "delay":
+                arrival += extra
+            elif action == "dup":
+                # The duplicate pays its own traversal and traffic; the
+                # receiver's dedup logic must suppress it.
+                msg_cell.n += 1
+                flit_cell.n += flits
+                self._flit_hops_cell.n += flits * hops
+                dup_arrival = (
+                    self._contended_arrival(msg, flits)
+                    if self.config.contention
+                    else arrival
+                )
+
         delivery = self._delivery_stats.get(msg.vnet)
         if delivery is None:
             delivery = self._delivery_stats[msg.vnet] = self.stats.latency(
@@ -104,6 +144,8 @@ class Network:
             on_deliver(msg)
 
         self.engine.schedule_at(arrival, _deliver)
+        if dup_arrival is not None:
+            self.engine.schedule_at(dup_arrival, _deliver)
         return msg
 
     def _contended_arrival(self, msg: Message, flits: int) -> float:

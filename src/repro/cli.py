@@ -11,6 +11,8 @@ Commands
 * ``optimal`` — run the §3 optimal DP on one thread and summarize.
 * ``shootout`` — analytical EM² / RA-only / history / optimal comparison.
 * ``trace`` — manage the on-disk trace store (``build``/``ls``/``gc``).
+* ``faults`` — fault-injection sweep (machines × drop rates) with a
+  zero-fault golden-parity check; ``--smoke`` is the CI gate.
 
 Every command resolves component names through the registries
 (:mod:`repro.registry`) and constructs experiments through
@@ -53,7 +55,7 @@ from repro.trace.runlength import (
     merge_histograms,
     run_length_histogram,
 )
-from repro.util.errors import ReproError
+from repro.util.errors import ConfigError, ReproError
 
 
 def _parse_params(pairs: list[str]) -> dict:
@@ -387,6 +389,123 @@ def cmd_dynamic(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    """Fault-injection sweep: detailed machines × message drop rates.
+
+    Every point runs the same workload under a seeded fault plane, so
+    the table shows how completion time and the recovery ledger
+    (retries, drops survived, stall cycles) scale with the drop rate.
+    Zero-rate points are additionally compared field for field against
+    a ``faults=None`` run of the same spec — the golden-parity gate
+    proving the fault plane is free when disabled. ``--smoke`` pins a
+    tiny deterministic configuration for CI and exits nonzero if the
+    parity gate fails.
+    """
+    from repro.analysis.cache import canonical_rows
+    from repro.runner import merge_spec, run
+
+    if args.smoke:
+        # tiny deterministic CI configuration; overrides the trace args
+        args.workload, args.trace = "pingpong", None
+        args.threads = args.cores = 4
+        args.param = ["rounds=16"]
+        args.machines = "em2,em2ra,cc-msi"
+        args.rates = "0,0.1"
+        args.preset = "small-test"
+    machines = [m.strip() for m in args.machines.split(",") if m.strip()]
+    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    if not machines or not rates:
+        raise ConfigError("faults sweep needs at least one machine and one rate")
+    for name in machines:
+        MACHINES.entry(name)  # raises ConfigError listing options
+    SCHEMES.entry(args.scheme)
+    base = _base_spec(args, machine=machines[0]).replace(
+        machine=MachineSpec(
+            name=machines[0], cores=args.cores, preset=args.preset
+        ),
+        scheme=SchemeSpec(name=args.scheme),
+    )
+    # --rates sweeps the model's drop knob: per-message for iid,
+    # bad-state for the bursty Gilbert-Elliott channel
+    rate_key = {"bursty": "drop_rate_bad"}.get(args.model, "drop_rate")
+    points = [
+        {
+            "machine": {"name": name},
+            "faults": {
+                "name": args.model,
+                "seed": args.fault_seed,
+                "params": {
+                    rate_key: rate,
+                    "dup_rate": args.dup_rate,
+                    "delay_rate": args.delay_rate,
+                },
+            },
+        }
+        for name in machines
+        for rate in rates
+    ]
+    cache = _cache_for(args)
+    extra = _trace_cache_extra(base, build_workload(base.workload)) if cache else None
+    rows = sweep_specs(
+        base,
+        points,
+        workers=args.workers,
+        cache=cache,
+        cache_extra=extra,
+        point_timeout=args.point_timeout,
+    )
+
+    display = []
+    parity_failures = []
+    parity_checked = 0
+    for point, row in zip(points, rows):
+        name = point["machine"]["name"]
+        rate = point["faults"]["params"][rate_key]
+        disp = {
+            "machine": name,
+            "drop_rate": rate,
+            "completion_time": row.get("completion_time"),
+            "retries": row.get("retries", 0),
+            "drops_survived": row.get("drops_survived", 0),
+            "dup_ignored": row.get("dup_ignored", 0),
+            "recovery_stall": row.get("recovery_stall_cycles", 0.0),
+            "faults_injected": row.get("faults.total", 0),
+        }
+        if rate == 0.0 and args.dup_rate == 0.0 and args.delay_rate == 0.0:
+            # the parity gate: a fully quiet fault plane must reproduce
+            # the fault-free run bit for bit on every shared metric
+            # (skipped when --dup-rate/--delay-rate keep faults active)
+            clean = canonical_rows(
+                [run(merge_spec(base, {"machine": {"name": name}}))]
+            )[0]
+            faulted = canonical_rows([row])[0]
+            mismatched = [
+                k for k, v in clean.items() if faulted.get(k, object()) != v
+            ]
+            parity_checked += 1
+            if mismatched:
+                parity_failures.append((name, mismatched))
+            disp["zero_fault_parity"] = "FAIL" if mismatched else "ok"
+        display.append(disp)
+    columns = list(display[0].keys())
+    if parity_checked and "zero_fault_parity" not in columns:
+        columns.append("zero_fault_parity")
+    print(format_table(display, columns=columns))
+    if cache is not None:
+        print(f"cache: {cache.stats()}", file=sys.stderr)
+    if parity_failures:
+        for name, keys in parity_failures:
+            print(
+                f"zero-fault parity FAIL: {name}: "
+                f"{', '.join(keys[:8])}{'…' if len(keys) > 8 else ''}",
+                file=sys.stderr,
+            )
+        return 1
+    if parity_checked:
+        print(f"zero-fault parity: ok ({parity_checked} machine(s))")
+    return 0
+
+
 # ---------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
@@ -517,6 +636,47 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--epochs", type=int, default=4)
     sp.add_argument("--oracle", action="store_true")
     sp.set_defaults(fn=cmd_dynamic)
+
+    sp = sub.add_parser(
+        "faults", help="fault-injection sweep + zero-fault parity gate"
+    )
+    add_trace_args(sp)
+    add_perf_args(sp)
+    sp.add_argument(
+        "--machines",
+        default="em2,em2ra,ra-only,cc-msi",
+        help="comma-separated detailed machine names (see `repro list`)",
+    )
+    sp.add_argument(
+        "--rates",
+        default="0,0.01,0.05,0.1",
+        help="comma-separated message drop rates; 0 triggers the parity check",
+    )
+    sp.add_argument("--scheme", default="history",
+                    help="migration decision scheme for the EM2 machines")
+    sp.add_argument("--model", default="iid",
+                    help="registered fault model (see `repro list`)")
+    sp.add_argument("--fault-seed", type=int, default=0,
+                    help="fault-plane PCG64 seed (schedule is a pure "
+                    "function of spec + seed)")
+    sp.add_argument("--dup-rate", type=float, default=0.0)
+    sp.add_argument("--delay-rate", type=float, default=0.0)
+    sp.add_argument("--preset", default="default",
+                    choices=["default", "small-test"],
+                    help="SystemConfig preset for the detailed machines")
+    sp.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        help="kill any sweep point running longer than this many seconds",
+    )
+    sp.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny deterministic CI sweep (overrides workload/machines/"
+        "rates) gated on zero-fault parity",
+    )
+    sp.set_defaults(fn=cmd_faults)
 
     return p
 

@@ -41,7 +41,7 @@ from repro.placement.base import Placement
 from repro.registry import MACHINES
 from repro.sim.stats import StatSet
 from repro.trace.events import MultiTrace
-from repro.util.errors import ProtocolError
+from repro.util.errors import ProtocolError, RetryExhaustedError
 
 CTRL_BITS = 72  # address + message type + ids
 
@@ -77,6 +77,7 @@ class DirectoryCCSimulator:
         config: SystemConfig,
         topology: Topology | None = None,
         protocol: str = "msi",
+        faults=None,
     ) -> None:
         if protocol not in ("msi", "mesi"):
             raise ProtocolError(f"unknown protocol {protocol!r}; use 'msi' or 'mesi'")
@@ -123,6 +124,20 @@ class DirectoryCCSimulator:
         self._c_dram = counters.cell("dram_fills")
         self._c_flit_hops = counters.cell("flit_hops")
         self._kind_cells: dict[str, object] = {}
+        # fault plane: the simulator is synchronous (latency accounting,
+        # not a DES), so recovery is a retry loop inside _msg charging
+        # the detection timeout as extra latency per lost copy
+        self.faults = faults
+        if faults is not None:
+            fspec = faults.spec
+            self._retry_enabled = fspec.retries
+            self._retry_timeout = fspec.retry_timeout
+            self._retry_backoff = fspec.retry_backoff
+            self._retry_cap = fspec.retry_cap
+            self._c_retries = counters.cell("retries")
+            self._c_drops_survived = counters.cell("drops_survived")
+            self._c_dup_ignored = counters.cell("dup_ignored")
+            self.recovery_stall_cycles = 0.0
 
     # -- message accounting ----------------------------------------------
     def _msg(self, src: int, dst: int, bits: int, kind: str) -> float:
@@ -135,7 +150,56 @@ class DirectoryCCSimulator:
         cell.n += 1
         self.traffic_bits += flits * self._flit_bits
         self._c_flit_hops.n += flits * (hops if hops > 0 else 1)
-        return hops * self._per_hop + (flits - 1)
+        lat = hops * self._per_hop + (flits - 1)
+        if self.faults is not None and src != dst:
+            lat += self._msg_faults(src, dst, flits, hops, cell, kind)
+        return lat
+
+    def _msg_faults(
+        self, src: int, dst: int, flits: int, hops: int, cell, kind: str
+    ) -> float:
+        """Extra latency from injected faults on one logical message.
+
+        Each dropped copy costs its detection timeout (exponential
+        backoff) and the retransmission's traffic; a duplicate charges
+        traffic twice and is ignored at the receiver; a delayed copy
+        adds its extra in-flight cycles. The clock argument is ``None``
+        (no simulated time here), so link-down windows do not apply.
+        """
+        extra_lat = 0.0
+        attempts = 0
+        while True:
+            action, extra = self.faults.on_message(src, dst, None)
+            if action != "drop":
+                break
+            if not self._retry_enabled:
+                raise RetryExhaustedError(
+                    f"cc {kind} message {src}->{dst} lost with retries disabled"
+                )
+            if attempts >= self._retry_cap:
+                raise RetryExhaustedError(
+                    f"cc {kind} message {src}->{dst}: all {attempts + 1} copies "
+                    f"lost, retry cap {self._retry_cap} exhausted"
+                )
+            wait = self._retry_timeout * self._retry_backoff**attempts
+            attempts += 1
+            self._c_retries.n += 1
+            self.recovery_stall_cycles += wait
+            extra_lat += wait
+            # the retransmitted copy pays its own traffic
+            cell.n += 1
+            self.traffic_bits += flits * self._flit_bits
+            self._c_flit_hops.n += flits * (hops if hops > 0 else 1)
+        if attempts:
+            self._c_drops_survived.n += 1
+        if action == "dup":
+            self._c_dup_ignored.n += 1
+            cell.n += 1
+            self.traffic_bits += flits * self._flit_bits
+            self._c_flit_hops.n += flits * (hops if hops > 0 else 1)
+        elif action == "delay":
+            extra_lat += extra
+        return extra_lat
 
     def _dir_entry(self, line: int) -> DirectoryEntry:
         entry = self.directory.get(line)
@@ -389,13 +453,21 @@ def cc_results(sim: DirectoryCCSimulator) -> dict:
     """Run ``sim`` and flatten its :class:`CCResult` into the metrics
     dict the golden fixtures snapshot (the registry entry shape)."""
     r = sim.run()
-    return {
+    out = {
         "completion_time": r.completion_time,
         "per_thread_time": r.per_thread_time,
         "traffic_bits": r.traffic_bits,
         "stats": r.stats,
         "directory_overhead_bits": sim.directory_overhead_bits(),
     }
+    if sim.faults is not None:
+        counters = sim.stats.counters
+        out["retries"] = counters["retries"]
+        out["drops_survived"] = counters["drops_survived"]
+        out["dup_ignored"] = counters["dup_ignored"]
+        out["recovery_stall_cycles"] = sim.recovery_stall_cycles
+        out.update(sim.faults.summary())
+    return out
 
 
 @MACHINES.register("cc-msi", "directory-MSI coherence baseline (detailed DES)")

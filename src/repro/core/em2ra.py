@@ -41,8 +41,9 @@ class EM2RAMachine(MigrationMachineBase):
         scheme: DecisionScheme,
         topology: Topology | None = None,
         cache_detail: bool = True,
+        faults=None,
     ) -> None:
-        super().__init__(trace, placement, config, topology, cache_detail)
+        super().__init__(trace, placement, config, topology, cache_detail, faults=faults)
         # one scheme instance per thread: the hardware unit is core-local,
         # but its history follows the thread's perspective
         self._schemes = [scheme.clone() for _ in range(trace.num_threads)]
@@ -80,7 +81,10 @@ class EM2RAMachine(MigrationMachineBase):
         )
         fixed = self.config.cost.remote_access_fixed
         self.engine.schedule(
-            delay + fixed, lambda: self.network.send(msg, self._ra_at_home)
+            delay + fixed,
+            lambda: self._send_reliable(
+                msg, self._ra_at_home, f"ra-request tid={th.tid} {th.core}->{home}"
+            ),
         )
 
     def _ra_at_home(self, msg: Message) -> None:
@@ -97,7 +101,12 @@ class EM2RAMachine(MigrationMachineBase):
             kind="ra-reply",
             body=th,
         )
-        self.engine.schedule(lat, lambda: self.network.send(reply, self._ra_done))
+        self.engine.schedule(
+            lat,
+            lambda: self._send_reliable(
+                reply, self._ra_done, f"ra-reply tid={th.tid} {home}->{msg.src}"
+            ),
+        )
 
     def _ra_done(self, msg: Message) -> None:
         th: ThreadState = msg.body

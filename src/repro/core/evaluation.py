@@ -315,9 +315,15 @@ def evaluate_scheme(
     "analytical", "fast trace-driven scheme evaluation (the paper's cost model)"
 )
 def _run_analytical(trace, placement, config, scheme=None, topology=None, **params):
-    if scheme is None:
-        from repro.util.errors import ConfigError
+    from repro.util.errors import ConfigError
 
+    if scheme is None:
         raise ConfigError("machine 'analytical' requires a decision scheme")
+    if params.get("faults") is not None:
+        raise ConfigError(
+            "machine 'analytical' cannot model faults; use a detailed "
+            "machine (em2, em2ra, ra-only, cc-msi, cc-mesi)"
+        )
+    params.pop("faults", None)
     cost = CostModel(config, topology)
     return evaluate_scheme(trace, placement, scheme, cost, **params).as_dict()

@@ -38,7 +38,7 @@ from repro.placement.base import Placement
 from repro.sim.engine import Engine, Event
 from repro.sim.stats import StatSet
 from repro.trace.events import MultiTrace
-from repro.util.errors import ProtocolError
+from repro.util.errors import ProtocolError, RetryExhaustedError
 
 
 @dataclass
@@ -82,13 +82,15 @@ class MigrationMachineBase:
         config: SystemConfig,
         topology: Topology | None = None,
         cache_detail: bool = True,
+        faults=None,
     ) -> None:
         self.trace = trace
         self.placement = placement
         self.config = config
         self.topology = topology if topology is not None else topology_for(config)
         self.engine = Engine()
-        self.network = Network(self.engine, self.topology, config.noc)
+        self.faults = faults
+        self.network = Network(self.engine, self.topology, config.noc, injector=faults)
         if self.vc_plan is not None:
             check_vc_plan(self.vc_plan, config.noc.num_virtual_channels)
         self.cache_detail = cache_detail
@@ -143,9 +145,23 @@ class MigrationMachineBase:
             t = th.tid
             th.addrs = self._addrs[t]
             th.writes = self._writes[t]
-            th.icounts = self._icounts[t]
             th.homes = self._homes[t]
+            th.icounts = self._icounts[t]
             th.size = self._sizes[t]
+        # fault-plane recovery state: None-guarded so the fault-free
+        # path pays one attribute test per access and nothing else
+        self._core_stall = faults.core_stall if faults is not None else None
+        if faults is not None:
+            fspec = faults.spec
+            self._retry_enabled = fspec.retries
+            self._retry_timeout = fspec.retry_timeout
+            self._retry_backoff = fspec.retry_backoff
+            self._retry_cap = fspec.retry_cap
+            self._c_retries = counters.cell("retries")
+            self._c_drops_survived = counters.cell("drops_survived")
+            self._c_dup_ignored = counters.cell("dup_ignored")
+            self._recovery_stall = self.stats.latency("recovery_stall")
+            self._open_transfers = 0
         self._started = False
 
     # ------------------------------------------------------------------
@@ -217,6 +233,8 @@ class MigrationMachineBase:
             # instruction-granularity multiplexing (§2): the pipeline is
             # time-shared by every resident context at issue time
             delay *= max(self.contexts[th.core].occupancy(), 1)
+        if self._core_stall is not None:
+            delay += self._core_stall()  # transient fault-plane stall
         first_execution = idx != th.last_recorded_idx
         if first_execution:  # inlined _record_run (re-executions skip it)
             th.last_recorded_idx = idx
@@ -277,6 +295,58 @@ class MigrationMachineBase:
         self.contexts[th.core].release(th.tid)
         self._admit_waiter_if_any(th.core)
 
+    # -- reliable transfer (fault-plane recovery) ------------------------
+    def _send_reliable(self, msg: Message, on_deliver, desc: str) -> None:
+        """Send ``msg``, surviving injected drops and duplicates.
+
+        Fault-free machines fall straight through to ``Network.send``.
+        With an injector, each transfer gets (a) *duplicate
+        suppression* — the first delivery wins, later copies only bump
+        ``dup_ignored`` — and (b) *timeout/retry*: a dropped copy is
+        detected (ideal failure detector, see ``Network.send``) and a
+        fresh copy departs after ``retry_timeout * backoff**attempt``
+        cycles, charged to ``recovery_stall``. After ``retry_cap``
+        consecutive losses the protocol gives up with
+        :class:`RetryExhaustedError` naming the transfer. With
+        ``retries=False`` a loss strands the transfer, and the run ends
+        in a quiescence :class:`ProtocolError` — the behaviour the
+        liveness audit exists to rule out.
+        """
+        if self.faults is None:
+            self.network.send(msg, on_deliver)
+            return
+        self._open_transfers += 1
+        state = [0, False]  # [resend count, completed]
+
+        def deliver(m: Message) -> None:
+            if state[1]:
+                self._c_dup_ignored.n += 1
+                return
+            state[1] = True
+            self._open_transfers -= 1
+            if state[0] > 0:
+                self._c_drops_survived.n += 1
+            on_deliver(m)
+
+        def dropped(_m: Message) -> None:
+            attempt = state[0]
+            if not self._retry_enabled:
+                return  # stranded: quiescence check reports the hang
+            if attempt >= self._retry_cap:
+                raise RetryExhaustedError(
+                    f"{desc}: all {attempt + 1} copies lost, retry cap "
+                    f"{self._retry_cap} exhausted"
+                )
+            state[0] = attempt + 1
+            wait = self._retry_timeout * self._retry_backoff**attempt
+            self._c_retries.n += 1
+            self._recovery_stall.add(wait)
+            self.engine.schedule(
+                wait, lambda: self.network.send(msg, deliver, on_drop=dropped)
+            )
+
+        self.network.send(msg, deliver, on_drop=dropped)
+
     # -- migration machinery (shared by EM2 and EM2-RA) -----------------
     def _migrate(self, th: ThreadState, dest: int, after_delay: float) -> None:
         """Send ``th``'s context to ``dest``; resumes with _arrive."""
@@ -296,7 +366,9 @@ class MigrationMachineBase:
         # after_delay models the remaining local work before departure
         self.engine.schedule(
             after_delay + self.config.cost.migration_fixed,
-            lambda: self.network.send(msg, self._arrive),
+            lambda: self._send_reliable(
+                msg, self._arrive, f"migration tid={th.tid} {src}->{dest}"
+            ),
         )
 
     def _arrive(self, msg: Message) -> None:
@@ -377,7 +449,11 @@ class MigrationMachineBase:
         )
         self.engine.schedule(
             self.config.cost.eviction_fixed,
-            lambda: self.network.send(msg, self._evict_arrive),
+            lambda: self._send_reliable(
+                msg,
+                self._evict_arrive,
+                f"eviction tid={victim_tid} {core}->{victim.native}",
+            ),
         )
 
     def _evict_arrive(self, msg: Message) -> None:
@@ -410,4 +486,14 @@ class MigrationMachineBase:
             n = self.network.message_count(vnet)
             if n:
                 out[f"messages.{vnet.name}"] = n
+        if self.faults is not None:
+            # recovery-side counters + the injector's own schedule; only
+            # present when a fault plane ran, so fault-free result dicts
+            # (and the golden fixtures) are untouched
+            counters = self.stats.counters
+            out["retries"] = counters["retries"]
+            out["drops_survived"] = counters["drops_survived"]
+            out["dup_ignored"] = counters["dup_ignored"]
+            out["recovery_stall_cycles"] = self.stats.latency("recovery_stall").total
+            out.update(self.faults.summary())
         return out

@@ -43,9 +43,11 @@ class RemoteAccessMachine(EM2RAMachine):
         config: SystemConfig,
         topology: Topology | None = None,
         cache_detail: bool = True,
+        faults=None,
     ) -> None:
         super().__init__(
-            trace, placement, config, NeverMigrate(), topology, cache_detail
+            trace, placement, config, NeverMigrate(), topology, cache_detail,
+            faults=faults,
         )
 
 

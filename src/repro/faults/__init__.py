@@ -1,0 +1,27 @@
+"""Deterministic fault-injection plane.
+
+The fault plane perturbs the on-chip network and cores of the detailed
+machines — dropping, duplicating, and delaying messages, taking mesh
+links down for windows of time, and stalling cores — from a dedicated
+PCG64 stream derived from the :class:`~repro.spec.FaultSpec`, so the
+same ``(spec, fault_seed)`` always produces the identical fault
+schedule regardless of host, process, or wall clock.
+
+Layout:
+
+* :mod:`repro.faults.models` — the :class:`FaultModel` families
+  registered in :data:`repro.registry.FAULTS` (``iid``, ``bursty``).
+* :mod:`repro.faults.injector` — the :class:`FaultInjector` consulted
+  by :meth:`repro.arch.noc.network.Network.send`, the flit-level
+  router, and the machines' instruction steps.
+
+Recovery (timeout / retry with exponential backoff, duplicate
+suppression) lives with the protocols themselves in
+:mod:`repro.core.machine` and :mod:`repro.coherence.simulator`; this
+package only decides *what goes wrong and when*.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultModel
+
+__all__ = ["FaultInjector", "FaultModel"]

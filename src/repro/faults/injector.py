@@ -1,0 +1,182 @@
+"""The FaultInjector: one deterministic fault stream per experiment.
+
+Construction derives a PCG64 stream from the canonical
+:meth:`~repro.spec.FaultSpec.to_dict` form (including the ``seed``
+field) via the same SHA-256 canonicalizer the result cache uses, so an
+injector's entire fault schedule is a pure function of the spec — no
+process state, host entropy, or wall clock leaks in. Every fault the
+injector emits is folded into a running SHA-256 *schedule digest*,
+which tests compare across processes to prove determinism.
+
+The injector is consulted at three points:
+
+* :meth:`on_message` — by the message-level NoC's ``send`` and the
+  flit-level router, before delivery scheduling. Returns one of
+  ``("ok", 0)``, ``("drop", 0)``, ``("dup", 0)``, ``("delay", extra)``.
+  When a topology is bound and the caller passes the current time,
+  messages whose X-Y route crosses a downed link are dropped.
+* :meth:`core_stall` — by the machines' instruction step; returns the
+  transient stall in cycles (almost always ``0.0``).
+
+The injector never *recovers* from anything — retry/timeout logic
+belongs to the protocols (:mod:`repro.core.machine`,
+:mod:`repro.coherence.simulator`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.registry import FAULTS
+from repro.spec import FaultSpec
+from repro.util.errors import ConfigError
+
+
+class FaultInjector:
+    """Deterministic seeded fault source for one experiment run."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        if not isinstance(spec, FaultSpec):
+            raise ConfigError(
+                f"FaultInjector needs a FaultSpec, got {type(spec).__name__}"
+            )
+        self.spec = spec
+        # Local import keeps faults -> analysis a runtime-only edge.
+        from repro.analysis.cache import stable_key
+
+        self._seed_key = stable_key({"fault-plane": spec.to_dict()})
+        self.rng = np.random.default_rng(int(self._seed_key, 16))
+        factory = FAULTS.get(spec.name)
+        try:
+            self.model = factory(**spec.params)
+        except TypeError as exc:
+            raise ConfigError(
+                f"invalid params for fault model {spec.name!r}: {exc}"
+            ) from None
+        self.counts = {
+            "drops": 0,
+            "dups": 0,
+            "delays": 0,
+            "stalls": 0,
+            "link_down_drops": 0,
+        }
+        self._digest = hashlib.sha256()
+        self._n_faults = 0
+        self._topology = None
+        # (u, v) -> (start, end): the link is unusable in [start, end)
+        self._link_windows: dict[tuple[int, int], tuple[float, float]] = {}
+        self._has_message_faults = self.model.has_message_faults
+        self._has_stalls = self.model.has_stalls
+
+    # ------------------------------------------------------------------
+    def bind_topology(self, topology) -> None:
+        """Draw the link-down windows for ``topology``. Idempotent for
+        the same topology object; a second distinct topology is a
+        programming error (one injector serves one machine)."""
+        if self._topology is topology:
+            return
+        if self._topology is not None:
+            raise ConfigError("FaultInjector is already bound to a topology")
+        self._topology = topology
+        count = self.model.link_down_count
+        if count <= 0:
+            return
+        links = topology.links()
+        if count > len(links):
+            raise ConfigError(
+                f"link_down_count={count} exceeds the {len(links)} links "
+                f"of the bound topology"
+            )
+        # One draw for the link choice, one vector draw for the starts:
+        # both consumed before any message traffic, so the windows are
+        # independent of workload length.
+        chosen = self.rng.choice(len(links), size=count, replace=False)
+        starts = self.rng.uniform(0.0, self.model.link_down_horizon, size=count)
+        for idx, start in zip(chosen, starts):
+            u, v = links[int(idx)]
+            window = (float(start), float(start) + self.model.link_down_cycles)
+            self._link_windows[(u, v)] = window
+            self._record(f"link_down:{u}>{v}:{window[0]:.6f}:{window[1]:.6f}")
+
+    @property
+    def link_windows(self) -> dict[tuple[int, int], tuple[float, float]]:
+        return dict(self._link_windows)
+
+    # ------------------------------------------------------------------
+    def on_message(self, src: int, dst: int, now: float | None = None):
+        """Fate of one message: ``(action, extra_delay_cycles)``.
+
+        ``now`` is the injection time; pass ``None`` from callers with
+        no simulated clock (the synchronous coherence simulator) to
+        skip link-down windows.
+        """
+        if (
+            now is not None
+            and self._link_windows
+            and src != dst
+            and self._route_down(src, dst, now)
+        ):
+            self.counts["link_down_drops"] += 1
+            self._record(f"link_drop:{src}>{dst}:{now:.6f}")
+            return ("drop", 0.0)
+        if not self._has_message_faults:
+            return ("ok", 0.0)
+        action, extra = self.model.message_action(self.rng, src, dst)
+        if action == "drop":
+            self.counts["drops"] += 1
+            self._record(f"drop:{src}>{dst}")
+        elif action == "dup":
+            self.counts["dups"] += 1
+            self._record(f"dup:{src}>{dst}")
+        elif action == "delay":
+            self.counts["delays"] += 1
+            self._record(f"delay:{src}>{dst}:{extra:.6f}")
+        return (action, extra)
+
+    def _route_down(self, src: int, dst: int, now: float) -> bool:
+        route = self._topology.route_cached(src, dst)
+        windows = self._link_windows
+        prev = route[0]
+        for v in route[1:]:
+            window = windows.get((prev, v))
+            if window is not None and window[0] <= now < window[1]:
+                return True
+            prev = v
+        return False
+
+    # ------------------------------------------------------------------
+    def core_stall(self) -> float:
+        """Transient stall (cycles) to charge the current instruction
+        step; ``0.0`` when the model has no stall process."""
+        if not self._has_stalls:
+            return 0.0
+        cycles = self.model.stall_cycles(self.rng)
+        if cycles > 0.0:
+            self.counts["stalls"] += 1
+            self._record(f"stall:{cycles:.6f}")
+        return cycles
+
+    # ------------------------------------------------------------------
+    def _record(self, event: str) -> None:
+        self._digest.update(f"{self._n_faults}|{event}\n".encode())
+        self._n_faults += 1
+
+    def schedule_digest(self) -> str:
+        """SHA-256 over the ordered fault events emitted so far — the
+        cross-process determinism witness."""
+        return self._digest.hexdigest()
+
+    @property
+    def fault_count(self) -> int:
+        return self._n_faults
+
+    def summary(self) -> dict:
+        """Injector-side counters for reports (recovery-side counters —
+        retries, drops survived — live on the machines)."""
+        return {
+            **{f"faults.{k}": v for k, v in self.counts.items()},
+            "faults.total": self._n_faults,
+            "faults.schedule_digest": self.schedule_digest(),
+        }

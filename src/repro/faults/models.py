@@ -1,0 +1,204 @@
+"""Fault models: per-message and per-step fault distributions.
+
+A fault model answers two questions, both driven exclusively by the
+injector's dedicated RNG so fault schedules are reproducible:
+
+* :meth:`FaultModel.message_action` — for one message about to be
+  injected, return ``(action, extra_delay)`` with ``action`` one of
+  ``"ok"``, ``"drop"``, ``"dup"``, ``"delay"``.
+* :meth:`FaultModel.stall_cycles` — for one instruction step, return
+  the transient stall to charge the core (``0.0`` almost always).
+
+Models also carry the link-down parameters (``link_down_count`` links
+chosen uniformly, each down for ``link_down_cycles`` starting uniformly
+in ``[0, link_down_horizon)``); the injector draws the actual windows
+once a topology is bound.
+
+Registered in :data:`repro.registry.FAULTS` under stable string names.
+"""
+
+from __future__ import annotations
+
+from repro.registry import FAULTS
+from repro.util.errors import ConfigError
+
+
+def _check_rate(name: str, value) -> float:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ConfigError(f"fault param {name} must be a number, got {value!r}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"fault param {name} must be in [0, 1], got {value}")
+    return value
+
+
+def _check_nonneg(name: str, value) -> float:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ConfigError(f"fault param {name} must be a number, got {value!r}")
+    value = float(value)
+    if value < 0.0:
+        raise ConfigError(f"fault param {name} must be >= 0, got {value}")
+    return value
+
+
+class FaultModel:
+    """Base fault model: a lossless fabric (every hook is a no-op)."""
+
+    #: True when message_action can return anything but ("ok", 0.0);
+    #: lets the injector skip RNG draws entirely for fault-free axes.
+    has_message_faults = False
+    #: True when stall_cycles can return nonzero.
+    has_stalls = False
+
+    link_down_count = 0
+    link_down_cycles = 0.0
+    link_down_horizon = 0.0
+
+    def message_action(self, rng, src: int, dst: int) -> tuple[str, float]:
+        return ("ok", 0.0)
+
+    def stall_cycles(self, rng) -> float:
+        return 0.0
+
+
+@FAULTS.register("iid")
+class IIDFaults(FaultModel):
+    """Independent per-message faults: each message is dropped,
+    duplicated, or delayed with fixed probabilities; each instruction
+    step stalls the core with probability ``stall_rate``."""
+
+    def __init__(
+        self,
+        drop_rate: float = 0.0,
+        dup_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay_cycles: float = 64.0,
+        stall_rate: float = 0.0,
+        stall_cycles: float = 32.0,
+        link_down_count: int = 0,
+        link_down_cycles: float = 512.0,
+        link_down_horizon: float = 65536.0,
+    ) -> None:
+        self.drop_rate = _check_rate("drop_rate", drop_rate)
+        self.dup_rate = _check_rate("dup_rate", dup_rate)
+        self.delay_rate = _check_rate("delay_rate", delay_rate)
+        if self.drop_rate + self.dup_rate + self.delay_rate > 1.0:
+            raise ConfigError(
+                "drop_rate + dup_rate + delay_rate must not exceed 1, got "
+                f"{self.drop_rate + self.dup_rate + self.delay_rate}"
+            )
+        self.delay_cycles = _check_nonneg("delay_cycles", delay_cycles)
+        self.stall_rate = _check_rate("stall_rate", stall_rate)
+        self.stall_cycles_mean = _check_nonneg("stall_cycles", stall_cycles)
+        if not isinstance(link_down_count, int) or isinstance(link_down_count, bool):
+            raise ConfigError(
+                f"fault param link_down_count must be an int, got {link_down_count!r}"
+            )
+        if link_down_count < 0:
+            raise ConfigError(
+                f"fault param link_down_count must be >= 0, got {link_down_count}"
+            )
+        self.link_down_count = link_down_count
+        self.link_down_cycles = _check_nonneg("link_down_cycles", link_down_cycles)
+        self.link_down_horizon = _check_nonneg("link_down_horizon", link_down_horizon)
+        self.has_message_faults = (
+            self.drop_rate > 0 or self.dup_rate > 0 or self.delay_rate > 0
+        )
+        self.has_stalls = self.stall_rate > 0
+
+    def message_action(self, rng, src: int, dst: int) -> tuple[str, float]:
+        u = rng.random()
+        if u < self.drop_rate:
+            return ("drop", 0.0)
+        u -= self.drop_rate
+        if u < self.dup_rate:
+            return ("dup", 0.0)
+        u -= self.dup_rate
+        if u < self.delay_rate:
+            return ("delay", self.delay_cycles)
+        return ("ok", 0.0)
+
+    def stall_cycles(self, rng) -> float:
+        if rng.random() < self.stall_rate:
+            return self.stall_cycles_mean
+        return 0.0
+
+
+@FAULTS.register("bursty")
+class BurstyFaults(FaultModel):
+    """Gilbert–Elliott bursty channel: a two-state (good/bad) Markov
+    chain advanced once per message. Drops cluster in the bad state;
+    duplication and delay remain independent of the channel state."""
+
+    def __init__(
+        self,
+        p_bad: float = 0.01,
+        p_recover: float = 0.2,
+        drop_rate_bad: float = 0.5,
+        drop_rate_good: float = 0.0,
+        dup_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay_cycles: float = 64.0,
+        stall_rate: float = 0.0,
+        stall_cycles: float = 32.0,
+        link_down_count: int = 0,
+        link_down_cycles: float = 512.0,
+        link_down_horizon: float = 65536.0,
+    ) -> None:
+        self.p_bad = _check_rate("p_bad", p_bad)
+        self.p_recover = _check_rate("p_recover", p_recover)
+        self.drop_rate_bad = _check_rate("drop_rate_bad", drop_rate_bad)
+        self.drop_rate_good = _check_rate("drop_rate_good", drop_rate_good)
+        self.dup_rate = _check_rate("dup_rate", dup_rate)
+        self.delay_rate = _check_rate("delay_rate", delay_rate)
+        worst = max(self.drop_rate_bad, self.drop_rate_good)
+        if worst + self.dup_rate + self.delay_rate > 1.0:
+            raise ConfigError(
+                "drop_rate_bad/good + dup_rate + delay_rate must not exceed 1"
+            )
+        self.delay_cycles = _check_nonneg("delay_cycles", delay_cycles)
+        self.stall_rate = _check_rate("stall_rate", stall_rate)
+        self.stall_cycles_mean = _check_nonneg("stall_cycles", stall_cycles)
+        if not isinstance(link_down_count, int) or isinstance(link_down_count, bool):
+            raise ConfigError(
+                f"fault param link_down_count must be an int, got {link_down_count!r}"
+            )
+        if link_down_count < 0:
+            raise ConfigError(
+                f"fault param link_down_count must be >= 0, got {link_down_count}"
+            )
+        self.link_down_count = link_down_count
+        self.link_down_cycles = _check_nonneg("link_down_cycles", link_down_cycles)
+        self.link_down_horizon = _check_nonneg("link_down_horizon", link_down_horizon)
+        self._bad = False
+        self.has_message_faults = (
+            self.p_bad > 0
+            and self.drop_rate_bad > 0
+            or self.drop_rate_good > 0
+            or self.dup_rate > 0
+            or self.delay_rate > 0
+        )
+        self.has_stalls = self.stall_rate > 0
+
+    def message_action(self, rng, src: int, dst: int) -> tuple[str, float]:
+        if self._bad:
+            if rng.random() < self.p_recover:
+                self._bad = False
+        elif rng.random() < self.p_bad:
+            self._bad = True
+        drop = self.drop_rate_bad if self._bad else self.drop_rate_good
+        u = rng.random()
+        if u < drop:
+            return ("drop", 0.0)
+        u -= drop
+        if u < self.dup_rate:
+            return ("dup", 0.0)
+        u -= self.dup_rate
+        if u < self.delay_rate:
+            return ("delay", self.delay_cycles)
+        return ("ok", 0.0)
+
+    def stall_cycles(self, rng) -> float:
+        if rng.random() < self.stall_rate:
+            return self.stall_cycles_mean
+        return 0.0

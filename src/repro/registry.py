@@ -182,6 +182,10 @@ WORKLOADS = Registry(
 #: ``fn(config: SystemConfig, **params) -> Topology``.
 TOPOLOGIES = Registry("topology", modules=("repro.arch.topology",))
 
+#: Fault models. Entries are factories
+#: ``fn(rng: numpy.random.Generator, **params) -> FaultModel``.
+FAULTS = Registry("fault model", modules=("repro.faults.models",))
+
 #: Every registry, keyed by family name — what ``repro list`` walks.
 ALL_REGISTRIES: dict[str, Registry] = {
     "machines": MACHINES,
@@ -189,4 +193,5 @@ ALL_REGISTRIES: dict[str, Registry] = {
     "placements": PLACEMENTS,
     "workloads": WORKLOADS,
     "topologies": TOPOLOGIES,
+    "faults": FAULTS,
 }

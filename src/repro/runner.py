@@ -37,6 +37,7 @@ from repro.core.costs import CostModel
 from repro.registry import MACHINES, PLACEMENTS, SCHEMES, TOPOLOGIES, WORKLOADS
 from repro.spec import (
     ExperimentSpec,
+    FaultSpec,
     MachineSpec,
     PlacementSpec,
     SchemeSpec,
@@ -206,16 +207,27 @@ def build(spec: ExperimentSpec) -> BuiltExperiment:
 
 
 def run(spec: ExperimentSpec) -> dict:
-    """Build the spec and execute its machine; return the metrics dict."""
+    """Build the spec and execute its machine; return the metrics dict.
+
+    When the spec carries a fault plane, a fresh
+    :class:`~repro.faults.injector.FaultInjector` is constructed here —
+    one injector per run, seeded purely from the spec, so the same spec
+    reproduces the same fault schedule in any process.
+    """
     built = build(spec)
     machine_fn = MACHINES.get(spec.machine.name)
+    kwargs = dict(spec.machine.params)
+    if spec.faults is not None:
+        from repro.faults.injector import FaultInjector
+
+        kwargs["faults"] = FaultInjector(spec.faults)
     return machine_fn(
         built.trace,
         built.placement,
         built.config,
         scheme=built.scheme,
         topology=built.topology,
-        **spec.machine.params,
+        **kwargs,
     )
 
 
@@ -256,18 +268,24 @@ def merge_spec(base: ExperimentSpec, point: Mapping) -> ExperimentSpec:
     """Overlay a partial sweep point onto ``base``.
 
     Point keys name sub-specs (``workload``/``machine``/``scheme``/
-    ``placement``/``topology``). A string value swaps the component by
-    registered name with fresh default params; a dict value is merged
-    (shallow) over the base sub-spec's fields. Anything else is a
-    :class:`ConfigError` — silent typos would sweep the wrong axis.
+    ``placement``/``topology``/``faults``). A string value swaps the
+    component by registered name with fresh default params; a dict
+    value is merged (shallow) over the base sub-spec's fields. Anything
+    else is a :class:`ConfigError` — silent typos would sweep the wrong
+    axis. ``faults`` additionally accepts ``None`` to clear the fault
+    plane, and merges over defaults when the base has none — which is
+    what makes fault-rate sweep axes one-liners.
     """
     overrides = {}
     for key, value in point.items():
+        if key == "faults":
+            overrides["faults"] = _merge_faults(base.faults, value)
+            continue
         sub_cls = _SUB_SPEC_TYPES.get(key)
         if sub_cls is None:
             raise ConfigError(
                 f"unknown sweep-spec key {key!r}; valid keys: "
-                f"{', '.join(sorted(_SUB_SPEC_TYPES))}"
+                f"{', '.join(sorted(_SUB_SPEC_TYPES))}, faults"
             )
         if isinstance(value, str):
             overrides[key] = sub_cls(name=value)
@@ -282,3 +300,20 @@ def merge_spec(base: ExperimentSpec, point: Mapping) -> ExperimentSpec:
                 f"{sub_cls.__name__}, got {type(value).__name__}"
             )
     return base.replace(**overrides)
+
+
+def _merge_faults(base_faults: FaultSpec | None, value):
+    """Resolve a ``faults`` sweep-point value against the base spec."""
+    if value is None:
+        return None
+    if isinstance(value, FaultSpec):
+        return value
+    if isinstance(value, str):
+        return FaultSpec(name=value)
+    if isinstance(value, Mapping):
+        merged = {**(base_faults.to_dict() if base_faults else {}), **dict(value)}
+        return FaultSpec.from_dict(merged)
+    raise ConfigError(
+        f"sweep-spec value for 'faults' must be None, a name, dict, or "
+        f"FaultSpec, got {type(value).__name__}"
+    )

@@ -29,7 +29,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable
 
-from repro.util.errors import ReproError
+from repro.util.errors import LivenessError, ReproError
 
 
 class Event:
@@ -74,6 +74,14 @@ class Event:
 
 class Engine:
     """A minimal deterministic discrete-event simulator."""
+
+    #: Liveness ceiling for ``run()`` when the caller sets no explicit
+    #: ``max_events``: far above any legitimate run in this repo (the
+    #: biggest benches execute low tens of millions of events), so a
+    #: protocol livelock raises :class:`LivenessError` instead of
+    #: spinning the test suite forever. Override on an instance (or
+    #: pass ``max_events``) for genuinely larger simulations.
+    DEFAULT_MAX_EVENTS: int = 200_000_000
 
     def __init__(self) -> None:
         self._queue: list[tuple[float, int, Event]] = []
@@ -131,8 +139,10 @@ class Engine:
         queue = self._queue
         pop = heapq.heappop
         if until is None and max_events is None:
-            # run-to-quiescence fast loop: no bound checks per event,
+            # run-to-quiescence fast loop: one int compare per event is
+            # the whole cost of the default liveness ceiling;
             # executed-count folded into the attribute once at the end
+            ceiling = self.DEFAULT_MAX_EVENTS
             executed = 0
             try:
                 while queue:
@@ -143,6 +153,8 @@ class Engine:
                     ev._engine = None
                     self.now = when
                     executed += 1
+                    if executed > ceiling:
+                        raise LivenessError(self._liveness_message(ceiling, ev))
                     ev.callback(*ev.args)
             finally:
                 self.events_executed += executed
@@ -164,10 +176,15 @@ class Engine:
             ev.callback(*ev.args)
             executed += 1
             if max_events is not None and executed >= max_events:
-                raise ReproError(
-                    f"engine exceeded max_events={max_events} at t={self.now}; "
-                    "likely a protocol livelock"
-                )
+                raise LivenessError(self._liveness_message(max_events, ev))
+
+    def _liveness_message(self, ceiling: int, ev: Event) -> str:
+        cb = ev.callback
+        name = getattr(cb, "__qualname__", None) or repr(cb)
+        return (
+            f"engine exceeded max_events={ceiling} at t={self.now}; "
+            f"likely a protocol livelock (last scheduled callback: {name})"
+        )
 
     def pending(self) -> int:
         """Number of (non-cancelled) events still queued. O(1): reads

@@ -156,6 +156,70 @@ class TopologySpec:
 
 
 @dataclass(frozen=True)
+class FaultSpec:
+    """A fault process plus the recovery protocol's knobs.
+
+    ``name`` keys the :data:`repro.registry.FAULTS` registry (a fault
+    *model*: ``"iid"`` independent per-message faults, ``"bursty"``
+    Gilbert-Elliott bursts); ``params`` are the model's constructor
+    arguments (drop/duplicate/delay rates, link-down windows, core
+    stalls). ``seed`` selects the dedicated PCG64 fault stream — the
+    same ``(spec, seed)`` always reproduces the identical fault
+    schedule, in every process.
+
+    The recovery fields configure the timeout/retry protocol every
+    machine runs when faults are enabled: ``retry_timeout`` cycles
+    before the first resend, scaled by ``retry_backoff`` per attempt,
+    giving up (``RetryExhaustedError``) after ``retry_cap`` resends.
+    ``retries=False`` disables recovery entirely — dropped messages
+    then strand threads, which is itself a scenario worth measuring.
+    """
+
+    name: str = "iid"
+    params: dict = field(default_factory=dict)
+    seed: int = 0
+    retries: bool = True
+    retry_timeout: float = 256.0
+    retry_backoff: float = 2.0
+    retry_cap: int = 10
+
+    def __post_init__(self) -> None:
+        _check_str("faults", "name", self.name)
+        _check_params("faults", self.params)
+        if not isinstance(self.seed, int):
+            raise ConfigError(f"faults.seed must be an int, got {self.seed!r}")
+        if not isinstance(self.retries, bool):
+            raise ConfigError(f"faults.retries must be a bool, got {self.retries!r}")
+        if not isinstance(self.retry_timeout, (int, float)) or self.retry_timeout <= 0:
+            raise ConfigError(
+                f"faults.retry_timeout must be a positive number, got {self.retry_timeout!r}"
+            )
+        if not isinstance(self.retry_backoff, (int, float)) or self.retry_backoff < 1.0:
+            raise ConfigError(
+                f"faults.retry_backoff must be >= 1.0, got {self.retry_backoff!r}"
+            )
+        if not isinstance(self.retry_cap, int) or self.retry_cap < 0:
+            raise ConfigError(
+                f"faults.retry_cap must be a non-negative int, got {self.retry_cap!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "retries": self.retries,
+            "retry_timeout": self.retry_timeout,
+            "retry_backoff": self.retry_backoff,
+            "retry_cap": self.retry_cap,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultSpec":
+        return _from_dict(cls, data, owner="faults")
+
+
+@dataclass(frozen=True)
 class MachineSpec:
     """Which executor runs the experiment, on what system.
 
@@ -208,6 +272,10 @@ class ExperimentSpec:
     scheme: SchemeSpec = field(default_factory=SchemeSpec)
     placement: PlacementSpec = field(default_factory=PlacementSpec)
     topology: TopologySpec = field(default_factory=TopologySpec)
+    #: Optional fault plane. ``None`` (the default) means a lossless
+    #: fabric — the spec serializes without a ``faults`` key, so every
+    #: pre-fault spec dict, cache key, and golden fixture is unchanged.
+    faults: FaultSpec | None = None
 
     _SUBSPECS = (
         ("workload", WorkloadSpec),
@@ -225,14 +293,27 @@ class ExperimentSpec:
                     f"ExperimentSpec.{name} must be a {cls.__name__}, "
                     f"got {type(value).__name__}"
                 )
+        if self.faults is not None and not isinstance(self.faults, FaultSpec):
+            raise ConfigError(
+                f"ExperimentSpec.faults must be a FaultSpec or None, "
+                f"got {type(self.faults).__name__}"
+            )
 
     def to_dict(self) -> dict:
         """Canonical JSON-able form, schema-versioned. Feeding this to
-        :func:`repro.analysis.cache.stable_key` yields the cache key."""
-        return {
+        :func:`repro.analysis.cache.stable_key` yields the cache key.
+
+        ``faults`` is omitted when ``None`` so fault-free specs are
+        byte-identical to pre-fault-plane serializations (stable cache
+        keys, committed golden spec dicts round-trip unchanged).
+        """
+        out = {
             "schema": SPEC_SCHEMA_VERSION,
             **{name: getattr(self, name).to_dict() for name, _ in self._SUBSPECS},
         }
+        if self.faults is not None:
+            out["faults"] = self.faults.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "ExperimentSpec":
@@ -246,7 +327,7 @@ class ExperimentSpec:
                 f"experiment spec schema {schema!r} not supported; "
                 f"this version reads schema {SPEC_SCHEMA_VERSION}"
             )
-        known = {"schema"} | {name for name, _ in cls._SUBSPECS}
+        known = {"schema", "faults"} | {name for name, _ in cls._SUBSPECS}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ConfigError(
@@ -257,6 +338,8 @@ class ExperimentSpec:
         for name, sub_cls in cls._SUBSPECS:
             if name in data:
                 kwargs[name] = sub_cls.from_dict(data[name])
+        if data.get("faults") is not None:
+            kwargs["faults"] = FaultSpec.from_dict(data["faults"])
         return cls(**kwargs)
 
     # -- derivation --------------------------------------------------------

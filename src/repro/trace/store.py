@@ -84,16 +84,34 @@ class TraceStore:
             pass
         return mt
 
-    def put(self, cache_key: str, mt: MultiTrace) -> Path:
-        """Store ``mt`` atomically; returns the entry path."""
+    def put(self, cache_key: str, mt: MultiTrace) -> Path | None:
+        """Store ``mt`` atomically; returns the entry path.
+
+        A failing *write* (disk full, directory turned read-only after
+        construction) is a warned no-op returning ``None`` — the store
+        is only a cache, and a run that already holds the trace in
+        memory must not die on a storage fault.
+        """
         path = self.path_for(cache_key)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".npz.tmp")
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".npz.tmp")
+        except OSError as exc:
+            self._warn_write_failure(path, exc)
+            return None
         os.close(fd)
         try:
             save_multitrace(mt, tmp)
             # save_multitrace appends .npz when the suffix isn't .npz
             written = Path(tmp + ".npz") if not tmp.endswith(".npz") else Path(tmp)
             os.replace(written, path)
+        except OSError as exc:
+            for leftover in (tmp, tmp + ".npz"):
+                try:
+                    os.unlink(leftover)
+                except OSError:
+                    pass
+            self._warn_write_failure(path, exc)
+            return None
         except BaseException:
             for leftover in (tmp, tmp + ".npz"):
                 try:
@@ -113,8 +131,25 @@ class TraceStore:
             "params": mt.params,
             "stored_at": time.time(),
         }
-        self._meta_path(path).write_text(json.dumps(meta, sort_keys=True, default=str))
+        try:
+            self._meta_path(path).write_text(
+                json.dumps(meta, sort_keys=True, default=str)
+            )
+        except OSError as exc:
+            # entry is usable without its display sidecar
+            self._warn_write_failure(self._meta_path(path), exc)
         return path
+
+    @staticmethod
+    def _warn_write_failure(path: Path, exc: OSError) -> None:
+        import warnings
+
+        warnings.warn(
+            f"trace store write to {path} failed ({exc}); continuing without "
+            "caching this trace",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def _drop(self, path: Path) -> None:
         for p in (path, self._meta_path(path)):

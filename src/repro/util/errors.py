@@ -27,5 +27,28 @@ class DeadlockError(ReproError):
     permits a cyclic dependency."""
 
 
+class LivenessError(ReproError):
+    """The engine exceeded its event ceiling without quiescing.
+
+    Raised by :meth:`repro.sim.engine.Engine.run` when more than
+    ``max_events`` events execute — a protocol livelock (messages
+    circulating forever) rather than a deadlock. The message names the
+    callback that was about to run so the spinning component is
+    identifiable without a debugger.
+    """
+
+
+class FaultError(ReproError):
+    """Base class for errors raised by the fault-injection plane."""
+
+
+class RetryExhaustedError(FaultError):
+    """A recovery protocol gave up: a transfer was retried up to its
+    cap and every attempt was lost. Under the configured fault process
+    the machine cannot guarantee forward progress; the error names the
+    transfer (migration / remote access / coherence message) that
+    exhausted its retries."""
+
+
 class TraceFormatError(ReproError):
     """A memory trace does not conform to the structured-array schema."""

@@ -1,0 +1,65 @@
+"""Engine liveness ceiling: a livelocked event loop fails loudly.
+
+``Engine.run()`` with no ``max_events`` used to spin forever on a
+self-rescheduling protocol bug; it now trips a default ceiling
+(:attr:`~repro.sim.engine.Engine.DEFAULT_MAX_EVENTS`) and raises
+:class:`~repro.util.errors.LivenessError` naming the last scheduled
+callback — the first thing a debugger needs.
+"""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.util.errors import LivenessError, ReproError
+
+
+def _spin(engine):
+    engine.schedule(1.0, _spin, engine)
+
+
+class _Ticker:
+    def __init__(self, engine):
+        self.engine = engine
+
+    def tick(self):
+        self.engine.schedule(1.0, self.tick)
+
+
+def test_default_ceiling_trips_without_explicit_max_events():
+    eng = Engine()
+    eng.DEFAULT_MAX_EVENTS = 500  # instance override; class default is huge
+    eng.schedule(0.0, _spin, eng)
+    with pytest.raises(LivenessError, match="max_events=500"):
+        eng.run()
+
+
+def test_liveness_error_names_the_callback():
+    eng = Engine()
+    ticker = _Ticker(eng)
+    ticker.tick()
+    with pytest.raises(LivenessError, match="_Ticker.tick"):
+        eng.run(max_events=100)
+
+
+def test_liveness_error_is_repro_error():
+    assert issubclass(LivenessError, ReproError)
+
+
+def test_default_ceiling_does_not_fire_on_finite_runs():
+    eng = Engine()
+    eng.DEFAULT_MAX_EVENTS = 500
+    fired = []
+    for i in range(400):
+        eng.schedule(float(i), fired.append, i)
+    eng.run()
+    assert len(fired) == 400
+
+
+def test_explicit_max_events_beats_default():
+    eng = Engine()
+    eng.DEFAULT_MAX_EVENTS = 5
+    fired = []
+    for i in range(50):
+        eng.schedule(float(i), fired.append, i)
+    eng.run(max_events=1000)  # explicit bound: default ceiling not consulted
+    assert len(fired) == 50

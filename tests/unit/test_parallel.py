@@ -10,7 +10,9 @@ pickle, and an unpicklable callback (deliberately) degrades to the
 serial path, which would make the parallel tests vacuous.
 """
 
+import os
 import pickle
+import time
 
 import pytest
 
@@ -194,6 +196,65 @@ class TestScheduling:
         assert par._pool is first
         shutdown_pool()
         assert par._pool is None
+
+
+def _sleepy(x):
+    if x == 2:
+        time.sleep(60)
+    return {"y": x}
+
+
+def _worker_suicide(x):
+    """Dies instantly in any pool worker; evaluates fine in-process."""
+    import multiprocessing
+
+    if multiprocessing.current_process().name != "MainProcess":
+        os._exit(1)
+    return {"y": x}
+
+
+class TestHardening:
+    @pytest.fixture(autouse=True)
+    def _two_workers(self, monkeypatch):
+        """Force the pool path: 1-CPU hosts clamp workers to 1 and these
+        tests would silently exercise the serial loop instead."""
+        import repro.analysis.parallel as par
+
+        monkeypatch.setattr(par, "default_workers", lambda: 2)
+        shutdown_pool()
+        yield
+        shutdown_pool()
+
+    def test_point_timeout_kills_hung_worker(self):
+        """A point that never returns must surface as SweepPointError
+        naming that point within ~point_timeout, not hang the sweep."""
+        points = grid(x=list(range(6)))
+        t0 = time.perf_counter()
+        with pytest.raises(SweepPointError, match="point_timeout") as ei:
+            parallel_sweep(points, _sleepy, workers=2, point_timeout=1.0)
+        assert ei.value.point == {"x": 2}
+        assert time.perf_counter() - t0 < 30  # far below the 60s sleep
+        # the broken pool was disposed; the next sweep gets a fresh one
+        rows = parallel_sweep(grid(x=list(range(6))), _ident, workers=2)
+        assert [r["y"] for r in rows] == list(range(6))
+
+    def test_point_timeout_defaults_chunk_to_one(self):
+        """With a timeout, every chunk is a single point so the error
+        attributes exactly (no innocent chunk-mates blamed)."""
+        points = grid(x=list(range(12)))
+        rows = parallel_sweep(points, _ident, workers=2, point_timeout=30.0)
+        assert [r["y"] for r in rows] == list(range(12))
+
+    def test_point_timeout_validation(self):
+        with pytest.raises(ConfigError, match="point_timeout"):
+            parallel_sweep(grid(x=[0, 1, 2, 3]), _ident, workers=2, point_timeout=0)
+
+    def test_persistently_broken_pool_finishes_serially(self):
+        """Workers that die on arrival break the pool; after one fresh
+        retry the sweep must complete in-process, never raise or hang."""
+        points = grid(x=list(range(8)))
+        rows = parallel_sweep(points, _worker_suicide, workers=2)
+        assert [r["y"] for r in rows] == list(range(8))
 
 
 class TestMergeRow:

@@ -134,25 +134,24 @@ class TestLifecycle:
 
 
 def _kill_self(**point):
-    # Safety net: only ever SIGKILL a pool worker. If the serial
-    # fallback unexpectedly engaged, fail the sweep instead of killing
-    # the pytest process.
+    # SIGKILL any pool worker; the serial fallback (main process) just
+    # evaluates the point, so the sweep completes after the pool breaks.
     if multiprocessing.parent_process() is None:
-        raise RuntimeError("serial fallback engaged; refusing to kill pytest")
+        return {"y": point["x"]}
     os.kill(os.getpid(), signal.SIGKILL)
 
 
 class TestWorkerDeath:
     def test_killed_worker_leaks_no_segments(self, monkeypatch):
-        from concurrent.futures.process import BrokenProcessPool
-
         import repro.analysis.parallel as par
 
         monkeypatch.setattr(par, "default_workers", lambda: 2)
         points = [{"x": i} for i in range(max(POOL_MIN_POINTS, 4))]
-        with pytest.raises(BrokenProcessPool):
-            with shm.published_traces({"a": _flat_mt()}):
-                parallel_sweep(points, _kill_self, workers=2)
+        with shm.published_traces({"a": _flat_mt()}):
+            # workers die on arrival; after one pool retry the sweep
+            # degrades to the in-process serial loop and still finishes
+            rows = parallel_sweep(points, _kill_self, workers=2)
+        assert [r["y"] for r in rows] == [p["x"] for p in points]
         shutdown_pool()
         # the autouse fixture asserts /dev/shm is clean afterwards
 

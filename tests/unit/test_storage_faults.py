@@ -1,0 +1,94 @@
+"""Storage-fault tolerance: cache/store writes degrade, never abort.
+
+Both on-disk caches (:class:`~repro.trace.store.TraceStore`,
+:class:`~repro.analysis.cache.ResultCache`) are pure accelerators —
+the data being written is already in memory. A write that fails after
+construction (disk full, directory deleted or turned read-only by an
+operator) must warn and continue as a cache miss, not kill the sweep
+that just spent minutes computing the rows. Construction-time failures
+stay loud (:class:`~repro.util.errors.ConfigError`): an unusable cache
+the user explicitly asked for is a configuration bug.
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.analysis.cache import ResultCache
+from repro.trace.events import MultiTrace, make_trace
+from repro.trace.store import TraceStore
+from repro.util.errors import ConfigError
+
+
+def _mt():
+    return MultiTrace(
+        threads=[make_trace([1, 2, 3], writes=[0, 1, 0])],
+        name="tiny",
+        params={},
+    )
+
+
+class TestTraceStoreWriteFaults:
+    def test_vanished_root_is_warned_noop(self, tmp_path):
+        root = tmp_path / "traces"
+        store = TraceStore(root)
+        shutil.rmtree(root)  # operator deletes the directory mid-run
+        with pytest.warns(RuntimeWarning, match="continuing without caching"):
+            assert store.put("k", _mt()) is None
+        assert store.get("k") is None  # degrades to a miss
+        assert store.misses == 1
+
+    def test_replace_failure_cleans_tmp_and_warns(self, tmp_path, monkeypatch):
+        store = TraceStore(tmp_path)
+        monkeypatch.setattr(
+            os, "replace", lambda *a, **k: (_ for _ in ()).throw(OSError("disk full"))
+        )
+        with pytest.warns(RuntimeWarning, match="disk full"):
+            assert store.put("k", _mt()) is None
+        assert list(tmp_path.glob("*.tmp*")) == []  # no leftover temp files
+
+    def test_construction_failure_still_loud(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("x")
+        with pytest.raises(ConfigError, match="trace store"):
+            TraceStore(blocker / "sub")
+
+
+class TestResultCacheWriteFaults:
+    def test_vanished_dir_is_warned_noop(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache = ResultCache(cache_dir)
+        shutil.rmtree(cache_dir)
+        with pytest.warns(RuntimeWarning, match="continuing uncached"):
+            cache.put("deadbeef" * 8, [{"x": 1}])
+        assert cache.get("deadbeef" * 8) is None
+        assert cache.misses == 1
+
+    def test_replace_failure_cleans_tmp_and_warns(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        monkeypatch.setattr(
+            os, "replace", lambda *a, **k: (_ for _ in ()).throw(OSError("disk full"))
+        )
+        with pytest.warns(RuntimeWarning, match="disk full"):
+            cache.put("deadbeef" * 8, [{"x": 1}])
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_later_writes_recover(self, tmp_path, monkeypatch):
+        """One failed write must not poison the cache object."""
+        cache = ResultCache(tmp_path)
+        real_replace = os.replace
+        monkeypatch.setattr(
+            os, "replace", lambda *a, **k: (_ for _ in ()).throw(OSError("flaky"))
+        )
+        with pytest.warns(RuntimeWarning):
+            cache.put("a" * 64, [{"x": 1}])
+        monkeypatch.setattr(os, "replace", real_replace)
+        cache.put("b" * 64, [{"x": 2}])
+        assert cache.get("b" * 64) == [{"x": 2}]
+
+    def test_construction_failure_still_loud(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("x")
+        with pytest.raises(ConfigError, match="cache dir"):
+            ResultCache(blocker / "sub")

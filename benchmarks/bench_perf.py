@@ -87,13 +87,27 @@ THROUGHPUT_PARAMS = {
         "machine": dict(name="pingpong", num_threads=16, rounds=1500, run=8),
         "cc": dict(name="uniform", num_threads=16, accesses_per_thread=8192,
                    region_words=4096),
+        "machine_fast": dict(name="pingpong", num_threads=16, rounds=120, run=256),
+        "cc_fast": dict(name="private", num_threads=16, accesses_per_thread=16384,
+                        working_set=192),
     },
     "smoke": {
         "machine": dict(name="pingpong", num_threads=8, rounds=250, run=8),
         "cc": dict(name="uniform", num_threads=8, accesses_per_thread=1024,
                    region_words=1024),
+        "machine_fast": dict(name="pingpong", num_threads=8, rounds=60, run=256),
+        "cc_fast": dict(name="private", num_threads=8, accesses_per_thread=8192,
+                        working_set=192),
     },
 }
+
+# The ``machine``/``cc`` entries are boundary-dense (a migration or a
+# miss every handful of accesses) and measure the *event-driven* hot
+# path, so those runs pin ``fast_path=False`` for metric continuity.
+# The ``*_fast`` entries are the epoch-batched fast path's target
+# regime — long runs of local work punctuated by rare boundary events
+# (the regime the paper's evaluation cares about) — and run with the
+# fast path on (the default).
 
 # Pre-optimization accesses/second, measured on the commit before the
 # hot-path overhaul (best of 3 on the same parameters above, CORES=16).
@@ -103,6 +117,12 @@ PRE_PR_BASELINE = {
     "full": {"machine": 108913.0, "cc": 34082.0},
     "smoke": {"machine": 111222.0, "cc": 44167.0},
 }
+
+#: the previous committed baseline (benchmarks/baseline_throughput.json)
+#: — unlike the frozen PRE_PR_BASELINE above, this moves with every PR
+#: that re-records it, so speedups against it show the *trajectory*
+#: since the last landed optimization rather than since the first one.
+COMMITTED_BASELINE_PATH = Path(__file__).resolve().parent / "baseline_throughput.json"
 
 # ---------------------------------------------------------------- tracegen
 # Synthetic-generator throughput: accesses/second of MultiTrace
@@ -181,28 +201,31 @@ def _throughput_built(mode: str, which: str, machine: str):
     return build(spec)
 
 
-def _bench_machine(mode: str, repeats: int) -> dict:
+def _bench_machine(mode: str, repeats: int, which: str = "machine",
+                   fast_path: bool = False) -> dict:
     from repro.core.em2 import EM2Machine
 
-    built = _throughput_built(mode, "machine", "em2")
+    built = _throughput_built(mode, which, "em2")
     trace = built.trace
     best = 0.0
     for _ in range(repeats):
-        m = EM2Machine(trace, built.placement, built.config)
+        m = EM2Machine(trace, built.placement, built.config, fast_path=fast_path)
         t0 = time.perf_counter()
         m.run()
         best = max(best, trace.total_accesses / (time.perf_counter() - t0))
     return {"accesses": trace.total_accesses, "accesses_per_sec": best}
 
 
-def _bench_cc(mode: str, repeats: int) -> dict:
+def _bench_cc(mode: str, repeats: int, which: str = "cc",
+              fast_path: bool = False) -> dict:
     from repro.coherence.simulator import DirectoryCCSimulator
 
-    built = _throughput_built(mode, "cc", "cc-msi")
+    built = _throughput_built(mode, which, "cc-msi")
     trace = built.trace
     best = 0.0
     for _ in range(repeats):
-        sim = DirectoryCCSimulator(trace, built.placement, built.config)
+        sim = DirectoryCCSimulator(trace, built.placement, built.config,
+                                   fast_path=fast_path)
         t0 = time.perf_counter()
         sim.run()
         best = max(best, trace.total_accesses / (time.perf_counter() - t0))
@@ -220,6 +243,37 @@ def golden_parity() -> bool:
 
     committed = json.loads(golden.FIXTURE_PATH.read_text())
     return golden.scenario_results() == committed
+
+
+def fastpath_golden_parity(family: str) -> bool:
+    """Bit-parity of the epoch-batched fast path for one machine family.
+
+    Re-runs every golden scenario of the family twice — fast path forced
+    on and forced off — and requires both to equal the committed fixture.
+    The fixtures were recorded on the pure event-driven path, so this is
+    the tentpole's non-negotiable contract: the fast path may only be
+    fast, never different. ``family`` is ``"machine"`` (the migration
+    machines) or ``"cc"`` (the directory-coherence simulators).
+    """
+    bench_dir = Path(__file__).resolve().parent
+    if str(bench_dir) not in sys.path:
+        sys.path.insert(0, str(bench_dir))
+    import make_golden_fixtures as golden
+
+    from repro.runner import run
+    from repro.spec import ExperimentSpec
+
+    committed = json.loads(golden.FIXTURE_PATH.read_text())
+    for key, spec_dict in golden.scenario_specs().items():
+        name = spec_dict["machine"]["name"]
+        if (name.startswith("cc")) != (family == "cc"):
+            continue
+        for fast in (True, False):
+            sd = json.loads(json.dumps(spec_dict))
+            sd["machine"]["fast_path"] = fast
+            if run(ExperimentSpec.from_dict(sd)) != committed[key]:
+                return False
+    return True
 
 
 #: results() keys that exist only when a fault plane is attached — the
@@ -347,23 +401,62 @@ def run_trace_store(mode: str, base: ExperimentSpec, points: list[dict]) -> dict
     return out
 
 
+def _committed_baseline() -> dict:
+    """Metrics of the previous committed baseline (empty if absent)."""
+    try:
+        data = json.loads(COMMITTED_BASELINE_PATH.read_text())
+    except (OSError, ValueError):
+        return {}, None
+    return dict(data.get("metrics", {})), data.get("mode")
+
+
 def run_throughput(mode: str = "full", repeats: int = 3) -> dict:
-    """Throughput section of the report: machine + CC accesses/sec,
-    speedup vs the recorded pre-PR baseline, and the parity gate."""
+    """Throughput section of the report.
+
+    Event-driven metrics (``machine``/``cc``) run with the fast path
+    pinned off; fastpath metrics run the ``*_fast`` regime with the
+    epoch stepper on. Speedups are reported against both the frozen
+    PRE_PR_BASELINE and the previous committed baseline, and the
+    fastpath numbers are only trusted alongside their bit-parity gates.
+    """
     machine = _bench_machine(mode, repeats)
     cc = _bench_cc(mode, repeats)
+    machine_fast = _bench_machine(mode, repeats, which="machine_fast",
+                                  fast_path=True)
+    cc_fast = _bench_cc(mode, repeats, which="cc_fast", fast_path=True)
     base = PRE_PR_BASELINE[mode]
-    return {
+    committed, committed_mode = _committed_baseline()
+    report = {
         "machine_accesses": machine["accesses"],
         "machine_accesses_per_sec": machine["accesses_per_sec"],
         "machine_speedup_vs_pre_pr": machine["accesses_per_sec"] / base["machine"],
         "cc_accesses": cc["accesses"],
         "cc_accesses_per_sec": cc["accesses_per_sec"],
         "cc_speedup_vs_pre_pr": cc["accesses_per_sec"] / base["cc"],
+        "machine_fastpath_accesses": machine_fast["accesses"],
+        "machine_fastpath_accesses_per_sec": machine_fast["accesses_per_sec"],
+        "cc_fastpath_accesses": cc_fast["accesses"],
+        "cc_fastpath_accesses_per_sec": cc_fast["accesses_per_sec"],
         "pre_pr_baseline": base,
+        "committed_baseline_mode": committed_mode,
         "golden_parity": golden_parity(),
         "fault_zero_golden_parity": fault_zero_golden_parity(),
+        "machine_fastpath_golden_parity": fastpath_golden_parity("machine"),
+        "cc_fastpath_golden_parity": fastpath_golden_parity("cc"),
     }
+    # trajectory since the last committed baseline (same-mode only: the
+    # committed file records one mode's numbers)
+    if committed_mode == mode:
+        for rep_key, base_key in (
+            ("machine_speedup_vs_baseline", "machine_accesses_per_sec"),
+            ("cc_speedup_vs_baseline", "cc_accesses_per_sec"),
+            ("machine_fastpath_speedup_vs_baseline", "machine_accesses_per_sec"),
+            ("cc_fastpath_speedup_vs_baseline", "cc_accesses_per_sec"),
+        ):
+            metric = rep_key.replace("_speedup_vs_baseline", "_accesses_per_sec")
+            if base_key in committed and float(committed[base_key]) > 0:
+                report[rep_key] = report[metric] / float(committed[base_key])
+    return report
 
 
 def run_harness(mode: str = "full", workers: int = 4, cache_dir: str | None = None) -> dict:
@@ -444,8 +537,12 @@ def test_throughput_smoke():
     report = run_throughput(mode="smoke", repeats=1)
     assert report["golden_parity"]
     assert report["fault_zero_golden_parity"]
+    assert report["machine_fastpath_golden_parity"]
+    assert report["cc_fastpath_golden_parity"]
     assert report["machine_accesses_per_sec"] > 0
     assert report["cc_accesses_per_sec"] > 0
+    assert report["machine_fastpath_accesses_per_sec"] > 0
+    assert report["cc_fastpath_accesses_per_sec"] > 0
 
 
 def test_tracegen_smoke():
@@ -500,6 +597,8 @@ def main(argv: list[str] | None = None) -> int:
         and report["warm_skip_fraction"] >= 0.9
         and report["golden_parity"]
         and report["fault_zero_golden_parity"]
+        and report["machine_fastpath_golden_parity"]
+        and report["cc_fastpath_golden_parity"]
         and report["tracegen_golden_parity"]
     )
     print(
@@ -518,6 +617,16 @@ def main(argv: list[str] | None = None) -> int:
         f"({report['cc_speedup_vs_pre_pr']:.2f}x pre-PR) | "
         f"golden parity: {report['golden_parity']} | "
         f"fault-zero parity: {report['fault_zero_golden_parity']}"
+    )
+    print(
+        f"fastpath machine {report['machine_fastpath_accesses_per_sec']:.0f} acc/s "
+        f"({report.get('machine_fastpath_speedup_vs_baseline', float('nan')):.2f}x "
+        f"committed baseline) | "
+        f"fastpath cc {report['cc_fastpath_accesses_per_sec']:.0f} acc/s "
+        f"({report.get('cc_fastpath_speedup_vs_baseline', float('nan')):.2f}x "
+        f"committed baseline) | "
+        f"fastpath parity: machine {report['machine_fastpath_golden_parity']} "
+        f"cc {report['cc_fastpath_golden_parity']}"
     )
     print(
         f"tracegen {report['tracegen_accesses_per_sec']:.0f} acc/s "

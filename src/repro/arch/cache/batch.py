@@ -1,0 +1,202 @@
+"""Vectorized block application of accesses to one set-associative level.
+
+Two pieces back the epoch-batched fast path (:mod:`repro.core.epoch`):
+
+* :class:`L1BlockKernel` — a numpy-state mirror of one
+  :class:`~repro.arch.cache.sram.CacheArray` level that applies a whole
+  block of (address, write) accesses and returns per-access hit bits
+  plus the resulting replacement state. Presence, fill order, free-way
+  selection, and LRU victim choice are exactly equivalent to driving
+  ``CacheArray.lookup``/``fill`` one access at a time (the property
+  tests assert this across associativities).
+* :func:`frozen_hit_prefix` — classify how many upcoming accesses are
+  *pure* hits against a live ``CacheArray``'s current (frozen) state.
+  Pure hits mutate only recency and counters, never presence or
+  protocol state, so a frozen-state classification of a hit prefix is
+  exact: the first access that would miss (or needs a state change)
+  ends the prefix and is handled by the event-driven slow path.
+* :func:`apply_hit_prefix` — bulk-apply such a prefix to the live
+  array: counters and final recency order (last-touch order of the
+  distinct lines) identical to touching line by line.
+
+The kernel keeps stamps instead of an explicit LRU list: the victim is
+the valid way with the smallest last-touch stamp, which is the same
+line an LRU order list fronts (stamps are drawn from one monotone
+counter, so ties cannot occur).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.cache.sram import CacheArray
+from repro.arch.config import CacheConfig
+
+
+class L1BlockKernel:
+    """Numpy-state set-associative cache level with block application."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.num_sets = config.num_sets
+        self.ways = config.associativity
+        self.line_shift = config.line_bytes.bit_length() - 1
+        self.tags = np.full((self.num_sets, self.ways), -1, dtype=np.int64)
+        self.valid = np.zeros((self.num_sets, self.ways), dtype=bool)
+        self.dirty = np.zeros((self.num_sets, self.ways), dtype=bool)
+        self.stamps = np.zeros((self.num_sets, self.ways), dtype=np.int64)
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- block application ------------------------------------------------
+    def apply(self, addrs: np.ndarray, writes: np.ndarray) -> np.ndarray:
+        """Apply a block of byte-address accesses; return per-access hit bits.
+
+        The decode (line/set/tag split) is vectorized; the presence walk
+        is sequential because each fill depends on the previous one's
+        replacement decision — exactly the dependency a real cache has.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        writes = np.asarray(writes, dtype=bool)
+        lines = addrs >> self.line_shift
+        sis = (lines % self.num_sets).astype(np.int64)
+        tgs = lines // self.num_sets
+        hits = np.zeros(len(addrs), dtype=bool)
+        tags, valid, dirty, stamps = self.tags, self.valid, self.dirty, self.stamps
+        clock = self._clock
+        for i in range(len(addrs)):
+            si = sis[i]
+            tag = tgs[i]
+            row_valid = valid[si]
+            match = np.flatnonzero(row_valid & (tags[si] == tag))
+            if match.size:
+                way = match[0]
+                hits[i] = True
+                self.hits += 1
+            else:
+                self.misses += 1
+                free = np.flatnonzero(~row_valid)
+                if free.size:
+                    way = free[0]
+                else:
+                    way = int(np.argmin(stamps[si]))
+                    self.evictions += 1
+                tags[si, way] = tag
+                valid[si, way] = True
+                dirty[si, way] = False
+            if writes[i]:
+                dirty[si, way] = True
+            clock += 1
+            stamps[si, way] = clock
+        self._clock = clock
+        return hits
+
+    # -- introspection ----------------------------------------------------
+    def resident_lines(self) -> set[int]:
+        """Line base addresses currently resident (for parity checks)."""
+        out = set()
+        for si in range(self.num_sets):
+            for w in range(self.ways):
+                if self.valid[si, w]:
+                    out.add(int(self.tags[si, w] * self.num_sets + si) << self.line_shift)
+        return out
+
+
+def frozen_hit_prefix(
+    arr: CacheArray,
+    lines: np.ndarray,
+    writes: np.ndarray | None = None,
+    states_ok_write: tuple[int, ...] | None = None,
+    states_ok_read: tuple[int, ...] | None = None,
+) -> int:
+    """Length of the pure-hit prefix of ``lines`` against ``arr`` now.
+
+    ``lines`` are line addresses (byte address >> line shift). With no
+    state filters, a hit is simple presence (the migration machines'
+    L1). With filters, the resident line's protocol ``state`` must be
+    in the allowed tuple for the access type (the CC driver's hit
+    predicate). Distinct lines are classified once via ``np.unique``,
+    then broadcast back — the kernel's vectorized classification step.
+    """
+    n = len(lines)
+    if n == 0:
+        return 0
+    # trace blocks are run-structured (consecutive words of one line),
+    # so compress to same-line runs and probe each run once, in order —
+    # cheaper than a sort-based unique and short-circuits at the miss
+    starts = np.concatenate(
+        ([0], np.flatnonzero(lines[1:] != lines[:-1]) + 1)
+    )
+    run_lines = lines[starts].tolist()
+    num_sets = arr.num_sets
+    sets_, lines_ = arr._sets, arr._lines
+    if states_ok_write is None:
+        for pos, la in zip(starts.tolist(), run_lines):
+            if sets_[la % num_sets].get(la // num_sets) is None:
+                return pos
+        return n
+    writes = np.asarray(writes, dtype=bool)
+    bounds = starts.tolist() + [n]
+    for j, la in enumerate(run_lines):
+        way = sets_[la % num_sets].get(la // num_sets)
+        if way is None:
+            return bounds[j]
+        st = lines_[la % num_sets][way].state
+        ok_w = st in states_ok_write
+        ok_r = st in states_ok_read
+        if ok_w and ok_r:
+            continue
+        if not (ok_w or ok_r):
+            return bounds[j]
+        # state allows only one access type: the prefix ends at the
+        # run's first access of the disallowed type, if any
+        seg = writes[bounds[j] : bounds[j + 1]]
+        bad = np.flatnonzero(seg if ok_r else ~seg)
+        if bad.size:
+            return bounds[j] + int(bad[0])
+    return n
+
+
+def apply_hit_prefix(arr: CacheArray, lines: np.ndarray, writes: np.ndarray | None = None):
+    """Bulk-apply ``len(lines)`` pure hits to ``arr``.
+
+    Equivalent to ``arr.lookup(line << shift)`` per access: the hit
+    counter advances by the block size and the final recency order is
+    the last-touch order of the distinct lines (touching a line twice
+    leaves only the later touch visible to LRU). With ``writes``, a
+    line written anywhere in the block is marked dirty (hit-write
+    semantics of the migration machines' L1). Returns the line object
+    of the final access, for the caller's same-line memo.
+    """
+    n = len(lines)
+    if n == 0:
+        return None
+    arr.hits += n
+    # compress to same-line runs; the distinct last-touch order is then
+    # the last-occurrence order over the short run sequence, which an
+    # insertion-ordered dict with re-insertion produces directly
+    starts = np.concatenate(
+        ([0], np.flatnonzero(lines[1:] != lines[:-1]) + 1)
+    )
+    run_lines = lines[starts].tolist()
+    ordered = {}
+    if writes is None:
+        for la in run_lines:
+            ordered[la] = ordered.pop(la, False)
+    else:
+        flags = np.maximum.reduceat(np.asarray(writes, dtype=bool), starts)
+        for la, f in zip(run_lines, flags.tolist()):
+            ordered[la] = ordered.pop(la, False) or f
+    num_sets = arr.num_sets
+    sets_, lines_, policies = arr._sets, arr._lines, arr._policies
+    last = None
+    for la, f in ordered.items():
+        si = la % num_sets
+        way = sets_[si][la // num_sets]
+        policies[si].touch(way)
+        last = lines_[si][way]
+        if f:
+            last.dirty = True
+    return last

@@ -122,6 +122,50 @@ class CacheHierarchy:
             writebacks_to_memory=wb_mem,
         )
 
+    def access_no_mem(self, addr: int, write: bool) -> AccessResult | None:
+        """Like :meth:`access`, unless the access would fill from memory.
+
+        A memory-level access returns ``None`` with the hierarchy (and
+        its counters/memo) completely untouched, so the caller can fall
+        back to the event-driven path which will re-issue the access
+        through :meth:`access` and charge the DRAM controller at the
+        correct simulated time. The epoch-batched fast path uses this
+        to make DRAM fills hard batching boundaries.
+        """
+        l1 = self.l1
+        line_addr = addr >> l1._line_shift
+        if line_addr == self._last_la:
+            l1.hits += 1
+            if write:
+                self._last_line.dirty = True
+            return self._l1_hit
+        si = line_addr % l1.num_sets
+        way = l1._sets[si].get(line_addr // l1.num_sets)
+        if way is not None:
+            l1.hits += 1
+            l1._policies[si].touch(way)
+            line = l1._lines[si][way]
+            self._last_la = line_addr
+            self._last_line = line
+            if write:
+                line.dirty = True
+            return self._l1_hit
+        if self.l2.probe(addr) is None:
+            return None  # memory fill: leave every bit of state untouched
+        self._last_la = -1
+        l1.misses += 1
+        l2_line = self.l2.lookup(addr)
+        dirty = l2_line.dirty or write
+        l2_line.dirty = False
+        wb_mem = self._fill_l1(addr, dirty)
+        if wb_mem == 0:
+            return self._l2_hit
+        return AccessResult(
+            ServiceLevel.L2,
+            self._l1_cfg.hit_latency + self._l2_cfg.hit_latency,
+            writebacks_to_memory=wb_mem,
+        )
+
     def _fill_l1(self, addr: int, dirty: bool) -> int:
         """Fill L1; spill a dirty victim down into L2. Returns dirty-L2-victim count."""
         wb_mem = 0

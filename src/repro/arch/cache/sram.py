@@ -97,17 +97,24 @@ class CacheArray:
             return None
 
         victim_line: CacheLine | None = None
-        free_way = next((w for w in range(self.ways) if self._lines[si][w] is None), None)
+        # plain loop, not a genexpr: fill is on the per-miss hot path and
+        # the generator frame showed up in coherence profiles
+        row = self._lines[si]
+        free_way = None
+        for w in range(self.ways):
+            if row[w] is None:
+                free_way = w
+                break
         if free_way is None:
             free_way = self._policies[si].victim()
-            victim_line = self._lines[si][free_way]
+            victim_line = row[free_way]
             assert victim_line is not None
             del self._sets[si][victim_line.tag]
             self.evictions += 1
             if victim_line.dirty:
                 self.writebacks += 1
 
-        self._lines[si][free_way] = CacheLine(tag=tag, dirty=dirty, state=state)
+        row[free_way] = CacheLine(tag=tag, dirty=dirty, state=state)
         self._sets[si][tag] = free_way
         self._policies[si].touch(free_way)
         return victim_line

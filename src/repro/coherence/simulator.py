@@ -78,10 +78,15 @@ class DirectoryCCSimulator:
         topology: Topology | None = None,
         protocol: str = "msi",
         faults=None,
+        fast_path: bool = True,
     ) -> None:
         if protocol not in ("msi", "mesi"):
             raise ProtocolError(f"unknown protocol {protocol!r}; use 'msi' or 'mesi'")
         self.protocol = protocol
+        # epoch-batched fast driver (repro.core.epoch.run_cc_fast);
+        # auto-disabled with a fault injector so the retry/recovery
+        # accounting stays on the message-by-message path
+        self.fast_path = fast_path and faults is None
         self.trace = trace
         self.placement = placement
         self.config = config
@@ -398,7 +403,16 @@ class DirectoryCCSimulator:
         Misses and MESI silent upgrades fall through to ``access()``
         with the precomputed home. Results are bit-identical to the
         record-at-a-time driver.
+
+        With ``fast_path`` on (the default; forced off by a fault
+        injector) the epoch-batched driver runs instead — same protocol
+        over the same state, lockstep numpy windows over pure-hit
+        rounds, bit-identical results.
         """
+        if self.fast_path:
+            from repro.core.epoch import run_cc_fast
+
+            return run_cc_fast(self)
         T = self.trace.num_threads
         times = [0.0] * T
         idx = [0] * T

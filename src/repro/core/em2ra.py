@@ -42,8 +42,12 @@ class EM2RAMachine(MigrationMachineBase):
         topology: Topology | None = None,
         cache_detail: bool = True,
         faults=None,
+        fast_path: bool = True,
     ) -> None:
-        super().__init__(trace, placement, config, topology, cache_detail, faults=faults)
+        super().__init__(
+            trace, placement, config, topology, cache_detail,
+            faults=faults, fast_path=fast_path,
+        )
         # one scheme instance per thread: the hardware unit is core-local,
         # but its history follows the thread's perspective
         self._schemes = [scheme.clone() for _ in range(trace.num_threads)]
@@ -112,7 +116,7 @@ class EM2RAMachine(MigrationMachineBase):
         th: ThreadState = msg.body
         fixed = self.config.cost.remote_access_fixed
         th.idx += 1  # the access completed remotely
-        th.pending = self.engine.schedule(fixed, self._step, th)
+        th.pending = self.engine.schedule(fixed, self._step_cb, th)
         # the thread is evictable again: a migrant stalled behind this
         # core's pinned guests may now displace it
         if not self.contexts[th.core].is_native(th.tid):

@@ -83,6 +83,7 @@ class MigrationMachineBase:
         topology: Topology | None = None,
         cache_detail: bool = True,
         faults=None,
+        fast_path: bool = True,
     ) -> None:
         self.trace = trace
         self.placement = placement
@@ -138,9 +139,23 @@ class MigrationMachineBase:
         self._c_dram = counters.cell("dram_fills")
         self._c_stalls = counters.cell("admission_stalls")
         # pre-bound hot callables: skips a descriptor lookup per event
-        # (self._step resolves the subclass override, bound once)
         self._schedule = self.engine.schedule
-        self._step_cb = self._step
+        # Epoch-batched fast path (repro.core.epoch): only when results
+        # are provably identical — detailed caches (the analytical model
+        # has no batchable state), no fault plane (recovery must stay
+        # event-driven), no context multiplexing (occupancy couples
+        # threads between events). `_step_cb` is what every step event
+        # carries as its callback: the dispatch wrapper when the fast
+        # path is on, the slow step directly when off, so the classic
+        # path pays nothing for the knob.
+        self._stepper = None
+        if fast_path and cache_detail and faults is None and not config.multiplex_contexts:
+            from repro.core.epoch import EpochStepper
+
+            self._stepper = EpochStepper(self)
+            self._step_cb = self._step
+        else:
+            self._step_cb = self._step_slow
         for th in self.threads:
             t = th.tid
             th.addrs = self._addrs[t]
@@ -172,7 +187,7 @@ class MigrationMachineBase:
         self._started = True
         for th in self.threads:
             self.contexts[th.native].admit_native(th.tid, 0.0)
-            th.pending = self.engine.schedule(0.0, self._step, th)
+            th.pending = self.engine.schedule(0.0, self._step_cb, th)
         self.engine.run(max_events=max_events)
         unfinished = [th.tid for th in self.threads if not th.done]
         if unfinished:
@@ -216,6 +231,20 @@ class MigrationMachineBase:
 
     # ------------------------------------------------------------------
     def _step(self, th: ThreadState) -> None:
+        """Step dispatch with the epoch-batched fast path.
+
+        When the next access is provably boundary-free, the stepper
+        absorbs every pending step event and advances all resident
+        threads in exact event order without the engine heap
+        (:class:`repro.core.epoch.EpochStepper`); anything else falls
+        through to the event-driven slow step. Only bound as the step
+        callback when the fast path is enabled.
+        """
+        if self._stepper.try_window(th):
+            return
+        self._step_slow(th)
+
+    def _step_slow(self, th: ThreadState) -> None:
         """Process thread's next access from its current core.
 
         Reads the columnar decode (plain lists) and inlines the common
@@ -401,7 +430,7 @@ class MigrationMachineBase:
         th.in_transit = False
         th.core = dest
         # the access that triggered the migration executes here
-        th.pending = self.engine.schedule(0.0, self._step, th)
+        th.pending = self.engine.schedule(0.0, self._step_cb, th)
 
     def _pick_evictable_victim(self, core: int) -> int | None:
         """LRU among guests that are between events (evictable)."""
@@ -462,7 +491,7 @@ class MigrationMachineBase:
         victim.core = victim.native
         self.contexts[victim.native].admit_native(victim.tid, self.engine.now)
         # the interrupted access restarts from the native core
-        victim.pending = self.engine.schedule(0.0, self._step, victim)
+        victim.pending = self.engine.schedule(0.0, self._step_cb, victim)
 
     # ------------------------------------------------------------------
     def _handle_nonlocal(

@@ -44,10 +44,11 @@ class RemoteAccessMachine(EM2RAMachine):
         topology: Topology | None = None,
         cache_detail: bool = True,
         faults=None,
+        fast_path: bool = True,
     ) -> None:
         super().__init__(
             trace, placement, config, NeverMigrate(), topology, cache_detail,
-            faults=faults,
+            faults=faults, fast_path=fast_path,
         )
 
 

@@ -217,6 +217,8 @@ def run(spec: ExperimentSpec) -> dict:
     built = build(spec)
     machine_fn = MACHINES.get(spec.machine.name)
     kwargs = dict(spec.machine.params)
+    if not spec.machine.fast_path:
+        kwargs["fast_path"] = False
     if spec.faults is not None:
         from repro.faults.injector import FaultInjector
 

@@ -159,13 +159,49 @@ class Engine:
             finally:
                 self.events_executed += executed
             return
+        if max_events is None:
+            # until-bounded loop: the horizon check is the only compare
+            # per event (peek first — a too-late event stays queued)
+            while queue:
+                when, _, ev = queue[0]
+                if ev.cancelled:
+                    pop(queue)
+                    continue
+                if when > until:
+                    self.now = until
+                    return
+                pop(queue)
+                self._live -= 1
+                ev._engine = None
+                self.now = when
+                self.events_executed += 1
+                ev.callback(*ev.args)
+            return
+        if until is None:
+            # max-events-bounded loop: nothing bounds time, so pop
+            # directly; one counter compare per event
+            executed = 0
+            while queue:
+                when, _, ev = pop(queue)
+                if ev.cancelled:
+                    continue
+                self._live -= 1
+                ev._engine = None
+                self.now = when
+                self.events_executed += 1
+                ev.callback(*ev.args)
+                executed += 1
+                if executed >= max_events:
+                    raise LivenessError(self._liveness_message(max_events, ev))
+            return
+        # both bounds set: the rare fully generic loop
         executed = 0
         while queue:
             when, _, ev = queue[0]
             if ev.cancelled:
                 pop(queue)
                 continue
-            if until is not None and when > until:
+            if when > until:
                 self.now = until
                 return
             pop(queue)
@@ -175,7 +211,7 @@ class Engine:
             self.events_executed += 1
             ev.callback(*ev.args)
             executed += 1
-            if max_events is not None and executed >= max_events:
+            if executed >= max_events:
                 raise LivenessError(self._liveness_message(max_events, ev))
 
     def _liveness_message(self, ceiling: int, ev: Event) -> str:

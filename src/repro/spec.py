@@ -236,6 +236,11 @@ class MachineSpec:
     preset: str = "default"
     config: dict = field(default_factory=dict)
     params: dict = field(default_factory=dict)
+    #: Epoch-batched fast path for the detailed simulators (bit-identical
+    #: results; auto-disabled when a fault plane is attached). Serializes
+    #: only when disabled, so every pre-existing spec dict, cache key,
+    #: and golden fixture is unchanged.
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         _check_str("machine", "name", self.name)
@@ -246,17 +251,24 @@ class MachineSpec:
             raise ConfigError(
                 f"unknown machine.preset {self.preset!r}; use 'default' or 'small-test'"
             )
+        if not isinstance(self.fast_path, bool):
+            raise ConfigError(
+                f"machine.fast_path must be a bool, got {self.fast_path!r}"
+            )
         _check_params("machine", self.config)
         _check_params("machine", self.params)
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "cores": self.cores,
             "preset": self.preset,
             "config": dict(self.config),
             "params": dict(self.params),
         }
+        if not self.fast_path:
+            out["fast_path"] = False
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "MachineSpec":

@@ -1,0 +1,172 @@
+"""Unit tests for the epoch-batched fast path (ISSUE 6 tentpole).
+
+Three contracts:
+
+* **Bit parity** — the fast path produces results *identical* to the
+  event-driven path, for every detailed machine family, on traces that
+  exercise migrations, evictions, remote accesses, and DRAM fills.
+* **Boundary detection** — windows end exactly at the events where
+  threads interact: non-local accesses (migration/RA decisions), DRAM
+  fills, and finish-waits; boundary-free local runs are batched.
+* **Fault-plane auto-disable** — attaching a fault injector routes
+  every access through the event engine (the stepper is never built,
+  the CC driver stays scalar), keeping the recovery plane untouched.
+"""
+
+import pytest
+
+from repro.runner import build, run
+from repro.spec import (
+    ExperimentSpec,
+    FaultSpec,
+    MachineSpec,
+    PlacementSpec,
+    SchemeSpec,
+    WorkloadSpec,
+)
+
+
+def _spec(workload, params, machine, fast_path=True, scheme=None, faults=None,
+          cores=8):
+    return ExperimentSpec(
+        workload=WorkloadSpec(name=workload, params=params),
+        machine=MachineSpec(
+            name=machine, cores=cores, preset="small-test", fast_path=fast_path
+        ),
+        scheme=SchemeSpec(name=scheme or "history"),
+        placement=PlacementSpec(name="first-touch"),
+        faults=faults,
+    )
+
+
+WORKLOADS = [
+    ("pingpong", dict(num_threads=4, rounds=20, run=6)),
+    ("pingpong", dict(num_threads=4, rounds=4, run=96)),
+    ("uniform", dict(num_threads=4, accesses_per_thread=256, region_words=256)),
+    ("private", dict(num_threads=4, accesses_per_thread=512, working_set=96)),
+]
+
+MACHINES = ["em2", "em2ra", "ra-only", "cc-msi", "cc-mesi"]
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+@pytest.mark.parametrize("workload,params", WORKLOADS)
+def test_fast_path_bit_parity(machine, workload, params):
+    fast = run(_spec(workload, params, machine, fast_path=True))
+    slow = run(_spec(workload, params, machine, fast_path=False))
+    assert fast == slow
+
+
+# ---------------------------------------------------------------- boundaries
+def _em2_machine(workload, params, fast_path=True, cores=8):
+    from repro.core.em2 import EM2Machine
+
+    built = build(_spec(workload, params, "em2", fast_path=fast_path,
+                        cores=cores))
+    return EM2Machine(
+        built.trace, built.placement, built.config, fast_path=fast_path
+    )
+
+
+def test_local_runs_are_batched():
+    """A boundary-free local trace runs almost entirely inside windows."""
+    m = _em2_machine("private", dict(num_threads=4, accesses_per_thread=512,
+                                     working_set=96))
+    m.run()
+    s = m._stepper
+    assert s is not None
+    assert s.windows > 0
+    assert s.batched_accesses > 0.9 * m.trace.total_accesses
+
+
+def test_nonlocal_access_is_a_boundary():
+    """Shared-buffer pingpong forces migrations: every one must close
+    its window through the non-local boundary, never inside a batch."""
+    m = _em2_machine("pingpong", dict(num_threads=4, rounds=10, run=48))
+    m.run()
+    s = m._stepper
+    assert s.windows > 0
+    assert s.boundaries["nonlocal"] > 0
+
+
+def test_dram_fill_is_a_boundary():
+    """A working set far beyond L2 forces DRAM fills; each must be a
+    boundary (the stateful DRAM queue needs exact event times)."""
+    m = _em2_machine("private", dict(num_threads=2, accesses_per_thread=512,
+                                     working_set=8192))
+    m.run()
+    s = m._stepper
+    assert s.boundaries["dram"] > 0
+
+
+def test_stepper_disables_itself_on_boundary_dense_traces():
+    """Migration-saturated traces yield tiny windows; after the probe
+    period the stepper must turn itself off (never slower than slow)."""
+    m = _em2_machine("pingpong", dict(num_threads=8, rounds=250, run=8),
+                     cores=16)
+    m.run()
+    s = m._stepper
+    assert s.disabled
+    assert s.windows >= 64  # it probed before giving up
+
+
+def test_fast_path_off_means_no_stepper():
+    m = _em2_machine("pingpong", dict(num_threads=4, rounds=4, run=8),
+                     fast_path=False)
+    assert m._stepper is None
+
+
+# ---------------------------------------------------------------- fault plane
+def test_fault_injector_disables_machine_stepper():
+    from repro.core.em2 import EM2Machine
+    from repro.faults.injector import FaultInjector
+
+    spec = _spec("pingpong", dict(num_threads=4, rounds=4, run=8), "em2")
+    built = build(spec)
+    injector = FaultInjector(FaultSpec(name="iid", params={}, seed=0))
+    m = EM2Machine(built.trace, built.placement, built.config,
+                   faults=injector, fast_path=True)
+    assert m._stepper is None
+
+
+def test_fault_injector_disables_cc_fast_driver():
+    from repro.coherence.simulator import DirectoryCCSimulator
+    from repro.faults.injector import FaultInjector
+
+    spec = _spec("uniform", dict(num_threads=4, accesses_per_thread=64), "cc-msi")
+    built = build(spec)
+    injector = FaultInjector(FaultSpec(name="iid", params={}, seed=0))
+    sim = DirectoryCCSimulator(built.trace, built.placement, built.config,
+                               faults=injector, fast_path=True)
+    assert sim.fast_path is False
+
+
+# ---------------------------------------------------------------- cc lockstep
+def test_cc_lockstep_window_engages_and_matches():
+    """On a hit-heavy private workload the CC driver's lockstep W-batch
+    must actually engage, and stay bit-identical to the scalar driver."""
+    from repro.coherence.simulator import DirectoryCCSimulator
+
+    params = dict(num_threads=4, accesses_per_thread=2048, working_set=96)
+    spec = _spec("private", params, "cc-msi")
+    built = build(spec)
+    sim = DirectoryCCSimulator(built.trace, built.placement, built.config,
+                               fast_path=True)
+    sim.run()
+    assert getattr(sim, "_epoch_windows", 0) > 0
+
+    fast = run(_spec("private", params, "cc-msi", fast_path=True))
+    slow = run(_spec("private", params, "cc-msi", fast_path=False))
+    assert fast == slow
+
+
+# ---------------------------------------------------------------- spec knob
+def test_fast_path_spec_round_trip():
+    """fast_path serializes only when disabled (golden spec dicts and
+    cache keys from before the knob existed are unchanged)."""
+    on = MachineSpec(name="em2", fast_path=True)
+    off = MachineSpec(name="em2", fast_path=False)
+    assert "fast_path" not in on.to_dict()
+    assert off.to_dict()["fast_path"] is False
+    assert MachineSpec.from_dict(on.to_dict()).fast_path is True
+    assert MachineSpec.from_dict(off.to_dict()).fast_path is False

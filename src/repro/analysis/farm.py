@@ -1,0 +1,625 @@
+"""Distributed sweep farm — wire protocol and coordinator side.
+
+The farm extends :func:`repro.analysis.sweep.sweep_specs` beyond one
+box: ``repro worker --listen HOST:PORT`` processes
+(:mod:`repro.analysis.worker`) serve sweep points, and a coordinator
+built here shards the grid across them. Everything is stdlib
+(``socket``/``struct``/``threading``) — the serialization substrate
+already exists, because sweep points are canonical
+:class:`~repro.spec.ExperimentSpec` dicts and workloads are addressed
+by ``WorkloadSpec.cache_key`` digests.
+
+Wire format: every frame is a fixed header ``!4sBBxxI`` — magic
+``b"RPFM"``, protocol version, message kind, body length — followed by
+the body. Control frames carry JSON (insertion-ordered, so RESULT
+rows keep the key order a local run produces); only ``TRACE_PUT``
+carries pickle (a :class:`~repro.trace.events.MultiTrace` is numpy
+columns, which JSON cannot ship losslessly). A frame with the wrong
+magic, an unknown kind, an oversized length, or a truncated body
+raises :class:`FrameError`; a version field other than
+:data:`PROTOCOL_VERSION` raises :class:`ProtocolMismatch` before the
+body is read, so incompatible peers are rejected at the first frame.
+
+Session, coordinator's view of one worker::
+
+    connect  -> HELLO            {"protocol": 1, "points": N}
+    <- HELLO_ACK                 {"pid", "cpu_count", ...}
+    -> TRACE_QUERY               {"digests": [cache_key, ...]}
+    <- TRACE_HAVE                {"have": [cache_key, ...]}
+    -> TRACE_PUT (pickle)        one per digest the worker lacks
+    <- TRACE_OK                  per TRACE_PUT
+    -> BEGIN
+    <- NEXT                      worker pulls; this is the work-stealing
+    -> CHUNK                     {"chunk_id", "indices", "specs", ...}
+    <- RESULT                    {"chunk_id", "rows", "elapsed"}
+    <- NEXT                      ... until the grid drains ...
+    -> DONE
+
+Pull-based stealing: workers ask (``NEXT``) whenever idle, so a fast
+host simply asks more often — there is no static shard. Chunk size
+adapts per worker from an EMA of its observed seconds/point, targeting
+:data:`CHUNK_TARGET_SECONDS` per round trip while leaving a stealable
+tail. Results stream back incrementally and are placed by point index
+(first result wins), so the final row order is deterministic no matter
+which worker computed what.
+
+Failure semantics: the coordinator PINGs an idle connection every
+:data:`HEARTBEAT_INTERVAL`; a worker silent past its liveness ceiling,
+or whose socket errors out, is declared dead and its in-flight chunk
+is re-queued to the survivors. ``point_timeout`` travels with each
+chunk and doubles as the coordinator-side deadline (timeout × points +
+grace) — exceeding it raises the same
+:class:`~repro.analysis.parallel.SweepPointError` the local pool
+raises, with the offending spec attached. Zero reachable workers
+raises :class:`FarmUnavailable`, which ``sweep_specs`` degrades to the
+local pool with a warning; if every worker dies mid-sweep, the
+leftover points are finished locally instead of being lost.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import socket
+import struct
+import threading
+import time
+import warnings
+from collections import deque
+
+from repro.util.errors import ReproError
+
+# -------------------------------------------------------------- wire layer
+PROTOCOL_VERSION = 1
+MAGIC = b"RPFM"
+HEADER = struct.Struct("!4sBBxxI")  # magic, version, kind, pad, body length
+MAX_FRAME = 256 * 1024 * 1024
+
+HELLO = 1
+HELLO_ACK = 2
+TRACE_QUERY = 3
+TRACE_HAVE = 4
+TRACE_PUT = 5
+TRACE_OK = 6
+BEGIN = 7
+NEXT = 8
+CHUNK = 9
+RESULT = 10
+DONE = 11
+PING = 12
+PONG = 13
+ERROR = 14
+
+KIND_NAMES = {
+    HELLO: "HELLO",
+    HELLO_ACK: "HELLO_ACK",
+    TRACE_QUERY: "TRACE_QUERY",
+    TRACE_HAVE: "TRACE_HAVE",
+    TRACE_PUT: "TRACE_PUT",
+    TRACE_OK: "TRACE_OK",
+    BEGIN: "BEGIN",
+    NEXT: "NEXT",
+    CHUNK: "CHUNK",
+    RESULT: "RESULT",
+    DONE: "DONE",
+    PING: "PING",
+    PONG: "PONG",
+    ERROR: "ERROR",
+}
+
+# TRACE_PUT bodies are numpy trace columns; everything else is JSON so
+# a foreign implementation could speak the control plane without
+# trusting pickle for it.
+_PICKLE_KINDS = frozenset({TRACE_PUT})
+
+
+class FarmError(ReproError):
+    """Base class for distributed-farm failures."""
+
+
+class FrameError(FarmError):
+    """A wire frame was truncated, oversized, or malformed."""
+
+
+class ProtocolMismatch(FrameError):
+    """The peer speaks a different farm protocol version."""
+
+
+class FarmUnavailable(FarmError):
+    """No farm worker was reachable; callers degrade to the local pool."""
+
+
+def encode_frame(kind: int, payload) -> bytes:
+    """One wire frame: header plus JSON (or pickle) body."""
+    if kind in _PICKLE_KINDS:
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    else:
+        # insertion order is preserved deliberately: RESULT rows keep
+        # the exact key order a local evaluation produces, so farm and
+        # local sweeps render byte-identical tables
+        body = json.dumps(payload).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise FrameError(
+            f"{KIND_NAMES.get(kind, kind)} body is {len(body)} bytes, "
+            f"over the {MAX_FRAME}-byte frame ceiling"
+        )
+    return HEADER.pack(MAGIC, PROTOCOL_VERSION, kind, len(body)) + body
+
+
+def send_frame(sock: socket.socket, kind: int, payload) -> None:
+    sock.sendall(encode_frame(kind, payload))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        piece = sock.recv(n - len(buf))
+        if not piece:
+            raise FrameError(
+                f"connection closed mid-frame ({len(buf)}/{n} bytes read)"
+            )
+        buf.extend(piece)
+    return bytes(buf)
+
+
+def recv_frame(sock: socket.socket) -> tuple[int, object]:
+    """Read one frame; return ``(kind, payload)``.
+
+    Raises :class:`ProtocolMismatch` on a foreign version (checked
+    before the body is read) and :class:`FrameError` on anything else
+    that is not a well-formed frame. ``socket.timeout`` passes through
+    so callers can interleave heartbeats with blocking reads.
+    """
+    magic, version, kind, length = HEADER.unpack(_recv_exact(sock, HEADER.size))
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolMismatch(
+            f"peer speaks farm protocol v{version}, this side v{PROTOCOL_VERSION}"
+        )
+    if kind not in KIND_NAMES:
+        raise FrameError(f"unknown frame kind {kind}")
+    if length > MAX_FRAME:
+        raise FrameError(
+            f"{KIND_NAMES[kind]} frame declares {length} bytes, "
+            f"over the {MAX_FRAME}-byte ceiling"
+        )
+    body = _recv_exact(sock, length)
+    try:
+        if kind in _PICKLE_KINDS:
+            return kind, pickle.loads(body)
+        return kind, json.loads(body.decode("utf-8"))
+    except Exception as exc:
+        raise FrameError(f"malformed {KIND_NAMES[kind]} body: {exc}") from exc
+
+
+def parse_hostport(addr: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)``; :class:`FarmError` otherwise."""
+    host, sep, port = str(addr).rpartition(":")
+    if not sep or not host:
+        raise FarmError(f"farm address must be HOST:PORT, got {addr!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise FarmError(f"farm address {addr!r} has a non-integer port") from None
+
+
+# ------------------------------------------------------------- coordinator
+CONNECT_TIMEOUT = 3.0
+HEARTBEAT_INTERVAL = 1.0
+LIVENESS_TIMEOUT = 15.0
+CHUNK_TARGET_SECONDS = 0.5
+MAX_CHUNK = 64
+DEADLINE_GRACE = 2.0
+
+
+class _WorkerLink:
+    """Coordinator-side state for one connected worker."""
+
+    def __init__(self, addr: str, sock: socket.socket) -> None:
+        self.addr = addr
+        self.sock = sock
+        self.sec_per_point: float | None = None  # EMA of observed latency
+        self.points_done = 0
+        self.chunks_done = 0
+        self.traces_pushed = 0
+        self.dead = False
+
+
+class FarmCoordinator:
+    """Shard one sweep's spec dicts across remote workers.
+
+    ``run()`` returns the list of metrics dicts (JSON-canonical, one
+    per spec, in spec order) and fills :attr:`stats` with per-worker
+    accounting — chunk counts, points, trace pushes, requeues — which
+    the tests and the bench read directly.
+    """
+
+    def __init__(
+        self,
+        spec_dicts: list[dict],
+        farm: list[str],
+        point_timeout: float | None = None,
+        chunk: int | None = None,
+        heartbeat: float = HEARTBEAT_INTERVAL,
+        liveness: float = LIVENESS_TIMEOUT,
+        connect_timeout: float = CONNECT_TIMEOUT,
+    ) -> None:
+        if not farm:
+            raise FarmUnavailable("empty farm address list")
+        self.spec_dicts = list(spec_dicts)
+        self.farm = list(farm)
+        self.point_timeout = point_timeout
+        self.fixed_chunk = chunk
+        self.heartbeat = heartbeat
+        self.liveness = liveness
+        self.connect_timeout = connect_timeout
+        n = len(self.spec_dicts)
+        self.rows: list[dict | None] = [None] * n
+        self.remaining = n
+        self.pending: deque[int] = deque(range(n))
+        self.lock = threading.Lock()
+        self.done_evt = threading.Event()
+        self.abort_exc: Exception | None = None
+        self.live_workers = 0
+        self._chunk_ctr = 0
+        self._build_lock = threading.Lock()
+        self._trace_cache: dict[str, tuple[object, dict]] = {}
+        self._workload_by_key: dict[str, dict] = {}
+        for d in self.spec_dicts:
+            wdict = d.get("workload")
+            if wdict is not None:
+                from repro.spec import WorkloadSpec
+
+                key = WorkloadSpec.from_dict(wdict).cache_key()
+                self._workload_by_key.setdefault(key, wdict)
+        self.stats: dict = {
+            "points": n,
+            "workers": {},
+            "requeues": 0,
+            "chunks": 0,
+            "trace_pushes": {},
+            "local_leftovers": 0,
+        }
+
+    # -- public entry ------------------------------------------------------
+    def run(self) -> list[dict]:
+        links = self._connect_all()
+        if not links:
+            raise FarmUnavailable(
+                f"no reachable farm workers among {', '.join(self.farm)}"
+            )
+        self.live_workers = len(links)
+        threads = [
+            threading.Thread(target=self._serve, args=(link,), daemon=True)
+            for link in links
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        if self.abort_exc is not None:
+            raise self.abort_exc
+        leftovers = [i for i, r in enumerate(self.rows) if r is None]
+        if leftovers:
+            # every worker died mid-sweep: degrade, never lose points
+            warnings.warn(
+                f"all farm workers died; evaluating {len(leftovers)} "
+                "remaining point(s) locally",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.stats["local_leftovers"] = len(leftovers)
+            for i in leftovers:
+                self.rows[i] = _eval_local(self.spec_dicts[i])
+        for link in links:
+            self.stats["workers"][link.addr] = {
+                "points": link.points_done,
+                "chunks": link.chunks_done,
+                "sec_per_point": link.sec_per_point,
+                "dead": link.dead,
+            }
+        return self.rows  # fully populated
+
+    # -- connection management --------------------------------------------
+    def _connect_all(self) -> list[_WorkerLink]:
+        links = []
+        for addr in self.farm:
+            host, port = parse_hostport(addr)
+            try:
+                sock = socket.create_connection(
+                    (host, port), timeout=self.connect_timeout
+                )
+            except OSError as exc:
+                warnings.warn(
+                    f"farm worker {addr} unreachable: {exc}",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                continue
+            # handshake and trace pushes may legitimately take a while;
+            # the serving loop tightens this to the heartbeat interval
+            sock.settimeout(max(self.liveness, self.connect_timeout))
+            links.append(_WorkerLink(addr, sock))
+        return links
+
+    def _handshake(self, link: _WorkerLink) -> None:
+        send_frame(
+            link.sock,
+            HELLO,
+            {"protocol": PROTOCOL_VERSION, "points": len(self.spec_dicts)},
+        )
+        kind, msg = recv_frame(link.sock)
+        if kind == ERROR:
+            raise FarmError(f"worker {link.addr} rejected HELLO: {msg.get('message')}")
+        if kind != HELLO_ACK:
+            raise FarmError(
+                f"worker {link.addr} answered HELLO with "
+                f"{KIND_NAMES.get(kind, kind)}"
+            )
+
+    def _negotiate_traces(self, link: _WorkerLink) -> None:
+        """Trace-by-reference: digests first, bodies only where needed."""
+        keys = sorted(self._workload_by_key)
+        if not keys:
+            return
+        send_frame(link.sock, TRACE_QUERY, {"digests": keys})
+        kind, msg = recv_frame(link.sock)
+        if kind != TRACE_HAVE:
+            raise FarmError(
+                f"worker {link.addr} answered TRACE_QUERY with "
+                f"{KIND_NAMES.get(kind, kind)}"
+            )
+        have = set(msg.get("have", []))
+        for key in keys:
+            if key in have:
+                continue
+            trace, wdict = self._trace_for(key)
+            send_frame(
+                link.sock,
+                TRACE_PUT,
+                {"key": key, "workload": wdict, "trace": trace},
+            )
+            kind, msg = recv_frame(link.sock)
+            if kind != TRACE_OK or msg.get("key") != key:
+                raise FarmError(
+                    f"worker {link.addr} did not acknowledge trace {key[:12]}"
+                )
+            link.traces_pushed += 1
+        self.stats["trace_pushes"][link.addr] = link.traces_pushed
+
+    def _trace_for(self, key: str):
+        """Build (once) the trace a worker reported missing."""
+        with self._build_lock:
+            cached = self._trace_cache.get(key)
+            if cached is None:
+                from repro.runner import build_workload
+                from repro.spec import WorkloadSpec
+
+                wdict = self._workload_by_key[key]
+                cached = (build_workload(WorkloadSpec.from_dict(wdict)), wdict)
+                self._trace_cache[key] = cached
+            return cached
+
+    # -- work distribution -------------------------------------------------
+    def _next_chunk(self, link: _WorkerLink):
+        with self.lock:
+            if not self.pending:
+                return None
+            if self.fixed_chunk is not None:
+                n = max(1, self.fixed_chunk)
+            else:
+                spp = link.sec_per_point
+                if spp is None:
+                    n = 1  # first chunk calibrates the EMA
+                else:
+                    n = max(1, int(CHUNK_TARGET_SECONDS / max(spp, 1e-6)))
+                # leave a stealable tail for the other live workers
+                tail = -(-len(self.pending) // max(1, 2 * self.live_workers))
+                n = min(n, MAX_CHUNK, max(1, tail))
+            n = min(n, len(self.pending))
+            indices = [self.pending.popleft() for _ in range(n)]
+            self._chunk_ctr += 1
+            self.stats["chunks"] += 1
+            chunk_id = self._chunk_ctr
+        return chunk_id, indices
+
+    def _record(self, link: _WorkerLink, indices: list[int], rows: list, elapsed) -> None:
+        if len(rows) != len(indices):
+            raise FarmError(
+                f"worker {link.addr} returned {len(rows)} rows for "
+                f"{len(indices)} points"
+            )
+        with self.lock:
+            for i, row in zip(indices, rows):
+                if self.rows[i] is None:  # first result wins after a requeue
+                    self.rows[i] = row
+                    self.remaining -= 1
+            if self.remaining == 0:
+                self.done_evt.set()
+        spp = float(elapsed) / max(len(indices), 1)
+        link.sec_per_point = (
+            spp
+            if link.sec_per_point is None
+            else 0.5 * link.sec_per_point + 0.5 * spp
+        )
+        link.points_done += len(indices)
+        link.chunks_done += 1
+
+    def _requeue(self, link: _WorkerLink, inflight) -> None:
+        with self.lock:
+            link.dead = True
+            self.live_workers -= 1
+            if inflight is not None:
+                undone = [i for i in inflight[1] if self.rows[i] is None]
+                self.pending.extendleft(reversed(undone))
+                if undone:
+                    self.stats["requeues"] += 1
+
+    def _abort(self, exc: Exception) -> None:
+        with self.lock:
+            if self.abort_exc is None:
+                self.abort_exc = exc
+        self.done_evt.set()
+
+    # -- per-worker serving loop -------------------------------------------
+    def _serve(self, link: _WorkerLink) -> None:
+        inflight = None  # (chunk_id, indices) awaiting RESULT
+        deadline = None
+        try:
+            self._handshake(link)
+            self._negotiate_traces(link)
+            send_frame(link.sock, BEGIN, {})
+            link.sock.settimeout(self.heartbeat)
+            last_frame = time.monotonic()
+            while not self.done_evt.is_set() and self.abort_exc is None:
+                try:
+                    kind, msg = recv_frame(link.sock)
+                except socket.timeout:
+                    now = time.monotonic()
+                    if deadline is not None and now > deadline:
+                        idx = inflight[1][0]
+                        from repro.analysis.parallel import SweepPointError
+
+                        self._abort(
+                            SweepPointError(
+                                f"farm point exceeded point_timeout="
+                                f"{self.point_timeout}s on worker {link.addr}",
+                                point={"spec": self.spec_dicts[idx]},
+                            )
+                        )
+                        break
+                    if now - last_frame > self.liveness:
+                        raise FarmError(
+                            f"worker {link.addr} silent for more than "
+                            f"{self.liveness:.0f}s"
+                        )
+                    send_frame(link.sock, PING, {})
+                    continue
+                last_frame = time.monotonic()
+                if kind == PONG:
+                    continue
+                if kind == PING:
+                    send_frame(link.sock, PONG, {})
+                    continue
+                if kind == NEXT:
+                    assigned = self._next_chunk(link)
+                    while assigned is None:
+                        if self.done_evt.is_set() or self.abort_exc is not None:
+                            break
+                        if self.remaining == 0:
+                            break
+                        time.sleep(0.05)  # idle: another worker may die and requeue
+                        assigned = self._next_chunk(link)
+                    if assigned is None:
+                        break
+                    chunk_id, indices = assigned
+                    send_frame(
+                        link.sock,
+                        CHUNK,
+                        {
+                            "chunk_id": chunk_id,
+                            "indices": indices,
+                            "specs": [self.spec_dicts[i] for i in indices],
+                            "point_timeout": self.point_timeout,
+                        },
+                    )
+                    inflight = (chunk_id, indices)
+                    if self.point_timeout is not None:
+                        deadline = (
+                            time.monotonic()
+                            + self.point_timeout * len(indices)
+                            + DEADLINE_GRACE
+                        )
+                    last_frame = time.monotonic()
+                    continue
+                if kind == RESULT:
+                    if inflight is None or msg.get("chunk_id") != inflight[0]:
+                        raise FarmError(
+                            f"worker {link.addr} sent RESULT for an "
+                            "unexpected chunk"
+                        )
+                    err = msg.get("error")
+                    if err is not None:
+                        from repro.analysis.parallel import SweepPointError
+
+                        idx = err.get("index", inflight[1][0])
+                        self._abort(
+                            SweepPointError(
+                                f"farm point failed on worker {link.addr}: "
+                                f"{err.get('message')}",
+                                point={"spec": self.spec_dicts[idx]},
+                            )
+                        )
+                        break
+                    self._record(
+                        link, inflight[1], msg["rows"], msg.get("elapsed", 0.0)
+                    )
+                    inflight = None
+                    deadline = None
+                    continue
+                if kind == ERROR:
+                    raise FarmError(
+                        f"worker {link.addr} reported: {msg.get('message')}"
+                    )
+                raise FarmError(
+                    f"worker {link.addr} sent unexpected "
+                    f"{KIND_NAMES.get(kind, kind)}"
+                )
+        except (FarmError, OSError) as exc:
+            # this worker is gone; survivors take over its chunk
+            self._requeue(link, inflight)
+            warnings.warn(
+                f"farm worker {link.addr} dropped: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return
+        finally:
+            try:
+                send_frame(link.sock, DONE, {})
+            except OSError:
+                pass
+            try:
+                link.sock.close()
+            except OSError:
+                pass
+
+
+def _eval_local(spec_dict: dict) -> dict:
+    """Evaluate one leftover point in-process, canonically."""
+    from repro.analysis.cache import canonical_rows
+    from repro.runner import run_spec_dict
+
+    try:
+        return canonical_rows([run_spec_dict(spec_dict)])[0]
+    except Exception as exc:
+        from repro.analysis.parallel import SweepPointError
+
+        raise SweepPointError(
+            f"local fallback point failed: {type(exc).__name__}: {exc}",
+            point={"spec": spec_dict},
+        ) from exc
+
+
+def farm_sweep(
+    spec_dicts: list[dict],
+    farm: list[str],
+    point_timeout: float | None = None,
+    chunk: int | None = None,
+    stats_out: dict | None = None,
+) -> list[dict]:
+    """Run ``spec_dicts`` over the farm; return metrics dicts in order.
+
+    Raises :class:`FarmUnavailable` when no worker is reachable —
+    callers (``sweep_specs``) catch that and degrade to the local pool.
+    ``stats_out``, when given, is updated with the coordinator's
+    accounting (chunk counts, trace pushes, requeues).
+    """
+    coord = FarmCoordinator(
+        spec_dicts, farm, point_timeout=point_timeout, chunk=chunk
+    )
+    rows = coord.run()
+    if stats_out is not None:
+        stats_out.update(coord.stats)
+    return rows

@@ -121,6 +121,7 @@ def _run_spec_points(
     workers: int,
     chunk: int | None,
     point_timeout: float | None = None,
+    farm: list[str] | None = None,
 ) -> list[dict]:
     """Fan ``spec_dicts`` out over :func:`parallel_sweep`, publishing
     each distinct workload once over shared memory when sharing engages.
@@ -134,6 +135,28 @@ def _run_spec_points(
     ``BrokenProcessPool`` through ``parallel_sweep``.
     """
     from repro.runner import run_spec_dict
+
+    if farm:
+        import warnings
+
+        from repro.analysis.farm import FarmUnavailable, farm_sweep
+        from repro.analysis.parallel import merge_row
+
+        try:
+            metrics = farm_sweep(
+                spec_dicts, list(farm), point_timeout=point_timeout, chunk=chunk
+            )
+        except FarmUnavailable as exc:
+            warnings.warn(
+                f"farm has no reachable workers ({exc}); "
+                "degrading to the local pool",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        else:
+            return [
+                merge_row({"spec": d}, m) for d, m in zip(spec_dicts, metrics)
+            ]
 
     if not _sharing_engages(share_traces, workers, len(spec_dicts)):
         worker_points = [{"spec": d} for d in spec_dicts]
@@ -180,6 +203,7 @@ def sweep_specs(
     cache_extra: Mapping | None = None,
     share_traces="auto",
     point_timeout: float | None = None,
+    farm: list[str] | None = None,
 ) -> list[dict]:
     """Spec-driven sweep: merge each partial ``point`` into
     ``base_spec`` (:func:`repro.runner.merge_spec`), run the resulting
@@ -208,6 +232,13 @@ def sweep_specs(
     * A metric key colliding with a point key (e.g. a ``scheme``
       metric under a ``scheme`` sweep axis) keeps the point's value —
       the axis label is authoritative for its own column.
+    * ``farm`` is a list of ``"host:port"`` addresses of running
+      ``repro worker`` processes: points are dispatched to them over
+      sockets with pull-based work-stealing and trace-by-reference
+      distribution (:mod:`repro.analysis.farm`). Farm rows pass
+      through JSON (values canonical, key order preserved — the same
+      rows, byte for byte, a local run yields). When no worker is
+      reachable the sweep warns and degrades to the local pool.
     """
     points = [dict(p) for p in points]
     from repro.runner import merge_spec
@@ -235,7 +266,7 @@ def sweep_specs(
 
     if cache is None:
         raw = _run_spec_points(
-            spec_dicts, share_traces, workers, chunk, point_timeout
+            spec_dicts, share_traces, workers, chunk, point_timeout, farm
         )
         return [make_row(p, m) for p, m in zip(points, metrics_of(raw))]
 
@@ -259,6 +290,7 @@ def sweep_specs(
             workers,
             chunk,
             point_timeout,
+            farm,
         )
         fresh = canonical_rows(
             [make_row(points[i], m) for i, m in zip(missing, metrics_of(raw))]

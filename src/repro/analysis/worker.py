@@ -1,0 +1,363 @@
+"""Farm worker: serve sweep points to a :mod:`repro.analysis.farm`
+coordinator.
+
+``repro worker --listen HOST:PORT`` runs one of these. The server is a
+plain accept loop — one thread per connection, one coordinator per
+connection — speaking the framed protocol defined in
+:mod:`repro.analysis.farm`. Chunk evaluation happens on a background
+thread so the connection loop keeps answering heartbeat PINGs while a
+long point runs; the coordinator distinguishes "slow but alive" from
+"dead" by exactly those PONGs.
+
+Traces arrive by reference: the coordinator sends
+``WorkloadSpec.cache_key`` digests, the worker answers with what its
+local :class:`~repro.trace.store.TraceStore` already holds, and only
+the missing traces are pushed — each installed once into the store
+(persistent across connections, so a second sweep pushes nothing) and
+seeded into the per-process build memo. Workloads the coordinator
+never pushed are simply regenerated from their spec, which is always
+correct because specs are deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import shutil
+import socket
+import tempfile
+import threading
+import time
+
+from repro.analysis.farm import (
+    BEGIN,
+    CHUNK,
+    DONE,
+    ERROR,
+    HELLO,
+    HELLO_ACK,
+    KIND_NAMES,
+    NEXT,
+    PING,
+    PONG,
+    PROTOCOL_VERSION,
+    RESULT,
+    TRACE_HAVE,
+    TRACE_OK,
+    TRACE_PUT,
+    TRACE_QUERY,
+    FrameError,
+    ProtocolMismatch,
+    parse_hostport,
+    recv_frame,
+    send_frame,
+)
+from repro.trace.store import TraceStore
+
+# While a chunk evaluates on the worker thread, the connection loop
+# polls the socket this often so coordinator PINGs are answered promptly.
+EVAL_POLL_SECONDS = 0.25
+
+
+class WorkerServer:
+    """A loopback-or-remote sweep worker.
+
+    ``fail_after_chunks`` is a test hook: the connection is dropped
+    without a result when that many chunks have been received, which is
+    how the requeue-on-death tests kill a worker mid-chunk
+    deterministically.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        trace_dir: str | None = None,
+        idle_timeout: float = 600.0,
+        verbose: bool = False,
+        fail_after_chunks: int | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._own_trace_dir = trace_dir is None
+        self.trace_dir = trace_dir or tempfile.mkdtemp(prefix="repro-worker-traces-")
+        self.store = TraceStore(self.trace_dir)
+        self.idle_timeout = idle_timeout
+        self.verbose = verbose
+        self.fail_after_chunks = fail_after_chunks
+        self.traces_installed = 0
+        self.chunks_served = 0
+        self.points_served = 0
+        self._sock: socket.socket | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "WorkerServer":
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.host, self.port))
+        sock.listen(8)
+        self.port = sock.getsockname()[1]
+        sock.settimeout(0.5)  # so serve_forever notices stop()
+        self._sock = sock
+        return self
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        assert self._sock is not None, "call start() first"
+        while not self._stop.is_set():
+            try:
+                conn, _peer = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            ).start()
+
+    def start_background(self) -> "WorkerServer":
+        """start() plus a daemon accept thread (tests, embedded use)."""
+        self.start()
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if self._own_trace_dir:
+            shutil.rmtree(self.trace_dir, ignore_errors=True)
+
+    def _log(self, msg: str) -> None:
+        if self.verbose:
+            print(f"[worker {self.address}] {msg}", flush=True)
+
+    # -- per-connection protocol -------------------------------------------
+    def _handle(self, conn: socket.socket) -> None:
+        conn.settimeout(self.idle_timeout)
+        chunks_on_conn = 0
+        try:
+            while True:
+                try:
+                    kind, msg = recv_frame(conn)
+                except ProtocolMismatch as exc:
+                    # tell the peer which version this side speaks, then drop
+                    try:
+                        send_frame(
+                            conn,
+                            ERROR,
+                            {"message": str(exc), "protocol": PROTOCOL_VERSION},
+                        )
+                    except OSError:
+                        pass
+                    return
+                except (FrameError, OSError):
+                    return  # peer gone or garbage; nothing to answer
+                if kind == HELLO:
+                    send_frame(
+                        conn,
+                        HELLO_ACK,
+                        {
+                            "protocol": PROTOCOL_VERSION,
+                            "pid": os.getpid(),
+                            "cpu_count": os.cpu_count(),
+                        },
+                    )
+                elif kind == PING:
+                    send_frame(conn, PONG, {})
+                elif kind == TRACE_QUERY:
+                    have = [
+                        k
+                        for k in msg.get("digests", [])
+                        if self.store.contains(k)
+                    ]
+                    send_frame(conn, TRACE_HAVE, {"have": have})
+                elif kind == TRACE_PUT:
+                    self._install_trace(conn, msg)
+                elif kind == BEGIN:
+                    send_frame(conn, NEXT, {})
+                elif kind == CHUNK:
+                    chunks_on_conn += 1
+                    if (
+                        self.fail_after_chunks is not None
+                        and chunks_on_conn >= self.fail_after_chunks
+                    ):
+                        self._log("test hook: dropping connection mid-chunk")
+                        return  # simulated crash: no RESULT ever comes
+                    if not self._serve_chunk(conn, msg):
+                        return
+                elif kind == DONE:
+                    return
+                else:
+                    send_frame(
+                        conn,
+                        ERROR,
+                        {
+                            "message": "unexpected "
+                            + KIND_NAMES.get(kind, str(kind))
+                        },
+                    )
+                    return
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _install_trace(self, conn: socket.socket, msg: dict) -> None:
+        key = msg["key"]
+        trace = msg["trace"]
+        if not self.store.contains(key):
+            self.store.put(key, trace)
+            self.traces_installed += 1
+        from repro.runner import seed_workload_memo
+
+        seed_workload_memo(msg["workload"], trace)
+        send_frame(conn, TRACE_OK, {"key": key})
+        self._log(f"installed trace {key[:12]}")
+
+    def _serve_chunk(self, conn: socket.socket, msg: dict) -> bool:
+        """Evaluate one chunk; keep answering PINGs meanwhile.
+
+        The eval thread signals completion over a self-pipe so the
+        RESULT goes out the instant the chunk finishes (a plain recv
+        timeout would add up to a poll interval of latency per chunk,
+        which dominates short sweeps). Returns False when the
+        coordinator sent DONE mid-evaluation (it gave up on this
+        worker; the connection is finished).
+        """
+        box: dict = {}
+        done_r, done_w = socket.socketpair()
+        th = threading.Thread(
+            target=self._eval_chunk, args=(msg, box, done_w), daemon=True
+        )
+        th.start()
+        sel = selectors.DefaultSelector()
+        sel.register(conn, selectors.EVENT_READ, "conn")
+        sel.register(done_r, selectors.EVENT_READ, "done")
+        try:
+            finished = False
+            while not finished and th.is_alive():
+                events = sel.select(timeout=EVAL_POLL_SECONDS)
+                for key, _mask in events:
+                    if key.data == "done":
+                        finished = True
+                        continue
+                    try:
+                        kind, _ = recv_frame(conn)
+                    except (FrameError, OSError):
+                        return False
+                    if kind == PING:
+                        send_frame(conn, PONG, {})
+                    elif kind == DONE:
+                        return False
+        finally:
+            sel.close()
+            done_r.close()
+            done_w.close()
+            conn.settimeout(self.idle_timeout)
+        th.join()
+        send_frame(conn, RESULT, {"chunk_id": msg["chunk_id"], **box})
+        send_frame(conn, NEXT, {})
+        self.chunks_served += 1
+        self.points_served += len(box.get("rows", []))
+        return True
+
+    def _eval_chunk(self, msg: dict, box: dict, done_w=None) -> None:
+        indices = msg.get("indices", [])
+        specs = msg.get("specs", [])
+        point_timeout = msg.get("point_timeout")
+        rows = []
+        t0 = time.perf_counter()
+        try:
+            self._eval_points(indices, specs, point_timeout, rows, box, t0)
+        finally:
+            box.setdefault("rows", rows)
+            box["elapsed"] = time.perf_counter() - t0
+            if done_w is not None:
+                try:
+                    done_w.send(b"x")
+                except OSError:
+                    pass
+
+    def _eval_points(self, indices, specs, point_timeout, rows, box, t0) -> None:
+        from repro.analysis.cache import canonical_rows
+        from repro.runner import run_spec_dict
+
+        for j, spec_dict in enumerate(specs):
+            if (
+                point_timeout is not None
+                and time.perf_counter() - t0 > point_timeout * (j + 1)
+            ):
+                box["error"] = {
+                    "index": indices[j] if j < len(indices) else None,
+                    "message": (
+                        f"chunk budget exhausted before point {j} "
+                        f"(point_timeout={point_timeout}s)"
+                    ),
+                }
+                break
+            self._ensure_trace(spec_dict)
+            try:
+                metrics = run_spec_dict(spec_dict)
+            except Exception as exc:
+                box["error"] = {
+                    "index": indices[j] if j < len(indices) else None,
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
+                break
+            rows.append(canonical_rows([metrics])[0])
+        box["rows"] = rows
+        box["elapsed"] = time.perf_counter() - t0
+
+    def _ensure_trace(self, spec_dict: dict) -> None:
+        """Seed the build memo from the worker-local store if needed.
+
+        ``trace_path`` workloads name files that exist on the
+        coordinator's disk, not this host's — the pushed copy in the
+        local store is the only way to build them here.
+        """
+        wdict = spec_dict.get("workload")
+        if wdict is None:
+            return
+        from repro.runner import memoized_workload, seed_workload_memo
+        from repro.spec import WorkloadSpec
+
+        wspec = WorkloadSpec.from_dict(wdict)
+        key = wspec.cache_key()
+        if memoized_workload(key) is not None:
+            return
+        trace = self.store.get(key)
+        if trace is not None:
+            seed_workload_memo(wspec, trace)
+
+
+def main(args) -> int:
+    """CLI entry point (``repro worker``)."""
+    host, port = parse_hostport(args.listen)
+    server = WorkerServer(
+        host=host,
+        port=port,
+        trace_dir=args.trace_dir,
+        verbose=args.verbose,
+    ).start()
+    # the exact line scripts parse to learn an ephemeral port
+    print(f"repro worker listening on {server.host}:{server.port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0

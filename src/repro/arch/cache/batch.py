@@ -159,6 +159,93 @@ def frozen_hit_prefix(
     return n
 
 
+def frozen_service_prefix(hier, lines: np.ndarray, writes: np.ndarray):
+    """Length of the pure-service prefix of ``lines`` against ``hier``
+    (a :class:`~repro.arch.cache.hierarchy.CacheHierarchy`), plus the
+    positions that fill from L2.
+
+    Extends :func:`frozen_hit_prefix` across deterministic L2 hits: an
+    L1 miss is still *pure* when the line is L2-resident and the L1
+    slot it fills is free or holds a clean victim under true LRU — then
+    ``access_no_mem`` drops the victim instead of spilling it, so L2
+    presence stays frozen for the rest of the prefix and the whole
+    classification remains exact against today's state. The first
+    access that would fill from DRAM or evict a dirty L1 line ends the
+    prefix. Requires true-LRU L1 replacement (the caller gates on it).
+
+    Presence, dirtiness, and recency are evolved in a lazy tag-level
+    model per touched set, seeded from the live arrays; L2 is only ever
+    probed, never modeled, because the prefix cannot change it.
+    Returns ``(n, fills)`` with ``fills`` the access indices (run
+    starts) that fill from L2 — every other access in the prefix is an
+    L1 hit.
+    """
+    n = len(lines)
+    if n == 0:
+        return 0, []
+    l1 = hier.l1
+    l2 = hier.l2
+    num_sets = l1.num_sets
+    ways = l1.ways
+    sets_, lines_, policies = l1._sets, l1._lines, l1._policies
+    l2_sets, l2_lines = l2._sets, l2._lines
+    l2_num_sets = l2.num_sets
+    starts = np.concatenate(
+        ([0], np.flatnonzero(lines[1:] != lines[:-1]) + 1)
+    )
+    run_lines = lines[starts].tolist()
+    # a line written anywhere in its run ends the run dirty, exactly as
+    # the scalar walk's fill + memoized hit-writes would leave it
+    wflags = np.maximum.reduceat(np.asarray(writes, dtype=bool), starts).tolist()
+    bounds = starts.tolist() + [n]
+    fills: list[int] = []
+    # si -> [tag -> dirty, LRU order (front = victim), free ways]
+    models: dict[int, list] = {}
+    for j, la in enumerate(run_lines):
+        si = la % num_sets
+        tag = la // num_sets
+        model = models.get(si)
+        if model is None:
+            row = lines_[si]
+            pres = {t: row[wy].dirty for t, wy in sets_[si].items()}
+            # invalidated ways linger in the policy order; only valid
+            # ways can front it once the set is full, so dropping them
+            # here preserves the victim sequence exactly
+            order = [
+                row[wy].tag for wy in policies[si]._order if row[wy] is not None
+            ]
+            model = models[si] = [pres, order, ways - len(pres)]
+        pres, order, free = model
+        if tag in pres:
+            if order[-1] != tag:  # LRUPolicy.touch, tag-level
+                order.remove(tag)
+                order.append(tag)
+            if wflags[j]:
+                pres[tag] = True
+            continue
+        w2 = l2_sets[la % l2_num_sets].get(la // l2_num_sets)
+        if w2 is None:
+            return bounds[j], fills  # DRAM fill: hard boundary
+        if free:
+            model[2] = free - 1
+        else:
+            victim = order[0]
+            if pres[victim]:
+                return bounds[j], fills  # dirty victim would spill to L2
+            del order[0]
+            del pres[victim]
+        # the live fill's dirty bit is (L2 copy dirty) or (first write),
+        # then hit-writes in the rest of the run accumulate — the net is
+        # the run's write flag. The L2 dirty bit read here is the
+        # pre-prefix value, which is exact: a line filled twice within
+        # one prefix had a clean first copy (else its eviction would
+        # have ended the prefix), so the bit was already False.
+        pres[tag] = l2_lines[la % l2_num_sets][w2].dirty or wflags[j]
+        order.append(tag)
+        fills.append(bounds[j])
+    return n, fills
+
+
 def apply_hit_prefix(arr: CacheArray, lines: np.ndarray, writes: np.ndarray | None = None):
     """Bulk-apply ``len(lines)`` pure hits to ``arr``.
 

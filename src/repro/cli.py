@@ -145,13 +145,32 @@ def cmd_info(args) -> int:
 
 
 def cmd_list(args) -> int:
-    """Enumerate every registry with one-line descriptions."""
+    """Enumerate every registry, then the CLI commands themselves."""
     for family, registry in ALL_REGISTRIES.items():
         print(f"{family}:")
         width = max((len(e.name) for e in registry.items()), default=0)
         for entry in registry.items():
             print(f"  {entry.name:<{width}}  {entry.description}")
+    sub = next(
+        a
+        for a in build_parser()._actions
+        if isinstance(a, argparse._SubParsersAction)
+    )
+    print("commands:")
+    width = max(len(ca.dest) for ca in sub._choices_actions)
+    for ca in sub._choices_actions:
+        print(f"  {ca.dest:<{width}}  {ca.help}")
+    print(
+        "farm: run `repro worker --listen HOST:PORT` on each host, then "
+        "pass --farm HOST:PORT,... to evaluate/shootout/faults"
+    )
     return 0
+
+
+def cmd_worker(args) -> int:
+    from repro.analysis.worker import main as worker_main
+
+    return worker_main(args)
 
 
 def cmd_workload(args) -> int:
@@ -186,6 +205,14 @@ def cmd_fig2(args) -> int:
     return 0
 
 
+def _farm_of(args) -> list[str] | None:
+    """The ``--farm`` flag as an address list (None when absent)."""
+    raw = getattr(args, "farm", None)
+    if not raw:
+        return None
+    return [a.strip() for a in raw.split(",") if a.strip()]
+
+
 def cmd_evaluate(args) -> int:
     base = _base_spec(args)
     names = _scheme_names(args)
@@ -197,6 +224,7 @@ def cmd_evaluate(args) -> int:
         workers=args.workers,
         cache=cache,
         cache_extra=extra,
+        farm=_farm_of(args),
     )
     if cache is not None:
         print(f"cache: {cache.stats()}", file=sys.stderr)
@@ -255,6 +283,7 @@ def cmd_shootout(args) -> int:
         workers=args.workers,
         cache=cache,
         cache_extra=_trace_cache_extra(base, trace) if cache else None,
+        farm=_farm_of(args),
     )
     if cache is not None:
         print(f"cache: {cache.stats()}", file=sys.stderr)
@@ -484,6 +513,7 @@ def cmd_faults(args) -> int:
         cache=cache,
         cache_extra=extra,
         point_timeout=args.point_timeout,
+        farm=_farm_of(args),
     )
 
     display = []
@@ -594,6 +624,33 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="bypass the result cache entirely (no reads, no writes)",
         )
+        sp.add_argument(
+            "--farm",
+            default=None,
+            metavar="HOST:PORT,...",
+            help="comma-separated addresses of running `repro worker` "
+            "processes; sweep points are dispatched to them with "
+            "work-stealing (unreachable farm degrades to the local pool)",
+        )
+
+    sp = sub.add_parser(
+        "worker", help="serve sweep points to a farm coordinator"
+    )
+    sp.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="bind address; port 0 picks an ephemeral port, printed on "
+        "the first stdout line (default 127.0.0.1:0)",
+    )
+    sp.add_argument(
+        "--trace-dir",
+        default=None,
+        help="worker-local trace store directory for pushed traces "
+        "(default: a private temp dir, removed on exit)",
+    )
+    sp.add_argument("--verbose", action="store_true", help="log protocol events")
+    sp.set_defaults(fn=cmd_worker)
 
     sp = sub.add_parser("workload", help="generate + save a workload")
     add_trace_args(sp)

@@ -43,7 +43,12 @@ import math
 
 import numpy as np
 
-from repro.arch.cache.batch import apply_hit_prefix, frozen_hit_prefix
+from repro.arch.cache.batch import (
+    apply_hit_prefix,
+    frozen_hit_prefix,
+    frozen_service_prefix,
+)
+from repro.arch.cache.replacement import LRUPolicy
 from repro.coherence.msi import DirectoryEntry, DirState
 from repro.sim.engine import Event
 
@@ -74,6 +79,15 @@ class EpochStepper:
         l1 = machine.config.l1
         self._l1_shift = l1.line_bytes.bit_length() - 1
         self.hit_lat = float(l1.hit_latency)
+        self.l2_lat = float(l1.hit_latency + machine.config.l2.hit_latency)
+        # the widened (L2-service) streak classifier mirrors L1 victim
+        # choice tag-by-tag, which is only exact under true LRU; PLRU
+        # and random arrays keep the plain hit-prefix batching
+        self._widen = all(
+            type(p) is LRUPolicy
+            for h in machine.caches
+            for p in h.l1._policies
+        )
         # per-thread numpy columns for the vectorized runs (the plain
         # list columns stay on ThreadState for the scalar walk)
         self.lines_np = [
@@ -113,6 +127,7 @@ class EpochStepper:
         # diagnostics (tests assert boundary detection through these)
         self.windows = 0
         self.batched_accesses = 0
+        self.l2_fills_batched = 0
         self.boundaries = {"nonlocal": 0, "dram": 0, "finish_wait": 0}
         # adaptive bail-out: on boundary-dense traces (a hazard every
         # few accesses) window management costs more than it saves, so
@@ -301,18 +316,57 @@ class EpochStepper:
             return 0, w
         lines = self.lines_np[t][i : i + nh]
         run = frozen_hit_prefix(hier.l1, lines)
+        fills: list[int] = []
+        if self._widen and run < nh:
+            # the hit streak ends inside the chunk: try to extend it
+            # across deterministic L2 hits (clean-victim fills only)
+            srun, sfills = frozen_service_prefix(
+                hier, lines, self.writes_np[t][i : i + nh]
+            )
+            if srun > run:
+                run, fills = srun, sfills
         if run == 0:
             return 0, w
-        comp = w + np.cumsum(self.ic_np[t][i : i + run] + self.hit_lat)
+        if fills:
+            lat = np.full(run, self.hit_lat)
+            lat[fills] = self.l2_lat
+            comp = w + np.cumsum(self.ic_np[t][i : i + run] + lat)
+        else:
+            comp = w + np.cumsum(self.ic_np[t][i : i + run] + self.hit_lat)
         if run > 1:
             k = 1 + int(np.searchsorted(comp[:-1], cap, side="left"))
             if k > run:
                 k = run
         else:
             k = 1
-        last = apply_hit_prefix(hier.l1, lines[:k], self.writes_np[t][i : i + k])
-        hier._last_la = int(lines[k - 1])
-        hier._last_line = last
+        writes = self.writes_np[t][i : i + k]
+        if fills:
+            # replay: bulk-apply each hit segment, route each L2 fill
+            # through access_no_mem so counters, victim choice, dirty
+            # transfer, and the same-line memo are bit-exact
+            seg = 0
+            last = None
+            for f in fills:
+                if f >= k:
+                    break
+                if f > seg:
+                    apply_hit_prefix(hier.l1, lines[seg:f], writes[seg:f])
+                res = hier.access_no_mem(t2.addrs[i + f] * self.wb, bool(writes[f]))
+                assert res is not None  # classified fills are L2-resident
+                self.l2_fills_batched += 1
+                seg = f + 1
+            if seg < k:
+                last = apply_hit_prefix(hier.l1, lines[seg:k], writes[seg:k])
+            if last is not None:
+                hier._last_la = int(lines[k - 1])
+                hier._last_line = last
+            # else the prefix ends on the fill itself, whose
+            # access_no_mem already reset the memo exactly as the
+            # scalar walk would have left it
+        else:
+            last = apply_hit_prefix(hier.l1, lines[:k], writes)
+            hier._last_la = int(lines[k - 1])
+            hier._last_line = last
         c_local.n += k
         if core == t2.run_home:
             t2.run_len += k

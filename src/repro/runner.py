@@ -132,6 +132,15 @@ def seed_workload_memo(workload: WorkloadSpec | Mapping, trace) -> None:
     _memo_put(_workload_memo, workload.cache_key(), trace)
 
 
+def memoized_workload(workload_key: str):
+    """The memoized trace for a workload cache key, or ``None``.
+
+    Farm workers use this to decide whether a chunk's workload still
+    needs seeding from their local trace store before evaluation.
+    """
+    return _memo_get(_workload_memo, workload_key)
+
+
 def build_placement(placement: PlacementSpec, trace, num_cores: int, *, memo_key: str | None = None):
     """The spec's :class:`~repro.placement.base.Placement` over ``trace``."""
     factory = PLACEMENTS.get(placement.name)

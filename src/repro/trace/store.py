@@ -63,6 +63,10 @@ class TraceStore:
     def _meta_path(self, npz_path: Path) -> Path:
         return npz_path.with_suffix(".json")
 
+    def contains(self, cache_key: str) -> bool:
+        """Presence check without loading — the farm's have/need answer."""
+        return self.path_for(cache_key).is_file()
+
     # -- lookup / store ----------------------------------------------------
     def get(self, cache_key: str) -> MultiTrace | None:
         """The stored trace, or None. Corrupt entries are evicted and

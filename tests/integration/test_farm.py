@@ -1,0 +1,169 @@
+"""Integration tests for the distributed sweep farm (ISSUE 7).
+
+Embedded :class:`~repro.analysis.worker.WorkerServer` instances stand
+in for remote hosts over loopback sockets — the full protocol runs
+(handshake, trace-by-reference negotiation, pull-based chunking,
+streamed results), just without a second machine. Contracts:
+
+* farm rows are bit-identical to the canonical serial rows, in order;
+* a worker killed mid-chunk gets its points requeued to survivors and
+  the sweep still completes exactly;
+* each trace digest is pushed to a given worker at most once, and a
+  second sweep against a warm worker pushes nothing;
+* zero reachable workers degrades to the local pool with a warning;
+* a worker-side evaluation error surfaces as the same
+  :class:`~repro.analysis.parallel.SweepPointError` the local pool
+  raises, with the offending spec attached.
+"""
+
+import pytest
+
+from repro.analysis.cache import canonical_rows
+from repro.analysis.farm import FarmUnavailable, farm_sweep
+from repro.analysis.parallel import SweepPointError
+from repro.analysis.sweep import sweep_specs
+from repro.analysis.worker import WorkerServer
+from repro.runner import clear_build_memo, merge_spec
+from repro.spec import ExperimentSpec, MachineSpec, PlacementSpec, WorkloadSpec
+
+
+def _base():
+    return ExperimentSpec(
+        workload=WorkloadSpec(
+            name="pingpong", params={"num_threads": 4, "rounds": 12}
+        ),
+        machine=MachineSpec(name="analytical", cores=4, preset="small-test"),
+        placement=PlacementSpec(name="first-touch"),
+    )
+
+
+def _points(schemes=("never-migrate", "always-migrate", "history", "costaware")):
+    return [{"scheme": s} for s in schemes]
+
+
+@pytest.fixture
+def workers():
+    """Two embedded loopback workers, stopped afterwards."""
+    servers = [WorkerServer(port=0).start_background() for _ in range(2)]
+    try:
+        yield servers
+    finally:
+        for s in servers:
+            s.stop()
+
+
+def _addrs(servers):
+    return [s.address for s in servers]
+
+
+# ---------------------------------------------------------------- e2e parity
+def test_farm_rows_bit_identical_to_serial(workers):
+    base, points = _base(), _points()
+    serial = canonical_rows(sweep_specs(base, points))
+    farm = sweep_specs(base, points, farm=_addrs(workers))
+    assert farm == serial
+    # key order survives the wire too (frames preserve insertion
+    # order), so farm and local sweeps render byte-identical tables
+    assert [list(r) for r in farm] == [list(r) for r in serial]
+
+
+def test_farm_streams_results_in_spec_order(workers):
+    """Row order is by point index regardless of which worker computed
+    what — the scheme column must match the grid exactly."""
+    schemes = ("history", "costaware", "never-migrate", "random")
+    rows = sweep_specs(base_spec := _base(), _points(schemes),
+                       farm=_addrs(workers))
+    assert [r["scheme"] for r in rows] == list(schemes)
+    assert base_spec.workload is not None  # grid untouched by the sweep
+
+
+# ----------------------------------------------------------- death mid-chunk
+def test_worker_death_mid_chunk_requeues_to_survivor():
+    """One of two workers drops its connection after its second CHUNK
+    (the test hook simulates a crash: no RESULT, no FIN handshake
+    beyond the reset). The survivor must absorb the requeued points
+    and the rows must still be exactly the serial rows."""
+    base, points = _base(), _points(
+        ("never-migrate", "always-migrate", "history", "costaware",
+         "random", "distance-1", "distance-2", "addr-history")
+    )
+    spec_dicts = [merge_spec(base, p).to_dict() for p in points]
+    serial = canonical_rows(sweep_specs(base, points))
+
+    flaky = WorkerServer(port=0, fail_after_chunks=2).start_background()
+    steady = WorkerServer(port=0).start_background()
+    stats: dict = {}
+    try:
+        with pytest.warns(RuntimeWarning, match="dropped"):
+            metrics = farm_sweep(
+                spec_dicts, [flaky.address, steady.address],
+                chunk=1, stats_out=stats,
+            )
+    finally:
+        flaky.stop()
+        steady.stop()
+
+    rows = [
+        {**p, **{k: v for k, v in m.items() if k not in p}}
+        for p, m in zip(points, metrics)
+    ]
+    assert canonical_rows(rows) == serial
+    assert stats["requeues"] >= 1
+    assert stats["workers"][flaky.address]["dead"] is True
+    assert stats["workers"][steady.address]["dead"] is False
+
+
+# -------------------------------------------------------- trace-by-reference
+def test_trace_pushed_at_most_once_per_worker(workers):
+    """First sweep pushes the single distinct trace once per worker;
+    a second sweep against the same (warm) workers pushes nothing —
+    the worker's store answers TRACE_QUERY from disk."""
+    base, points = _base(), _points()
+    spec_dicts = [merge_spec(base, p).to_dict() for p in points]
+
+    stats1: dict = {}
+    farm_sweep(spec_dicts, _addrs(workers), stats_out=stats1)
+    assert all(n <= 1 for n in stats1["trace_pushes"].values())
+    assert sum(s.traces_installed for s in workers) == len(
+        [s for s in workers if stats1["trace_pushes"].get(s.address)]
+    )
+
+    stats2: dict = {}
+    farm_sweep(spec_dicts, _addrs(workers), stats_out=stats2)
+    assert all(n == 0 for n in stats2["trace_pushes"].values())
+
+
+# ------------------------------------------------------------- degradation
+def test_zero_workers_degrades_to_local_pool():
+    base, points = _base(), _points(("history", "costaware"))
+    serial = canonical_rows(sweep_specs(base, points))
+    # a bound-but-never-accepting port: connections are refused
+    with pytest.warns(RuntimeWarning) as rec:
+        rows = sweep_specs(base, points, farm=["127.0.0.1:1"])
+    msgs = [str(w.message) for w in rec]
+    assert any("unreachable" in m for m in msgs)
+    assert any("degrading to the local pool" in m for m in msgs)
+    assert canonical_rows(rows) == serial
+
+
+def test_farm_sweep_raises_farm_unavailable_directly():
+    base, points = _base(), _points(("history",))
+    spec_dicts = [merge_spec(base, p).to_dict() for p in points]
+    with pytest.warns(RuntimeWarning, match="unreachable"):
+        with pytest.raises(FarmUnavailable):
+            farm_sweep(spec_dicts, ["127.0.0.1:1"])
+
+
+# ------------------------------------------------------------ worker errors
+def test_worker_side_error_surfaces_as_sweep_point_error(workers):
+    """A spec that builds on the coordinator but fails to evaluate on
+    the worker (bogus scheme param) must abort the sweep with the
+    local pool's exception type, spec attached."""
+    base = _base()
+    points = [{"scheme": "history"},
+              {"scheme": {"name": "distance-1", "params": {"distance": -7}}}]
+    spec_dicts = [merge_spec(base, p).to_dict() for p in points]
+    clear_build_memo()
+    with pytest.raises(SweepPointError) as err:
+        farm_sweep(spec_dicts, _addrs(workers))
+    assert "worker" in str(err.value)

@@ -116,6 +116,67 @@ def test_fast_path_off_means_no_stepper():
     assert m._stepper is None
 
 
+# ---------------------------------------------------------------- L2 widening
+def _stream_machine(lines=96, sweeps=6, writes_on=False, fast_path=True):
+    """One thread sweeping ``lines`` cache lines repeatedly: after the
+    first (DRAM-filling) sweep, every access is an L1-miss/L2-hit in
+    LRU streaming order — the regime the widened fast path batches."""
+    import numpy as np
+
+    from repro.arch.config import small_test_config
+    from repro.core.em2 import EM2Machine
+    from repro.registry import PLACEMENTS
+    from repro.trace.events import MultiTrace, make_trace
+
+    config = small_test_config(num_cores=4)
+    words_per_line = config.l1.line_bytes // config.word_bytes
+    addrs = np.tile(np.arange(lines, dtype=np.uint64) * words_per_line, sweeps)
+    wcol = None
+    if writes_on:
+        wcol = (np.arange(len(addrs)) % 3 == 0).astype(np.uint8)
+    trace = MultiTrace(
+        threads=[make_trace(addrs, writes=wcol, icounts=np.ones(len(addrs)))],
+        name="stream",
+    )
+    placement = PLACEMENTS.get("first-touch")(trace, config.num_cores)
+    return EM2Machine(trace, placement, config, fast_path=fast_path)
+
+
+@pytest.mark.parametrize("writes_on", [False, True])
+def test_l2_streak_widening_bit_parity(writes_on):
+    fast_m = _stream_machine(writes_on=writes_on)
+    fast = fast_m.run()
+    slow = _stream_machine(writes_on=writes_on, fast_path=False).run()
+    assert fast == slow
+
+
+def test_l2_streak_widening_engages():
+    """A read-only streaming sweep between L1 and L2 capacity must be
+    batched through the widened (L2-service) classifier, not walked
+    scalar: the working set misses L1 on every access, so the plain
+    hit-prefix path alone would batch nothing."""
+    m = _stream_machine(writes_on=False)
+    m.run()
+    s = m._stepper
+    assert s._widen
+    assert s.l2_fills_batched > 50
+    assert s.batched_accesses > 0
+
+
+def test_l2_widening_requires_true_lru():
+    """Non-LRU L1 replacement must disable the widened classifier (its
+    tag-level victim model is only exact under true LRU); the plain
+    hit-prefix batching stays available."""
+    from repro.arch.cache.replacement import PseudoLRUPolicy
+    from repro.core.epoch import EpochStepper
+
+    m = _stream_machine()
+    arr = m.caches[0].l1
+    arr._policies = [PseudoLRUPolicy(arr.ways) for _ in range(arr.num_sets)]
+    s = EpochStepper(m)
+    assert not s._widen
+
+
 # ---------------------------------------------------------------- fault plane
 def test_fault_injector_disables_machine_stepper():
     from repro.core.em2 import EM2Machine

@@ -1,0 +1,217 @@
+"""Unit tests for the farm wire protocol (ISSUE 7).
+
+The framing layer is the trust boundary between coordinator and
+worker: every frame must round-trip exactly, and every malformed
+frame — truncated, oversized, wrong magic, unknown kind, foreign
+protocol version — must raise a typed error before any payload is
+interpreted.
+"""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.analysis.farm import (
+    CHUNK,
+    HEADER,
+    HELLO,
+    MAGIC,
+    MAX_FRAME,
+    PROTOCOL_VERSION,
+    RESULT,
+    TRACE_PUT,
+    FarmError,
+    FrameError,
+    ProtocolMismatch,
+    encode_frame,
+    parse_hostport,
+    recv_frame,
+    send_frame,
+)
+
+
+def _pair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+# ---------------------------------------------------------------- round trip
+@pytest.mark.parametrize(
+    "kind,payload",
+    [
+        (HELLO, {"protocol": PROTOCOL_VERSION, "points": 12}),
+        (CHUNK, {"chunk_id": 3, "indices": [0, 1], "specs": [{"a": 1}, {}]}),
+        (RESULT, {"chunk_id": 3, "rows": [{"total_cost": 1.5}], "elapsed": 0.25}),
+    ],
+)
+def test_json_frame_round_trip(kind, payload):
+    a, b = _pair()
+    try:
+        send_frame(a, kind, payload)
+        got_kind, got = recv_frame(b)
+        assert got_kind == kind
+        assert got == payload
+    finally:
+        a.close()
+        b.close()
+
+
+def test_pickle_frame_round_trips_numpy_columns():
+    """TRACE_PUT is the one pickle kind — numpy columns must survive."""
+    a, b = _pair()
+    payload = {
+        "key": "digest",
+        "workload": {"name": "uniform"},
+        "trace": {"addrs": np.arange(64, dtype=np.uint64)},
+    }
+    try:
+        send_frame(a, TRACE_PUT, payload)
+        kind, got = recv_frame(b)
+        assert kind == TRACE_PUT
+        assert got["key"] == "digest"
+        np.testing.assert_array_equal(got["trace"]["addrs"], payload["trace"]["addrs"])
+    finally:
+        a.close()
+        b.close()
+
+
+def test_multiple_frames_on_one_stream_stay_delimited():
+    a, b = _pair()
+    try:
+        for i in range(5):
+            send_frame(a, HELLO, {"points": i})
+        for i in range(5):
+            kind, msg = recv_frame(b)
+            assert (kind, msg) == (HELLO, {"points": i})
+    finally:
+        a.close()
+        b.close()
+
+
+# ---------------------------------------------------------------- bad frames
+def test_truncated_body_raises_frame_error():
+    a, b = _pair()
+    try:
+        frame = encode_frame(HELLO, {"points": 4})
+        a.sendall(frame[: len(frame) - 3])
+        a.close()  # EOF mid-body
+        with pytest.raises(FrameError, match="mid-frame"):
+            recv_frame(b)
+    finally:
+        b.close()
+
+
+def test_truncated_header_raises_frame_error():
+    a, b = _pair()
+    try:
+        a.sendall(MAGIC)  # 4 of 12 header bytes
+        a.close()
+        with pytest.raises(FrameError, match="mid-frame"):
+            recv_frame(b)
+    finally:
+        b.close()
+
+
+def test_bad_magic_raises_frame_error():
+    a, b = _pair()
+    try:
+        a.sendall(HEADER.pack(b"NOPE", PROTOCOL_VERSION, HELLO, 0))
+        with pytest.raises(FrameError, match="magic"):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_unknown_kind_raises_frame_error():
+    a, b = _pair()
+    try:
+        a.sendall(HEADER.pack(MAGIC, PROTOCOL_VERSION, 99, 0))
+        with pytest.raises(FrameError, match="unknown frame kind"):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_oversized_declared_length_rejected_before_read():
+    a, b = _pair()
+    try:
+        a.sendall(HEADER.pack(MAGIC, PROTOCOL_VERSION, HELLO, MAX_FRAME + 1))
+        with pytest.raises(FrameError, match="ceiling"):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_oversized_body_rejected_on_encode(monkeypatch):
+    import repro.analysis.farm as farm
+
+    monkeypatch.setattr(farm, "MAX_FRAME", 64)
+    with pytest.raises(FrameError, match="ceiling"):
+        farm.encode_frame(TRACE_PUT, b"x" * 128)
+
+
+def test_malformed_json_body_raises_frame_error():
+    a, b = _pair()
+    try:
+        body = b"not json at all"
+        a.sendall(HEADER.pack(MAGIC, PROTOCOL_VERSION, HELLO, len(body)) + body)
+        with pytest.raises(FrameError, match="malformed"):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+# ------------------------------------------------------------ version skew
+def test_protocol_version_mismatch_raises_before_body():
+    a, b = _pair()
+    try:
+        a.sendall(HEADER.pack(MAGIC, PROTOCOL_VERSION + 1, HELLO, 2) + b"{}")
+        with pytest.raises(ProtocolMismatch, match="protocol"):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_worker_rejects_foreign_protocol_version():
+    """A live worker answers a foreign-version HELLO with ERROR naming
+    its own version, then drops the connection."""
+    from repro.analysis.farm import ERROR
+    from repro.analysis.worker import WorkerServer
+
+    server = WorkerServer(port=0).start_background()
+    try:
+        conn = socket.create_connection(("127.0.0.1", server.port), timeout=5.0)
+        conn.settimeout(5.0)
+        try:
+            body = b'{"protocol": 2}'
+            conn.sendall(
+                HEADER.pack(MAGIC, PROTOCOL_VERSION + 1, HELLO, len(body)) + body
+            )
+            kind, msg = recv_frame(conn)
+            assert kind == ERROR
+            assert msg["protocol"] == PROTOCOL_VERSION
+            try:
+                assert conn.recv(1) == b""  # worker hung up...
+            except OSError:
+                pass  # ...or reset the connection outright
+        finally:
+            conn.close()
+    finally:
+        server.stop()
+
+
+# --------------------------------------------------------------- addresses
+def test_parse_hostport():
+    assert parse_hostport("127.0.0.1:9000") == ("127.0.0.1", 9000)
+    with pytest.raises(FarmError, match="HOST:PORT"):
+        parse_hostport("no-port-here")
+    with pytest.raises(FarmError, match="non-integer"):
+        parse_hostport("host:abc")

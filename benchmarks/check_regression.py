@@ -43,6 +43,14 @@ METRICS = [
     "trace_store_warm_speedup",
     "farm_points_per_sec",
     "farm_speedup_vs_serial",
+    "scaling_em2_accesses_per_sec",
+    "scaling_cc_accesses_per_sec",
+]
+
+# report keys where *growth* is the regression (memory footprints):
+# warn when fresh exceeds baseline * (1 + threshold)
+LOWER_IS_BETTER = [
+    "scaling_bytes_per_tile",
 ]
 
 
@@ -76,9 +84,11 @@ def comparable(entry, report: dict) -> bool:
 
 
 def compare(report: dict, baseline: dict, threshold: float) -> list[str]:
-    """One warning line per like-for-like metric below baseline * (1 - threshold)."""
+    """One warning line per like-for-like metric beyond its threshold:
+    throughput metrics below baseline * (1 - threshold), footprint
+    metrics (LOWER_IS_BETTER) above baseline * (1 + threshold)."""
     warnings = []
-    for key in METRICS:
+    for key in METRICS + LOWER_IS_BETTER:
         entry = baseline_entry(baseline, key)
         if key not in report or entry is None or not comparable(entry, report):
             continue
@@ -87,7 +97,14 @@ def compare(report: dict, baseline: dict, threshold: float) -> list[str]:
         if base <= 0:
             continue
         ratio = fresh / base
-        if ratio < 1.0 - threshold:
+        if key in LOWER_IS_BETTER:
+            if ratio > 1.0 + threshold:
+                warnings.append(
+                    f"REGRESSION {key}: {fresh:.0f} vs baseline {base:.0f} "
+                    f"({ratio:.0%} of baseline, grew past "
+                    f"{1.0 + threshold:.0%})"
+                )
+        elif ratio < 1.0 - threshold:
             warnings.append(
                 f"REGRESSION {key}: {fresh:.0f} vs baseline {base:.0f} "
                 f"({ratio:.0%} of baseline, threshold {1.0 - threshold:.0%})"
@@ -108,7 +125,7 @@ def main(argv: list[str] | None = None) -> int:
     baseline = json.loads(Path(args.baseline).read_text())
 
     warnings = compare(report, baseline, args.threshold)
-    for key in METRICS:
+    for key in METRICS + LOWER_IS_BETTER:
         entry = baseline_entry(baseline, key)
         if key not in report or entry is None:
             continue

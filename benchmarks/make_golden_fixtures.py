@@ -34,6 +34,7 @@ from repro.spec import (
     MachineSpec,
     PlacementSpec,
     SchemeSpec,
+    TopologySpec,
     WorkloadSpec,
 )
 
@@ -80,6 +81,22 @@ def scenario_specs() -> dict[str, dict]:
                 placement=PlacementSpec(name="first-touch"),
             )
             out[f"{trace_key}/{arch}"] = spec.to_dict()
+    # one hierarchical-topology scenario: a 2x1 grid of 1x2 clusters on
+    # the 2x2 core grid, where hub routing makes distance(0,1) = 3
+    # against the flat mesh's 1 — pinning the ClusterMesh geometry (hub
+    # placement, express-link hops, two-level XY order) bit-for-bit
+    cluster_spec = ExperimentSpec(
+        workload=WorkloadSpec(name="pingpong", params={
+            k: v for k, v in TRACES["pingpong"].items() if k != "name"
+        }),
+        machine=MachineSpec(name="em2", cores=CORES, preset="small-test"),
+        scheme=SchemeSpec(name="history"),
+        placement=PlacementSpec(name="first-touch"),
+        topology=TopologySpec(name="cluster", params=dict(
+            clusters_x=2, clusters_y=1, cluster_width=1, cluster_height=2,
+        )),
+    )
+    out["pingpong-cluster/em2"] = cluster_spec.to_dict()
     return out
 
 

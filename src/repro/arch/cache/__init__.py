@@ -7,12 +7,13 @@ coherence-state field. The paper's configuration is 16 KB L1 +
 """
 
 from repro.arch.cache.replacement import LRUPolicy, PseudoLRUPolicy, RandomPolicy
-from repro.arch.cache.sram import CacheArray, CacheLine
+from repro.arch.cache.sram import CacheArray, EvictedLine, TileCacheStore
 from repro.arch.cache.hierarchy import CacheHierarchy, AccessResult
 
 __all__ = [
     "CacheArray",
-    "CacheLine",
+    "EvictedLine",
+    "TileCacheStore",
     "CacheHierarchy",
     "AccessResult",
     "LRUPolicy",

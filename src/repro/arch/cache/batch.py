@@ -19,10 +19,11 @@ Two pieces back the epoch-batched fast path (:mod:`repro.core.epoch`):
   array: counters and final recency order (last-touch order of the
   distinct lines) identical to touching line by line.
 
-The kernel keeps stamps instead of an explicit LRU list: the victim is
-the valid way with the smallest last-touch stamp, which is the same
-line an LRU order list fronts (stamps are drawn from one monotone
-counter, so ties cannot occur).
+The kernel (and the columnar :class:`CacheArray` itself) keeps stamps
+instead of an explicit LRU list: the victim is the valid way with the
+smallest last-touch stamp, which is the same line an LRU order list
+fronts (stamps are drawn from one monotone counter, so ties cannot
+occur).
 """
 
 from __future__ import annotations
@@ -117,8 +118,8 @@ def frozen_hit_prefix(
     state filters, a hit is simple presence (the migration machines'
     L1). With filters, the resident line's protocol ``state`` must be
     in the allowed tuple for the access type (the CC driver's hit
-    predicate). Distinct lines are classified once via ``np.unique``,
-    then broadcast back — the kernel's vectorized classification step.
+    predicate). The block is compressed to same-line runs and each run
+    is probed once against the frozen slot index, in order.
     """
     n = len(lines)
     if n == 0:
@@ -130,20 +131,20 @@ def frozen_hit_prefix(
         ([0], np.flatnonzero(lines[1:] != lines[:-1]) + 1)
     )
     run_lines = lines[starts].tolist()
-    num_sets = arr.num_sets
-    sets_, lines_ = arr._sets, arr._lines
+    index = arr._index
     if states_ok_write is None:
         for pos, la in zip(starts.tolist(), run_lines):
-            if sets_[la % num_sets].get(la // num_sets) is None:
+            if index.get(la) is None:
                 return pos
         return n
+    states = arr.state
     writes = np.asarray(writes, dtype=bool)
     bounds = starts.tolist() + [n]
     for j, la in enumerate(run_lines):
-        way = sets_[la % num_sets].get(la // num_sets)
-        if way is None:
+        slot = index.get(la)
+        if slot is None:
             return bounds[j]
-        st = lines_[la % num_sets][way].state
+        st = states[slot]
         ok_w = st in states_ok_write
         ok_r = st in states_ok_read
         if ok_w and ok_r:
@@ -174,8 +175,8 @@ def frozen_service_prefix(hier, lines: np.ndarray, writes: np.ndarray):
     prefix. Requires true-LRU L1 replacement (the caller gates on it).
 
     Presence, dirtiness, and recency are evolved in a lazy tag-level
-    model per touched set, seeded from the live arrays; L2 is only ever
-    probed, never modeled, because the prefix cannot change it.
+    model per touched set, seeded from the live columns; L2 is only
+    ever probed, never modeled, because the prefix cannot change it.
     Returns ``(n, fills)`` with ``fills`` the access indices (run
     starts) that fill from L2 — every other access in the prefix is an
     L1 hit.
@@ -187,9 +188,8 @@ def frozen_service_prefix(hier, lines: np.ndarray, writes: np.ndarray):
     l2 = hier.l2
     num_sets = l1.num_sets
     ways = l1.ways
-    sets_, lines_, policies = l1._sets, l1._lines, l1._policies
-    l2_sets, l2_lines = l2._sets, l2._lines
-    l2_num_sets = l2.num_sets
+    l1_tags, l1_dirty, l1_stamps = l1.tags, l1.dirty, l1.stamps
+    l2_index, l2_dirty = l2._index, l2.dirty
     starts = np.concatenate(
         ([0], np.flatnonzero(lines[1:] != lines[:-1]) + 1)
     )
@@ -206,14 +206,20 @@ def frozen_service_prefix(hier, lines: np.ndarray, writes: np.ndarray):
         tag = la // num_sets
         model = models.get(si)
         if model is None:
-            row = lines_[si]
-            pres = {t: row[wy].dirty for t, wy in sets_[si].items()}
-            # invalidated ways linger in the policy order; only valid
-            # ways can front it once the set is full, so dropping them
-            # here preserves the victim sequence exactly
-            order = [
-                row[wy].tag for wy in policies[si]._order if row[wy] is not None
-            ]
+            # seed from the valid slots of the set, in ascending-stamp
+            # order — exactly the LRU order list filtered to valid ways
+            # (invalidated ways linger only as -1 tags, and a refill
+            # touches, so a valid way's stamp is its order position)
+            base = si * ways
+            pres = {}
+            valid = []
+            for s in range(base, base + ways):
+                t = int(l1_tags[s])
+                if t != -1:
+                    pres[t] = bool(l1_dirty[s])
+                    valid.append(s)
+            valid.sort(key=l1_stamps.__getitem__)
+            order = [int(l1_tags[s]) for s in valid]
             model = models[si] = [pres, order, ways - len(pres)]
         pres, order, free = model
         if tag in pres:
@@ -223,7 +229,7 @@ def frozen_service_prefix(hier, lines: np.ndarray, writes: np.ndarray):
             if wflags[j]:
                 pres[tag] = True
             continue
-        w2 = l2_sets[la % l2_num_sets].get(la // l2_num_sets)
+        w2 = l2_index.get(la)
         if w2 is None:
             return bounds[j], fills  # DRAM fill: hard boundary
         if free:
@@ -240,7 +246,7 @@ def frozen_service_prefix(hier, lines: np.ndarray, writes: np.ndarray):
         # pre-prefix value, which is exact: a line filled twice within
         # one prefix had a clean first copy (else its eviction would
         # have ended the prefix), so the bit was already False.
-        pres[tag] = l2_lines[la % l2_num_sets][w2].dirty or wflags[j]
+        pres[tag] = bool(l2_dirty[w2]) or wflags[j]
         order.append(tag)
         fills.append(bounds[j])
     return n, fills
@@ -254,8 +260,8 @@ def apply_hit_prefix(arr: CacheArray, lines: np.ndarray, writes: np.ndarray | No
     the last-touch order of the distinct lines (touching a line twice
     leaves only the later touch visible to LRU). With ``writes``, a
     line written anywhere in the block is marked dirty (hit-write
-    semantics of the migration machines' L1). Returns the line object
-    of the final access, for the caller's same-line memo.
+    semantics of the migration machines' L1). Returns the slot of the
+    final access, for the caller's same-line memo.
     """
     n = len(lines)
     if n == 0:
@@ -276,14 +282,21 @@ def apply_hit_prefix(arr: CacheArray, lines: np.ndarray, writes: np.ndarray | No
         flags = np.maximum.reduceat(np.asarray(writes, dtype=bool), starts)
         for la, f in zip(run_lines, flags.tolist()):
             ordered[la] = ordered.pop(la, False) or f
-    num_sets = arr.num_sets
-    sets_, lines_, policies = arr._sets, arr._lines, arr._policies
+    index = arr._index
+    stamps = arr.stamps
+    dirty = arr.dirty
+    policies = arr._policies
+    ways = arr.ways
+    clock = arr._clock
     last = None
     for la, f in ordered.items():
-        si = la % num_sets
-        way = sets_[si][la // num_sets]
-        policies[si].touch(way)
-        last = lines_[si][way]
+        slot = index[la]
+        clock += 1
+        stamps[slot] = clock
+        if policies is not None:
+            policies[slot // ways].touch(slot % ways)
+        last = slot
         if f:
-            last.dirty = True
+            dirty[slot] = True
+    arr._clock = clock
     return last

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
-from repro.arch.cache.sram import CacheArray
+from repro.arch.cache.sram import CacheArray, TileCacheStore
 from repro.arch.config import CacheConfig
 
 
@@ -34,9 +34,23 @@ class AccessResult:
 
 
 class CacheHierarchy:
-    """Private L1 + L2 pair for one core."""
+    """Private L1 + L2 pair for one core.
 
-    def __init__(self, l1: CacheConfig, l2: CacheConfig, policy: str = "lru") -> None:
+    Pass the machine-wide :class:`TileCacheStore` pools (one per level)
+    plus this core's id to back both arrays with row views of the
+    shared columnar state; without stores each array allocates its own
+    columns (single-hierarchy tests, the directory-CC private caches).
+    """
+
+    def __init__(
+        self,
+        l1: CacheConfig,
+        l2: CacheConfig,
+        policy: str = "lru",
+        l1_store: TileCacheStore | None = None,
+        l2_store: TileCacheStore | None = None,
+        core: int = 0,
+    ) -> None:
         if l2.line_bytes != l1.line_bytes:
             from repro.util.errors import ConfigError
 
@@ -44,8 +58,8 @@ class CacheHierarchy:
                 f"L1 line size {l1.line_bytes} != L2 line size {l2.line_bytes}; "
                 "mixed line sizes are not modeled"
             )
-        self.l1 = CacheArray(l1, policy=policy)
-        self.l2 = CacheArray(l2, policy=policy)
+        self.l1 = CacheArray(l1, policy=policy, store=l1_store, core=core)
+        self.l2 = CacheArray(l2, policy=policy, store=l2_store, core=core)
         self._l1_cfg = l1
         self._l2_cfg = l2
         self.memory_fills = 0
@@ -56,14 +70,15 @@ class CacheHierarchy:
         self._mem_fill = AccessResult(
             ServiceLevel.MEMORY, l1.hit_latency + l2.hit_latency
         )
-        # same-line memo: the line the previous access hit in L1. A
-        # repeat of that line skips set indexing and the policy touch —
-        # safe because every policy's touch is idempotent on the way it
-        # just touched (LRU early-returns, PLRU rewrites the same bits,
-        # random is a no-op). Reset on every L1 miss (the only path
-        # that can evict the memoized line) and on invalidate().
+        # same-line memo: the L1 slot the previous access hit. A repeat
+        # of that line skips the index probe and the recency update —
+        # safe because a repeated touch of the just-touched slot is
+        # idempotent for every policy (the stamp stays maximal, LRU
+        # early-returns, PLRU rewrites the same bits, random is a
+        # no-op). Reset on every L1 miss (the only path that can evict
+        # the memoized line) and on invalidate().
         self._last_la = -1
-        self._last_line: object = None
+        self._last_slot = 0
 
     def access(self, addr: int, write: bool) -> AccessResult:
         """Perform a load/store on the hierarchy, returning where it hit.
@@ -77,27 +92,29 @@ class CacheHierarchy:
         if line_addr == self._last_la:
             l1.hits += 1
             if write:
-                self._last_line.dirty = True
+                l1.dirty[self._last_slot] = True
             return self._l1_hit
-        si = line_addr % l1.num_sets
-        way = l1._sets[si].get(line_addr // l1.num_sets)
-        if way is not None:
+        slot = l1._index.get(line_addr)
+        if slot is not None:
             l1.hits += 1
-            l1._policies[si].touch(way)
-            line = l1._lines[si][way]
+            l1._clock += 1
+            l1.stamps[slot] = l1._clock
+            if l1._policies is not None:
+                l1._policies[slot // l1.ways].touch(slot % l1.ways)
             self._last_la = line_addr
-            self._last_line = line
+            self._last_slot = slot
             if write:
-                line.dirty = True
+                l1.dirty[slot] = True
             return self._l1_hit
         self._last_la = -1
         l1.misses += 1
 
-        l2_line = self.l2.lookup(addr)
-        if l2_line is not None:
+        l2 = self.l2
+        l2_slot = l2.lookup(addr)
+        if l2_slot is not None:
             # fill into L1 from L2; dirtiness stays with the L1 copy
-            dirty = l2_line.dirty or write
-            l2_line.dirty = False
+            dirty = bool(l2.dirty[l2_slot]) or write
+            l2.dirty[l2_slot] = False
             wb_mem = self._fill_l1(addr, dirty)
             if wb_mem == 0:
                 return self._l2_hit
@@ -110,7 +127,7 @@ class CacheHierarchy:
         # memory fill -> L2 then L1
         self.memory_fills += 1
         wb_mem = 0
-        victim = self.l2.fill(addr, dirty=False)
+        victim = l2.fill(addr, dirty=False)
         if victim is not None and victim.dirty:
             wb_mem += 1
         wb_mem += self._fill_l1(addr, write)
@@ -137,26 +154,30 @@ class CacheHierarchy:
         if line_addr == self._last_la:
             l1.hits += 1
             if write:
-                self._last_line.dirty = True
+                l1.dirty[self._last_slot] = True
             return self._l1_hit
-        si = line_addr % l1.num_sets
-        way = l1._sets[si].get(line_addr // l1.num_sets)
-        if way is not None:
+        slot = l1._index.get(line_addr)
+        if slot is not None:
             l1.hits += 1
-            l1._policies[si].touch(way)
-            line = l1._lines[si][way]
+            l1._clock += 1
+            l1.stamps[slot] = l1._clock
+            if l1._policies is not None:
+                l1._policies[slot // l1.ways].touch(slot % l1.ways)
             self._last_la = line_addr
-            self._last_line = line
+            self._last_slot = slot
             if write:
-                line.dirty = True
+                l1.dirty[slot] = True
             return self._l1_hit
-        if self.l2.probe(addr) is None:
+        l2 = self.l2
+        l2_slot = l2.probe(addr)
+        if l2_slot is None:
             return None  # memory fill: leave every bit of state untouched
         self._last_la = -1
         l1.misses += 1
-        l2_line = self.l2.lookup(addr)
-        dirty = l2_line.dirty or write
-        l2_line.dirty = False
+        l2.hits += 1  # the lookup the scalar path would have performed
+        l2._touch(l2_slot)
+        dirty = bool(l2.dirty[l2_slot]) or write
+        l2.dirty[l2_slot] = False
         wb_mem = self._fill_l1(addr, dirty)
         if wb_mem == 0:
             return self._l2_hit

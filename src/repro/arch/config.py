@@ -202,3 +202,51 @@ def small_test_config(num_cores: int = 4, **overrides) -> SystemConfig:
     )
     defaults.update(overrides)
     return SystemConfig(**defaults)
+
+
+def manycore_config(num_cores: int = 1024, **overrides) -> SystemConfig:
+    """Scale configuration for 1024–4096-core machines.
+
+    Per-tile caches are trimmed (4 KB L1 + 16 KB L2, 32 B lines) so a
+    thousands-of-tiles instance builds inside the bytes-per-tile budget
+    (:mod:`repro.analysis.memsize`) and the scaling study's workloads —
+    which are sized per-core, not per-machine — still exercise
+    capacity misses. Everything else keeps the paper's defaults.
+    """
+    defaults = dict(
+        num_cores=num_cores,
+        l1=CacheConfig(size_bytes=4 * 1024, line_bytes=32, associativity=2),
+        l2=CacheConfig(size_bytes=16 * 1024, line_bytes=32, associativity=4, hit_latency=6),
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+# -- preset registry entries --------------------------------------------
+# Registered here (the module that owns SystemConfig) so the PRESETS
+# registry populates on import; every consumer resolves preset names
+# through repro.registry.PRESETS instead of hard-coded tuples.
+from repro.registry import PRESETS  # noqa: E402  (registry is a leaf module)
+
+
+@PRESETS.register("default", "the paper's 64-core setup (16 KB L1 + 64 KB L2 per tile)")
+def _preset_default(num_cores: int = 64, **overrides) -> SystemConfig:
+    return SystemConfig(num_cores=num_cores, **overrides)
+
+
+PRESETS.register("small-test", "tiny unit-test configuration (fast, small caches)")(
+    small_test_config
+)
+
+PRESETS.register(
+    "mesh-1024",
+    "1024-core scale preset: trimmed tile caches on a 32x32 mesh",
+)(manycore_config)
+
+
+@PRESETS.register(
+    "cluster-4096",
+    "4096-core scale preset: trimmed tile caches; pair with topology 'cluster'",
+)
+def _preset_cluster_4096(num_cores: int = 4096, **overrides) -> SystemConfig:
+    return manycore_config(num_cores=num_cores, **overrides)

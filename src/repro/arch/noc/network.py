@@ -32,7 +32,8 @@ class Network:
 
     ``send`` is on the per-access path of every behavioral machine, so
     all loop-invariant work is hoisted into ``__init__``: hop counts
-    come from the topology's precomputed :attr:`~Topology.hop_table`,
+    come from the topology's :attr:`~Topology.hop_table` scalar path
+    (resident rows for hot senders, O(1) coordinate math for cold ones),
     per-vnet counter keys are resolved once into integer-bump cells,
     flit counts are memoized by :meth:`NocConfig.message_flits`, and
     the per-hop latency constant is folded.
@@ -72,7 +73,7 @@ class Network:
     # ------------------------------------------------------------------
     def zero_load_latency(self, src: int, dst: int, payload_bits: int) -> float:
         """Latency ignoring contention; also used by the analytical cost model."""
-        hops = self._hops[src][dst]
+        hops = self._hops.hop(src, dst)
         flits = self.config.message_flits(payload_bits)
         return hops * self._per_hop + (flits - 1)
 
@@ -93,7 +94,7 @@ class Network:
         now = self.engine.now
         msg.inject_time = now
         flits = self.config.message_flits(msg.payload_bits)
-        hops = self._hops[msg.src][msg.dst]
+        hops = self._hops.hop(msg.src, msg.dst)
 
         msg_cell, flit_cell = self._vnet_cells[msg.vnet]
         msg_cell.n += 1

@@ -47,6 +47,7 @@ from repro.spec import (
     MachineSpec,
     PlacementSpec,
     SchemeSpec,
+    TopologySpec,
     WorkloadSpec,
 )
 from repro.trace.io import save_multitrace
@@ -91,10 +92,16 @@ def _workload_spec(args) -> WorkloadSpec:
 def _base_spec(args, machine: str = "analytical") -> ExperimentSpec:
     """The ExperimentSpec shared by every point of a command's sweep."""
     PLACEMENTS.entry(args.placement)
+    topology = getattr(args, "topology", None) or "auto"
     return ExperimentSpec(
         workload=_workload_spec(args),
-        machine=MachineSpec(name=machine, cores=args.cores),
+        machine=MachineSpec(
+            name=machine,
+            cores=args.cores,
+            preset=getattr(args, "preset", "default"),
+        ),
         placement=PlacementSpec(name=args.placement),
+        topology=TopologySpec(name=topology),
     )
 
 
@@ -214,7 +221,8 @@ def _farm_of(args) -> list[str] | None:
 
 
 def cmd_evaluate(args) -> int:
-    base = _base_spec(args)
+    MACHINES.entry(args.machine)  # raises ConfigError listing options
+    base = _base_spec(args, machine=args.machine)
     names = _scheme_names(args)
     cache = _cache_for(args)
     extra = _trace_cache_extra(base, build_workload(base.workload)) if cache else None
@@ -605,6 +613,10 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument(
             "--param", action="append", default=[], help="generator key=value"
         )
+        sp.add_argument("--preset", default="default",
+                        help="registered SystemConfig preset (see `repro list`)")
+        sp.add_argument("--topology", default="auto",
+                        help="registered topology name (see `repro list`)")
 
     def add_perf_args(sp):
         sp.add_argument(
@@ -670,6 +682,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_perf_args(sp)
     sp.add_argument("--scheme", default="all",
                     help="registered scheme name, or 'all' (see `repro list`)")
+    sp.add_argument("--machine", default="analytical",
+                    help="registered machine name (see `repro list`); "
+                    "e.g. em2 for the detailed simulator")
     sp.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
     sp.set_defaults(fn=cmd_evaluate)
 
@@ -749,9 +764,6 @@ def build_parser() -> argparse.ArgumentParser:
                     "function of spec + seed)")
     sp.add_argument("--dup-rate", type=float, default=0.0)
     sp.add_argument("--delay-rate", type=float, default=0.0)
-    sp.add_argument("--preset", default="default",
-                    choices=["default", "small-test"],
-                    help="SystemConfig preset for the detailed machines")
     sp.add_argument(
         "--point-timeout",
         type=float,

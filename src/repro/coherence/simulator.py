@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.arch.cache.hierarchy import CacheHierarchy
-from repro.arch.cache.sram import CacheArray
+from repro.arch.cache.sram import CacheArray, TileCacheStore
 from repro.arch.config import SystemConfig
 from repro.arch.topology import Topology, topology_for
 from repro.coherence.msi import DirectoryEntry, DirState, MSIState
@@ -92,8 +92,13 @@ class DirectoryCCSimulator:
         self.config = config
         self.topology = topology if topology is not None else topology_for(config)
         # coherence-visible private cache: the L2 (capacity level) with
-        # L1 hit latency charged on hits via config.l1
-        self.caches = [CacheArray(config.l2) for _ in range(config.num_cores)]
+        # L1 hit latency charged on hits via config.l1; all cores'
+        # metadata lives in one pooled columnar store
+        self.cache_store = TileCacheStore(config.num_cores, config.l2)
+        self.caches = [
+            CacheArray(config.l2, store=self.cache_store, core=c)
+            for c in range(config.num_cores)
+        ]
         self.directory: dict[int, DirectoryEntry] = {}
         self.stats = StatSet("cc")
         self.traffic_bits = 0
@@ -148,7 +153,7 @@ class DirectoryCCSimulator:
     def _msg(self, src: int, dst: int, bits: int, kind: str) -> float:
         """Charge one message; return its zero-load latency."""
         flits = self.config.noc.message_flits(bits)  # memoized per size
-        hops = self._hops[src][dst]
+        hops = self._hops.hop(src, dst)
         cell = self._kind_cells.get(kind)
         if cell is None:  # one cell per message kind, created on first use
             cell = self._kind_cells[kind] = self.stats.counters.cell("msg." + kind)
@@ -218,8 +223,9 @@ class DirectoryCCSimulator:
 
     # -- cache-side helpers -------------------------------------------------
     def _probe_state(self, core: int, addr: int) -> MSIState:
-        line = self.caches[core].probe(addr)
-        return MSIState(line.state) if line is not None else MSIState.INVALID
+        arr = self.caches[core]
+        slot = arr.probe(addr)
+        return MSIState(int(arr.state[slot])) if slot is not None else MSIState.INVALID
 
     def _fill(self, core: int, addr: int, state: MSIState) -> float:
         """Insert a line; handle the victim's coherence actions."""
@@ -300,9 +306,10 @@ class DirectoryCCSimulator:
             return float(cfg.l1.hit_latency)
         if state == MSIState.EXCLUSIVE and write:
             # MESI's payoff: E -> M silently, no directory traffic
-            line = self.caches[core].lookup(addr)
-            line.state = int(MSIState.MODIFIED)
-            line.dirty = True
+            arr = self.caches[core]
+            slot = arr.lookup(addr)
+            arr.state[slot] = int(MSIState.MODIFIED)
+            arr.dirty[slot] = True
             self._c_hits.n += 1
             self._c_silent.n += 1
             return float(cfg.l1.hit_latency)
@@ -319,18 +326,19 @@ class DirectoryCCSimulator:
             grant = MSIState.SHARED
             if entry.state == DirState.EXCLUSIVE and entry.owner != core:
                 owner = entry.owner
-                oline = self.caches[owner].probe(addr)
-                if oline is None:
+                oarr = self.caches[owner]
+                oslot = oarr.probe(addr)
+                if oslot is None:
                     raise ProtocolError(f"directory owner {owner} lost line {line:#x}")
                 lat += self._msg(home, owner, CTRL_BITS, "fetch")
-                if MSIState(oline.state) == MSIState.MODIFIED:
+                if oarr.state[oslot] == int(MSIState.MODIFIED):
                     lat += self._msg(
                         owner, home, CTRL_BITS + self._line_bits, "wb-data"
                     )
                 else:  # E: clean, a control ack suffices (MESI)
                     lat += self._msg(owner, home, CTRL_BITS, "downgrade-ack")
-                oline.state = int(MSIState.SHARED)
-                oline.dirty = False
+                oarr.state[oslot] = int(MSIState.SHARED)
+                oarr.dirty[oslot] = False
                 entry.sharers = {owner}
                 entry.owner = None
                 entry.state = DirState.SHARED
@@ -353,11 +361,12 @@ class DirectoryCCSimulator:
             # ---- GETX ------------------------------------------------
             if entry.state == DirState.EXCLUSIVE and entry.owner != core:
                 owner = entry.owner
-                oline = self.caches[owner].probe(addr)
-                if oline is None:
+                oarr = self.caches[owner]
+                oslot = oarr.probe(addr)
+                if oslot is None:
                     raise ProtocolError(f"directory owner {owner} lost line {line:#x}")
                 lat += self._msg(home, owner, CTRL_BITS, "fetch-inv")
-                if MSIState(oline.state) == MSIState.MODIFIED:
+                if oarr.state[oslot] == int(MSIState.MODIFIED):
                     lat += self._msg(
                         owner, home, CTRL_BITS + self._line_bits, "wb-data"
                     )
@@ -380,9 +389,10 @@ class DirectoryCCSimulator:
             if state == MSIState.SHARED:
                 # upgrade: data already present, grant only
                 lat += self._msg(home, core, CTRL_BITS, "upgrade-ack")
-                held = self.caches[core].probe(addr)
-                held.state = int(MSIState.MODIFIED)
-                held.dirty = True
+                harr = self.caches[core]
+                hslot = harr.probe(addr)
+                harr.state[hslot] = int(MSIState.MODIFIED)
+                harr.dirty[hslot] = True
             else:
                 lat += self._msg(home, core, CTRL_BITS + self._line_bits, "data")
                 lat += self._fill(core, addr, MSIState.MODIFIED)
@@ -435,8 +445,8 @@ class DirectoryCCSimulator:
                 core = native[t]
                 arr = caches[core]
                 byte_addr = word * wb
-                line = arr.probe(byte_addr)
-                st = line.state if line is not None else 0
+                slot = arr.probe(byte_addr)
+                st = arr.state[slot] if slot is not None else 0
                 if st == MOD or (not write and (st == SH or st == EX)):
                     arr.lookup(byte_addr)  # recency + hit counters
                     c_hits.n += 1

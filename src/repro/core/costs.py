@@ -48,6 +48,42 @@ class CostModel:
         per_hop = noc.router_latency + noc.link_latency
         return hops * per_hop + (flits - 1)
 
+    def migration_cost(self, src: int, dst: int) -> float:
+        """One ``migration[src, dst]`` entry without the (P, P) matrix.
+
+        Same arithmetic as the matrix over a single
+        ``topology.distance`` lookup — scalar queries (scheme default
+        thresholds, spot checks) must not pin an O(P²) table onto a
+        topology shared with a thousand-core machine.
+        """
+        if src == dst:
+            return 0.0
+        hops = float(self.topology.distance(src, dst))
+        ctx_bits = self.config.context.full_context_bits
+        return self.config.cost.migration_fixed + self._transport(hops, ctx_bits)
+
+    def remote_access_cost(self, src: int, dst: int, write: bool) -> float:
+        """One remote-access round-trip entry without the (P, P) matrix."""
+        if src == dst:
+            return 0.0
+        hops = float(self.topology.distance(src, dst))
+        fixed = self.config.cost.remote_access_fixed
+        if write:
+            req_bits = 64 + 8 + self.config.word_bits
+            ack_bits = 8
+            return (
+                2 * fixed
+                + self._transport(hops, req_bits)
+                + self._transport(hops, ack_bits)
+            )
+        addr_bits = 64 + 8
+        data_bits = self.config.word_bits
+        return (
+            2 * fixed
+            + self._transport(hops, addr_bits)
+            + self._transport(hops, data_bits)
+        )
+
     @cached_property
     def _hops(self) -> np.ndarray:
         return self.topology.distance_matrix.astype(np.float64)
@@ -129,9 +165,9 @@ class CostModel:
         Solving L * ra >= 2 * mig gives the crossover — the analytical
         knob behind run-length-based decision schemes.
         """
-        ra = (1 - write_fraction) * self.remote_read[src, dst] + write_fraction * (
-            self.remote_write[src, dst]
-        )
+        ra = (1 - write_fraction) * self.remote_access_cost(
+            src, dst, write=False
+        ) + write_fraction * self.remote_access_cost(src, dst, write=True)
         if ra <= 0:
             return float("inf")
-        return 2.0 * self.migration[src, dst] / ra
+        return 2.0 * self.migration_cost(src, dst) / ra

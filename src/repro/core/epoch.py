@@ -48,7 +48,6 @@ from repro.arch.cache.batch import (
     frozen_hit_prefix,
     frozen_service_prefix,
 )
-from repro.arch.cache.replacement import LRUPolicy
 from repro.coherence.msi import DirectoryEntry, DirState
 from repro.sim.engine import Event
 
@@ -82,12 +81,9 @@ class EpochStepper:
         self.l2_lat = float(l1.hit_latency + machine.config.l2.hit_latency)
         # the widened (L2-service) streak classifier mirrors L1 victim
         # choice tag-by-tag, which is only exact under true LRU; PLRU
-        # and random arrays keep the plain hit-prefix batching
-        self._widen = all(
-            type(p) is LRUPolicy
-            for h in machine.caches
-            for p in h.l1._policies
-        )
+        # and random arrays (non-None _policies) keep the plain
+        # hit-prefix batching
+        self._widen = all(h.l1._policies is None for h in machine.caches)
         # per-thread numpy columns for the vectorized runs (the plain
         # list columns stay on ThreadState for the scalar walk)
         self.lines_np = [
@@ -256,7 +252,7 @@ class EpochStepper:
                 if lines[i] == hier._last_la:
                     l1.hits += 1
                     if writes[i]:
-                        hier._last_line.dirty = True
+                        l1.dirty[hier._last_slot] = True
                     lat = hit_lat
                 else:
                     res = hier.access_no_mem(t2.addrs[i] * self.wb, writes[i])
@@ -359,14 +355,14 @@ class EpochStepper:
                 last = apply_hit_prefix(hier.l1, lines[seg:k], writes[seg:k])
             if last is not None:
                 hier._last_la = int(lines[k - 1])
-                hier._last_line = last
+                hier._last_slot = last
             # else the prefix ends on the fill itself, whose
             # access_no_mem already reset the memo exactly as the
             # scalar walk would have left it
         else:
             last = apply_hit_prefix(hier.l1, lines[:k], writes)
             hier._last_la = int(lines[k - 1])
-            hier._last_line = last
+            hier._last_slot = last
         c_local.n += k
         if core == t2.run_home:
             t2.run_len += k
@@ -528,9 +524,9 @@ class EpochStepper:
                     o = np.argsort(np.concatenate(cat_starts))
                     cat_lines = np.concatenate(cat_lines)[o]
                     cat_writes = np.concatenate(cat_writes)[o]
-                last_line = apply_hit_prefix(l1, cat_lines, cat_writes)
+                last_slot = apply_hit_prefix(l1, cat_lines, cat_writes)
                 hier._last_la = int(cat_lines[-1])
-                hier._last_line = last_line
+                hier._last_slot = last_slot
                 consumed_total += len(cat_lines)
                 # per-thread bookkeeping, identical to the scalar walk's
                 new_group = []
@@ -606,6 +602,59 @@ _DU = DirState.UNCACHED
 _DS = DirState.SHARED
 _DE = DirState.EXCLUSIVE
 
+class _LazyRows:
+    """Per-source derived rows (message latency / flit-hops), built on
+    demand from the topology's lazy hop rows and capacity-bounded.
+
+    Replaces the four dense P×P Python tables the driver used to
+    precompute: at 4096 cores those were 67M boxed ints before the
+    first access ran, while any one run only ever indexes the rows of
+    cores that actually send. Row values are plain ints (the hop rows
+    are plain-int lists), so latencies stay native floats/ints.
+
+    Lookup goes through :meth:`get`, which mirrors
+    :meth:`~repro.arch.topology.LazyHopTable.hop`: a resident row
+    answers with a subscript; a cold source answers with the scalar
+    derivation over an O(1) hop lookup, and only a source that keeps
+    missing is promoted to a full row (while capacity remains). With
+    more active senders than CAP the table simply stops growing instead
+    of rebuilding O(P) rows per message — the 1024+-core thrash cliff.
+    """
+
+    CAP = 512
+    HOT_PROMOTE = 8
+
+    __slots__ = ("_hops", "_make", "_scalar", "_rows", "_misses")
+
+    def __init__(self, hops, make, scalar) -> None:
+        self._hops = hops
+        self._make = make
+        self._scalar = scalar
+        self._rows: dict[int, list[int]] = {}
+        self._misses: dict[int, int] = {}
+
+    def __getitem__(self, src: int) -> list[int]:
+        row = self._rows.get(src)
+        if row is None:
+            rows = self._rows
+            if len(rows) >= self.CAP:
+                del rows[next(iter(rows))]
+            row = rows[src] = self._make(self._hops[src])
+        return row
+
+    def get(self, src: int, dst: int):
+        row = self._rows.get(src)
+        if row is not None:
+            return row[dst]
+        misses = self._misses
+        n = misses.get(src, 0) + 1
+        if n >= self.HOT_PROMOTE and len(self._rows) < self.CAP:
+            misses.pop(src, None)
+            return self[src][dst]
+        misses[src] = n
+        return self._scalar(self._hops.hop(src, dst))
+
+
 #: message kinds with a fixed payload class; index into the local
 #: count vector the driver flushes into `msg.*` counter cells at the end
 _KINDS = (
@@ -648,10 +697,27 @@ def run_cc_fast(sim):
     flit_bits = sim._flit_bits
     tb_ctrl = cf * flit_bits
     tb_data = df * flit_bits
-    lat_ctrl = [[hops[s][d] * per_hop + (cf - 1) for d in range(C)] for s in range(C)]
-    lat_data = [[hops[s][d] * per_hop + (df - 1) for d in range(C)] for s in range(C)]
-    fh_ctrl = [[cf * (hops[s][d] if hops[s][d] > 0 else 1) for d in range(C)] for s in range(C)]
-    fh_data = [[df * (hops[s][d] if hops[s][d] > 0 else 1) for d in range(C)] for s in range(C)]
+    cfm1, dfm1 = cf - 1, df - 1
+    lat_ctrl = _LazyRows(
+        hops,
+        lambda hr: [h * per_hop + cfm1 for h in hr],
+        lambda h: h * per_hop + cfm1,
+    )
+    lat_data = _LazyRows(
+        hops,
+        lambda hr: [h * per_hop + dfm1 for h in hr],
+        lambda h: h * per_hop + dfm1,
+    )
+    fh_ctrl = _LazyRows(
+        hops,
+        lambda hr: [cf * h if h else cf for h in hr],
+        lambda h: cf * h if h else cf,
+    )
+    fh_data = _LazyRows(
+        hops,
+        lambda hr: [df * h if h else df for h in hr],
+        lambda h: df * h if h else df,
+    )
     dram_lat = cfg.cost.dram_latency
     mesi = sim.protocol == "mesi"
     hit_lat = float(cfg.l1.hit_latency)
@@ -702,10 +768,10 @@ def run_cc_fast(sim):
             victim_home_memo[vline] = vhome
         vst = victim.state
         if vst == _MOD:
-            lat = lat_data[core][vhome]
+            lat = lat_data.get(core, vhome)
             kind_n[10] += 1
             traffic += tb_data
-            flit_hops += fh_data[core][vhome]
+            flit_hops += fh_data.get(core, vhome)
             n_wb += 1
             if ventry.state is not _DE or ventry.owner != core:
                 raise ProtocolError(
@@ -716,10 +782,10 @@ def run_cc_fast(sim):
             ventry.owner = None
             ventry.sharers.clear()
         elif vst == _EX:
-            lat = lat_ctrl[core][vhome]
+            lat = lat_ctrl.get(core, vhome)
             kind_n[11] += 1
             traffic += tb_ctrl
-            flit_hops += fh_ctrl[core][vhome]
+            flit_hops += fh_ctrl.get(core, vhome)
             if ventry.state is not _DE or ventry.owner != core:
                 raise ProtocolError(
                     f"E eviction by {core} but directory says "
@@ -729,25 +795,28 @@ def run_cc_fast(sim):
             ventry.owner = None
             ventry.sharers.clear()
         else:
-            lat = lat_ctrl[core][vhome]
+            lat = lat_ctrl.get(core, vhome)
             kind_n[12] += 1
             traffic += tb_ctrl
-            flit_hops += fh_ctrl[core][vhome]
+            flit_hops += fh_ctrl.get(core, vhome)
             ventry.sharers.discard(core)
             if not ventry.sharers and ventry.state is _DS:
                 ventry.state = _DU
         return lat
 
-    def access_fast(core, byte, write, home, st, line0, si, way):
+    def access_fast(core, byte, write, home, st, slot):
         """The miss/upgrade path of ``DirectoryCCSimulator.access``."""
         nonlocal traffic, flit_hops, n_hits, n_misses, n_silent, n_inv, n_dram
         arr = caches[core]
         if st == _EX and write:
             # MESI silent upgrade: no directory traffic
             arr.hits += 1
-            arr._policies[si].touch(way)
-            line0.state = _MOD
-            line0.dirty = True
+            arr._clock += 1
+            arr.stamps[slot] = arr._clock
+            if arr._policies is not None:
+                arr._policies[slot // arr.ways].touch(slot % arr.ways)
+            arr.state[slot] = _MOD
+            arr.dirty[slot] = True
             n_hits += 1
             n_silent += 1
             return hit_lat
@@ -761,33 +830,34 @@ def run_cc_fast(sim):
         else:
             kind_n[0] += 1
         traffic += tb_ctrl
-        flit_hops += fh_ctrl[core][home]
-        lat = lat_ctrl[core][home]
+        flit_hops += fh_ctrl.get(core, home)
+        lat = lat_ctrl.get(core, home)
         est = entry.state
         if not write:
             # ---- GETS --------------------------------------------------
             grant = _SH
             if est is _DE and entry.owner != core:
                 owner = entry.owner
-                oline = caches[owner].probe(byte)
-                if oline is None:
+                oarr = caches[owner]
+                oslot = oarr.probe(byte)
+                if oslot is None:
                     raise ProtocolError(f"directory owner {owner} lost line {la:#x}")
-                lat += lat_ctrl[home][owner]
+                lat += lat_ctrl.get(home, owner)
                 kind_n[2] += 1
                 traffic += tb_ctrl
-                flit_hops += fh_ctrl[home][owner]
-                if oline.state == _MOD:
-                    lat += lat_data[owner][home]
+                flit_hops += fh_ctrl.get(home, owner)
+                if oarr.state[oslot] == _MOD:
+                    lat += lat_data.get(owner, home)
                     kind_n[3] += 1
                     traffic += tb_data
-                    flit_hops += fh_data[owner][home]
+                    flit_hops += fh_data.get(owner, home)
                 else:
-                    lat += lat_ctrl[owner][home]
+                    lat += lat_ctrl.get(owner, home)
                     kind_n[4] += 1
                     traffic += tb_ctrl
-                    flit_hops += fh_ctrl[owner][home]
-                oline.state = _SH
-                oline.dirty = False
+                    flit_hops += fh_ctrl.get(owner, home)
+                oarr.state[oslot] = _SH
+                oarr.dirty[oslot] = False
                 mut_epoch[owner] += 1
                 entry.sharers = {owner}
                 entry.owner = None
@@ -805,32 +875,33 @@ def run_cc_fast(sim):
                 entry.state = _DS
                 entry.owner = None
                 entry.sharers.add(core)
-            lat += lat_data[home][core]
+            lat += lat_data.get(home, core)
             kind_n[5] += 1
             traffic += tb_data
-            flit_hops += fh_data[home][core]
+            flit_hops += fh_data.get(home, core)
             lat += fill_fast(core, byte, grant)
         else:
             # ---- GETX --------------------------------------------------
             if est is _DE and entry.owner != core:
                 owner = entry.owner
-                oline = caches[owner].probe(byte)
-                if oline is None:
+                oarr = caches[owner]
+                oslot = oarr.probe(byte)
+                if oslot is None:
                     raise ProtocolError(f"directory owner {owner} lost line {la:#x}")
-                lat += lat_ctrl[home][owner]
+                lat += lat_ctrl.get(home, owner)
                 kind_n[6] += 1
                 traffic += tb_ctrl
-                flit_hops += fh_ctrl[home][owner]
-                if oline.state == _MOD:
-                    lat += lat_data[owner][home]
+                flit_hops += fh_ctrl.get(home, owner)
+                if oarr.state[oslot] == _MOD:
+                    lat += lat_data.get(owner, home)
                     kind_n[3] += 1
                     traffic += tb_data
-                    flit_hops += fh_data[owner][home]
+                    flit_hops += fh_data.get(owner, home)
                 else:
-                    lat += lat_ctrl[owner][home]
+                    lat += lat_ctrl.get(owner, home)
                     kind_n[8] += 1
                     traffic += tb_ctrl
-                    flit_hops += fh_ctrl[owner][home]
+                    flit_hops += fh_ctrl.get(owner, home)
                 caches[owner].invalidate(byte)
                 mut_epoch[owner] += 1
                 n_inv += 1
@@ -840,8 +911,8 @@ def run_cc_fast(sim):
                     kind_n[7] += 1
                     kind_n[8] += 1
                     traffic += tb_ctrl + tb_ctrl
-                    flit_hops += fh_ctrl[home][sharer] + fh_ctrl[sharer][home]
-                    rt = lat_ctrl[home][sharer] + lat_ctrl[sharer][home]
+                    flit_hops += fh_ctrl.get(home, sharer) + fh_ctrl.get(sharer, home)
+                    rt = lat_ctrl.get(home, sharer) + lat_ctrl.get(sharer, home)
                     if rt > inv_lat:
                         inv_lat = rt
                     caches[sharer].invalidate(byte)
@@ -853,17 +924,17 @@ def run_cc_fast(sim):
                 n_dram += 1
             if st == _SH:
                 # upgrade: data already present, grant only
-                lat += lat_ctrl[home][core]
+                lat += lat_ctrl.get(home, core)
                 kind_n[9] += 1
                 traffic += tb_ctrl
-                flit_hops += fh_ctrl[home][core]
-                line0.state = _MOD
-                line0.dirty = True
+                flit_hops += fh_ctrl.get(home, core)
+                arr.state[slot] = _MOD
+                arr.dirty[slot] = True
             else:
-                lat += lat_data[home][core]
+                lat += lat_data.get(home, core)
                 kind_n[5] += 1
                 traffic += tb_data
-                flit_hops += fh_data[home][core]
+                flit_hops += fh_data.get(home, core)
                 lat += fill_fast(core, byte, _MOD)
             entry.state = _DE
             entry.owner = core
@@ -940,22 +1011,18 @@ def run_cc_fast(sim):
             core = native[t]
             arr = caches[core]
             byte = word * wb_
-            la = byte >> shift
-            si = la % nsets
-            way = arr._sets[si].get(la // nsets)
-            if way is None:
-                line = None
-                st = 0
-            else:
-                line = arr._lines[si][way]
-                st = line.state
+            slot = arr._index.get(byte >> shift)
+            st = arr.state[slot] if slot is not None else 0
             if st == _MOD or (not write and (st == _SH or st == _EX)):
                 arr.hits += 1
-                arr._policies[si].touch(way)
+                arr._clock += 1
+                arr.stamps[slot] = arr._clock
+                if arr._policies is not None:
+                    arr._policies[slot // arr.ways].touch(slot % arr.ways)
                 n_hits += 1
                 lat = hit_lat
             else:
-                lat = access_fast(core, byte, write, home_cols[t][k], st, line, si, way)
+                lat = access_fast(core, byte, write, home_cols[t][k], st, slot)
                 all_hit = False
             times[t] += icount_cols[t][k] + lat
             idx[t] = k + 1

@@ -28,6 +28,7 @@ from heapq import heappush
 import numpy as np
 
 from repro.arch.cache.hierarchy import CacheHierarchy, ServiceLevel
+from repro.arch.cache.sram import TileCacheStore
 from repro.arch.config import SystemConfig
 from repro.arch.core_model import ContextFile, build_context_files
 from repro.arch.memory.dram import MemorySystem
@@ -95,9 +96,24 @@ class MigrationMachineBase:
         if self.vc_plan is not None:
             check_vc_plan(self.vc_plan, config.noc.num_virtual_channels)
         self.cache_detail = cache_detail
-        self.caches = [
-            CacheHierarchy(config.l1, config.l2) for _ in range(config.num_cores)
-        ] if cache_detail else None
+        if cache_detail:
+            # pooled columnar metadata: one matrix per column per level,
+            # shared by every core's hierarchy (the 1024+-core budget)
+            self.l1_store = TileCacheStore(config.num_cores, config.l1)
+            self.l2_store = TileCacheStore(config.num_cores, config.l2)
+            self.caches = [
+                CacheHierarchy(
+                    config.l1,
+                    config.l2,
+                    l1_store=self.l1_store,
+                    l2_store=self.l2_store,
+                    core=i,
+                )
+                for i in range(config.num_cores)
+            ]
+        else:
+            self.l1_store = self.l2_store = None
+            self.caches = None
         self.memory = MemorySystem(self.topology, access_latency=config.cost.dram_latency)
         native = [c % config.num_cores for c in trace.thread_native_core]
         self.contexts: list[ContextFile] = build_context_files(
@@ -138,6 +154,16 @@ class MigrationMachineBase:
         self._c_evictions = counters.cell("evictions")
         self._c_dram = counters.cell("dram_fills")
         self._c_stalls = counters.cell("admission_stalls")
+        # per-core load distribution (migration targets, evictions, and
+        # stalls per tile) in one pooled matrix — scaling studies read
+        # the imbalance off the columns; bumps happen only on
+        # migration-class events, never on the per-access path
+        self.core_stats = self.stats.matrix(
+            "core",
+            config.num_cores,
+            ("migrations_in", "evictions_out", "admission_stalls"),
+        )
+        self._core_mat = self.core_stats.data
         # pre-bound hot callables: skips a descriptor lookup per event
         self._schedule = self.engine.schedule
         # Epoch-batched fast path (repro.core.epoch): only when results
@@ -384,6 +410,7 @@ class MigrationMachineBase:
         th.in_transit = True
         self._admit_waiter_if_any(src)
         self._c_migrations.n += 1
+        self._core_mat[dest, 0] += 1
         msg = Message(
             src=th.core,
             dst=dest,
@@ -423,6 +450,7 @@ class MigrationMachineBase:
             victim = self._pick_evictable_victim(dest)
             if victim is None:
                 self._c_stalls.n += 1
+                self._core_mat[dest, 2] += 1
                 self._waiting[dest].append(th)
                 return
             ctx.replace_guest(victim, th.tid, now)
@@ -468,6 +496,7 @@ class MigrationMachineBase:
             victim.pending = None
         victim.in_transit = True
         self._c_evictions.n += 1
+        self._core_mat[core, 1] += 1
         msg = Message(
             src=core,
             dst=victim.native,

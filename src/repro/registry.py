@@ -186,6 +186,11 @@ TOPOLOGIES = Registry("topology", modules=("repro.arch.topology",))
 #: ``fn(rng: numpy.random.Generator, **params) -> FaultModel``.
 FAULTS = Registry("fault model", modules=("repro.faults.models",))
 
+#: System-configuration presets. Entries are factories
+#: ``fn(num_cores=<preset default>, **overrides) -> SystemConfig`` —
+#: what :class:`~repro.spec.MachineSpec.preset` names resolve to.
+PRESETS = Registry("preset", modules=("repro.arch.config",))
+
 #: Every registry, keyed by family name — what ``repro list`` walks.
 ALL_REGISTRIES: dict[str, Registry] = {
     "machines": MACHINES,
@@ -194,4 +199,5 @@ ALL_REGISTRIES: dict[str, Registry] = {
     "workloads": WORKLOADS,
     "topologies": TOPOLOGIES,
     "faults": FAULTS,
+    "presets": PRESETS,
 }

@@ -32,9 +32,9 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro.arch.config import SystemConfig, small_test_config
+from repro.arch.config import SystemConfig
 from repro.core.costs import CostModel
-from repro.registry import MACHINES, PLACEMENTS, SCHEMES, TOPOLOGIES, WORKLOADS
+from repro.registry import MACHINES, PLACEMENTS, PRESETS, SCHEMES, TOPOLOGIES, WORKLOADS
 from repro.spec import (
     ExperimentSpec,
     FaultSpec,
@@ -79,11 +79,10 @@ def clear_build_memo() -> None:
 
 # ---------------------------------------------------------------- builders
 def build_system_config(machine: MachineSpec) -> SystemConfig:
-    """The :class:`SystemConfig` a machine spec describes."""
+    """The :class:`SystemConfig` a machine spec describes, via the
+    preset registry (``default``/``small-test``/``mesh-1024``/...)."""
     overrides = dict(machine.config)
-    if machine.preset == "small-test":
-        return small_test_config(num_cores=machine.cores, **overrides)
-    return SystemConfig(num_cores=machine.cores, **overrides)
+    return PRESETS.get(machine.preset)(num_cores=machine.cores, **overrides)
 
 
 def build_workload(workload: WorkloadSpec):

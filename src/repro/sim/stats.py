@@ -41,6 +41,52 @@ class CounterCell:
         self.n = 0
 
 
+class CounterMatrix:
+    """Pooled per-row × per-metric integer counters (e.g. per-core).
+
+    One ``(num_rows, num_metrics)`` numpy matrix replaces ``num_rows *
+    num_metrics`` Python attribute counters or dicts — at 4096 cores a
+    three-metric matrix is ~96 KB of shared storage instead of
+    thousands of boxed ints. Bumps write straight into the matrix;
+    scalar totals fold lazily on read (:meth:`totals`), so nothing is
+    materialized until somebody asks.
+    """
+
+    __slots__ = ("metrics", "data", "_cols")
+
+    def __init__(self, num_rows: int, metrics: tuple[str, ...]) -> None:
+        self.metrics = tuple(metrics)
+        self.data = np.zeros((num_rows, len(self.metrics)), dtype=np.int64)
+        self._cols = {m: j for j, m in enumerate(self.metrics)}
+
+    def add(self, row: int, metric: int, amount: int = 1) -> None:
+        """Bump ``(row, metric-column-index)``; hoist the index via
+        :meth:`col` outside hot loops."""
+        self.data[row, metric] += amount
+
+    def col(self, metric: str) -> int:
+        return self._cols[metric]
+
+    def row(self, row: int) -> dict[str, int]:
+        """One row's counts as a plain dict (diagnostics)."""
+        return {m: int(v) for m, v in zip(self.metrics, self.data[row])}
+
+    def totals(self) -> dict[str, int]:
+        """Lazy fold: per-metric totals summed over all rows."""
+        sums = self.data.sum(axis=0)
+        return {m: int(v) for m, v in zip(self.metrics, sums)}
+
+    def column(self, metric: str) -> np.ndarray:
+        """Read-only view of one metric across all rows."""
+        v = self.data[:, self._cols[metric]]
+        v.flags.writeable = False
+        return v
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+
 class Counter:
     """Named monotone counters. Missing keys read as zero."""
 
@@ -204,6 +250,13 @@ class StatSet:
         self.counters = Counter()
         self._histograms: dict[str, Histogram] = {}
         self._latencies: dict[str, LatencyStat] = {}
+        self._matrices: dict[str, CounterMatrix] = {}
+
+    def matrix(self, key: str, num_rows: int, metrics: tuple[str, ...]) -> CounterMatrix:
+        """Pooled per-row counters (see :class:`CounterMatrix`)."""
+        if key not in self._matrices:
+            self._matrices[key] = CounterMatrix(num_rows, metrics)
+        return self._matrices[key]
 
     def histogram(self, key: str, max_bin: int = 4096) -> Histogram:
         if key not in self._histograms:
@@ -223,4 +276,7 @@ class StatSet:
         for k, lat in self._latencies.items():
             for sk, sv in lat.as_dict().items():
                 out[f"lat.{k}.{sk}"] = sv
+        for k, mat in self._matrices.items():
+            for m, v in mat.totals().items():
+                out[f"mat.{k}.{m}"] = v
         return out

@@ -225,9 +225,11 @@ class MachineSpec:
 
     ``name`` is a machine-registry key (``"analytical"`` for the fast
     §3 evaluator, ``"em2"``/``"em2ra"``/``"ra-only"``/``"cc-msi"``/
-    ``"cc-mesi"`` for the detailed simulators). ``preset`` picks the
-    :class:`~repro.arch.config.SystemConfig` base (``"default"`` or
-    ``"small-test"``); ``config`` holds flat SystemConfig overrides
+    ``"cc-mesi"`` for the detailed simulators). ``preset`` names a
+    :data:`repro.registry.PRESETS` entry — the
+    :class:`~repro.arch.config.SystemConfig` base (``"default"``,
+    ``"small-test"``, or the scale presets ``"mesh-1024"``/
+    ``"cluster-4096"``); ``config`` holds flat SystemConfig overrides
     and ``params`` extra machine keyword arguments.
     """
 
@@ -247,9 +249,12 @@ class MachineSpec:
         _check_str("machine", "preset", self.preset)
         if not isinstance(self.cores, int) or self.cores <= 0:
             raise ConfigError(f"machine.cores must be a positive int, got {self.cores!r}")
-        if self.preset not in ("default", "small-test"):
+        from repro.registry import PRESETS
+
+        if self.preset not in PRESETS:
             raise ConfigError(
-                f"unknown machine.preset {self.preset!r}; use 'default' or 'small-test'"
+                f"unknown machine.preset {self.preset!r}; registered presets: "
+                f"{', '.join(PRESETS.names())}"
             )
         if not isinstance(self.fast_path, bool):
             raise ConfigError(

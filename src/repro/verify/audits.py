@@ -128,7 +128,8 @@ def audit_directory(sim) -> dict:
                 raise ProtocolError(
                     f"line {line:#x} EXCLUSIVE at {entry.owner} but held by {holders}"
                 )
-            st = MSIState(sim.caches[entry.owner].probe(byte_addr).state)
+            oarr = sim.caches[entry.owner]
+            st = MSIState(int(oarr.state[oarr.probe(byte_addr)]))
             if st not in (MSIState.MODIFIED, MSIState.EXCLUSIVE):
                 raise ProtocolError(
                     f"line {line:#x} owner cache state {st.name} not M/E"

@@ -39,13 +39,13 @@ def _scalar_reference(config, addrs, writes):
     arr = CacheArray(config)
     hits = np.zeros(len(addrs), dtype=bool)
     for i, (a, w) in enumerate(zip(addrs.tolist(), writes.tolist())):
-        line = arr.lookup(a)
-        if line is None:
+        slot = arr.lookup(a)
+        if slot is None:
             arr.fill(a, dirty=w)
         else:
             hits[i] = True
             if w:
-                line.dirty = True
+                arr.dirty[slot] = True
     return arr, hits
 
 
@@ -128,19 +128,23 @@ def test_frozen_prefix_and_bulk_apply_match_scalar_hierarchy(assoc, seed):
 
     apply_hit_prefix(fast, lines[:k], writes[:k])
     for i in range(k):
-        line = slow.lookup(int(addrs[i]))
+        slot = slow.lookup(int(addrs[i]))
         if writes[i]:
-            line.dirty = True
+            slow.dirty[slot] = True
 
     assert fast.hits == slow.hits and fast.misses == slow.misses
     assert fast.resident_addrs() == slow.resident_addrs()
     for si in range(fast.num_sets):
-        for way in range(fast.ways):
-            fl, sl = fast._lines[si][way], slow._lines[si][way]
-            assert (fl is None) == (sl is None)
-            if fl is not None:
-                assert fl.dirty == sl.dirty
-        assert fast._policies[si].victim() == slow._policies[si].victim()
+        base = si * fast.ways
+        for s in range(base, base + fast.ways):
+            assert int(fast.tags[s]) == int(slow.tags[s])
+            if int(fast.tags[s]) != -1:
+                assert bool(fast.dirty[s]) == bool(slow.dirty[s])
+        # full LRU order (victim first) = valid slots by ascending stamp
+        valid = [s for s in range(base, base + fast.ways) if int(fast.tags[s]) != -1]
+        f_order = sorted(valid, key=lambda s: int(fast.stamps[s]))
+        s_order = sorted(valid, key=lambda s: int(slow.stamps[s]))
+        assert f_order == s_order
 
 
 def test_frozen_prefix_state_filters():

@@ -120,7 +120,7 @@ class TestCacheArray:
         c = _small_cache()
         c.fill(0x80, dirty=True)
         assert c.fill(0x80, dirty=False) is None
-        assert c.probe(0x80).dirty
+        assert c.dirty[c.probe(0x80)]
 
     def test_invalidate(self):
         c = _small_cache()
@@ -185,7 +185,7 @@ class TestHierarchy:
     def test_write_makes_line_dirty(self):
         h = self._h()
         h.access(0x100, write=True)
-        assert h.l1.probe(0x100).dirty
+        assert h.l1.dirty[h.l1.probe(0x100)]
 
     def test_mixed_line_sizes_rejected(self):
         with pytest.raises(ConfigError):

@@ -121,7 +121,7 @@ class TestSameLineMemo:
         h.access(0, write=False)
         h.access(0, write=False)  # arm the memo
         h.access(4, write=True)  # memoized line, write
-        assert h.l1.probe(0).dirty
+        assert h.l1.dirty[h.l1.probe(0)]
 
     def test_invalidate_resets_memo(self):
         h = self._hier()

@@ -24,7 +24,7 @@ class TestExclusiveState:
         sim.access(0, 5, False)
         entry = sim.directory[sim._line(5 * 4)]
         assert entry.state == DirState.EXCLUSIVE and entry.owner == 0
-        assert MSIState(sim.caches[0].probe(5 * 4).state) == MSIState.EXCLUSIVE
+        assert sim._probe_state(0, 5 * 4) == MSIState.EXCLUSIVE
 
     def test_msi_grants_shared_instead(self):
         sim = _sim(protocol="msi")
@@ -40,7 +40,7 @@ class TestExclusiveState:
         assert sim.traffic_bits == before
         assert lat == sim.config.l1.hit_latency
         assert sim.stats.counters["silent_upgrades"] == 1
-        assert MSIState(sim.caches[0].probe(5 * 4).state) == MSIState.MODIFIED
+        assert sim._probe_state(0, 5 * 4) == MSIState.MODIFIED
 
     def test_msi_pays_upgrade_for_same_pattern(self):
         sim = _sim(protocol="msi")

@@ -125,6 +125,7 @@ def _run_point(machine: str, cores: int, params: dict, repeats: int,
                 migrations=res["migrations"],
                 evictions=res["evictions"],
                 flit_hops=res["flit_hops"],
+                fast_path=res["fast_path"],
             )
             mem = tile_state_bytes(m)
         else:
@@ -137,6 +138,12 @@ def _run_point(machine: str, cores: int, params: dict, repeats: int,
             point.update(
                 completion_time=r.completion_time,
                 traffic_bits=r.traffic_bits,
+                fast_path=(
+                    m._fastpath_stats
+                    if m._fastpath_stats is not None
+                    else {"engaged": False,
+                          "disabled_reason": m._fastpath_reason}
+                ),
             )
             mem = tile_state_bytes(m)
         best = max(best, trace.total_accesses / run_s)
@@ -146,6 +153,34 @@ def _run_point(machine: str, cores: int, params: dict, repeats: int,
     point["bytes_per_tile"] = mem["bytes_per_tile"]
     point["within_budget"] = mem["bytes_per_tile"] <= BYTES_PER_TILE_BUDGET
     return point
+
+
+def mesh1024_fastpath_parity() -> bool:
+    """Bit-parity of the widened fast path at the scaling preset's
+    motivating size: one P=1024 mesh point (64 threads, 32 accesses
+    each — small enough for CI, wide enough to cross many cores) run
+    with ``fast_path`` on and off; every simulated metric must match.
+    Both machine families are checked. The ``fast_path`` sub-dict is
+    engagement diagnostics and is excluded from the comparison."""
+    from repro.runner import run
+
+    params = dict(num_threads=64, accesses_per_thread=32,
+                  region_words=64 * 1024, seed=1)
+    for machine in ("em2", "cc-msi"):
+        results = []
+        for fast in (True, False):
+            spec = ExperimentSpec(
+                workload=WorkloadSpec(name="uniform", params=params),
+                machine=MachineSpec(name=machine, cores=1024, preset=PRESET,
+                                    fast_path=fast),
+                placement=PlacementSpec(name="striped"),
+            )
+            res = run(spec)
+            res.pop("fast_path", None)
+            results.append(res)
+        if results[0] != results[1]:
+            return False
+    return True
 
 
 def run_scaling(mode: str = "full", repeats: int = 2) -> dict:
@@ -168,6 +203,17 @@ def run_scaling(mode: str = "full", repeats: int = 2) -> dict:
             _run_point(machine, n, _strong_params(mode), repeats) for n in sizes
         ]
 
+    # per-P fast-path engagement next to the throughput it bought:
+    # window widths/counts per size so a future regression shows up as
+    # "windows stopped forming at P=1024", not just a slower number
+    report["fastpath"] = {
+        f"scaling_fastpath_{machine}_p{p['cores']}": dict(
+            accesses_per_sec=p["accesses_per_sec"], **p["fast_path"]
+        )
+        for machine in ("em2", "cc-msi")
+        for p in report["weak"][machine]
+    }
+
     # hierarchical topology at the top size: same workload, mesh vs
     # cluster geometry — the hop-count delta is the express links
     top = sizes[-1]
@@ -184,6 +230,7 @@ def run_scaling(mode: str = "full", repeats: int = 2) -> dict:
     )
     report["bytes_per_tile_max"] = max(p["bytes_per_tile"] for p in points)
     report["within_budget"] = all(p["within_budget"] for p in points)
+    report["fastpath_parity"] = mesh1024_fastpath_parity()
     return report
 
 
@@ -196,6 +243,7 @@ def flat_metrics(report: dict) -> dict:
         "scaling_cc_accesses_per_sec": top_weak_cc["accesses_per_sec"],
         "scaling_bytes_per_tile": report["bytes_per_tile_max"],
         "scaling_within_budget": report["within_budget"],
+        "scaling_fastpath_parity": report["fastpath_parity"],
     }
 
 
@@ -229,6 +277,12 @@ def test_scaling_smoke():
     assert cvm["cluster"]["accesses_per_sec"] > 0
     # same workload, same cores: only the geometry may differ
     assert cvm["cluster"]["accesses"] == cvm["mesh"]["accesses"]
+    # fast-path engagement is recorded per size for both families
+    for key, fp in report["fastpath"].items():
+        assert key.startswith("scaling_fastpath_")
+        assert "engaged" in fp and fp["accesses_per_sec"] > 0
+    # the mesh-1024 on/off parity gate ran and held
+    assert report["fastpath_parity"] is True
 
 
 # ---------------------------------------------------------------- script
@@ -240,10 +294,21 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--out", default=None,
                     help="report path (default: <repo>/BENCH_perf.json, "
                          "merged — bench_perf.py sections are preserved)")
+    ap.add_argument("--profile", nargs="?", type=int, const=25, default=None,
+                    metavar="N",
+                    help="run the study under cProfile and print the top N "
+                         "functions (default 25)")
     args = ap.parse_args(argv)
 
     mode = "smoke" if args.smoke else "full"
-    report = run_scaling(mode=mode, repeats=args.repeats)
+    if args.profile is not None:
+        from repro.cli import run_profiled
+
+        report = run_profiled(
+            lambda: run_scaling(mode=mode, repeats=args.repeats), args.profile
+        )
+    else:
+        report = run_scaling(mode=mode, repeats=args.repeats)
 
     out = Path(args.out) if args.out else (
         Path(__file__).resolve().parent.parent / "BENCH_perf.json"
@@ -274,8 +339,12 @@ def main(argv: list[str] | None = None) -> int:
         f"(budget {BYTES_PER_TILE_BUDGET / 1024:.0f} KB) — "
         f"within budget: {report['within_budget']}"
     )
+    print(f"mesh-1024 fast-path on/off parity: {report['fastpath_parity']}")
     if not report["within_budget"]:
         print("FAIL: a point exceeded the per-tile memory budget")
+        return 1
+    if not report["fastpath_parity"]:
+        print("FAIL: mesh-1024 fast-path on/off results diverged")
         return 1
     return 0
 

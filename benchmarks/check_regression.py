@@ -54,23 +54,44 @@ LOWER_IS_BETTER = [
 ]
 
 
-def baseline_entry(baseline: dict, key: str):
-    """``(value, mode, cpu_count)`` for one baseline metric, or None.
+def baseline_entries(baseline: dict, key: str) -> list:
+    """``[(value, mode, cpu_count), ...]`` for one baseline metric.
 
-    New-format entries are ``{"value", "mode", "cpu_count"}`` objects;
-    legacy scalars inherit the file-level mode and a wildcard host.
+    New-format entries are ``{"value", "mode", "cpu_count"}`` objects,
+    or a *list* of them when the metric has floors for more than one
+    mode (e.g. a smoke floor for CI plus a full-mode floor pinning a
+    measured optimization); legacy scalars inherit the file-level mode
+    and a wildcard host. Empty list when the metric is absent.
     """
     metrics = baseline.get("metrics", baseline)
     raw = metrics.get(key)
     if raw is None:
+        return []
+    entries = raw if isinstance(raw, list) else [raw]
+    out = []
+    for e in entries:
+        if isinstance(e, dict):
+            out.append((
+                float(e.get("value", 0.0)),
+                e.get("mode", baseline.get("mode")),
+                e.get("cpu_count"),
+            ))
+        else:
+            out.append((float(e), baseline.get("mode"), None))
+    return out
+
+
+def baseline_entry(baseline: dict, key: str, report: dict | None = None):
+    """The single most relevant entry for ``key``: the first entry
+    comparable with ``report`` if any, else the first entry, else None."""
+    entries = baseline_entries(baseline, key)
+    if not entries:
         return None
-    if isinstance(raw, dict):
-        return (
-            float(raw.get("value", 0.0)),
-            raw.get("mode", baseline.get("mode")),
-            raw.get("cpu_count"),
-        )
-    return float(raw), baseline.get("mode"), None
+    if report is not None:
+        for e in entries:
+            if comparable(e, report):
+                return e
+    return entries[0]
 
 
 def comparable(entry, report: dict) -> bool:
@@ -89,7 +110,7 @@ def compare(report: dict, baseline: dict, threshold: float) -> list[str]:
     metrics (LOWER_IS_BETTER) above baseline * (1 + threshold)."""
     warnings = []
     for key in METRICS + LOWER_IS_BETTER:
-        entry = baseline_entry(baseline, key)
+        entry = baseline_entry(baseline, key, report)
         if key not in report or entry is None or not comparable(entry, report):
             continue
         fresh = float(report[key])
@@ -126,7 +147,7 @@ def main(argv: list[str] | None = None) -> int:
 
     warnings = compare(report, baseline, args.threshold)
     for key in METRICS + LOWER_IS_BETTER:
-        entry = baseline_entry(baseline, key)
+        entry = baseline_entry(baseline, key, report)
         if key not in report or entry is None:
             continue
         if comparable(entry, report):

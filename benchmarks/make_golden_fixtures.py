@@ -101,11 +101,18 @@ def scenario_specs() -> dict[str, dict]:
 
 
 def scenario_results() -> dict:
-    """Run every scenario spec and collect the machines' results()."""
-    return {
+    """Run every scenario spec and collect the machines' results().
+
+    The ``fast_path`` sub-dict is engagement diagnostics, not simulated
+    outcome — it is stripped so fixtures only pin bit-exact metrics.
+    """
+    results = {
         key: run(ExperimentSpec.from_dict(spec_dict))
         for key, spec_dict in scenario_specs().items()
     }
+    for r in results.values():
+        r.pop("fast_path", None)
+    return results
 
 
 def main() -> int:

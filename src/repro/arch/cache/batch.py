@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.arch.cache.sram import CacheArray
+from repro.arch.cache.sram import CacheArray, TileCacheStore
 from repro.arch.config import CacheConfig
 
 
@@ -300,3 +300,66 @@ def apply_hit_prefix(arr: CacheArray, lines: np.ndarray, writes: np.ndarray | No
             dirty[slot] = True
     arr._clock = clock
     return last
+
+
+def apply_hit_windows(store: TileCacheStore, jobs: list) -> list:
+    """Bulk-apply one cross-core window of pure hits in one kernel call.
+
+    ``jobs`` is a non-empty list of ``(arr, lines, writes)`` triples —
+    one per participating core, each the concatenated pure-hit run of
+    that core's threads inside the window, in the core's exact access
+    order (``lines`` non-empty; ``writes`` is a bool column or None
+    for read-semantics hits). Per-array effects are identical to
+    calling :func:`apply_hit_prefix` job by job — hit counters, dirty
+    bits, final recency order, and per-array clocks all match bit for
+    bit — but the recency-stamp stores of *every* core are gathered
+    into one fancy-indexed scatter over the pooled
+    :class:`~repro.arch.cache.sram.TileCacheStore` stamp matrix: one
+    kernel invocation per window instead of one numpy scalar store per
+    distinct line per core. Requires store-backed true-LRU arrays (no
+    per-set policy objects); callers gate on that. Returns the slot of
+    each job's final access, for per-core same-line memos.
+    """
+    # the store matrices are C-contiguous, so the flattened stamps are
+    # a writable view and arr._flat_base + slot addresses core rows
+    flat_stamps = store.stamps.reshape(-1)
+    idx_parts: list[np.ndarray] = []
+    val_parts: list[np.ndarray] = []
+    lasts: list[int] = []
+    for arr, lines, writes in jobs:
+        n = len(lines)
+        arr.hits += n
+        starts = np.concatenate(
+            ([0], np.flatnonzero(lines[1:] != lines[:-1]) + 1)
+        )
+        run_lines = lines[starts].tolist()
+        ordered = {}
+        if writes is None:
+            for la in run_lines:
+                ordered[la] = ordered.pop(la, False)
+        else:
+            flags = np.maximum.reduceat(np.asarray(writes, dtype=bool), starts)
+            for la, f in zip(run_lines, flags.tolist()):
+                ordered[la] = ordered.pop(la, False) or f
+        index = arr._index
+        dirty = arr.dirty
+        slots: list[int] = []
+        append = slots.append
+        last = None
+        for la, f in ordered.items():
+            slot = index[la]
+            append(slot)
+            if f:
+                dirty[slot] = True
+            last = slot
+        k = len(slots)
+        clock = arr._clock
+        idx_parts.append(arr._flat_base + np.asarray(slots, dtype=np.int64))
+        val_parts.append(np.arange(clock + 1, clock + k + 1, dtype=np.int64))
+        arr._clock = clock + k
+        lasts.append(last)
+    if len(idx_parts) == 1:
+        flat_stamps[idx_parts[0]] = val_parts[0]
+    else:
+        flat_stamps[np.concatenate(idx_parts)] = np.concatenate(val_parts)
+    return lasts

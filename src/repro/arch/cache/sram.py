@@ -88,12 +88,19 @@ class CacheArray:
             self.dirty = store.dirty[core]
             self.state = store.state[core]
             self.stamps = store.stamps[core]
+            # cross-core windows scatter recency stamps into the pooled
+            # matrix directly: this array's slots start at _flat_base in
+            # the store's flattened (C-contiguous) stamp column
+            self._store = store
+            self._flat_base = core * (config.num_sets * config.associativity)
         else:
             slots = self.num_sets * self.ways
             self.tags = np.full(slots, -1, dtype=np.int64)
             self.dirty = np.zeros(slots, dtype=bool)
             self.state = np.zeros(slots, dtype=np.uint8)
             self.stamps = np.zeros(slots, dtype=np.int64)
+            self._store = None
+            self._flat_base = 0
         self._clock = 0
         # line_addr -> slot (= set * ways + way) for O(1) presence
         self._index: dict[int, int] = {}

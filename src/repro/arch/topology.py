@@ -46,12 +46,13 @@ class LazyHopTable:
     #: coordinate math instead of paying an O(P) row build
     HOT_PROMOTE = 8
 
-    __slots__ = ("_topology", "_rows", "_misses")
+    __slots__ = ("_topology", "_rows", "_misses", "_scalar")
 
     def __init__(self, topology: "Topology") -> None:
         self._topology = topology
         self._rows: OrderedDict[int, list[int]] = OrderedDict()
         self._misses: dict[int, int] = {}
+        self._scalar = topology.scalar_hop_fn()
 
     def __getitem__(self, src: int) -> list[int]:
         row = self._rows.get(src)
@@ -82,7 +83,7 @@ class LazyHopTable:
             misses.pop(src, None)
             return self[src][dst]
         misses[src] = n
-        return self._topology.distance(src, dst)
+        return self._scalar(src, dst)
 
     def __len__(self) -> int:
         return self._topology.num_cores
@@ -95,6 +96,12 @@ class Topology(ABC):
     #: runs touch O(active pairs) routes, not all P²; evicted routes
     #: are rebuilt on demand, so the cap only bounds memory.
     ROUTE_CACHE_CAP = 4096
+
+    #: True when ``dist(a, b) == dist(b, a)`` for every pair — every
+    #: shipped topology except the strictly-clockwise ring. The fast
+    #: drivers rely on this to reuse a request path's hop count for the
+    #: reply direction instead of a second lookup.
+    symmetric = True
 
     def __init__(self, num_cores: int) -> None:
         if num_cores <= 0:
@@ -139,6 +146,16 @@ class Topology(ABC):
         mat = np.vstack([self.distance_row(i) for i in range(self.num_cores)])
         mat.setflags(write=False)
         return mat
+
+    def scalar_hop_fn(self):
+        """A plain closure ``hop(src, dst) -> int`` with no bounds
+        checks — the per-message cold path of :class:`LazyHopTable` and
+        the fast drivers' owner/sharer/victim hop math. Concrete
+        topologies override with closed-over coordinate lists so a cold
+        pair costs a few subscripts instead of a method dispatch; this
+        fallback is the checked :meth:`distance`. Callers must pass
+        valid core ids."""
+        return self.distance
 
     @cached_property
     def hop_table(self) -> LazyHopTable:
@@ -235,6 +252,14 @@ class Mesh2D(Topology):
         sx, sy = self.coords(src)
         return np.abs(self._xs - sx) + np.abs(self._ys - sy)
 
+    def scalar_hop_fn(self):
+        w = self.width
+
+        def hop(src: int, dst: int) -> int:
+            return abs(src % w - dst % w) + abs(src // w - dst // w)
+
+        return hop
+
     def route(self, src: int, dst: int) -> list[int]:
         sx, sy = self.coords(src)
         dx, dy = self.coords(dst)
@@ -286,6 +311,16 @@ class TorusTopology(Mesh2D):
         dx = np.abs(self._xs - sx)
         dy = np.abs(self._ys - sy)
         return np.minimum(dx, self.width - dx) + np.minimum(dy, self.height - dy)
+
+    def scalar_hop_fn(self):
+        w, h = self.width, self.height
+
+        def hop(src: int, dst: int) -> int:
+            dx = abs(src % w - dst % w)
+            dy = abs(src // w - dst // w)
+            return min(dx, w - dx) + min(dy, h - dy)
+
+        return hop
 
     def route(self, src: int, dst: int) -> list[int]:
         sx, sy = self.coords(src)
@@ -402,6 +437,27 @@ class ClusterMesh(Mesh2D):
         from_hub = np.abs(self._xs - hdx) + np.abs(self._ys - hdy)
         return np.where(same, mesh, to_hub + express + from_hub)
 
+    def scalar_hop_fn(self):
+        w = self.width
+        cw, ch = self.cluster_width, self.cluster_height
+        hx, hy = cw // 2, ch // 2
+
+        def hop(src: int, dst: int) -> int:
+            sx, sy = src % w, src // w
+            dx, dy = dst % w, dst // w
+            scx, scy = sx // cw, sy // ch
+            dcx, dcy = dx // cw, dy // ch
+            if scx == dcx and scy == dcy:
+                return abs(sx - dx) + abs(sy - dy)
+            # src -> own hub, hub-grid XY, remote hub -> dst
+            return (
+                abs(sx % cw - hx) + abs(sy % ch - hy)
+                + abs(scx - dcx) + abs(scy - dcy)
+                + abs(dx % cw - hx) + abs(dy % ch - hy)
+            )
+
+        return hop
+
     def route(self, src: int, dst: int) -> list[int]:
         scx, scy = self.cluster_of(src)
         dcx, dcy = self.cluster_of(dst)
@@ -463,6 +519,16 @@ class RingTopology(Topology):
         fwd = (np.arange(self.num_cores, dtype=np.int64) - src) % self.num_cores
         return np.minimum(fwd, self.num_cores - fwd)
 
+    def scalar_hop_fn(self):
+        n = self.num_cores
+
+        def hop(src: int, dst: int) -> int:
+            fwd = (dst - src) % n
+            bwd = n - fwd
+            return fwd if fwd <= bwd else bwd
+
+        return hop
+
     def route(self, src: int, dst: int) -> list[int]:
         self._check_core(src)
         self._check_core(dst)
@@ -492,6 +558,8 @@ class UnidirectionalRing(Topology):
     flit-level NoC tests to demonstrate real deadlock and its cure.
     """
 
+    symmetric = False  # (dst - src) % n != (src - dst) % n in general
+
     def distance(self, src: int, dst: int) -> int:
         self._check_core(src)
         self._check_core(dst)
@@ -500,6 +568,14 @@ class UnidirectionalRing(Topology):
     def distance_row(self, src: int) -> np.ndarray:
         self._check_core(src)
         return (np.arange(self.num_cores, dtype=np.int64) - src) % self.num_cores
+
+    def scalar_hop_fn(self):
+        n = self.num_cores
+
+        def hop(src: int, dst: int) -> int:
+            return (dst - src) % n
+
+        return hop
 
     def route(self, src: int, dst: int) -> list[int]:
         self._check_core(src)

@@ -549,7 +549,10 @@ def cmd_faults(args) -> int:
             )[0]
             faulted = canonical_rows([row])[0]
             mismatched = [
-                k for k, v in clean.items() if faulted.get(k, object()) != v
+                k for k, v in clean.items()
+                # fast_path is engagement diagnostics: the clean run
+                # batches, the faulted run (by design) cannot
+                if k != "fast_path" and faulted.get(k, object()) != v
             ]
             parity_checked += 1
             if mismatched:

@@ -32,9 +32,14 @@ class DirState(enum.IntEnum):
     EXCLUSIVE = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryEntry:
-    """Directory record for one cache line."""
+    """Directory record for one cache line.
+
+    ``slots=True``: a 1024-core run creates one entry per touched line
+    and reads/writes its fields several times per miss — slot access
+    keeps that off the per-instance dict.
+    """
 
     state: DirState = DirState.UNCACHED
     owner: int | None = None

@@ -87,6 +87,12 @@ class DirectoryCCSimulator:
         # auto-disabled with a fault injector so the retry/recovery
         # accounting stays on the message-by-message path
         self.fast_path = fast_path and faults is None
+        # surfaced in results()["fast_path"]: why the batched driver is
+        # off, and (filled in by run_cc_fast) its engagement stats
+        self._fastpath_reason = (
+            None if self.fast_path else ("faults" if faults is not None else "off")
+        )
+        self._fastpath_stats: dict | None = None
         self.trace = trace
         self.placement = placement
         self.config = config
@@ -484,6 +490,13 @@ def cc_results(sim: DirectoryCCSimulator) -> dict:
         "stats": r.stats,
         "directory_overhead_bits": sim.directory_overhead_bits(),
     }
+    if sim._fastpath_stats is not None:
+        out["fast_path"] = sim._fastpath_stats
+    else:
+        out["fast_path"] = {
+            "engaged": False,
+            "disabled_reason": sim._fastpath_reason,
+        }
     if sim.faults is not None:
         counters = sim.stats.counters
         out["retries"] = counters["retries"]

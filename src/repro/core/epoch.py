@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.arch.cache.batch import (
     apply_hit_prefix,
+    apply_hit_windows,
     frozen_hit_prefix,
     frozen_service_prefix,
 )
@@ -84,6 +85,14 @@ class EpochStepper:
         # and random arrays (non-None _policies) keep the plain
         # hit-prefix batching
         self._widen = all(h.l1._policies is None for h in machine.caches)
+        # cross-core window kernel: all per-core hit segments of one
+        # merged jump scatter through the machine-wide L1 store in a
+        # single call; needs store-backed true-LRU arrays (PLRU/random
+        # machines keep per-core apply_hit_prefix)
+        l1_0 = machine.caches[0].l1
+        self._xstore = (
+            l1_0._store if (self._widen and l1_0._store is not None) else None
+        )
         # per-thread numpy columns for the vectorized runs (the plain
         # list columns stay on ThreadState for the scalar walk)
         self.lines_np = [
@@ -124,6 +133,9 @@ class EpochStepper:
         self.windows = 0
         self.batched_accesses = 0
         self.l2_fills_batched = 0
+        self.window_max = 0
+        self.xwindows = 0
+        self.xwindow_cores_max = 0
         self.boundaries = {"nonlocal": 0, "dram": 0, "finish_wait": 0}
         # adaptive bail-out: on boundary-dense traces (a hazard every
         # few accesses) window management costs more than it saves, so
@@ -194,11 +206,18 @@ class EpochStepper:
         return self._walk(heap, horizon)
 
     # ------------------------------------------------------------------
+    def _note(self, batched: int) -> None:
+        """Window-close bookkeeping: total and longest window."""
+        self.batched_accesses += batched
+        if batched > self.window_max:
+            self.window_max = batched
+
+    # ------------------------------------------------------------------
     def _walk(self, heap, horizon) -> bool:
         m = self.m
         pop, push = heapq.heappop, heapq.heappush
         vctr = self.eng._seq  # virtual seq: above every absorbed real seq
-        hist = m.stats.histogram("run_length")
+        hist = m._hist_run
         c_local = m._c_local
         caches = m.caches
         lines_list = self.lines_list
@@ -232,7 +251,7 @@ class EpochStepper:
                         # a stalled arrival is waiting on this context:
                         # admission ordering must run event-driven
                         self.boundaries["finish_wait"] += 1
-                        self.batched_accesses += batched
+                        self._note(batched)
                         self._close(heap, parked, t2, u)
                         return True
                     t2.done = True
@@ -243,7 +262,7 @@ class EpochStepper:
                 if homes[i] != core:
                     t2.idx = i
                     self.boundaries["nonlocal"] += 1
-                    self.batched_accesses += batched
+                    self._note(batched)
                     self._close(heap, parked, t2, u)
                     return True
                 # inlined hierarchy same-line memo (the dominant case in
@@ -259,7 +278,7 @@ class EpochStepper:
                     if res is None:
                         t2.idx = i
                         self.boundaries["dram"] += 1
-                        self.batched_accesses += batched
+                        self._note(batched)
                         self._close(heap, parked, t2, u)
                         return True
                     lat = res.latency
@@ -291,7 +310,7 @@ class EpochStepper:
                     break
                 u = w
         # horizon (or quiescence) close: re-materialize pending wake-ups
-        self.batched_accesses += batched
+        self._note(batched)
         self._reify(parked)
         return True
 
@@ -415,9 +434,21 @@ class EpochStepper:
             by_core.setdefault(e[2].core, []).append(e)
         out = []
         consumed_total = 0
+        # cross-core deferral: every core's merged hit segments collect
+        # into one jobs list and scatter through the shared L1 store in
+        # a single kernel call after the per-core loops finish. Safe
+        # because classification reads only presence (_index) and the
+        # miss counter, never recency — so a pending recency apply
+        # cannot change any later classification, and per-core segment
+        # order (iteration order, start-time order within an iteration)
+        # is exactly the order the immediate applies would have used.
+        jobs = []
+        job_hiers = []
         for core, group in by_core.items():
             hier = caches[core]
             l1 = hier.l1
+            core_lines = []
+            core_writes = []
             while True:
                 # per thread: timeline arr of len run+1 over the frozen
                 # hit prefix — arr[j] is the start of access i+j (arr[0]
@@ -524,9 +555,8 @@ class EpochStepper:
                     o = np.argsort(np.concatenate(cat_starts))
                     cat_lines = np.concatenate(cat_lines)[o]
                     cat_writes = np.concatenate(cat_writes)[o]
-                last_slot = apply_hit_prefix(l1, cat_lines, cat_writes)
-                hier._last_la = int(cat_lines[-1])
-                hier._last_slot = last_slot
+                core_lines.append(cat_lines)
+                core_writes.append(cat_writes)
                 consumed_total += len(cat_lines)
                 # per-thread bookkeeping, identical to the scalar walk's
                 new_group = []
@@ -551,11 +581,30 @@ class EpochStepper:
                     new_group.append((float(infos[j][k]), vctr, t2))
                     vctr += 1
                 group = new_group
+            if core_lines:
+                if len(core_lines) == 1:
+                    jl, jw = core_lines[0], core_writes[0]
+                else:
+                    jl = np.concatenate(core_lines)
+                    jw = np.concatenate(core_writes)
+                jobs.append((l1, jl, jw))
+                job_hiers.append(hier)
             for e in group:
                 if e[0] >= horizon:
                     parked.append(e)
                 else:
                     out.append(e)
+        if jobs:
+            if self._xstore is not None:
+                lasts = apply_hit_windows(self._xstore, jobs)
+            else:
+                lasts = [apply_hit_prefix(a, lines, w) for a, lines, w in jobs]
+            for hier, (_a, lines, _w), last_slot in zip(job_hiers, jobs, lasts):
+                hier._last_la = int(lines[-1])
+                hier._last_slot = last_slot
+            self.xwindows += 1
+            if len(jobs) > self.xwindow_cores_max:
+                self.xwindow_cores_max = len(jobs)
         return out, vctr, consumed_total
 
     # ------------------------------------------------------------------
@@ -602,59 +651,6 @@ _DU = DirState.UNCACHED
 _DS = DirState.SHARED
 _DE = DirState.EXCLUSIVE
 
-class _LazyRows:
-    """Per-source derived rows (message latency / flit-hops), built on
-    demand from the topology's lazy hop rows and capacity-bounded.
-
-    Replaces the four dense P×P Python tables the driver used to
-    precompute: at 4096 cores those were 67M boxed ints before the
-    first access ran, while any one run only ever indexes the rows of
-    cores that actually send. Row values are plain ints (the hop rows
-    are plain-int lists), so latencies stay native floats/ints.
-
-    Lookup goes through :meth:`get`, which mirrors
-    :meth:`~repro.arch.topology.LazyHopTable.hop`: a resident row
-    answers with a subscript; a cold source answers with the scalar
-    derivation over an O(1) hop lookup, and only a source that keeps
-    missing is promoted to a full row (while capacity remains). With
-    more active senders than CAP the table simply stops growing instead
-    of rebuilding O(P) rows per message — the 1024+-core thrash cliff.
-    """
-
-    CAP = 512
-    HOT_PROMOTE = 8
-
-    __slots__ = ("_hops", "_make", "_scalar", "_rows", "_misses")
-
-    def __init__(self, hops, make, scalar) -> None:
-        self._hops = hops
-        self._make = make
-        self._scalar = scalar
-        self._rows: dict[int, list[int]] = {}
-        self._misses: dict[int, int] = {}
-
-    def __getitem__(self, src: int) -> list[int]:
-        row = self._rows.get(src)
-        if row is None:
-            rows = self._rows
-            if len(rows) >= self.CAP:
-                del rows[next(iter(rows))]
-            row = rows[src] = self._make(self._hops[src])
-        return row
-
-    def get(self, src: int, dst: int):
-        row = self._rows.get(src)
-        if row is not None:
-            return row[dst]
-        misses = self._misses
-        n = misses.get(src, 0) + 1
-        if n >= self.HOT_PROMOTE and len(self._rows) < self.CAP:
-            misses.pop(src, None)
-            return self[src][dst]
-        misses[src] = n
-        return self._scalar(self._hops.hop(src, dst))
-
-
 #: message kinds with a fixed payload class; index into the local
 #: count vector the driver flushes into `msg.*` counter cells at the end
 _KINDS = (
@@ -687,10 +683,11 @@ def run_cc_fast(sim):
     from repro.util.errors import ProtocolError
 
     cfg = sim.config
-    C = cfg.num_cores
     noc = cfg.noc
     per_hop = sim._per_hop
-    hops = sim._hops
+    topo = sim.topology
+    sym = topo.symmetric
+    scalar_hop = topo.scalar_hop_fn()
     line_bits = sim._line_bits
     cf = noc.message_flits(CTRL_BITS)
     df = noc.message_flits(CTRL_BITS + line_bits)
@@ -698,38 +695,25 @@ def run_cc_fast(sim):
     tb_ctrl = cf * flit_bits
     tb_data = df * flit_bits
     cfm1, dfm1 = cf - 1, df - 1
-    lat_ctrl = _LazyRows(
-        hops,
-        lambda hr: [h * per_hop + cfm1 for h in hr],
-        lambda h: h * per_hop + cfm1,
-    )
-    lat_data = _LazyRows(
-        hops,
-        lambda hr: [h * per_hop + dfm1 for h in hr],
-        lambda h: h * per_hop + dfm1,
-    )
-    fh_ctrl = _LazyRows(
-        hops,
-        lambda hr: [cf * h if h else cf for h in hr],
-        lambda h: cf * h if h else cf,
-    )
-    fh_data = _LazyRows(
-        hops,
-        lambda hr: [df * h if h else df for h in hr],
-        lambda h: df * h if h else df,
-    )
     dram_lat = cfg.cost.dram_latency
     mesi = sim.protocol == "mesi"
     hit_lat = float(cfg.l1.hit_latency)
     l1_hit_int = cfg.l1.hit_latency
 
     caches = sim.caches
+    cache_store = sim.cache_store
     directory = sim.directory
     placement = sim.placement
     victim_home_memo = sim._victim_home_memo
     wb_ = sim._word_bytes
     shift = sim._line_shift
     nsets = caches[0].num_sets
+    ways = caches[0].ways
+    # the inlined fill below victimizes by the stamp column (true LRU);
+    # the simulator always builds its arrays policy="lru", so this only
+    # guards against future drift
+    if caches[0]._policies is not None:  # pragma: no cover
+        raise ProtocolError("run_cc_fast requires true-LRU cache arrays")
 
     trace = sim.trace
     T = trace.num_threads
@@ -741,37 +725,129 @@ def run_cc_fast(sim):
     writes_np = [tr["write"] != 0 for tr in trace.threads]
     ic_np = [tr["icount"].astype(np.float64) for tr in trace.threads]
 
+    # Requester-leg latency/flit-hop columns, one value per access,
+    # vectorized per thread: a thread's core is pinned (native[t]), so
+    # every request leg is core->home over the precomputed home column,
+    # and (for symmetric topologies) every reply leg reuses the same hop
+    # count. This removes the per-miss lazy-row machinery that dominated
+    # 1024-core profiles: the hot path reads a list cell instead of
+    # probing two dicts and deriving a row entry.
+    req_lat = [None] * T   # core -> home, ctrl (GETS/GETX request)
+    req_fh = [None] * T
+    drep_lat = [None] * T  # home -> core, data (fill reply)
+    drep_fh = [None] * T
+    crep_lat = [None] * T  # home -> core, ctrl (upgrade-ack)
+    crep_fh = [None] * T
+    for t in range(T):
+        n = sizes[t]
+        if n == 0:
+            continue
+        core_t = native[t]
+        homes_arr = np.asarray(home_cols[t], dtype=np.int64)
+        h_fwd = topo.distance_row(core_t)[homes_arr]
+        if sym:
+            h_rev = h_fwd
+        else:
+            h_rev = np.fromiter(
+                (scalar_hop(hm, core_t) for hm in home_cols[t]),
+                dtype=np.int64,
+                count=n,
+            )
+        req_lat[t] = (h_fwd * per_hop + cfm1).tolist()
+        req_fh[t] = np.where(h_fwd > 0, cf * h_fwd, cf).tolist()
+        drep_lat[t] = (h_rev * per_hop + dfm1).tolist()
+        drep_fh[t] = np.where(h_rev > 0, df * h_rev, df).tolist()
+        crep_lat[t] = (h_rev * per_hop + cfm1).tolist()
+        crep_fh[t] = np.where(h_rev > 0, cf * h_rev, cf).tolist()
+
+    # Vectorized victim-home table: every line a fill can ever evict
+    # was itself filled from the trace, so the line-id space is bounded
+    # by the trace's maximum line address. For the (dense) workloads a
+    # flat list turns the per-victim placement lookup into one
+    # subscript; a sparse address space falls back to the memo dict.
+    max_line = 0
+    for _l in lines_np:
+        if len(_l):
+            _m = int(_l.max())
+            if _m > max_line:
+                max_line = _m
+    if max_line <= 1 << 21:
+        vhomes = placement.home_of(
+            (np.arange(max_line + 1, dtype=np.int64) << shift) // wb_
+        ).tolist()
+    else:
+        vhomes = None
+
     # local accumulators, flushed into counter cells once at the end
     n_hits = n_misses = n_silent = n_inv = n_wb = n_dram = 0
     flit_hops = 0
     traffic = 0
     kind_n = [0] * len(_KINDS)
 
-    mut_epoch = [0] * C  # bumped on any mutation of that core's array
-
     def fill_fast(core, byte, st_int):
-        """_fill + _evict_line, inlined. Returns victim-coherence latency."""
+        """_fill + _evict_line with ``CacheArray.fill`` inlined.
+
+        The requester's probe just missed, so the refill-of-a-resident-
+        line branch of the scalar ``fill`` is unreachable here; what
+        remains is the free-way scan, the stamp-minimum LRU victim scan,
+        and the victim's directory transaction. Returns the victim-
+        coherence latency.
+        """
         nonlocal traffic, flit_hops, n_wb
-        mut_epoch[core] += 1
-        victim = caches[core].fill(byte, dirty=(st_int == _MOD), state=st_int)
-        if victim is None:
-            return 0
         arr = caches[core]
-        si = (byte >> shift) % nsets
-        vline = victim.tag * nsets + si
+        la = byte >> shift
+        si = la % nsets
+        base = si * ways
+        tags = arr.tags
+        # one bulk tolist per set-row: ways plain-int compares beat the
+        # same number of boxed numpy scalar reads
+        trow = tags[base : base + ways].tolist()
+        vtag = -1
+        try:
+            free = base + trow.index(-1)
+        except ValueError:
+            # set full: victimize the stamp minimum (true LRU; stamps
+            # come from one monotone clock, so ties cannot occur)
+            srow = arr.stamps[base : base + ways].tolist()
+            w = 0
+            best = srow[0]
+            for j in range(1, ways):
+                if srow[j] < best:
+                    best = srow[j]
+                    w = j
+            free = base + w
+            vtag = trow[w]
+            vst = int(arr.state[free])
+            del arr._index[vtag * nsets + si]
+            arr.evictions += 1
+            if arr.dirty[free]:
+                arr.writebacks += 1
+        tags[free] = la // nsets
+        arr.dirty[free] = st_int == _MOD
+        arr.state[free] = st_int
+        arr._index[la] = free
+        clock = arr._clock + 1
+        arr._clock = clock
+        arr.stamps[free] = clock
+        if vtag < 0:
+            return 0
+        vline = vtag * nsets + si
         ventry = directory.get(vline)
         if ventry is None:
             ventry = directory[vline] = DirectoryEntry()
-        vhome = victim_home_memo.get(vline)
-        if vhome is None:
-            vhome = placement.home_of_one((vline << shift) // wb_)
-            victim_home_memo[vline] = vhome
-        vst = victim.state
+        if vhomes is not None:
+            vhome = vhomes[vline]
+        else:
+            vhome = victim_home_memo.get(vline)
+            if vhome is None:
+                vhome = placement.home_of_one((vline << shift) // wb_)
+                victim_home_memo[vline] = vhome
+        h = scalar_hop(core, vhome)
         if vst == _MOD:
-            lat = lat_data.get(core, vhome)
+            lat = h * per_hop + dfm1
             kind_n[10] += 1
             traffic += tb_data
-            flit_hops += fh_data.get(core, vhome)
+            flit_hops += df * h if h else df
             n_wb += 1
             if ventry.state is not _DE or ventry.owner != core:
                 raise ProtocolError(
@@ -782,10 +858,10 @@ def run_cc_fast(sim):
             ventry.owner = None
             ventry.sharers.clear()
         elif vst == _EX:
-            lat = lat_ctrl.get(core, vhome)
+            lat = h * per_hop + cfm1
             kind_n[11] += 1
             traffic += tb_ctrl
-            flit_hops += fh_ctrl.get(core, vhome)
+            flit_hops += cf * h if h else cf
             if ventry.state is not _DE or ventry.owner != core:
                 raise ProtocolError(
                     f"E eviction by {core} but directory says "
@@ -795,26 +871,25 @@ def run_cc_fast(sim):
             ventry.owner = None
             ventry.sharers.clear()
         else:
-            lat = lat_ctrl.get(core, vhome)
+            lat = h * per_hop + cfm1
             kind_n[12] += 1
             traffic += tb_ctrl
-            flit_hops += fh_ctrl.get(core, vhome)
+            flit_hops += cf * h if h else cf
             ventry.sharers.discard(core)
             if not ventry.sharers and ventry.state is _DS:
                 ventry.state = _DU
         return lat
 
-    def access_fast(core, byte, write, home, st, slot):
+    def access_fast(t, k, core, byte, write, st, slot):
         """The miss/upgrade path of ``DirectoryCCSimulator.access``."""
         nonlocal traffic, flit_hops, n_hits, n_misses, n_silent, n_inv, n_dram
-        arr = caches[core]
         if st == _EX and write:
             # MESI silent upgrade: no directory traffic
+            arr = caches[core]
             arr.hits += 1
-            arr._clock += 1
-            arr.stamps[slot] = arr._clock
-            if arr._policies is not None:
-                arr._policies[slot // arr.ways].touch(slot % arr.ways)
+            clock = arr._clock + 1
+            arr._clock = clock
+            arr.stamps[slot] = clock
             arr.state[slot] = _MOD
             arr.dirty[slot] = True
             n_hits += 1
@@ -830,8 +905,9 @@ def run_cc_fast(sim):
         else:
             kind_n[0] += 1
         traffic += tb_ctrl
-        flit_hops += fh_ctrl.get(core, home)
-        lat = lat_ctrl.get(core, home)
+        flit_hops += req_fh[t][k]
+        lat = req_lat[t][k]
+        home = home_cols[t][k]
         est = entry.state
         if not write:
             # ---- GETS --------------------------------------------------
@@ -839,26 +915,27 @@ def run_cc_fast(sim):
             if est is _DE and entry.owner != core:
                 owner = entry.owner
                 oarr = caches[owner]
-                oslot = oarr.probe(byte)
+                oslot = oarr._index.get(la)
                 if oslot is None:
                     raise ProtocolError(f"directory owner {owner} lost line {la:#x}")
-                lat += lat_ctrl.get(home, owner)
+                h = scalar_hop(home, owner)
+                lat += h * per_hop + cfm1
                 kind_n[2] += 1
                 traffic += tb_ctrl
-                flit_hops += fh_ctrl.get(home, owner)
+                flit_hops += cf * h if h else cf
+                h2 = h if sym else scalar_hop(owner, home)
                 if oarr.state[oslot] == _MOD:
-                    lat += lat_data.get(owner, home)
+                    lat += h2 * per_hop + dfm1
                     kind_n[3] += 1
                     traffic += tb_data
-                    flit_hops += fh_data.get(owner, home)
+                    flit_hops += df * h2 if h2 else df
                 else:
-                    lat += lat_ctrl.get(owner, home)
+                    lat += h2 * per_hop + cfm1
                     kind_n[4] += 1
                     traffic += tb_ctrl
-                    flit_hops += fh_ctrl.get(owner, home)
+                    flit_hops += cf * h2 if h2 else cf
                 oarr.state[oslot] = _SH
                 oarr.dirty[oslot] = False
-                mut_epoch[owner] += 1
                 entry.sharers = {owner}
                 entry.owner = None
                 entry.state = _DS
@@ -875,48 +952,60 @@ def run_cc_fast(sim):
                 entry.state = _DS
                 entry.owner = None
                 entry.sharers.add(core)
-            lat += lat_data.get(home, core)
+            lat += drep_lat[t][k]
             kind_n[5] += 1
             traffic += tb_data
-            flit_hops += fh_data.get(home, core)
+            flit_hops += drep_fh[t][k]
             lat += fill_fast(core, byte, grant)
         else:
             # ---- GETX --------------------------------------------------
             if est is _DE and entry.owner != core:
                 owner = entry.owner
                 oarr = caches[owner]
-                oslot = oarr.probe(byte)
+                oslot = oarr._index.get(la)
                 if oslot is None:
                     raise ProtocolError(f"directory owner {owner} lost line {la:#x}")
-                lat += lat_ctrl.get(home, owner)
+                h = scalar_hop(home, owner)
+                lat += h * per_hop + cfm1
                 kind_n[6] += 1
                 traffic += tb_ctrl
-                flit_hops += fh_ctrl.get(home, owner)
+                flit_hops += cf * h if h else cf
+                h2 = h if sym else scalar_hop(owner, home)
                 if oarr.state[oslot] == _MOD:
-                    lat += lat_data.get(owner, home)
+                    lat += h2 * per_hop + dfm1
                     kind_n[3] += 1
                     traffic += tb_data
-                    flit_hops += fh_data.get(owner, home)
+                    flit_hops += df * h2 if h2 else df
                 else:
-                    lat += lat_ctrl.get(owner, home)
+                    lat += h2 * per_hop + cfm1
                     kind_n[8] += 1
                     traffic += tb_ctrl
-                    flit_hops += fh_ctrl.get(owner, home)
-                caches[owner].invalidate(byte)
-                mut_epoch[owner] += 1
+                    flit_hops += cf * h2 if h2 else cf
+                # invalidate the owner's copy (CacheArray.invalidate
+                # minus the unused EvictedLine snapshot)
+                del oarr._index[la]
+                oarr.tags[oslot] = -1
                 n_inv += 1
             elif est is _DS:
+                # read-shared line: every sharer's copy drops in parallel
+                # (inv round trips overlap, the slowest one gates), so a
+                # batch of Shared-state readers never serializes the
+                # writer behind more than one round trip
                 inv_lat = 0
                 for sharer in sorted(entry.sharers - {core}):
                     kind_n[7] += 1
                     kind_n[8] += 1
                     traffic += tb_ctrl + tb_ctrl
-                    flit_hops += fh_ctrl.get(home, sharer) + fh_ctrl.get(sharer, home)
-                    rt = lat_ctrl.get(home, sharer) + lat_ctrl.get(sharer, home)
+                    h = scalar_hop(home, sharer)
+                    h2 = h if sym else scalar_hop(sharer, home)
+                    flit_hops += (cf * h if h else cf) + (cf * h2 if h2 else cf)
+                    rt = (h * per_hop + cfm1) + (h2 * per_hop + cfm1)
                     if rt > inv_lat:
                         inv_lat = rt
-                    caches[sharer].invalidate(byte)
-                    mut_epoch[sharer] += 1
+                    sarr = caches[sharer]
+                    sslot = sarr._index.pop(la, None)
+                    if sslot is not None:
+                        sarr.tags[sslot] = -1
                     n_inv += 1
                 lat += inv_lat
             elif est is _DU:
@@ -924,17 +1013,18 @@ def run_cc_fast(sim):
                 n_dram += 1
             if st == _SH:
                 # upgrade: data already present, grant only
-                lat += lat_ctrl.get(home, core)
+                lat += crep_lat[t][k]
                 kind_n[9] += 1
                 traffic += tb_ctrl
-                flit_hops += fh_ctrl.get(home, core)
+                flit_hops += crep_fh[t][k]
+                arr = caches[core]
                 arr.state[slot] = _MOD
                 arr.dirty[slot] = True
             else:
-                lat += lat_data.get(home, core)
+                lat += drep_lat[t][k]
                 kind_n[5] += 1
                 traffic += tb_data
-                flit_hops += fh_data.get(home, core)
+                flit_hops += drep_fh[t][k]
                 lat += fill_fast(core, byte, _MOD)
             entry.state = _DE
             entry.owner = core
@@ -945,6 +1035,14 @@ def run_cc_fast(sim):
     times = [0.0] * T
     idx = [0] * T
     active = [t for t in range(T) if sizes[t] > 0]
+    # per-thread prebound views of the (fixed) native core's array: the
+    # scalar round loop reads a list cell instead of chasing
+    # caches[native[t]].<attr> attribute chains per access
+    arrs_t = [caches[native[t]] for t in range(T)]
+    index_t = [a._index for a in arrs_t]
+    state_t = [a.state for a in arrs_t]
+    stamps_t = [a.stamps for a in arrs_t]
+    lines_cols = [a.tolist() for a in lines_np]
     # classification is only attempted after `streak` consecutive all-hit
     # scalar rounds; a failed attempt (someone's hit run is about to end)
     # backs off exponentially so warmup-phase upgrades don't pay the
@@ -952,6 +1050,10 @@ def run_cc_fast(sim):
     streak = 0
     penalty = 4
     epoch_windows = 0
+    win_batched = 0
+    win_len_sum = 0
+    win_max = 0
+    win_cores_max = 0
     while active:
         finished = False
         if streak >= 4:
@@ -960,10 +1062,9 @@ def run_cc_fast(sim):
             W = _INF
             for t in active:
                 k = idx[t]
-                core = native[t]
                 stop = min(k + 1024, sizes[t])
                 run = frozen_hit_prefix(
-                    caches[core],
+                    arrs_t[t],
                     lines_np[t][k:stop],
                     writes_np[t][k:stop],
                     states_ok_write=(_MOD,),
@@ -975,11 +1076,21 @@ def run_cc_fast(sim):
                         break
             if W >= 4:
                 epoch_windows += 1
+                nw = W * len(active)
+                win_batched += nw
+                win_len_sum += W
+                if W > win_max:
+                    win_max = W
                 # recency: per core, touches happen round-major in the
-                # driver's thread order; group residents accordingly
+                # driver's thread order; group residents accordingly and
+                # scatter the whole window through the store in one
+                # cross-core kernel call
                 by_core: dict[int, list[int]] = {}
                 for t in active:
                     by_core.setdefault(native[t], []).append(t)
+                if len(by_core) > win_cores_max:
+                    win_cores_max = len(by_core)
+                jobs = []
                 for core, ts in by_core.items():
                     if len(ts) == 1:
                         t = ts[0]
@@ -988,8 +1099,9 @@ def run_cc_fast(sim):
                         seg = np.column_stack(
                             [lines_np[t][idx[t] : idx[t] + W] for t in ts]
                         ).ravel()
-                    apply_hit_prefix(caches[core], seg)
-                n_hits += W * len(active)
+                    jobs.append((caches[core], seg, None))
+                apply_hit_windows(cache_store, jobs)
+                n_hits += nw
                 penalty = 4
                 for t in active:
                     k = idx[t]
@@ -1006,23 +1118,20 @@ def run_cc_fast(sim):
         all_hit = True
         for t in active:
             k = idx[t]
-            word = addr_cols[t][k]
+            la = lines_cols[t][k]
             write = write_cols[t][k]
-            core = native[t]
-            arr = caches[core]
-            byte = word * wb_
-            slot = arr._index.get(byte >> shift)
-            st = arr.state[slot] if slot is not None else 0
+            slot = index_t[t].get(la)
+            st = state_t[t][slot] if slot is not None else 0
             if st == _MOD or (not write and (st == _SH or st == _EX)):
+                arr = arrs_t[t]
                 arr.hits += 1
-                arr._clock += 1
-                arr.stamps[slot] = arr._clock
-                if arr._policies is not None:
-                    arr._policies[slot // arr.ways].touch(slot % arr.ways)
+                clock = arr._clock + 1
+                arr._clock = clock
+                stamps_t[t][slot] = clock
                 n_hits += 1
                 lat = hit_lat
             else:
-                lat = access_fast(core, byte, write, home_cols[t][k], st, slot)
+                lat = access_fast(t, k, native[t], la << shift, write, st, slot)
                 all_hit = False
             times[t] += icount_cols[t][k] + lat
             idx[t] = k + 1
@@ -1052,6 +1161,15 @@ def run_cc_fast(sim):
             counters.cell("msg." + kind).n += n
     sim.traffic_bits += traffic
     sim._epoch_windows = epoch_windows
+    sim._fastpath_stats = {
+        "engaged": True,
+        "disabled_reason": None,
+        "epochs_batched": epoch_windows,
+        "batched_accesses": win_batched,
+        "mean_window": win_len_sum / epoch_windows if epoch_windows else 0.0,
+        "max_window": win_max,
+        "max_window_cores": win_cores_max,
+    }
     stats = sim.stats.as_dict()
     return CCResult(
         completion_time=max(times, default=0.0),

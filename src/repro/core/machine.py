@@ -69,6 +69,16 @@ class ThreadState:
     # place instead of allocating a new Event per access. A cancelled
     # event may still sit in the heap (lazy deletion) and is abandoned.
     _ev: Event | None = None
+    # recycled transport containers (fault-free runs only): a thread's
+    # previous departure event always fired, and its previous
+    # migration/eviction message was always delivered, before the next
+    # one is needed (departure precedes delivery precedes admission
+    # precedes the step that migrates again), so all three are rewritten
+    # in place instead of allocated per migration. The fault plane keeps
+    # fresh messages — dup-delivery closures hold them past delivery.
+    _dep_ev: Event | None = None
+    _mig_msg: Message | None = None
+    _evt_msg: Message | None = None
 
 
 class MigrationMachineBase:
@@ -164,8 +174,33 @@ class MigrationMachineBase:
             ("migrations_in", "evictions_out", "admission_stalls"),
         )
         self._core_mat = self.core_stats.data
+        # deferred per-core matrix bumps: a numpy scalar `mat[i, j] += 1`
+        # costs an order of magnitude more than a list bump, and
+        # migration-heavy 1024-core runs take one per migration, eviction
+        # and stall. Events accumulate in plain lists and fold into the
+        # matrix once at quiescence (nothing reads the matrix mid-run).
+        self._mig_in = [0] * config.num_cores
+        self._evict_out = [0] * config.num_cores
+        self._stall_in = [0] * config.num_cores
         # pre-bound hot callables: skips a descriptor lookup per event
         self._schedule = self.engine.schedule
+        # run_length is recorded on every home-run change; bind the
+        # histogram once (it exists for every machine run: the stepper
+        # and the scalar step both record through it)
+        self._hist_run = self.stats.histogram("run_length")
+        # fault-free transport: contention-free runs bind
+        # Network.send_fast (no per-send delivery closure, no untaken
+        # injector/contention branches); contended fault-free runs keep
+        # Network.send. Fault runs go through _send_reliable instead.
+        if faults is None:
+            self._net_send = (
+                self.network.send if config.noc.contention else self.network.send_fast
+            )
+        else:
+            self._net_send = None
+        self._mig_fixed = config.cost.migration_fixed
+        self._evt_fixed = config.cost.eviction_fixed
+        self._ctx_bits = config.context.full_context_bits
         # Epoch-batched fast path (repro.core.epoch): only when results
         # are provably identical — detailed caches (the analytical model
         # has no batchable state), no fault plane (recovery must stay
@@ -180,8 +215,19 @@ class MigrationMachineBase:
 
             self._stepper = EpochStepper(self)
             self._step_cb = self._step
+            self._fastpath_reason = None
         else:
             self._step_cb = self._step_slow
+            # surfaced in results()["fast_path"]: why the batched path
+            # never engaged (the fallback used to be silent)
+            if not fast_path:
+                self._fastpath_reason = "off"
+            elif not cache_detail:
+                self._fastpath_reason = "no_cache_detail"
+            elif faults is not None:
+                self._fastpath_reason = "faults"
+            else:
+                self._fastpath_reason = "multiplex_contexts"
         for th in self.threads:
             t = th.tid
             th.addrs = self._addrs[t]
@@ -215,6 +261,11 @@ class MigrationMachineBase:
             self.contexts[th.native].admit_native(th.tid, 0.0)
             th.pending = self.engine.schedule(0.0, self._step_cb, th)
         self.engine.run(max_events=max_events)
+        # fold the deferred per-core event counts into the pooled matrix
+        mat = self._core_mat
+        mat[:, 0] += self._mig_in
+        mat[:, 1] += self._evict_out
+        mat[:, 2] += self._stall_in
         unfinished = [th.tid for th in self.threads if not th.done]
         if unfinished:
             raise ProtocolError(f"quiescent with unfinished threads {unfinished[:8]}")
@@ -246,13 +297,13 @@ class MigrationMachineBase:
             th.run_len += 1
             return
         if th.run_home >= 0 and th.run_home != th.native:
-            self.stats.histogram("run_length").add(th.run_len, weight=th.run_len)
+            self._hist_run.add(th.run_len, weight=th.run_len)
         th.run_home = home
         th.run_len = 1
 
     def _flush_run(self, th: ThreadState) -> None:
         if th.run_home >= 0 and th.run_home != th.native:
-            self.stats.histogram("run_length").add(th.run_len, weight=th.run_len)
+            self._hist_run.add(th.run_len, weight=th.run_len)
         th.run_home, th.run_len = -1, 0
 
     # ------------------------------------------------------------------
@@ -297,9 +348,7 @@ class MigrationMachineBase:
                 th.run_len += 1
             else:
                 if th.run_home >= 0 and th.run_home != th.native:
-                    self.stats.histogram("run_length").add(
-                        th.run_len, weight=th.run_len
-                    )
+                    self._hist_run.add(th.run_len, weight=th.run_len)
                 th.run_home = home
                 th.run_len = 1
         if home == th.core:
@@ -408,24 +457,74 @@ class MigrationMachineBase:
         src = th.core
         self.contexts[src].release(th.tid)
         th.in_transit = True
-        self._admit_waiter_if_any(src)
+        if self._waiting[src]:
+            self._admit_waiter_if_any(src)
         self._c_migrations.n += 1
-        self._core_mat[dest, 0] += 1
+        self._mig_in[dest] += 1
+        if self._net_send is not None:
+            msg = th._mig_msg
+            if msg is None:
+                msg = th._mig_msg = Message(
+                    src=src,
+                    dst=dest,
+                    payload_bits=self._ctx_bits,
+                    vnet=VirtualNetwork.MIGRATION,
+                    kind="migration",
+                    body=th,
+                )
+            else:
+                msg.src = src
+                msg.dst = dest
+            # after_delay models the remaining local work before departure
+            self._push_departure(
+                th, after_delay + self._mig_fixed, self._depart_migration, msg
+            )
+            return
         msg = Message(
-            src=th.core,
+            src=src,
             dst=dest,
-            payload_bits=self.config.context.full_context_bits,
+            payload_bits=self._ctx_bits,
             vnet=VirtualNetwork.MIGRATION,
             kind="migration",
             body=th,
         )
-        # after_delay models the remaining local work before departure
         self.engine.schedule(
-            after_delay + self.config.cost.migration_fixed,
+            after_delay + self._mig_fixed,
             lambda: self._send_reliable(
                 msg, self._arrive, f"migration tid={th.tid} {src}->{dest}"
             ),
         )
+
+    def _push_departure(
+        self, th: ThreadState, delay: float, callback, msg: Message
+    ) -> None:
+        """Schedule a context departure on the thread's recycled event.
+
+        Departure events are never cancelled and a thread's previous one
+        always fired before its next migration/eviction is initiated, so
+        the Event is rewritten in place (see ``ThreadState._dep_ev``).
+        """
+        eng = self.engine
+        when = eng.now + delay
+        seq = eng._seq
+        ev = th._dep_ev
+        if ev is None:
+            ev = th._dep_ev = Event(when, seq, callback, (msg,), eng)
+        else:
+            ev.time = when
+            ev.seq = seq
+            ev.callback = callback
+            ev.args = (msg,)
+            ev._engine = eng
+        eng._seq = seq + 1
+        eng._live += 1
+        heappush(eng._queue, (when, seq, ev))
+
+    def _depart_migration(self, msg: Message) -> None:
+        self._net_send(msg, self._arrive)
+
+    def _depart_eviction(self, msg: Message) -> None:
+        self._net_send(msg, self._evict_arrive)
 
     def _arrive(self, msg: Message) -> None:
         self._try_admit(msg.body, msg.dst)
@@ -442,23 +541,51 @@ class MigrationMachineBase:
         """
         ctx = self.contexts[dest]
         now = self.engine.now
-        if ctx.is_native(th.tid):
-            ctx.admit_native(th.tid, now)
-        elif ctx.has_free_guest_slot():
-            ctx.admit_guest(th.tid, now)
+        tid = th.tid
+        if th.native == dest:
+            # inlined ContextFile.admit_native — the machine's own
+            # protocol already guarantees admissibility here, so the
+            # hot arrival path skips the guard scans
+            slot = ctx._native_home[tid]
+            slot.thread = tid
+            slot.since = now
         else:
-            victim = self._pick_evictable_victim(dest)
-            if victim is None:
-                self._c_stalls.n += 1
-                self._core_mat[dest, 2] += 1
-                self._waiting[dest].append(th)
-                return
-            ctx.replace_guest(victim, th.tid, now)
-            self._evict(victim, dest)
+            for slot in ctx._guests:  # inlined admit_guest free-slot scan
+                if slot.thread is None:
+                    slot.thread = tid
+                    slot.since = now
+                    break
+            else:
+                victim = self._pick_evictable_victim(dest)
+                if victim is None:
+                    self._c_stalls.n += 1
+                    self._stall_in[dest] += 1
+                    self._waiting[dest].append(th)
+                    return
+                for slot in ctx._guests:  # inlined replace_guest
+                    if slot.thread == victim:
+                        slot.thread = tid
+                        slot.since = now
+                        break
+                self._evict(victim, dest)
         th.in_transit = False
         th.core = dest
-        # the access that triggered the migration executes here
-        th.pending = self.engine.schedule(0.0, self._step_cb, th)
+        # the access that triggered the migration executes here, on the
+        # thread's recycled step event (its previous step event fired
+        # before the migration; a cancelled one is abandoned in the heap)
+        eng = self.engine
+        seq = eng._seq
+        ev = th._ev
+        if ev is None or ev.cancelled:
+            ev = th._ev = Event(now, seq, self._step_cb, (th,), eng)
+        else:
+            ev.time = now
+            ev.seq = seq
+            ev._engine = eng
+        eng._seq = seq + 1
+        eng._live += 1
+        heappush(eng._queue, (now, seq, ev))
+        th.pending = ev
 
     def _pick_evictable_victim(self, core: int) -> int | None:
         """LRU among guests that are between events (evictable)."""
@@ -496,17 +623,32 @@ class MigrationMachineBase:
             victim.pending = None
         victim.in_transit = True
         self._c_evictions.n += 1
-        self._core_mat[core, 1] += 1
+        self._evict_out[core] += 1
+        if self._net_send is not None:
+            msg = victim._evt_msg
+            if msg is None:
+                msg = victim._evt_msg = Message(
+                    src=core,
+                    dst=victim.native,
+                    payload_bits=self._ctx_bits,
+                    vnet=VirtualNetwork.EVICTION,
+                    kind="eviction",
+                    body=victim,
+                )
+            else:
+                msg.src = core
+            self._push_departure(victim, self._evt_fixed, self._depart_eviction, msg)
+            return
         msg = Message(
             src=core,
             dst=victim.native,
-            payload_bits=self.config.context.full_context_bits,
+            payload_bits=self._ctx_bits,
             vnet=VirtualNetwork.EVICTION,
             kind="eviction",
             body=victim,
         )
         self.engine.schedule(
-            self.config.cost.eviction_fixed,
+            self._evt_fixed,
             lambda: self._send_reliable(
                 msg,
                 self._evict_arrive,
@@ -544,6 +686,26 @@ class MigrationMachineBase:
             n = self.network.message_count(vnet)
             if n:
                 out[f"messages.{vnet.name}"] = n
+        st = self._stepper
+        if st is None:
+            out["fast_path"] = {
+                "engaged": False,
+                "disabled_reason": self._fastpath_reason,
+            }
+        else:
+            out["fast_path"] = {
+                "engaged": not st.disabled,
+                "disabled_reason": "boundary_dense" if st.disabled else None,
+                "epochs_batched": st.windows,
+                "batched_accesses": st.batched_accesses,
+                "mean_window": (
+                    st.batched_accesses / st.windows if st.windows else 0.0
+                ),
+                "max_window": st.window_max,
+                "cross_core_windows": st.xwindows,
+                "max_window_cores": st.xwindow_cores_max,
+                "boundaries": dict(st.boundaries),
+            }
         if self.faults is not None:
             # recovery-side counters + the injector's own schedule; only
             # present when a fault plane ran, so fault-free result dicts

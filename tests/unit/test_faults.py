@@ -45,10 +45,14 @@ def _spec(machine="em2", faults=None, rounds=8):
 
 
 def _strip(res):
+    # fast_path is engagement diagnostics (a fault plane reports
+    # engaged=False), never simulated outcome — excluded like the
+    # fault-only ledger keys when comparing against fault-free runs
     return {
         k: v
         for k, v in res.items()
-        if k not in FAULT_KEYS and not k.startswith("faults.")
+        if k not in FAULT_KEYS and k != "fast_path"
+        and not k.startswith("faults.")
     }
 
 

@@ -534,6 +534,72 @@ def run_farm(mode: str, num_workers: int = 2) -> dict:
     return out
 
 
+# sweeps through the chaos proxy per mode; one sweep is enough for the
+# smoke gate, two additionally pin digest stability across schedules
+CHAOS_SWEEPS = {"full": 2, "smoke": 1}
+
+
+def run_chaos(mode: str, num_workers: int = 2) -> dict:
+    """Farm sweep under the seeded host-chaos proxy (ISSUE 10).
+
+    Embedded workers behind :class:`~repro.analysis.chaos.ChaosProxy`
+    with nonzero reset/partial/stall/partition rates; the throughput
+    number only counts if every sweep's rows are bit-identical to the
+    clean serial reference and the schedule digest re-derives, so a
+    regression here means the recovery path (reconnect, requeue,
+    hedging) got slower or broke — not that chaos "won".
+    """
+    from repro.analysis.chaos import ChaosSpec, chaos_soak
+    from repro.registry import SCHEMES as SCHEME_REGISTRY
+    from repro.runner import merge_spec
+
+    base = ExperimentSpec(
+        workload=WorkloadSpec(
+            name="pingpong", params={"num_threads": 4, "rounds": 16}
+        ),
+        machine=MachineSpec(name="analytical", cores=4, preset="small-test"),
+        placement=PlacementSpec(name="first-touch"),
+    )
+    spec_dicts = [
+        merge_spec(base, {"scheme": s}).to_dict()
+        for s in sorted(SCHEME_REGISTRY.names())
+    ]
+    chaos = ChaosSpec(
+        seed=11,
+        reset_rate=0.10,
+        partial_rate=0.10,
+        stall_rate=0.15,
+        partition_rate=0.05,
+        trigger_span=1500,
+        max_events_per_conn=6,
+    )
+    summary = chaos_soak(
+        spec_dicts,
+        chaos,
+        workers=num_workers,
+        sweeps=CHAOS_SWEEPS[mode],
+        heartbeat=0.25,
+        liveness=2.0,
+    )
+    sweeps = summary["sweeps"]
+    applied: dict[str, int] = {}
+    for s in sweeps:
+        for name, n in s["applied"].items():
+            applied[name] = applied.get(name, 0) + n
+    return {
+        "farm_chaos_points": summary["points"],
+        "farm_chaos_sweeps": len(sweeps),
+        "farm_chaos_rows_identical": summary["rows_identical"],
+        "farm_chaos_digest_stable": summary["digest_stable"],
+        "farm_chaos_schedule_digest": summary["schedule_digest"],
+        "farm_chaos_points_per_sec": min(s["points_per_sec"] for s in sweeps),
+        "farm_chaos_applied": applied,
+        "farm_chaos_reconnects": sum(s["reconnects"] for s in sweeps),
+        "farm_chaos_requeues": sum(s["requeues"] for s in sweeps),
+        "farm_chaos_hedges": sum(s["hedges"] for s in sweeps),
+    }
+
+
 def run_throughput(mode: str = "full", repeats: int = 3) -> dict:
     """Throughput section of the report.
 
@@ -642,6 +708,7 @@ def run_harness(mode: str = "full", workers: int = 4, cache_dir: str | None = No
 
     report.update(run_trace_store(mode, base, points))
     report.update(run_farm(mode))
+    report.update(run_chaos(mode))
     return report
 
 
@@ -673,6 +740,16 @@ def test_throughput_smoke():
     assert report["cc_accesses_per_sec"] > 0
     assert report["machine_fastpath_accesses_per_sec"] > 0
     assert report["cc_fastpath_accesses_per_sec"] > 0
+
+
+def test_chaos_smoke():
+    """Chaos section runs and both hard gates hold (bit-identity under
+    injected faults, spec-pure schedule digest)."""
+    report = run_chaos(mode="smoke")
+    assert report["farm_chaos_rows_identical"]
+    assert report["farm_chaos_digest_stable"]
+    assert report["farm_chaos_points_per_sec"] > 0
+    assert len(report["farm_chaos_schedule_digest"]) == 64
 
 
 def test_tracegen_smoke():
@@ -725,6 +802,8 @@ def main(argv: list[str] | None = None) -> int:
         and report["warm_rows_identical"]
         and report["trace_store_rows_identical"]
         and report["farm_rows_identical"]
+        and report["farm_chaos_rows_identical"]
+        and report["farm_chaos_digest_stable"]
         and report["warm_skip_fraction"] >= 0.9
         and report["golden_parity"]
         and report["fault_zero_golden_parity"]
@@ -765,6 +844,14 @@ def main(argv: list[str] | None = None) -> int:
         f"({report.get('farm_speedup_vs_serial', float('nan')):.2f}x vs serial, "
         f"{report.get('farm_points_per_sec', float('nan')):.1f} points/s) | "
         f"farm rows identical: {report['farm_rows_identical']}"
+    )
+    print(
+        f"chaos({report['farm_chaos_sweeps']} sweep(s)) "
+        f"{report['farm_chaos_points_per_sec']:.1f} points/s | "
+        f"applied {report['farm_chaos_applied']} | "
+        f"reconnects {report['farm_chaos_reconnects']} | "
+        f"rows identical: {report['farm_chaos_rows_identical']} | "
+        f"digest stable: {report['farm_chaos_digest_stable']}"
     )
     print(
         f"tracegen {report['tracegen_accesses_per_sec']:.0f} acc/s "

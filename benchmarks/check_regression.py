@@ -43,6 +43,7 @@ METRICS = [
     "trace_store_warm_speedup",
     "farm_points_per_sec",
     "farm_speedup_vs_serial",
+    "farm_chaos_points_per_sec",
     "scaling_em2_accesses_per_sec",
     "scaling_cc_accesses_per_sec",
 ]

@@ -9,21 +9,36 @@ already exists, because sweep points are canonical
 :class:`~repro.spec.ExperimentSpec` dicts and workloads are addressed
 by ``WorkloadSpec.cache_key`` digests.
 
-Wire format: every frame is a fixed header ``!4sBBxxI`` — magic
-``b"RPFM"``, protocol version, message kind, body length — followed by
-the body. Control frames carry JSON (insertion-ordered, so RESULT
-rows keep the key order a local run produces); only ``TRACE_PUT``
-carries pickle (a :class:`~repro.trace.events.MultiTrace` is numpy
-columns, which JSON cannot ship losslessly). A frame with the wrong
-magic, an unknown kind, an oversized length, or a truncated body
+Wire format (RPFM v2): every frame is a fixed header ``!4sBBxxI`` —
+magic ``b"RPFM"``, protocol version, message kind, body length —
+followed by the body. Control frames carry JSON (insertion-ordered, so
+RESULT rows keep the key order a local run produces); only
+``TRACE_PUT`` carries pickle (a :class:`~repro.trace.events.MultiTrace`
+is numpy columns, which JSON cannot ship losslessly). A frame with the
+wrong magic, an unknown kind, an oversized length, or a truncated body
 raises :class:`FrameError`; a version field other than
 :data:`PROTOCOL_VERSION` raises :class:`ProtocolMismatch` before the
-body is read, so incompatible peers are rejected at the first frame.
+body is read, so incompatible peers are rejected at the first frame —
+a live worker answers a foreign version with an ``ERROR`` frame naming
+its own version, which the coordinator surfaces as the same typed
+:class:`ProtocolMismatch`.
+
+Authentication: a worker started with an auth token challenges every
+coordinator after its HELLO (``AUTH_CHALLENGE`` carrying a fresh
+nonce); the coordinator proves knowledge of the shared secret with an
+HMAC-SHA256 over the nonce (``AUTH_RESPONSE``), and the worker's
+``HELLO_ACK`` carries the complementary worker-side proof, so both
+directions are gated before any spec, trace, or result crosses the
+wire. A bad or missing proof is answered with a *permanent* typed
+``ERROR`` (:class:`AuthError` on the coordinator) that is never
+retried.
 
 Session, coordinator's view of one worker::
 
-    connect  -> HELLO            {"protocol": 1, "points": N}
-    <- HELLO_ACK                 {"pid", "cpu_count", ...}
+    connect  -> HELLO            {"protocol": 2, "points": N, "auth": bool}
+    <- AUTH_CHALLENGE            {"nonce"}              (token-gated workers)
+    -> AUTH_RESPONSE             {"mac"}
+    <- HELLO_ACK                 {"pid", "cpu_count", ["auth"], ...}
     -> TRACE_QUERY               {"digests": [cache_key, ...]}
     <- TRACE_HAVE                {"have": [cache_key, ...]}
     -> TRACE_PUT (pickle)        one per digest the worker lacks
@@ -44,33 +59,52 @@ tail. Results stream back incrementally and are placed by point index
 which worker computed what.
 
 Failure semantics: the coordinator PINGs an idle connection every
-:data:`HEARTBEAT_INTERVAL`; a worker silent past its liveness ceiling,
-or whose socket errors out, is declared dead and its in-flight chunk
-is re-queued to the survivors. ``point_timeout`` travels with each
-chunk and doubles as the coordinator-side deadline (timeout × points +
-grace) — exceeding it raises the same
+``heartbeat`` seconds; a worker silent past its liveness ceiling, or
+whose socket errors out, is declared dead and its in-flight chunk is
+re-queued to the survivors. Dropped links are then *redialed* with
+jittered exponential backoff (``reconnect`` attempts per outage) — the
+worker's persistent :class:`~repro.trace.store.TraceStore` answers the
+re-run trace negotiation from disk, so a reconnect never re-ships a
+trace. An idle worker with nothing pending *hedges* the oldest overdue
+in-flight chunk of another worker (at most one hedge per chunk);
+first-result-wins discards whichever copy loses. ``point_timeout``
+travels with each chunk and doubles as the coordinator-side deadline
+(timeout × points + grace) — exceeding it raises the same
 :class:`~repro.analysis.parallel.SweepPointError` the local pool
 raises, with the offending spec attached. Zero reachable workers
 raises :class:`FarmUnavailable`, which ``sweep_specs`` degrades to the
 local pool with a warning; if every worker dies mid-sweep, the
 leftover points are finished locally instead of being lost.
+
+Durability: pass a :class:`~repro.analysis.journal.SweepJournal` and
+the coordinator appends every completed ``(spec_key, row)`` as it
+lands; a restarted coordinator (same grid, same journal) replays the
+journal, enqueues only the missing points, and still returns the
+bit-identical row list an uninterrupted run produces.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac as hmac_mod
 import json
 import pickle
+import random
 import socket
 import struct
 import threading
 import time
 import warnings
 from collections import deque
+from typing import Mapping
 
-from repro.util.errors import ReproError
+from repro.util.errors import ConfigError, ReproError
 
 # -------------------------------------------------------------- wire layer
-PROTOCOL_VERSION = 1
+#: v2 adds the AUTH_CHALLENGE/AUTH_RESPONSE handshake leg and the
+#: ``auth`` fields on HELLO/HELLO_ACK; v1 peers are rejected with a
+#: typed :class:`ProtocolMismatch` at the first frame.
+PROTOCOL_VERSION = 2
 MAGIC = b"RPFM"
 HEADER = struct.Struct("!4sBBxxI")  # magic, version, kind, pad, body length
 MAX_FRAME = 256 * 1024 * 1024
@@ -89,6 +123,8 @@ DONE = 11
 PING = 12
 PONG = 13
 ERROR = 14
+AUTH_CHALLENGE = 15
+AUTH_RESPONSE = 16
 
 KIND_NAMES = {
     HELLO: "HELLO",
@@ -105,11 +141,14 @@ KIND_NAMES = {
     PING: "PING",
     PONG: "PONG",
     ERROR: "ERROR",
+    AUTH_CHALLENGE: "AUTH_CHALLENGE",
+    AUTH_RESPONSE: "AUTH_RESPONSE",
 }
 
 # TRACE_PUT bodies are numpy trace columns; everything else is JSON so
 # a foreign implementation could speak the control plane without
-# trusting pickle for it.
+# trusting pickle for it — and so attacker-controlled control frames
+# are never unpickled (the fuzz suite pins this).
 _PICKLE_KINDS = frozenset({TRACE_PUT})
 
 
@@ -123,6 +162,11 @@ class FrameError(FarmError):
 
 class ProtocolMismatch(FrameError):
     """The peer speaks a different farm protocol version."""
+
+
+class AuthError(FarmError):
+    """The authentication handshake failed (bad or missing shared
+    secret). Permanent — the coordinator never retries it."""
 
 
 class FarmUnavailable(FarmError):
@@ -193,6 +237,25 @@ def recv_frame(sock: socket.socket) -> tuple[int, object]:
         raise FrameError(f"malformed {KIND_NAMES[kind]} body: {exc}") from exc
 
 
+def auth_mac(token: str, role: str, nonce: str) -> str:
+    """HMAC-SHA256 proof for one side of the challenge-response.
+
+    ``role`` ("coordinator"/"worker") domain-separates the two
+    directions so a worker cannot reflect the coordinator's own proof
+    back at it; the protocol version is folded in so a proof minted
+    under one protocol revision never validates under another.
+    """
+    msg = f"rpfm-v{PROTOCOL_VERSION}|{role}|{nonce}".encode()
+    return hmac_mod.new(token.encode(), msg, hashlib.sha256).hexdigest()
+
+
+def check_mac(token: str, role: str, nonce: str, mac) -> bool:
+    """Constant-time verification of one proof."""
+    if not isinstance(mac, str):
+        return False
+    return hmac_mod.compare_digest(auth_mac(token, role, nonce), mac)
+
+
 def parse_hostport(addr: str) -> tuple[str, int]:
     """``"host:port"`` -> ``(host, port)``; :class:`FarmError` otherwise."""
     host, sep, port = str(addr).rpartition(":")
@@ -211,10 +274,61 @@ LIVENESS_TIMEOUT = 15.0
 CHUNK_TARGET_SECONDS = 0.5
 MAX_CHUNK = 64
 DEADLINE_GRACE = 2.0
+#: redial attempts per outage before a dropped worker is abandoned
+RECONNECT_ATTEMPTS = 2
+RECONNECT_BASE_SECONDS = 0.1
+RECONNECT_MAX_SECONDS = 10.0
+#: an idle worker hedges another's in-flight chunk only when the chunk
+#: is older than both this floor and HEDGE_FACTOR x its expected time
+HEDGE_MIN_SECONDS = 1.0
+HEDGE_FACTOR = 3.0
+
+_FARM_KEYS = frozenset(
+    {"addrs", "auth_token", "heartbeat", "liveness", "reconnect", "chunk"}
+)
+
+
+def normalize_farm(farm) -> dict | None:
+    """The ``farm=`` argument as a config dict (or None when absent).
+
+    Accepts the historical list of ``"host:port"`` strings, or a
+    mapping with ``addrs`` plus optional ``auth_token`` / ``heartbeat``
+    / ``liveness`` / ``reconnect`` / ``chunk`` overrides. Unknown keys
+    raise :class:`~repro.util.errors.ConfigError` naming the options.
+    """
+    if not farm:
+        return None
+    if isinstance(farm, Mapping):
+        cfg = dict(farm)
+        unknown = sorted(set(cfg) - _FARM_KEYS)
+        if unknown:
+            raise ConfigError(
+                f"unknown farm option(s) {', '.join(map(repr, unknown))}; "
+                f"known: {', '.join(sorted(_FARM_KEYS))}"
+            )
+        cfg["addrs"] = [str(a) for a in cfg.get("addrs", []) or []]
+        return cfg
+    return {"addrs": [str(a) for a in farm]}
+
+
+def _check_intervals(heartbeat: float, liveness: float) -> tuple[float, float]:
+    """Validate the heartbeat/liveness pair; returns them as floats."""
+    for name, value in (("heartbeat", heartbeat), ("liveness", liveness)):
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ConfigError(
+                f"farm {name} must be a positive number of seconds, got {value!r}"
+            )
+    if liveness <= heartbeat:
+        raise ConfigError(
+            f"farm liveness timeout ({liveness}s) must exceed the "
+            f"heartbeat interval ({heartbeat}s), or every worker is "
+            "declared dead between two pings"
+        )
+    return float(heartbeat), float(liveness)
 
 
 class _WorkerLink:
-    """Coordinator-side state for one connected worker."""
+    """Coordinator-side state for one worker address (survives redials)."""
 
     def __init__(self, addr: str, sock: socket.socket) -> None:
         self.addr = addr
@@ -223,7 +337,12 @@ class _WorkerLink:
         self.points_done = 0
         self.chunks_done = 0
         self.traces_pushed = 0
+        self.reconnects = 0
         self.dead = False
+        #: True once the current session got past BEGIN — used to tell
+        #: productive outages (worth redialing again) from barren ones
+        #: (e.g. a draining worker that accepts TCP but drops the session)
+        self.progressed = False
 
 
 class FarmCoordinator:
@@ -231,8 +350,9 @@ class FarmCoordinator:
 
     ``run()`` returns the list of metrics dicts (JSON-canonical, one
     per spec, in spec order) and fills :attr:`stats` with per-worker
-    accounting — chunk counts, points, trace pushes, requeues — which
-    the tests and the bench read directly.
+    accounting — chunk counts, points, trace pushes, requeues,
+    reconnects, hedges, journal hits — which the tests and the bench
+    read directly.
     """
 
     def __init__(
@@ -244,20 +364,28 @@ class FarmCoordinator:
         heartbeat: float = HEARTBEAT_INTERVAL,
         liveness: float = LIVENESS_TIMEOUT,
         connect_timeout: float = CONNECT_TIMEOUT,
+        reconnect: int = RECONNECT_ATTEMPTS,
+        auth_token: str | None = None,
+        journal=None,
     ) -> None:
         if not farm:
             raise FarmUnavailable("empty farm address list")
+        if not isinstance(reconnect, int) or reconnect < 0:
+            raise ConfigError(
+                f"farm reconnect must be a non-negative int, got {reconnect!r}"
+            )
         self.spec_dicts = list(spec_dicts)
         self.farm = list(farm)
         self.point_timeout = point_timeout
         self.fixed_chunk = chunk
-        self.heartbeat = heartbeat
-        self.liveness = liveness
+        self.heartbeat, self.liveness = _check_intervals(heartbeat, liveness)
         self.connect_timeout = connect_timeout
+        self.reconnect = reconnect
+        self.auth_token = auth_token
+        self.journal = journal
         n = len(self.spec_dicts)
         self.rows: list[dict | None] = [None] * n
         self.remaining = n
-        self.pending: deque[int] = deque(range(n))
         self.lock = threading.Lock()
         self.done_evt = threading.Event()
         self.abort_exc: Exception | None = None
@@ -265,9 +393,32 @@ class FarmCoordinator:
         self._chunk_ctr = 0
         self._build_lock = threading.Lock()
         self._trace_cache: dict[str, tuple[object, dict]] = {}
+        self._rng = random.Random(0xFA12)  # reconnect jitter only
+        # in-flight accounting shared across serve threads so idle
+        # workers can hedge stragglers: link -> (chunk_id, indices,
+        # issued_at, expected_seconds)
+        self._inflight: dict[_WorkerLink, tuple[int, list[int], float, float]] = {}
+        self._hedged: set[int] = set()  # chunk ids already hedged once
+        self._keys: list[str] | None = None
+        journal_hits = 0
+        if journal is not None:
+            from repro.analysis.journal import spec_journal_key
+
+            self._keys = [spec_journal_key(d) for d in self.spec_dicts]
+            for i, key in enumerate(self._keys):
+                row = journal.get(key)
+                if row is not None and self.rows[i] is None:
+                    self.rows[i] = row
+                    self.remaining -= 1
+                    journal_hits += 1
+        self.pending: deque[int] = deque(
+            i for i in range(n) if self.rows[i] is None
+        )
+        if self.remaining == 0:
+            self.done_evt.set()
         self._workload_by_key: dict[str, dict] = {}
-        for d in self.spec_dicts:
-            wdict = d.get("workload")
+        for i in self.pending:
+            wdict = self.spec_dicts[i].get("workload")
             if wdict is not None:
                 from repro.spec import WorkloadSpec
 
@@ -280,10 +431,16 @@ class FarmCoordinator:
             "chunks": 0,
             "trace_pushes": {},
             "local_leftovers": 0,
+            "reconnects": 0,
+            "hedges": 0,
+            "journal_hits": journal_hits,
         }
 
     # -- public entry ------------------------------------------------------
     def run(self) -> list[dict]:
+        if self.remaining == 0:
+            # fully replayed from the journal: nothing to dispatch
+            return self.rows
         links = self._connect_all()
         if not links:
             raise FarmUnavailable(
@@ -299,6 +456,7 @@ class FarmCoordinator:
         for th in threads:
             th.join()
         if self.abort_exc is not None:
+            self._flush_journal()
             raise self.abort_exc
         leftovers = [i for i, r in enumerate(self.rows) if r is None]
         if leftovers:
@@ -312,24 +470,40 @@ class FarmCoordinator:
             self.stats["local_leftovers"] = len(leftovers)
             for i in leftovers:
                 self.rows[i] = _eval_local(self.spec_dicts[i])
+                self._journal_append(i, self.rows[i])
         for link in links:
             self.stats["workers"][link.addr] = {
                 "points": link.points_done,
                 "chunks": link.chunks_done,
                 "sec_per_point": link.sec_per_point,
+                "reconnects": link.reconnects,
                 "dead": link.dead,
             }
+        self._flush_journal()
         return self.rows  # fully populated
 
+    def _journal_append(self, index: int, row: dict) -> None:
+        if self.journal is not None:
+            self.journal.append(self._keys[index], row)
+
+    def _flush_journal(self) -> None:
+        if self.journal is not None:
+            self.journal.flush()
+
     # -- connection management --------------------------------------------
+    def _dial(self, addr: str) -> socket.socket:
+        host, port = parse_hostport(addr)
+        sock = socket.create_connection((host, port), timeout=self.connect_timeout)
+        # handshake and trace pushes may legitimately take a while;
+        # the serving loop tightens this to the heartbeat interval
+        sock.settimeout(max(self.liveness, self.connect_timeout))
+        return sock
+
     def _connect_all(self) -> list[_WorkerLink]:
         links = []
         for addr in self.farm:
-            host, port = parse_hostport(addr)
             try:
-                sock = socket.create_connection(
-                    (host, port), timeout=self.connect_timeout
-                )
+                sock = self._dial(addr)
             except OSError as exc:
                 warnings.warn(
                     f"farm worker {addr} unreachable: {exc}",
@@ -337,9 +511,6 @@ class FarmCoordinator:
                     stacklevel=3,
                 )
                 continue
-            # handshake and trace pushes may legitimately take a while;
-            # the serving loop tightens this to the heartbeat interval
-            sock.settimeout(max(self.liveness, self.connect_timeout))
             links.append(_WorkerLink(addr, sock))
         return links
 
@@ -347,19 +518,66 @@ class FarmCoordinator:
         send_frame(
             link.sock,
             HELLO,
-            {"protocol": PROTOCOL_VERSION, "points": len(self.spec_dicts)},
+            {
+                "protocol": PROTOCOL_VERSION,
+                "points": len(self.spec_dicts),
+                "auth": self.auth_token is not None,
+            },
         )
         kind, msg = recv_frame(link.sock)
+        nonce = None
+        if kind == AUTH_CHALLENGE:
+            if self.auth_token is None:
+                raise AuthError(
+                    f"worker {link.addr} requires authentication; "
+                    "pass --auth-token / auth_token with the shared secret"
+                )
+            nonce = msg.get("nonce")
+            if not isinstance(nonce, str) or not nonce:
+                raise AuthError(f"worker {link.addr} sent a malformed challenge")
+            send_frame(
+                link.sock,
+                AUTH_RESPONSE,
+                {"mac": auth_mac(self.auth_token, "coordinator", nonce)},
+            )
+            kind, msg = recv_frame(link.sock)
         if kind == ERROR:
+            peer_proto = msg.get("protocol")
+            if peer_proto is not None and peer_proto != PROTOCOL_VERSION:
+                raise ProtocolMismatch(
+                    f"worker {link.addr} speaks farm protocol v{peer_proto}, "
+                    f"this side v{PROTOCOL_VERSION}"
+                )
+            if msg.get("auth_failed"):
+                raise AuthError(
+                    f"worker {link.addr} rejected authentication: "
+                    f"{msg.get('message')}"
+                )
             raise FarmError(f"worker {link.addr} rejected HELLO: {msg.get('message')}")
         if kind != HELLO_ACK:
             raise FarmError(
                 f"worker {link.addr} answered HELLO with "
                 f"{KIND_NAMES.get(kind, kind)}"
             )
+        if self.auth_token is not None:
+            # mutual: the worker must prove it holds the secret too —
+            # otherwise specs and traces would flow to an imposter
+            if nonce is None:
+                raise AuthError(
+                    f"worker {link.addr} did not request authentication; "
+                    "refusing to send work to an unauthenticated peer"
+                )
+            if not check_mac(self.auth_token, "worker", nonce, msg.get("auth")):
+                raise AuthError(
+                    f"worker {link.addr} failed to prove the shared secret"
+                )
 
     def _negotiate_traces(self, link: _WorkerLink) -> None:
-        """Trace-by-reference: digests first, bodies only where needed."""
+        """Trace-by-reference: digests first, bodies only where needed.
+
+        After a reconnect the worker's persistent store still holds
+        everything already pushed, so the re-negotiation ships nothing.
+        """
         keys = sorted(self._workload_by_key)
         if not keys:
             return
@@ -404,25 +622,50 @@ class FarmCoordinator:
     # -- work distribution -------------------------------------------------
     def _next_chunk(self, link: _WorkerLink):
         with self.lock:
-            if not self.pending:
-                return None
-            if self.fixed_chunk is not None:
-                n = max(1, self.fixed_chunk)
-            else:
-                spp = link.sec_per_point
-                if spp is None:
-                    n = 1  # first chunk calibrates the EMA
+            if self.pending:
+                if self.fixed_chunk is not None:
+                    n = max(1, self.fixed_chunk)
                 else:
-                    n = max(1, int(CHUNK_TARGET_SECONDS / max(spp, 1e-6)))
-                # leave a stealable tail for the other live workers
-                tail = -(-len(self.pending) // max(1, 2 * self.live_workers))
-                n = min(n, MAX_CHUNK, max(1, tail))
-            n = min(n, len(self.pending))
-            indices = [self.pending.popleft() for _ in range(n)]
-            self._chunk_ctr += 1
-            self.stats["chunks"] += 1
-            chunk_id = self._chunk_ctr
-        return chunk_id, indices
+                    spp = link.sec_per_point
+                    if spp is None:
+                        n = 1  # first chunk calibrates the EMA
+                    else:
+                        n = max(1, int(CHUNK_TARGET_SECONDS / max(spp, 1e-6)))
+                    # leave a stealable tail for the other live workers
+                    tail = -(-len(self.pending) // max(1, 2 * self.live_workers))
+                    n = min(n, MAX_CHUNK, max(1, tail))
+                n = min(n, len(self.pending))
+                indices = [self.pending.popleft() for _ in range(n)]
+                self._chunk_ctr += 1
+                self.stats["chunks"] += 1
+                return self._chunk_ctr, indices
+            if self.remaining > 0:
+                return self._hedge_chunk(link)
+        return None
+
+    def _hedge_chunk(self, link: _WorkerLink):
+        """Duplicate the oldest overdue in-flight chunk of another
+        worker onto this idle one. First result wins; each chunk is
+        hedged at most once. Caller holds :attr:`lock`."""
+        now = time.monotonic()
+        best = None
+        for other, (cid, idxs, t0, expect) in self._inflight.items():
+            if other is link or cid in self._hedged:
+                continue
+            undone = [i for i in idxs if self.rows[i] is None]
+            if not undone:
+                continue
+            if now - t0 < max(HEDGE_MIN_SECONDS, HEDGE_FACTOR * expect):
+                continue
+            if best is None or t0 < best[2]:
+                best = (cid, undone, t0)
+        if best is None:
+            return None
+        self._hedged.add(best[0])
+        self._chunk_ctr += 1
+        self.stats["chunks"] += 1
+        self.stats["hedges"] += 1
+        return self._chunk_ctr, best[1]
 
     def _record(self, link: _WorkerLink, indices: list[int], rows: list, elapsed) -> None:
         if len(rows) != len(indices):
@@ -432,9 +675,10 @@ class FarmCoordinator:
             )
         with self.lock:
             for i, row in zip(indices, rows):
-                if self.rows[i] is None:  # first result wins after a requeue
+                if self.rows[i] is None:  # first result wins after a requeue/hedge
                     self.rows[i] = row
                     self.remaining -= 1
+                    self._journal_append(i, row)
             if self.remaining == 0:
                 self.done_evt.set()
         spp = float(elapsed) / max(len(indices), 1)
@@ -446,12 +690,15 @@ class FarmCoordinator:
         link.points_done += len(indices)
         link.chunks_done += 1
 
-    def _requeue(self, link: _WorkerLink, inflight) -> None:
+    def _requeue(self, link: _WorkerLink) -> None:
+        """Declare ``link`` down and return its in-flight points (the
+        shared registry is authoritative) to the head of the queue."""
         with self.lock:
             link.dead = True
             self.live_workers -= 1
-            if inflight is not None:
-                undone = [i for i in inflight[1] if self.rows[i] is None]
+            entry = self._inflight.pop(link, None)
+            if entry is not None:
+                undone = [i for i in entry[1] if self.rows[i] is None]
                 self.pending.extendleft(reversed(undone))
                 if undone:
                     self.stats["requeues"] += 1
@@ -464,12 +711,75 @@ class FarmCoordinator:
 
     # -- per-worker serving loop -------------------------------------------
     def _serve(self, link: _WorkerLink) -> None:
+        """Serve one worker address for the whole sweep, redialing
+        dropped connections with jittered exponential backoff until the
+        reconnect budget for an outage is spent. Permanent failures
+        (protocol or auth mismatch) are never retried, and a link whose
+        redials keep dying before BEGIN (a draining worker still
+        answers TCP from the listen backlog) is abandoned after a few
+        barren sessions rather than redialed forever."""
+        barren = 0
+        while True:
+            link.progressed = False
+            try:
+                self._serve_connection(link)
+                return  # sweep finished (or aborted) cleanly
+            except (ProtocolMismatch, AuthError) as exc:
+                self._requeue(link)
+                warnings.warn(
+                    f"farm worker {link.addr} rejected permanently: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return
+            except (FarmError, OSError) as exc:
+                self._requeue(link)
+                if self.done_evt.is_set() or self.abort_exc is not None:
+                    return
+                barren = 0 if link.progressed else barren + 1
+                if barren >= 3 or not self._redial(link, exc):
+                    warnings.warn(
+                        f"farm worker {link.addr} dropped: {exc}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    return
+
+    def _redial(self, link: _WorkerLink, cause: Exception) -> bool:
+        """Try to re-establish a dropped link; True on success."""
+        for attempt in range(self.reconnect):
+            delay = min(
+                RECONNECT_BASE_SECONDS * (2.0 ** attempt), RECONNECT_MAX_SECONDS
+            )
+            # full jitter: desynchronize a fleet redialing one worker
+            time.sleep(delay * (0.5 + self._rng.random()))
+            if self.done_evt.is_set() or self.abort_exc is not None:
+                return False
+            try:
+                sock = self._dial(link.addr)
+            except OSError:
+                continue
+            try:
+                link.sock.close()
+            except OSError:
+                pass
+            link.sock = sock
+            with self.lock:
+                link.dead = False
+                self.live_workers += 1
+                link.reconnects += 1
+                self.stats["reconnects"] += 1
+            return True
+        return False
+
+    def _serve_connection(self, link: _WorkerLink) -> None:
         inflight = None  # (chunk_id, indices) awaiting RESULT
         deadline = None
         try:
             self._handshake(link)
             self._negotiate_traces(link)
             send_frame(link.sock, BEGIN, {})
+            link.progressed = True
             link.sock.settimeout(self.heartbeat)
             last_frame = time.monotonic()
             while not self.done_evt.is_set() and self.abort_exc is None:
@@ -509,7 +819,7 @@ class FarmCoordinator:
                             break
                         if self.remaining == 0:
                             break
-                        time.sleep(0.05)  # idle: another worker may die and requeue
+                        time.sleep(0.05)  # idle: a straggler may become hedgeable
                         assigned = self._next_chunk(link)
                     if assigned is None:
                         break
@@ -525,6 +835,14 @@ class FarmCoordinator:
                         },
                     )
                     inflight = (chunk_id, indices)
+                    expect = max(
+                        len(indices) * (link.sec_per_point or 0.0),
+                        HEDGE_MIN_SECONDS,
+                    )
+                    with self.lock:
+                        self._inflight[link] = (
+                            chunk_id, indices, time.monotonic(), expect
+                        )
                     if self.point_timeout is not None:
                         deadline = (
                             time.monotonic()
@@ -555,6 +873,8 @@ class FarmCoordinator:
                     self._record(
                         link, inflight[1], msg["rows"], msg.get("elapsed", 0.0)
                     )
+                    with self.lock:
+                        self._inflight.pop(link, None)
                     inflight = None
                     deadline = None
                     continue
@@ -566,16 +886,11 @@ class FarmCoordinator:
                     f"worker {link.addr} sent unexpected "
                     f"{KIND_NAMES.get(kind, kind)}"
                 )
-        except (FarmError, OSError) as exc:
-            # this worker is gone; survivors take over its chunk
-            self._requeue(link, inflight)
-            warnings.warn(
-                f"farm worker {link.addr} dropped: {exc}",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return
         finally:
+            # NB: the shared in-flight entry is NOT popped here — on an
+            # error path _requeue (in _serve) pops it and returns the
+            # undone points to the queue; RESULT handling pops it on
+            # the happy path.
             try:
                 send_frame(link.sock, DONE, {})
             except OSError:
@@ -604,20 +919,54 @@ def _eval_local(spec_dict: dict) -> dict:
 
 def farm_sweep(
     spec_dicts: list[dict],
-    farm: list[str],
+    farm,
     point_timeout: float | None = None,
     chunk: int | None = None,
     stats_out: dict | None = None,
+    heartbeat: float | None = None,
+    liveness: float | None = None,
+    reconnect: int | None = None,
+    auth_token: str | None = None,
+    journal=None,
 ) -> list[dict]:
     """Run ``spec_dicts`` over the farm; return metrics dicts in order.
 
+    ``farm`` is an address list or a :func:`normalize_farm` config
+    mapping; explicit keyword arguments override the mapping's values.
     Raises :class:`FarmUnavailable` when no worker is reachable —
     callers (``sweep_specs``) catch that and degrade to the local pool.
     ``stats_out``, when given, is updated with the coordinator's
-    accounting (chunk counts, trace pushes, requeues).
+    accounting (chunk counts, trace pushes, requeues, reconnects,
+    hedges, journal hits). ``journal`` is an open
+    :class:`~repro.analysis.journal.SweepJournal`: completed rows are
+    appended as they land and already-journaled points are never
+    re-dispatched.
     """
+    cfg = normalize_farm(farm) or {}
     coord = FarmCoordinator(
-        spec_dicts, farm, point_timeout=point_timeout, chunk=chunk
+        spec_dicts,
+        cfg.get("addrs", []),
+        point_timeout=point_timeout,
+        chunk=chunk if chunk is not None else cfg.get("chunk"),
+        heartbeat=(
+            heartbeat
+            if heartbeat is not None
+            else cfg.get("heartbeat", HEARTBEAT_INTERVAL)
+        ),
+        liveness=(
+            liveness
+            if liveness is not None
+            else cfg.get("liveness", LIVENESS_TIMEOUT)
+        ),
+        reconnect=(
+            reconnect
+            if reconnect is not None
+            else cfg.get("reconnect", RECONNECT_ATTEMPTS)
+        ),
+        auth_token=(
+            auth_token if auth_token is not None else cfg.get("auth_token")
+        ),
+        journal=journal,
     )
     rows = coord.run()
     if stats_out is not None:

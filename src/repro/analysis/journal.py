@@ -1,0 +1,211 @@
+"""Durable sweep journal: crash-safe checkpoint/resume for sweeps.
+
+A sweep over N spec dicts is embarrassingly restartable — every point
+is a pure function of its canonical :class:`~repro.spec.ExperimentSpec`
+dict, and its identity is the same SHA-256 the result cache uses
+(:func:`repro.analysis.cache.stable_key`). What a crash actually loses
+is the *coordinator's memory of which points already finished*. The
+journal fixes exactly that: an append-only on-disk log of
+``(spec_key, result_row)`` records that the
+:class:`~repro.analysis.farm.FarmCoordinator` (and the local path of
+:func:`~repro.analysis.sweep.sweep_specs` via ``resume=``) appends to
+as results land, and that a restarted sweep replays to re-enqueue only
+the missing points.
+
+Record framing — the file must be recoverable after a crash at *any*
+byte offset:
+
+* an 8-byte file preamble ``RPJL`` + ``!I`` schema version;
+* each record is ``!II`` (body length, CRC32 of body) followed by a
+  JSON body ``{"key": <spec_key>, "row": {...}}``.
+
+Appends are atomic at the record level because recovery simply
+truncates the corrupt tail: on open, records are scanned until the
+first truncated/length-insane/CRC-mismatching record, the file is
+truncated back to the last good offset, and everything before it is
+trusted. ``fsync`` is batched (:data:`DEFAULT_FSYNC_EVERY` records, or
+every record with ``fsync_every=1``) so durability costs one disk
+flush per batch, not per point; ``flush()``/``close()`` always sync.
+
+Rows pass through JSON on the way in (via
+:func:`~repro.analysis.cache.canonical_rows`), so a replayed row is
+bit-identical to the row an uninterrupted run would have produced —
+the resume path's determinism contract leans on this.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+
+from repro.util.errors import ConfigError, ReproError
+
+MAGIC = b"RPJL"
+JOURNAL_SCHEMA = 1
+_PREAMBLE = struct.Struct("!4sI")  # magic, schema version
+_RECORD = struct.Struct("!II")  # body length, CRC32 of body
+# A record body over this is corruption by construction: journal rows
+# are single canonical result dicts, not traces.
+MAX_RECORD = 16 * 1024 * 1024
+DEFAULT_FSYNC_EVERY = 16
+
+
+class JournalError(ReproError):
+    """The journal file exists but is not a sweep journal at all
+    (foreign magic or schema) — truncating it would destroy data the
+    user did not ask us to manage."""
+
+
+def spec_journal_key(spec_dict: dict) -> str:
+    """The journal identity of one sweep point: the stable SHA-256 of
+    its canonical spec dict. Pure function of the spec, so a restarted
+    coordinator derives the same keys and recognizes its own rows."""
+    from repro.analysis.cache import stable_key
+
+    return stable_key({"journal-point": spec_dict})
+
+
+class SweepJournal:
+    """Append-only ``(spec_key, row)`` log with corrupt-tail recovery.
+
+    Opening an existing journal replays it: :attr:`rows` maps every
+    durably recorded ``spec_key`` to its result row, and the file is
+    truncated back past any half-written tail record (the crash case).
+    A fresh path starts an empty journal. The instance stays open for
+    appending; use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(
+        self, path: str | os.PathLike, fsync_every: int = DEFAULT_FSYNC_EVERY
+    ) -> None:
+        if not isinstance(fsync_every, int) or fsync_every < 1:
+            raise ConfigError(
+                f"journal fsync_every must be a positive int, got {fsync_every!r}"
+            )
+        self.path = Path(path)
+        self.fsync_every = fsync_every
+        self.rows: dict[str, dict] = {}
+        self.recovered_records = 0
+        self.truncated_bytes = 0
+        self._since_sync = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._recover()
+        self._fh = open(self.path, "ab")
+
+    # -- recovery ----------------------------------------------------------
+    def _recover(self) -> None:
+        """Replay the good prefix; truncate the corrupt tail in place."""
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            with open(self.path, "wb") as fh:
+                fh.write(_PREAMBLE.pack(MAGIC, JOURNAL_SCHEMA))
+                fh.flush()
+                os.fsync(fh.fileno())
+            return
+        with open(self.path, "rb") as fh:
+            preamble = fh.read(_PREAMBLE.size)
+            if len(preamble) < _PREAMBLE.size:
+                # empty, or a crash mid-preamble (the bytes so far must
+                # at least be a prefix of our magic — anything else is a
+                # foreign file we refuse to clobber)
+                if preamble and not MAGIC.startswith(preamble[:4]):
+                    raise JournalError(
+                        f"{self.path} is not a sweep journal (truncated preamble)"
+                    )
+                good = 0
+            else:
+                magic, schema = _PREAMBLE.unpack(preamble)
+                if magic != MAGIC:
+                    raise JournalError(
+                        f"{self.path} is not a sweep journal "
+                        f"(magic {magic!r}, expected {MAGIC!r})"
+                    )
+                if schema != JOURNAL_SCHEMA:
+                    raise JournalError(
+                        f"{self.path} has journal schema v{schema}, "
+                        f"this build reads v{JOURNAL_SCHEMA}"
+                    )
+                good = _PREAMBLE.size
+                while True:
+                    header = fh.read(_RECORD.size)
+                    if len(header) < _RECORD.size:
+                        break  # clean EOF or truncated header: stop here
+                    length, crc = _RECORD.unpack(header)
+                    if length > MAX_RECORD:
+                        break  # insane length: corrupt header
+                    body = fh.read(length)
+                    if len(body) < length or zlib.crc32(body) != crc:
+                        break  # truncated or bit-rotted body
+                    try:
+                        record = json.loads(body.decode("utf-8"))
+                        key, row = record["key"], record["row"]
+                    except Exception:
+                        break  # CRC passed but body is not a record: corrupt
+                    self.rows[key] = row
+                    self.recovered_records += 1
+                    good = fh.tell()
+        if good == 0:
+            # no preamble survived: rewrite a fresh one
+            with open(self.path, "wb") as fh:
+                fh.write(_PREAMBLE.pack(MAGIC, JOURNAL_SCHEMA))
+                fh.flush()
+                os.fsync(fh.fileno())
+            self.truncated_bytes = size
+            return
+        if good < size:
+            self.truncated_bytes = size - good
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good)
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    # -- appends -----------------------------------------------------------
+    def append(self, key: str, row: dict) -> None:
+        """Record one completed point. The row is JSON-canonicalized
+        before framing so replay reproduces it bit for bit."""
+        from repro.analysis.cache import canonical_rows
+
+        row = canonical_rows([row])[0]
+        body = json.dumps({"key": key, "row": row}).encode("utf-8")
+        if len(body) > MAX_RECORD:
+            raise ConfigError(
+                f"journal record is {len(body)} bytes, over the "
+                f"{MAX_RECORD}-byte record ceiling"
+            )
+        self._fh.write(_RECORD.pack(len(body), zlib.crc32(body)) + body)
+        self.rows[key] = row
+        self._since_sync += 1
+        if self._since_sync >= self.fsync_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Push buffered records to the platters (fsync)."""
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._since_sync = 0
+
+    def close(self) -> None:
+        if self._fh.closed:
+            return
+        self.flush()
+        self._fh.close()
+
+    # -- replay helpers ----------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        return self.rows.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

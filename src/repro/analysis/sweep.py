@@ -115,13 +115,25 @@ def _sharing_engages(share_traces, workers: int, num_points: int) -> bool:
     return shm_available()
 
 
+def _open_resume(resume):
+    """``resume`` as an open journal plus whether we own (must close) it."""
+    if resume is None:
+        return None, False
+    from repro.analysis.journal import SweepJournal
+
+    if isinstance(resume, SweepJournal):
+        return resume, False
+    return SweepJournal(resume), True
+
+
 def _run_spec_points(
     spec_dicts: list[dict],
     share_traces,
     workers: int,
     chunk: int | None,
     point_timeout: float | None = None,
-    farm: list[str] | None = None,
+    farm=None,
+    resume=None,
 ) -> list[dict]:
     """Fan ``spec_dicts`` out over :func:`parallel_sweep`, publishing
     each distinct workload once over shared memory when sharing engages.
@@ -133,30 +145,52 @@ def _run_spec_points(
     ``published_traces`` context manager unlinks every segment on the
     way out — including when a worker death propagates
     ``BrokenProcessPool`` through ``parallel_sweep``.
+
+    ``resume`` (a journal path or an open
+    :class:`~repro.analysis.journal.SweepJournal`) checkpoints every
+    completed point's canonical metrics and replays them on restart —
+    only the missing points are evaluated, and the returned rows are
+    bit-identical to an uninterrupted run (all metrics pass through
+    JSON canonicalization when a journal engages, mirroring the cache
+    path's contract).
     """
     from repro.runner import run_spec_dict
 
-    if farm:
-        import warnings
+    journal, own_journal = _open_resume(resume)
+    try:
+        if farm:
+            import warnings
 
-        from repro.analysis.farm import FarmUnavailable, farm_sweep
-        from repro.analysis.parallel import merge_row
+            from repro.analysis.farm import FarmUnavailable, farm_sweep
+            from repro.analysis.parallel import merge_row
 
-        try:
-            metrics = farm_sweep(
-                spec_dicts, list(farm), point_timeout=point_timeout, chunk=chunk
+            try:
+                metrics = farm_sweep(
+                    spec_dicts,
+                    farm,
+                    point_timeout=point_timeout,
+                    chunk=chunk,
+                    journal=journal,
+                )
+            except FarmUnavailable as exc:
+                warnings.warn(
+                    f"farm has no reachable workers ({exc}); "
+                    "degrading to the local pool",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            else:
+                return [
+                    merge_row({"spec": d}, m) for d, m in zip(spec_dicts, metrics)
+                ]
+
+        if journal is not None:
+            return _journaled_local(
+                spec_dicts, share_traces, workers, chunk, point_timeout, journal
             )
-        except FarmUnavailable as exc:
-            warnings.warn(
-                f"farm has no reachable workers ({exc}); "
-                "degrading to the local pool",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-        else:
-            return [
-                merge_row({"spec": d}, m) for d, m in zip(spec_dicts, metrics)
-            ]
+    finally:
+        if own_journal:
+            journal.close()
 
     if not _sharing_engages(share_traces, workers, len(spec_dicts)):
         worker_points = [{"spec": d} for d in spec_dicts]
@@ -194,6 +228,44 @@ def _run_spec_points(
         )
 
 
+def _journaled_local(
+    spec_dicts: list[dict],
+    share_traces,
+    workers: int,
+    chunk: int | None,
+    point_timeout: float | None,
+    journal,
+) -> list[dict]:
+    """Local evaluation through an open journal: replay what it holds,
+    evaluate only the rest, checkpoint each fresh point's canonical
+    metrics. Rows come back merged the same way the plain path merges
+    them (``{"spec": ...}`` plus metrics)."""
+    from repro.analysis.cache import canonical_rows
+    from repro.analysis.journal import spec_journal_key
+    from repro.analysis.parallel import merge_row
+
+    keys = [spec_journal_key(d) for d in spec_dicts]
+    metrics: list[dict | None] = [journal.get(k) for k in keys]
+    missing = [i for i, m in enumerate(metrics) if m is None]
+    if missing:
+        raw = _run_spec_points(
+            [spec_dicts[i] for i in missing],
+            share_traces,
+            workers,
+            chunk,
+            point_timeout,
+        )
+        for i, row in zip(missing, raw):
+            bare = dict(row)
+            bare.pop("spec", None)
+            bare.pop("shm_trace", None)
+            bare = canonical_rows([bare])[0]
+            journal.append(keys[i], bare)
+            metrics[i] = bare
+        journal.flush()
+    return [merge_row({"spec": d}, m) for d, m in zip(spec_dicts, metrics)]
+
+
 def sweep_specs(
     base_spec,
     points: Iterable[Mapping],
@@ -203,7 +275,8 @@ def sweep_specs(
     cache_extra: Mapping | None = None,
     share_traces="auto",
     point_timeout: float | None = None,
-    farm: list[str] | None = None,
+    farm=None,
+    resume=None,
 ) -> list[dict]:
     """Spec-driven sweep: merge each partial ``point`` into
     ``base_spec`` (:func:`repro.runner.merge_spec`), run the resulting
@@ -233,12 +306,25 @@ def sweep_specs(
       metric under a ``scheme`` sweep axis) keeps the point's value —
       the axis label is authoritative for its own column.
     * ``farm`` is a list of ``"host:port"`` addresses of running
-      ``repro worker`` processes: points are dispatched to them over
-      sockets with pull-based work-stealing and trace-by-reference
-      distribution (:mod:`repro.analysis.farm`). Farm rows pass
-      through JSON (values canonical, key order preserved — the same
-      rows, byte for byte, a local run yields). When no worker is
-      reachable the sweep warns and degrades to the local pool.
+      ``repro worker`` processes — or a mapping with ``addrs`` plus
+      optional ``auth_token`` / ``heartbeat`` / ``liveness`` /
+      ``reconnect`` / ``chunk`` (see
+      :func:`repro.analysis.farm.normalize_farm`): points are
+      dispatched to them over sockets with pull-based work-stealing
+      and trace-by-reference distribution
+      (:mod:`repro.analysis.farm`). Farm rows pass through JSON
+      (values canonical, key order preserved — the same rows, byte for
+      byte, a local run yields). When no worker is reachable the sweep
+      warns and degrades to the local pool.
+    * ``resume`` is a journal path (or an open
+      :class:`~repro.analysis.journal.SweepJournal`): every completed
+      point's canonical metrics are checkpointed as they land, and a
+      re-run with the same grid and journal replays the finished
+      points instead of re-evaluating them — the returned rows are
+      bit-identical to an uninterrupted run. Composes with ``farm``
+      (the coordinator journals results as workers stream them in) and
+      with ``cache`` (the cache layer sits above and consults its own
+      store first).
     """
     points = [dict(p) for p in points]
     from repro.runner import merge_spec
@@ -266,7 +352,7 @@ def sweep_specs(
 
     if cache is None:
         raw = _run_spec_points(
-            spec_dicts, share_traces, workers, chunk, point_timeout, farm
+            spec_dicts, share_traces, workers, chunk, point_timeout, farm, resume
         )
         return [make_row(p, m) for p, m in zip(points, metrics_of(raw))]
 
@@ -291,6 +377,7 @@ def sweep_specs(
             chunk,
             point_timeout,
             farm,
+            resume,
         )
         fresh = canonical_rows(
             [make_row(points[i], m) for i, m in zip(missing, metrics_of(raw))]

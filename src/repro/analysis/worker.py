@@ -13,15 +13,29 @@ Traces arrive by reference: the coordinator sends
 ``WorkloadSpec.cache_key`` digests, the worker answers with what its
 local :class:`~repro.trace.store.TraceStore` already holds, and only
 the missing traces are pushed — each installed once into the store
-(persistent across connections, so a second sweep pushes nothing) and
-seeded into the per-process build memo. Workloads the coordinator
-never pushed are simply regenerated from their spec, which is always
-correct because specs are deterministic.
+(persistent across connections *and reconnects*, so a coordinator that
+redials after a socket reset pushes nothing) and seeded into the
+per-process build memo. Workloads the coordinator never pushed are
+simply regenerated from their spec, which is always correct because
+specs are deterministic.
+
+Untrusted networks: start the worker with an auth token and every
+connection must pass an HMAC-SHA256 challenge-response before any
+other frame is served — the worker sends a fresh nonce, the
+coordinator proves knowledge of the shared secret, and the worker's
+``HELLO_ACK`` carries the reciprocal proof. A failed proof gets a
+permanent typed ``ERROR`` and the connection is dropped.
+
+Graceful drain: :meth:`WorkerServer.request_drain` (wired to
+SIGTERM/SIGINT by the CLI) finishes the in-flight chunk, sends its
+RESULT, then closes — the coordinator sees a clean close with nothing
+in flight, so nothing is requeued and no work is lost.
 """
 
 from __future__ import annotations
 
 import os
+import secrets
 import selectors
 import shutil
 import socket
@@ -30,6 +44,8 @@ import threading
 import time
 
 from repro.analysis.farm import (
+    AUTH_CHALLENGE,
+    AUTH_RESPONSE,
     BEGIN,
     CHUNK,
     DONE,
@@ -48,11 +64,14 @@ from repro.analysis.farm import (
     TRACE_QUERY,
     FrameError,
     ProtocolMismatch,
+    auth_mac,
+    check_mac,
     parse_hostport,
     recv_frame,
     send_frame,
 )
 from repro.trace.store import TraceStore
+from repro.util.errors import ConfigError
 
 # While a chunk evaluates on the worker thread, the connection loop
 # polls the socket this often so coordinator PINGs are answered promptly.
@@ -65,7 +84,8 @@ class WorkerServer:
     ``fail_after_chunks`` is a test hook: the connection is dropped
     without a result when that many chunks have been received, which is
     how the requeue-on-death tests kill a worker mid-chunk
-    deterministically.
+    deterministically (the *server* survives, so a reconnecting
+    coordinator gets a fresh connection whose chunk counter restarts).
     """
 
     def __init__(
@@ -76,20 +96,42 @@ class WorkerServer:
         idle_timeout: float = 600.0,
         verbose: bool = False,
         fail_after_chunks: int | None = None,
+        auth_token: str | None = None,
+        poll_interval: float = EVAL_POLL_SECONDS,
     ) -> None:
+        if not isinstance(idle_timeout, (int, float)) or idle_timeout <= 0:
+            raise ConfigError(
+                f"worker idle timeout must be a positive number of seconds, "
+                f"got {idle_timeout!r}"
+            )
+        if not isinstance(poll_interval, (int, float)) or poll_interval <= 0:
+            raise ConfigError(
+                f"worker heartbeat poll interval must be a positive number "
+                f"of seconds, got {poll_interval!r}"
+            )
+        if auth_token is not None and (
+            not isinstance(auth_token, str) or not auth_token
+        ):
+            raise ConfigError("worker auth token must be a non-empty string")
         self.host = host
         self.port = port
         self._own_trace_dir = trace_dir is None
         self.trace_dir = trace_dir or tempfile.mkdtemp(prefix="repro-worker-traces-")
         self.store = TraceStore(self.trace_dir)
-        self.idle_timeout = idle_timeout
+        self.idle_timeout = float(idle_timeout)
+        self.poll_interval = float(poll_interval)
         self.verbose = verbose
         self.fail_after_chunks = fail_after_chunks
+        self.auth_token = auth_token
         self.traces_installed = 0
         self.chunks_served = 0
         self.points_served = 0
+        self.auth_failures = 0
         self._sock: socket.socket | None = None
         self._stop = threading.Event()
+        self._draining = threading.Event()
+        self._active_chunks = 0
+        self._drain_lock = threading.Lock()
         self._thread: threading.Thread | None = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -107,6 +149,10 @@ class WorkerServer:
     def address(self) -> str:
         return f"{self.host}:{self.port}"
 
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
     def serve_forever(self) -> None:
         assert self._sock is not None, "call start() first"
         while not self._stop.is_set():
@@ -116,6 +162,12 @@ class WorkerServer:
                 continue
             except OSError:
                 break
+            if self._draining.is_set():
+                try:
+                    conn.close()  # no new sessions while draining
+                except OSError:
+                    pass
+                continue
             threading.Thread(
                 target=self._handle, args=(conn,), daemon=True
             ).start()
@@ -126,6 +178,15 @@ class WorkerServer:
         self._thread = threading.Thread(target=self.serve_forever, daemon=True)
         self._thread.start()
         return self
+
+    def request_drain(self) -> None:
+        """Graceful shutdown: finish the in-flight chunk (its RESULT
+        still goes out), refuse new work, then stop. Idle workers stop
+        immediately. Idempotent."""
+        self._draining.set()
+        with self._drain_lock:
+            if self._active_chunks == 0:
+                self._stop.set()
 
     def stop(self) -> None:
         self._stop.set()
@@ -147,73 +208,131 @@ class WorkerServer:
     def _handle(self, conn: socket.socket) -> None:
         conn.settimeout(self.idle_timeout)
         chunks_on_conn = 0
+        authed = self.auth_token is None
         try:
-            while True:
-                try:
-                    kind, msg = recv_frame(conn)
-                except ProtocolMismatch as exc:
-                    # tell the peer which version this side speaks, then drop
-                    try:
-                        send_frame(
-                            conn,
-                            ERROR,
-                            {"message": str(exc), "protocol": PROTOCOL_VERSION},
-                        )
-                    except OSError:
-                        pass
-                    return
-                except (FrameError, OSError):
-                    return  # peer gone or garbage; nothing to answer
-                if kind == HELLO:
-                    send_frame(
-                        conn,
-                        HELLO_ACK,
-                        {
-                            "protocol": PROTOCOL_VERSION,
-                            "pid": os.getpid(),
-                            "cpu_count": os.cpu_count(),
-                        },
-                    )
-                elif kind == PING:
-                    send_frame(conn, PONG, {})
-                elif kind == TRACE_QUERY:
-                    have = [
-                        k
-                        for k in msg.get("digests", [])
-                        if self.store.contains(k)
-                    ]
-                    send_frame(conn, TRACE_HAVE, {"have": have})
-                elif kind == TRACE_PUT:
-                    self._install_trace(conn, msg)
-                elif kind == BEGIN:
-                    send_frame(conn, NEXT, {})
-                elif kind == CHUNK:
-                    chunks_on_conn += 1
-                    if (
-                        self.fail_after_chunks is not None
-                        and chunks_on_conn >= self.fail_after_chunks
-                    ):
-                        self._log("test hook: dropping connection mid-chunk")
-                        return  # simulated crash: no RESULT ever comes
-                    if not self._serve_chunk(conn, msg):
-                        return
-                elif kind == DONE:
-                    return
-                else:
-                    send_frame(
-                        conn,
-                        ERROR,
-                        {
-                            "message": "unexpected "
-                            + KIND_NAMES.get(kind, str(kind))
-                        },
-                    )
-                    return
+            self._session(conn, chunks_on_conn, authed)
+        except OSError:
+            pass  # peer vanished mid-send; the coordinator's problem now
         finally:
             try:
                 conn.close()
             except OSError:
                 pass
+
+    def _session(self, conn: socket.socket, chunks_on_conn: int, authed: bool) -> None:
+        while True:
+            try:
+                kind, msg = recv_frame(conn)
+            except ProtocolMismatch as exc:
+                # tell the peer which version this side speaks, then drop
+                try:
+                    send_frame(
+                        conn,
+                        ERROR,
+                        {"message": str(exc), "protocol": PROTOCOL_VERSION},
+                    )
+                except OSError:
+                    pass
+                return
+            except (FrameError, OSError):
+                return  # peer gone or garbage; nothing to answer
+            if kind == HELLO:
+                if not self._hello(conn, msg):
+                    return
+                authed = True
+            elif not authed:
+                # nothing but HELLO (which runs the challenge) is
+                # served before authentication on a token-gated worker
+                send_frame(
+                    conn,
+                    ERROR,
+                    {
+                        "message": "authentication required before "
+                        + KIND_NAMES.get(kind, str(kind)),
+                        "auth_failed": True,
+                    },
+                )
+                return
+            elif kind == PING:
+                send_frame(conn, PONG, {})
+            elif kind == TRACE_QUERY:
+                have = [
+                    k
+                    for k in msg.get("digests", [])
+                    if self.store.contains(k)
+                ]
+                send_frame(conn, TRACE_HAVE, {"have": have})
+            elif kind == TRACE_PUT:
+                self._install_trace(conn, msg)
+            elif kind == BEGIN:
+                send_frame(conn, NEXT, {})
+            elif kind == CHUNK:
+                chunks_on_conn += 1
+                if (
+                    self.fail_after_chunks is not None
+                    and chunks_on_conn >= self.fail_after_chunks
+                ):
+                    self._log("test hook: dropping connection mid-chunk")
+                    return  # simulated crash: no RESULT ever comes
+                if not self._serve_chunk(conn, msg):
+                    return
+            elif kind == DONE:
+                return
+            else:
+                send_frame(
+                    conn,
+                    ERROR,
+                    {
+                        "message": "unexpected "
+                        + KIND_NAMES.get(kind, str(kind))
+                    },
+                )
+                return
+
+    def _hello(self, conn: socket.socket, msg: dict) -> bool:
+        """HELLO (+ optional auth challenge) -> HELLO_ACK. False drops."""
+        peer_proto = msg.get("protocol")
+        if peer_proto is not None and peer_proto != PROTOCOL_VERSION:
+            send_frame(
+                conn,
+                ERROR,
+                {
+                    "message": f"peer announces farm protocol v{peer_proto}, "
+                    f"this worker speaks v{PROTOCOL_VERSION}",
+                    "protocol": PROTOCOL_VERSION,
+                },
+            )
+            return False
+        ack = {
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "cpu_count": os.cpu_count(),
+        }
+        if self.auth_token is not None:
+            nonce = secrets.token_hex(32)
+            send_frame(conn, AUTH_CHALLENGE, {"nonce": nonce})
+            try:
+                kind, resp = recv_frame(conn)
+            except (FrameError, OSError):
+                self.auth_failures += 1
+                return False
+            if kind != AUTH_RESPONSE or not check_mac(
+                self.auth_token, "coordinator", nonce, resp.get("mac")
+            ):
+                self.auth_failures += 1
+                self._log("authentication failed; dropping connection")
+                send_frame(
+                    conn,
+                    ERROR,
+                    {
+                        "message": "authentication failed",
+                        "auth_failed": True,
+                    },
+                )
+                return False
+            ack["auth"] = auth_mac(self.auth_token, "worker", nonce)
+        send_frame(conn, HELLO_ACK, ack)
+        return True
 
     def _install_trace(self, conn: socket.socket, msg: dict) -> None:
         key = msg["key"]
@@ -235,8 +354,12 @@ class WorkerServer:
         timeout would add up to a poll interval of latency per chunk,
         which dominates short sweeps). Returns False when the
         coordinator sent DONE mid-evaluation (it gave up on this
-        worker; the connection is finished).
+        worker) or the server is draining — either way the connection
+        is finished, but a drain only closes *after* the RESULT went
+        out, so nothing is requeued.
         """
+        with self._drain_lock:
+            self._active_chunks += 1
         box: dict = {}
         done_r, done_w = socket.socketpair()
         th = threading.Thread(
@@ -249,7 +372,7 @@ class WorkerServer:
         try:
             finished = False
             while not finished and th.is_alive():
-                events = sel.select(timeout=EVAL_POLL_SECONDS)
+                events = sel.select(timeout=self.poll_interval)
                 for key, _mask in events:
                     if key.data == "done":
                         finished = True
@@ -267,11 +390,18 @@ class WorkerServer:
             done_r.close()
             done_w.close()
             conn.settimeout(self.idle_timeout)
+            with self._drain_lock:
+                self._active_chunks -= 1
+                if self._draining.is_set() and self._active_chunks == 0:
+                    self._stop.set()
         th.join()
         send_frame(conn, RESULT, {"chunk_id": msg["chunk_id"], **box})
-        send_frame(conn, NEXT, {})
         self.chunks_served += 1
         self.points_served += len(box.get("rows", []))
+        if self._draining.is_set():
+            self._log("drained: RESULT sent, closing")
+            return False
+        send_frame(conn, NEXT, {})
         return True
 
     def _eval_chunk(self, msg: dict, box: dict, done_w=None) -> None:
@@ -345,13 +475,33 @@ class WorkerServer:
 
 def main(args) -> int:
     """CLI entry point (``repro worker``)."""
+    import signal
+
     host, port = parse_hostport(args.listen)
     server = WorkerServer(
         host=host,
         port=port,
         trace_dir=args.trace_dir,
         verbose=args.verbose,
+        auth_token=getattr(args, "auth_token", None)
+        or os.environ.get("REPRO_FARM_TOKEN")
+        or None,
+        idle_timeout=getattr(args, "worker_timeout", None) or 600.0,
+        poll_interval=getattr(args, "heartbeat", None) or EVAL_POLL_SECONDS,
     ).start()
+
+    def _on_signal(signum, frame):
+        if server.draining:  # second signal: stop hard
+            raise SystemExit(130)
+        print(
+            "repro worker draining: finishing in-flight chunk "
+            "(signal again to force quit)",
+            flush=True,
+        )
+        server.request_drain()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
     # the exact line scripts parse to learn an ephemeral port
     print(f"repro worker listening on {server.host}:{server.port}", flush=True)
     try:

@@ -13,6 +13,10 @@ Commands
 * ``trace`` — manage the on-disk trace store (``build``/``ls``/``gc``).
 * ``faults`` — fault-injection sweep (machines × drop rates) with a
   zero-fault golden-parity check; ``--smoke`` is the CI gate.
+* ``chaos-soak`` — run the sweep farm under seeded *host*-level chaos
+  (resets, partial frames, stalls, partitions) and gate on row streams
+  staying bit-identical to a clean serial run; ``--smoke`` is the CI
+  gate.
 
 Every command resolves component names through the registries
 (:mod:`repro.registry`) and constructs experiments through
@@ -212,12 +216,26 @@ def cmd_fig2(args) -> int:
     return 0
 
 
-def _farm_of(args) -> list[str] | None:
-    """The ``--farm`` flag as an address list (None when absent)."""
+def _farm_of(args) -> dict | None:
+    """The ``--farm`` flag (plus its companions) as a farm config dict
+    for :func:`repro.analysis.farm.normalize_farm` (None when absent).
+
+    ``--auth-token`` falls back to ``$REPRO_FARM_TOKEN`` so the secret
+    can stay out of shell history; ``--heartbeat``/``--worker-timeout``
+    only appear in the config when given, so the farm's own validated
+    defaults apply otherwise."""
     raw = getattr(args, "farm", None)
     if not raw:
         return None
-    return [a.strip() for a in raw.split(",") if a.strip()]
+    cfg: dict = {"addrs": [a.strip() for a in raw.split(",") if a.strip()]}
+    token = getattr(args, "auth_token", None) or os.environ.get("REPRO_FARM_TOKEN")
+    if token:
+        cfg["auth_token"] = token
+    if getattr(args, "heartbeat", None) is not None:
+        cfg["heartbeat"] = args.heartbeat
+    if getattr(args, "worker_timeout", None) is not None:
+        cfg["liveness"] = args.worker_timeout
+    return cfg
 
 
 def cmd_evaluate(args) -> int:
@@ -233,6 +251,7 @@ def cmd_evaluate(args) -> int:
         cache=cache,
         cache_extra=extra,
         farm=_farm_of(args),
+        resume=getattr(args, "resume", None),
     )
     if cache is not None:
         print(f"cache: {cache.stats()}", file=sys.stderr)
@@ -292,6 +311,7 @@ def cmd_shootout(args) -> int:
         cache=cache,
         cache_extra=_trace_cache_extra(base, trace) if cache else None,
         farm=_farm_of(args),
+        resume=getattr(args, "resume", None),
     )
     if cache is not None:
         print(f"cache: {cache.stats()}", file=sys.stderr)
@@ -522,6 +542,7 @@ def cmd_faults(args) -> int:
         cache_extra=extra,
         point_timeout=args.point_timeout,
         farm=_farm_of(args),
+        resume=getattr(args, "resume", None),
     )
 
     display = []
@@ -576,6 +597,91 @@ def cmd_faults(args) -> int:
     if parity_checked:
         print(f"zero-fault parity: ok ({parity_checked} machine(s))")
     return 0
+
+
+def cmd_chaos_soak(args) -> int:
+    """Soak the sweep farm under seeded host chaos and gate bit-identity.
+
+    Spins up N embedded workers behind the deterministic chaos proxy
+    (:mod:`repro.analysis.chaos`), runs the scheme sweep K times under
+    injected resets/partial frames/stalls/partitions, and compares each
+    run's rows byte-for-byte against a clean serial reference. Exits
+    nonzero unless every sweep's rows were identical *and* every sweep
+    re-derived the same injected-event schedule digest. ``--smoke``
+    pins a tiny deterministic configuration for CI.
+    """
+    from repro.analysis.chaos import ChaosSpec, chaos_soak
+    from repro.runner import merge_spec
+
+    if args.smoke:
+        # tiny deterministic CI configuration; overrides the trace args
+        args.workload, args.trace = "pingpong", None
+        args.threads = args.cores = 4
+        args.param = ["rounds=16"]
+        args.num_workers = 2
+        args.sweeps = 2
+        args.reset_rate = 0.10
+        args.partial_rate = 0.10
+        args.stall_rate = 0.15
+        args.partition_rate = 0.05
+        # the smoke sweep's control traffic is small, so plant the
+        # event triggers shallow enough to actually fire
+        args.trigger_span = 1500
+        args.max_events = 6
+    base = _base_spec(args)
+    points = [{"scheme": name} for name in SCHEMES.names()]
+    spec_dicts = [merge_spec(base, p).to_dict() for p in points]
+    chaos = ChaosSpec(
+        seed=args.chaos_seed,
+        reset_rate=args.reset_rate,
+        partial_rate=args.partial_rate,
+        stall_rate=args.stall_rate,
+        partition_rate=args.partition_rate,
+        trigger_span=args.trigger_span,
+        max_events_per_conn=args.max_events,
+    )
+    summary = chaos_soak(
+        spec_dicts,
+        chaos,
+        workers=args.num_workers,
+        sweeps=args.sweeps,
+        heartbeat=args.heartbeat if args.heartbeat is not None else 0.25,
+        liveness=args.worker_timeout if args.worker_timeout is not None else 2.0,
+        auth_token=args.auth_token or os.environ.get("REPRO_FARM_TOKEN") or None,
+        verbose=args.verbose,
+    )
+    display = [
+        {
+            "sweep": s["sweep"],
+            "identical": "ok" if s["rows_identical"] else "FAIL",
+            "points_per_sec": round(s["points_per_sec"], 2),
+            "resets": s["applied"]["reset"],
+            "partials": s["applied"]["partial"],
+            "stalls": s["applied"]["stall"],
+            "partitions": s["applied"]["partition"],
+            "requeues": s["requeues"],
+            "reconnects": s["reconnects"],
+            "hedges": s["hedges"],
+        }
+        for s in summary["sweeps"]
+    ]
+    print(format_table(display))
+    print(f"schedule digest: {summary['schedule_digest']}")
+    ok = summary["rows_identical"] and summary["digest_stable"]
+    if ok:
+        print(
+            f"chaos-soak: {len(summary['sweeps'])} sweep(s) x "
+            f"{summary['points']} points bit-identical to the clean "
+            "serial reference"
+        )
+        return 0
+    if not summary["rows_identical"]:
+        print("chaos-soak FAIL: rows diverged from the clean reference",
+              file=sys.stderr)
+    if not summary["digest_stable"]:
+        print("chaos-soak FAIL: schedule digest varied across sweeps",
+              file=sys.stderr)
+    return 1
 
 
 # ---------------------------------------------------------------- parser
@@ -647,6 +753,42 @@ def build_parser() -> argparse.ArgumentParser:
             "processes; sweep points are dispatched to them with "
             "work-stealing (unreachable farm degrades to the local pool)",
         )
+        add_farm_tuning(sp)
+        sp.add_argument(
+            "--resume",
+            default=None,
+            metavar="JOURNAL",
+            help="checkpoint completed sweep points to this journal file "
+            "and replay it on restart (rows stay bit-identical to an "
+            "uninterrupted run)",
+        )
+
+    def add_farm_tuning(sp):
+        """Heartbeat/liveness/auth knobs shared by both farm surfaces
+        (coordinator-side sweeps and the worker itself)."""
+        sp.add_argument(
+            "--auth-token",
+            default=None,
+            metavar="SECRET",
+            help="shared secret for the HMAC challenge-response handshake "
+            "(default: $REPRO_FARM_TOKEN; unset = unauthenticated)",
+        )
+        sp.add_argument(
+            "--heartbeat",
+            type=float,
+            default=None,
+            metavar="SEC",
+            help="heartbeat interval in seconds (coordinator PING cadence / "
+            "worker poll cadence); must be positive",
+        )
+        sp.add_argument(
+            "--worker-timeout",
+            type=float,
+            default=None,
+            metavar="SEC",
+            help="declare a silent peer dead after this many seconds; must "
+            "exceed the heartbeat interval",
+        )
 
     sp = sub.add_parser(
         "worker", help="serve sweep points to a farm coordinator"
@@ -664,6 +806,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-local trace store directory for pushed traces "
         "(default: a private temp dir, removed on exit)",
     )
+    add_farm_tuning(sp)
     sp.add_argument("--verbose", action="store_true", help="log protocol events")
     sp.set_defaults(fn=cmd_worker)
 
@@ -780,6 +923,42 @@ def build_parser() -> argparse.ArgumentParser:
         "rates) gated on zero-fault parity",
     )
     sp.set_defaults(fn=cmd_faults)
+
+    sp = sub.add_parser(
+        "chaos-soak",
+        help="soak the farm under seeded host chaos; gate on bit-identity",
+    )
+    add_trace_args(sp)
+    add_farm_tuning(sp)
+    sp.add_argument("--num-workers", type=int, default=2,
+                    help="embedded farm workers behind the chaos proxy")
+    sp.add_argument("--sweeps", type=int, default=2,
+                    help="how many chaos sweeps to run against the reference")
+    sp.add_argument("--chaos-seed", type=int, default=0,
+                    help="ChaosSpec seed (the event schedule is a pure "
+                    "function of the spec)")
+    sp.add_argument("--reset-rate", type=float, default=0.05,
+                    help="per-event-slot probability of a connection RST")
+    sp.add_argument("--partial-rate", type=float, default=0.05,
+                    help="probability of a truncated frame followed by RST")
+    sp.add_argument("--stall-rate", type=float, default=0.10,
+                    help="probability of an injected forwarding stall")
+    sp.add_argument("--partition-rate", type=float, default=0.05,
+                    help="probability of a one-direction partition window")
+    sp.add_argument("--trigger-span", type=int, default=65536,
+                    help="event triggers are planted in the first N bytes "
+                    "of each connection (smaller = chaos fires earlier)")
+    sp.add_argument("--max-events", type=int, default=4,
+                    help="planned event slots per connection")
+    sp.add_argument("--verbose", action="store_true",
+                    help="log per-sweep chaos accounting")
+    sp.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny deterministic CI soak (overrides workload/rates) gated "
+        "on row bit-identity and digest stability",
+    )
+    sp.set_defaults(fn=cmd_chaos_soak)
 
     sp = sub.add_parser(
         "bench", help="run the perf bench suite (--quick = smoke mode)"

@@ -1,0 +1,206 @@
+"""Hypothesis fuzz suite for the farm frame decoder (ISSUE 10).
+
+The decoder sits on the trust boundary: whatever bytes an attacker (or
+the chaos proxy) puts on the wire, :func:`recv_frame` must either
+return a well-formed ``(kind, payload)`` or raise a typed
+:class:`FrameError`/:class:`ProtocolMismatch` — never hang, never
+allocate the declared length before validating it, and never feed
+attacker-controlled bytes to ``pickle`` for a control-plane kind.
+
+Every case writes the fuzzed bytes into one end of a socketpair and
+closes it, so a decoder waiting for more input sees EOF (a
+``FrameError``) instead of blocking; a 5-second socket timeout is the
+backstop that turns any residual hang into a loud failure.
+"""
+
+import json
+import socket
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.analysis.farm as farm
+from repro.analysis.farm import (
+    HEADER,
+    KIND_NAMES,
+    MAGIC,
+    MAX_FRAME,
+    PROTOCOL_VERSION,
+    TRACE_PUT,
+    FrameError,
+    ProtocolMismatch,
+    encode_frame,
+    recv_frame,
+)
+
+_CONTROL_KINDS = sorted(k for k in KIND_NAMES if k != TRACE_PUT)
+
+
+def _decode(data: bytes):
+    """Run the decoder over exactly ``data`` then EOF."""
+    a, b = socket.socketpair()
+    try:
+        a.sendall(data)
+        a.shutdown(socket.SHUT_WR)
+        b.settimeout(5.0)
+        return recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def _valid_frame(kind: int = None, payload=None) -> bytes:
+    if kind is None:
+        kind = _CONTROL_KINDS[0]
+    if payload is None:
+        payload = {"chunk_id": 7, "indices": [1, 2, 3], "msg": "fuzz seed"}
+    return encode_frame(kind, payload)
+
+
+# ------------------------------------------------------------ raw garbage
+@settings(max_examples=200, deadline=None)
+@given(data=st.binary(min_size=0, max_size=256))
+def test_random_bytes_never_hang_or_crash(data):
+    """Arbitrary bytes either decode (vanishingly unlikely — they must
+    begin with the magic) or raise the typed errors. Nothing else."""
+    try:
+        kind, payload = _decode(data)
+    except (FrameError, ProtocolMismatch):
+        return
+    assert kind in KIND_NAMES  # the improbable valid frame
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.binary(min_size=0, max_size=256))
+def test_random_bytes_after_magic_still_typed(data):
+    """Force past the magic check so the version/kind/length validators
+    and the body parser all get fuzzed, not just the first four bytes."""
+    try:
+        kind, payload = _decode(MAGIC + data)
+    except (FrameError, ProtocolMismatch):
+        return
+    assert kind in KIND_NAMES
+
+
+# ------------------------------------------------------------- truncation
+@settings(max_examples=100, deadline=None)
+@given(cut=st.integers(min_value=0, max_value=1))
+def test_every_truncation_of_a_valid_frame_raises(cut):
+    frame = _valid_frame()
+    # exercise every prefix in two interleaved passes to stay fast
+    for n in range(cut, len(frame), 2):
+        with pytest.raises((FrameError, ProtocolMismatch)):
+            _decode(frame[:n])
+
+
+# --------------------------------------------------------------- bit flips
+@settings(max_examples=200, deadline=None)
+@given(
+    pos=st.integers(min_value=0, max_value=10_000),
+    bit=st.integers(min_value=0, max_value=7),
+)
+def test_single_bit_flip_is_typed_or_decodes(pos, bit):
+    frame = bytearray(_valid_frame())
+    pos %= len(frame)
+    frame[pos] ^= 1 << bit
+    try:
+        kind, payload = _decode(bytes(frame))
+    except (FrameError, ProtocolMismatch):
+        return
+    # a flip inside the JSON body can still be valid JSON; the header
+    # fields though are hard-validated
+    assert kind in KIND_NAMES
+    if pos < HEADER.size:
+        # surviving a header flip means the flip landed in padding
+        assert frame[:4] == MAGIC
+
+
+@settings(max_examples=100, deadline=None)
+@given(version=st.integers(min_value=0, max_value=255))
+def test_every_foreign_version_is_protocol_mismatch(version):
+    body = b"{}"
+    data = HEADER.pack(MAGIC, version, _CONTROL_KINDS[0], len(body)) + body
+    if version == PROTOCOL_VERSION:
+        assert _decode(data)[0] == _CONTROL_KINDS[0]
+    else:
+        with pytest.raises(ProtocolMismatch):
+            _decode(data)
+
+
+# ----------------------------------------------------- length-field abuse
+@settings(max_examples=100, deadline=None)
+@given(
+    length=st.integers(min_value=MAX_FRAME + 1, max_value=2**32 - 1),
+    kind=st.sampled_from(_CONTROL_KINDS),
+)
+def test_oversized_length_rejected_before_allocation(length, kind):
+    """A declared length over the ceiling raises without the decoder
+    ever trying to read (or allocate) the body."""
+    data = HEADER.pack(MAGIC, PROTOCOL_VERSION, kind, length)
+    with pytest.raises(FrameError, match="ceiling"):
+        _decode(data)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    declared=st.integers(min_value=1, max_value=4096),
+    sent=st.integers(min_value=0, max_value=64),
+)
+def test_declared_longer_than_sent_raises_on_eof(declared, sent):
+    body = b"x" * min(sent, declared - 1) if declared > 0 else b""
+    data = HEADER.pack(MAGIC, PROTOCOL_VERSION, _CONTROL_KINDS[0], declared) + body
+    with pytest.raises(FrameError, match="mid-frame"):
+        _decode(data)
+
+
+# -------------------------------------------------- no unpickling of control
+@settings(max_examples=100, deadline=None)
+@given(
+    kind=st.sampled_from(_CONTROL_KINDS),
+    body=st.binary(min_size=0, max_size=512),
+)
+def test_control_kinds_never_reach_pickle(kind, body):
+    """Attacker bytes in a control frame must go to the JSON parser,
+    never to pickle — a pickle.loads on them is remote code execution."""
+    calls = []
+    real_loads = farm.pickle.loads
+
+    def recording_loads(*a, **k):
+        calls.append(1)
+        return real_loads(*a, **k)
+
+    farm.pickle.loads = recording_loads
+    try:
+        data = HEADER.pack(MAGIC, PROTOCOL_VERSION, kind, len(body)) + body
+        try:
+            _decode(data)
+        except (FrameError, ProtocolMismatch):
+            pass
+    finally:
+        farm.pickle.loads = real_loads
+    assert calls == []
+
+
+def test_trace_put_is_the_only_pickle_kind():
+    assert farm._PICKLE_KINDS == frozenset({TRACE_PUT})
+
+
+# ------------------------------------------------------- mid-stream garbage
+@settings(max_examples=50, deadline=None)
+@given(garbage=st.binary(min_size=1, max_size=64))
+def test_garbage_after_valid_frame_poisons_only_the_next_read(garbage):
+    first = _valid_frame()
+    a, b = socket.socketpair()
+    try:
+        a.sendall(first + garbage)
+        a.shutdown(socket.SHUT_WR)
+        b.settimeout(5.0)
+        kind, payload = recv_frame(b)  # the valid frame decodes
+        assert kind == _CONTROL_KINDS[0]
+        with pytest.raises((FrameError, ProtocolMismatch)):
+            recv_frame(b)  # the garbage does not
+    finally:
+        a.close()
+        b.close()
